@@ -1,0 +1,88 @@
+package hybridwh_test
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// iteration regenerates the artefact end to end — data load, SQL planning,
+// the distributed join itself — at a reduced scale, and reports the
+// calibrated paper-scale execution-time estimate of a representative cell
+// as a custom metric, plus shape conformance.
+//
+// The full-resolution reproduction (scale 1/1000, all cells) runs via:
+//
+//	go run ./cmd/hwbench -exp all -check -scale 1000
+
+import (
+	"fmt"
+	"testing"
+
+	"hybridwh/internal/experiments"
+)
+
+// benchScale is the verified experiment resolution (1/10000 of the paper's
+// rows — the same EXPERIMENTS.md uses, so the shape checks hold).
+const benchScale = 10000
+
+func benchmarkExperiment(b *testing.B, id string) {
+	exp, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := experiments.RunConfig{Scale: benchScale, Seed: 1}
+	var last *experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Run(exp, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rep
+	}
+	if last == nil {
+		return
+	}
+	if bad := last.CheckShape(); len(bad) > 0 {
+		for _, msg := range bad {
+			b.Logf("shape: %s", msg)
+		}
+	}
+	// Report the last cell's series as custom metrics.
+	row := last.Rows[len(last.Rows)-1]
+	for _, s := range last.Series {
+		if v, ok := row.Values[s]; ok {
+			unit := fmt.Sprintf("s_paper/%s", s)
+			if last.Exp.Counts {
+				unit = fmt.Sprintf("tuples/%s", s)
+			}
+			b.ReportMetric(v, sanitizeUnit(unit))
+		}
+	}
+}
+
+func sanitizeUnit(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch r {
+		case ' ', '(', ')':
+			out = append(out, '_')
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}
+
+func BenchmarkTable1(b *testing.B) { benchmarkExperiment(b, "table1") }
+func BenchmarkFig8a(b *testing.B)  { benchmarkExperiment(b, "fig8a") }
+func BenchmarkFig8b(b *testing.B)  { benchmarkExperiment(b, "fig8b") }
+func BenchmarkFig9a(b *testing.B)  { benchmarkExperiment(b, "fig9a") }
+func BenchmarkFig9b(b *testing.B)  { benchmarkExperiment(b, "fig9b") }
+func BenchmarkFig10a(b *testing.B) { benchmarkExperiment(b, "fig10a") }
+func BenchmarkFig10b(b *testing.B) { benchmarkExperiment(b, "fig10b") }
+func BenchmarkFig11a(b *testing.B) { benchmarkExperiment(b, "fig11a") }
+func BenchmarkFig11b(b *testing.B) { benchmarkExperiment(b, "fig11b") }
+func BenchmarkFig12a(b *testing.B) { benchmarkExperiment(b, "fig12a") }
+func BenchmarkFig12b(b *testing.B) { benchmarkExperiment(b, "fig12b") }
+func BenchmarkFig13a(b *testing.B) { benchmarkExperiment(b, "fig13a") }
+func BenchmarkFig13b(b *testing.B) { benchmarkExperiment(b, "fig13b") }
+func BenchmarkFig14a(b *testing.B) { benchmarkExperiment(b, "fig14a") }
+func BenchmarkFig14b(b *testing.B) { benchmarkExperiment(b, "fig14b") }
+func BenchmarkFig15a(b *testing.B) { benchmarkExperiment(b, "fig15a") }
+func BenchmarkFig15b(b *testing.B) { benchmarkExperiment(b, "fig15b") }

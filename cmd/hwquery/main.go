@@ -1,0 +1,142 @@
+// Command hwquery runs one SQL query end-to-end on a freshly assembled
+// hybrid warehouse and prints the plan, the chosen algorithm, the result
+// rows and the measured counters with paper-scale time estimates.
+//
+//	hwquery -alg zigzag -sigmaT 0.1 -sigmaL 0.4
+//	hwquery -sql "select ... from T, L where ..." -explain
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"hybridwh"
+	"hybridwh/internal/core"
+	"hybridwh/internal/datagen"
+	"hybridwh/internal/format"
+)
+
+func main() {
+	var (
+		sqlFlag = flag.String("sql", "", "SQL to run (default: the paper's example query)")
+		algFlag = flag.String("alg", "", "force algorithm: db | db(BF) | broadcast | repartition | repartition(BF) | zigzag (default: advisor)")
+		sigmaT  = flag.Float64("sigmaT", 0.1, "σ_T for the default query")
+		sigmaL  = flag.Float64("sigmaL", 0.4, "σ_L for the default query")
+		st      = flag.Float64("st", 0.2, "S_T' for the default query")
+		sl      = flag.Float64("sl", 0.1, "S_L' for the default query")
+		scale   = flag.Float64("scale", 20000, "data scale divisor vs the paper")
+		fmtName = flag.String("format", format.HWCName, "HDFS format: text | hwc")
+		explain = flag.Bool("explain", false, "print the plan and exit without running")
+		workers = flag.Int("workers", 30, "workers on each side")
+	)
+	flag.Parse()
+
+	w, err := hybridwh.Open(hybridwh.Config{
+		DBWorkers: *workers, JENWorkers: *workers,
+		Scale: *scale, Format: *fmtName, Seed: 1,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer w.Close()
+
+	data := datagen.Data{
+		TRows: int64(1.6e9 / *scale),
+		LRows: int64(15e9 / *scale),
+		Keys:  int64(16e6 / *scale),
+	}
+	fmt.Printf("loading T (%d rows) into the database and L (%d rows) onto HDFS (%s)...\n",
+		data.WithDefaults().TRows, data.WithDefaults().LRows, *fmtName)
+	if err := w.LoadPaperData(data); err != nil {
+		fatal(err)
+	}
+
+	sql := *sqlFlag
+	var opts []hybridwh.Option
+	if sql == "" {
+		wl, err := datagen.Solve(w.Data(), datagen.Selectivities{
+			SigmaT: *sigmaT, SigmaL: *sigmaL, ST: *st, SL: *sl,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		sql = hybridwh.PaperQuerySQL(wl)
+		opts = append(opts, hybridwh.WithCardHint(hybridwh.ExpectedLPrimeRows(wl)), hybridwh.WithSigmaL(*sigmaL))
+	}
+
+	if *algFlag != "" {
+		alg, err := parseAlg(*algFlag)
+		if err != nil {
+			fatal(err)
+		}
+		opts = append(opts, hybridwh.WithAlgorithm(alg))
+	}
+
+	if *explain {
+		out, err := w.Explain(sql, opts...)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		return
+	}
+
+	fmt.Printf("query:%s\n\n", strings.ReplaceAll(sql, "\n", "\n  "))
+	res, err := w.Query(sql, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("algorithm: %s", res.Algorithm)
+	if res.Advice != "" {
+		fmt.Printf("  (advisor: %s)", res.Advice)
+	}
+	fmt.Println()
+	if strings.HasPrefix(res.Algorithm.String(), "db") {
+		fmt.Printf("db final-join strategy: %s\n", res.DBJoinStrategy)
+	}
+	fmt.Printf("estimated paper-scale time: %s\n\n", res.EstimatedTime)
+
+	fmt.Printf("result (%s): %d groups\n", res.Schema, len(res.Rows))
+	max := len(res.Rows)
+	if max > 10 {
+		max = 10
+	}
+	for _, r := range res.Rows[:max] {
+		fmt.Printf("  %s\n", r)
+	}
+	if len(res.Rows) > max {
+		fmt.Printf("  ... %d more\n", len(res.Rows)-max)
+	}
+
+	fmt.Println("\nkey counters (simulation scale):")
+	keys := make([]string, 0, len(res.Counters))
+	for k := range res.Counters {
+		if strings.HasSuffix(k, ".max") {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if v := res.Counters[k]; v != 0 {
+			fmt.Printf("  %-28s %d\n", k, v)
+		}
+	}
+}
+
+func parseAlg(s string) (core.Algorithm, error) {
+	for _, a := range core.Algorithms() {
+		if strings.EqualFold(a.String(), s) {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown algorithm %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,84 @@
+package hybridwh_test
+
+import (
+	"fmt"
+	"log"
+
+	"hybridwh"
+	"hybridwh/internal/core"
+	"hybridwh/internal/datagen"
+)
+
+// Example assembles a tiny hybrid warehouse, loads the paper's synthetic
+// dataset, and runs the Section 5 query with the zigzag join.
+func Example() {
+	w, err := hybridwh.Open(hybridwh.Config{
+		DBWorkers:  4,
+		JENWorkers: 4,
+		Scale:      500000, // 1/500000 of the paper's data — fast to load
+		Seed:       1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer w.Close()
+
+	if err := w.LoadPaperData(datagen.Data{
+		TRows: 3200, LRows: 30000, Keys: 160, Groups: 8,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Solve the workload knobs of Table 1 and render the paper's query.
+	wl, err := datagen.Solve(w.Data(), datagen.Selectivities{
+		SigmaT: 0.1, SigmaL: 0.4, ST: 0.2, SL: 0.1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := w.Query(hybridwh.PaperQuerySQL(wl),
+		hybridwh.WithAlgorithm(core.Zigzag))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("algorithm: %s\n", res.Algorithm)
+	fmt.Printf("output schema: %s\n", res.Schema)
+	fmt.Printf("groups: %d\n", len(res.Rows))
+	// Output:
+	// algorithm: zigzag
+	// output schema: group0 bigint, count bigint
+	// groups: 8
+}
+
+// ExampleWarehouse_Explain shows the plan and the advisor's reasoning
+// without executing the query.
+func ExampleWarehouse_Explain() {
+	w, err := hybridwh.Open(hybridwh.Config{DBWorkers: 2, JENWorkers: 2, Scale: 500000, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.LoadPaperData(datagen.Data{TRows: 800, LRows: 4000, Keys: 80, Groups: 4}); err != nil {
+		log.Fatal(err)
+	}
+	out, err := w.Explain(`
+		select count(*) from T, L
+		where T.joinKey = L.joinKey and T.corPred <= 7`,
+		hybridwh.WithSigmaL(0.001))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The advisor recommends the DB-side join for a highly selective σ_L.
+	fmt.Println(len(out) > 0 && contains(out, "db(BF)"))
+	// Output:
+	// true
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

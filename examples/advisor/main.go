@@ -1,0 +1,76 @@
+// Advisor: sweep the selectivity space and watch the algorithm choice and
+// the measured crossovers — an executable rendering of the paper's
+// Section 5.5 discussion.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hybridwh"
+	"hybridwh/internal/core"
+	"hybridwh/internal/datagen"
+)
+
+func main() {
+	w, err := hybridwh.Open(hybridwh.Config{
+		DBWorkers: 16, JENWorkers: 16, Scale: 50000, Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.LoadPaperData(datagen.Data{
+		TRows: 32_000, LRows: 300_000, Keys: 1_600,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("What the advisor picks, and how the alternatives would have done")
+	fmt.Println("(estimated paper-scale seconds; columns: the advisor's pick vs every algorithm)")
+	fmt.Println()
+
+	cases := []struct {
+		name           string
+		sigmaT, sigmaL float64
+	}{
+		{"tiny T' (σT=0.001)", 0.001, 0.2},
+		{"tiny L' (σL=0.001)", 0.1, 0.001},
+		{"selective L' (σL=0.01)", 0.1, 0.01},
+		{"common case (σL=0.2)", 0.1, 0.2},
+		{"heavy both sides (σT=0.2, σL=0.4)", 0.2, 0.4},
+	}
+	for _, c := range cases {
+		wl, _, err := datagen.SolveNearest(w.Data(), datagen.Selectivities{
+			SigmaT: c.sigmaT, SigmaL: c.sigmaL, ST: 0.3, SL: 0.1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sql := hybridwh.PaperQuerySQL(wl)
+		opts := []hybridwh.Option{
+			hybridwh.WithSigmaL(c.sigmaL),
+			hybridwh.WithCardHint(hybridwh.ExpectedLPrimeRows(wl)),
+		}
+		picked, err := w.Query(sql, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n  advisor picked %s: %s\n", c.name, picked.Algorithm, picked.Advice)
+		fmt.Printf("  alternatives: ")
+		for _, alg := range core.Algorithms() {
+			res, err := w.Query(sql, append(opts, hybridwh.WithAlgorithm(alg))...)
+			if err != nil {
+				log.Fatal(err)
+			}
+			marker := ""
+			if alg == picked.Algorithm {
+				marker = "*"
+			}
+			fmt.Printf("%s%s=%.0fs  ", marker, alg, res.EstimatedTime.Total)
+		}
+		fmt.Printf("\n\n")
+	}
+	fmt.Println("* = the advisor's choice. The paper's regions: broadcast only when T' is")
+	fmt.Println("tiny, DB-side only when σL ≤ 0.01, zigzag everywhere else.")
+}

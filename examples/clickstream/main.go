@@ -1,0 +1,138 @@
+// Clickstream: the paper's Section 2 motivating scenario, end to end with
+// custom (non-synthetic) schemas through the public facade.
+//
+// A retailer stores transactions in the parallel database and click logs on
+// HDFS. The analysis counts page views by URL prefix for East-Coast
+// visitors who bought Canon cameras within a day of their visit:
+//
+//	SELECT url_prefix(L.url), COUNT(*)
+//	FROM T, L
+//	WHERE T.category = 'Canon Camera'
+//	  AND region(L.ip) = 'East Coast'
+//	  AND T.uid = L.uid
+//	  AND days(T.tdate) - days(L.ldate) BETWEEN 0 AND 1
+//	GROUP BY url_prefix(L.url)
+//
+// The query runs over real TCP sockets between every worker, with both the
+// DB-side Bloom join and the zigzag join, and must produce identical
+// answers.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"hybridwh"
+	"hybridwh/internal/core"
+	"hybridwh/internal/types"
+)
+
+func transactionsSchema() types.Schema {
+	return types.NewSchema(
+		types.C("tid", types.KindInt64),
+		types.C("uid", types.KindInt32),
+		types.C("category", types.KindString),
+		types.C("tdate", types.KindDate),
+		types.C("amount", types.KindInt32),
+	)
+}
+
+func clicksSchema() types.Schema {
+	return types.NewSchema(
+		types.C("uid", types.KindInt32),
+		types.C("ip", types.KindString),
+		types.C("url", types.KindString),
+		types.C("ldate", types.KindDate),
+	)
+}
+
+const (
+	users  = 2000
+	nTxn   = 20000
+	nClick = 120000
+)
+
+var categories = []string{"Canon Camera", "Nikon Camera", "Laptop", "Headphones", "Espresso Machine"}
+
+var urls = []string{
+	"http://shop.example.com/cameras/canon-eos",
+	"http://shop.example.com/cameras/nikon-z",
+	"http://shop.example.com/laptops/ultrabook",
+	"http://blog.example.com/reviews/best-cameras-2015",
+	"http://shop.example.com/deals/today",
+}
+
+func main() {
+	// Real TCP sockets between every worker, exactly like JEN.
+	w, err := hybridwh.Open(hybridwh.Config{
+		DBWorkers: 6, JENWorkers: 6, Scale: 100000,
+		Transport: "tcp", Seed: 2015,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer w.Close()
+
+	rng := rand.New(rand.NewSource(2015))
+	transactions := func(emit func(types.Row) error) error {
+		for i := 0; i < nTxn; i++ {
+			if err := emit(types.Row{
+				types.Int64(int64(i)),
+				types.Int32(int32(rng.Intn(users))),
+				types.String(categories[rng.Intn(len(categories))]),
+				types.Date(int32(16400 + rng.Intn(30))),
+				types.Int32(int32(50 + rng.Intn(2000))),
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	clicks := func(emit func(types.Row) error) error {
+		for i := 0; i < nClick; i++ {
+			ip := fmt.Sprintf("%d.%d.%d.%d", rng.Intn(256), rng.Intn(256), rng.Intn(256), 1+rng.Intn(254))
+			if err := emit(types.Row{
+				types.Int32(int32(rng.Intn(users))),
+				types.String(ip),
+				types.String(urls[rng.Intn(len(urls))]),
+				types.Date(int32(16400 + rng.Intn(30))),
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := w.LoadTables(
+		hybridwh.TableDef{Name: "T", Schema: transactionsSchema()},
+		transactions,
+		hybridwh.TableDef{Name: "L", Schema: clicksSchema()},
+		clicks,
+	); err != nil {
+		log.Fatal(err)
+	}
+
+	sql := `
+select url_prefix(L.url), count(*)
+from T, L
+where T.category = 'Canon Camera'
+and region(L.ip) = 'East Coast'
+and T.uid = L.uid
+and days(T.tdate) - days(L.ldate) between 0 and 1
+group by url_prefix(L.url)`
+
+	fmt.Println("ad-campaign analysis: East-Coast page views within a day of a Canon Camera purchase")
+	for _, alg := range []core.Algorithm{core.DBSideBloom, core.Zigzag} {
+		res, err := w.Query(sql, hybridwh.WithAlgorithm(alg))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s (over TCP):\n", alg)
+		for _, r := range res.Rows {
+			fmt.Printf("  %-55s %6d views\n", r[0].Str(), r[1].Int())
+		}
+		fmt.Printf("  [shuffled %d tuples on HDFS, shipped %d from the DB, %d into the DB]\n",
+			res.Counters["jen.shuffle.tuples"], res.Counters["db.sent.tuples"],
+			res.Counters["hdfs.sent.tuples"])
+	}
+}

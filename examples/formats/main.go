@@ -1,0 +1,60 @@
+// Formats: the Section 5.4 story — how the HDFS file format changes the
+// same join. Loads the same data as text and as the HWC columnar format,
+// runs the same zigzag join on both, and contrasts bytes scanned and
+// estimated times (the paper: 1 TB text scans in 240 s; the projected
+// columns of the 421 GB columnar table in 38 s).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hybridwh"
+	"hybridwh/internal/core"
+	"hybridwh/internal/datagen"
+	"hybridwh/internal/format"
+)
+
+func main() {
+	data := datagen.Data{TRows: 32_000, LRows: 300_000, Keys: 1_600}
+	sel := datagen.Selectivities{SigmaT: 0.1, SigmaL: 0.4, ST: 0.2, SL: 0.1}
+
+	fmt.Println("same data, same zigzag join, two HDFS formats")
+	fmt.Println()
+	for _, f := range []string{format.TextName, format.HWCName} {
+		w, err := hybridwh.Open(hybridwh.Config{
+			DBWorkers: 16, JENWorkers: 16, Scale: 50000, Format: f, Seed: 5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := w.LoadPaperData(data); err != nil {
+			log.Fatal(err)
+		}
+		cat, err := w.Catalog().Lookup("L")
+		if err != nil {
+			log.Fatal(err)
+		}
+		wl, err := datagen.Solve(w.Data(), sel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := w.Query(hybridwh.PaperQuerySQL(wl),
+			hybridwh.WithAlgorithm(core.Zigzag),
+			hybridwh.WithCardHint(hybridwh.ExpectedLPrimeRows(wl)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-5s  stored %7.1f MB   scanned %7.1f MB   local reads %3.0f%%   est. paper-scale %5.0fs\n",
+			f,
+			float64(cat.Bytes)/1e6,
+			float64(res.Counters["jen.scan.bytes"])/1e6,
+			100*float64(w.HDFS().LocalReadBytes())/float64(w.HDFS().LocalReadBytes()+w.HDFS().RemoteReadBytes()+1),
+			res.EstimatedTime.Total)
+		fmt.Printf("       breakdown: %s\n\n", res.EstimatedTime)
+		w.Close()
+	}
+	fmt.Println("the columnar format stores fewer bytes (compression), scans fewer still")
+	fmt.Println("(projection pushdown skips the dummy column), and the join estimate drops")
+	fmt.Println("accordingly — the paper's ~6x format gap at the scan level.")
+}

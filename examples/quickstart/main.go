@@ -1,0 +1,74 @@
+// Quickstart: assemble a hybrid warehouse, load the paper's synthetic
+// dataset at a small scale, and run one query with the advisor choosing the
+// join algorithm.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hybridwh"
+	"hybridwh/internal/datagen"
+)
+
+func main() {
+	// A small warehouse: 8 database workers, 8 JEN workers (one per HDFS
+	// DataNode), columnar HDFS format, in-process transport.
+	w, err := hybridwh.Open(hybridwh.Config{
+		DBWorkers:  8,
+		JENWorkers: 8,
+		Scale:      100000, // 1/100000 of the paper's data: quick to load
+		Seed:       7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer w.Close()
+
+	// T (transactions) goes into the parallel database; L (click logs)
+	// onto HDFS.
+	if err := w.LoadPaperData(datagen.Data{
+		TRows: 16_000, LRows: 150_000, Keys: 1_000,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's example analysis: which pages did customers view within
+	// a day of a matching transaction? Expressed over the synthetic
+	// schema, with predicates on both tables, an equi-join, a post-join
+	// date window, and group-by + count.
+	wl, err := datagen.Solve(w.Data(), datagen.Selectivities{
+		SigmaT: 0.1, SigmaL: 0.4, ST: 0.2, SL: 0.1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sql := hybridwh.PaperQuerySQL(wl)
+
+	// Explain first: the plan, the DB access path, the advisor's choice.
+	plan, err := w.Explain(sql, hybridwh.WithSigmaL(0.4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(plan)
+
+	// Run it. Without WithAlgorithm the advisor decides (here: zigzag).
+	res, err := w.Query(sql,
+		hybridwh.WithSigmaL(0.4),
+		hybridwh.WithCardHint(hybridwh.ExpectedLPrimeRows(wl)))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("ran %s: %d groups returned at the database side\n", res.Algorithm, len(res.Rows))
+	for i, r := range res.Rows {
+		if i == 5 {
+			fmt.Printf("  ... %d more groups\n", len(res.Rows)-5)
+			break
+		}
+		fmt.Printf("  group=%s count=%s\n", r[0].Format(), r[1].Format())
+	}
+	fmt.Printf("\ntuples shuffled among JEN workers: %d\n", res.Counters["jen.shuffle.tuples"])
+	fmt.Printf("tuples sent by the database:       %d\n", res.Counters["db.sent.tuples"])
+	fmt.Printf("estimated paper-scale time:        %.0fs\n", res.EstimatedTime.Total)
+}

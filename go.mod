@@ -1,0 +1,3 @@
+module hybridwh
+
+go 1.22

@@ -1,0 +1,170 @@
+// Package bloom implements the Bloom filters used by the hybrid-warehouse
+// join algorithms (Section 3 of the paper).
+//
+// Each worker builds a local filter over the join keys of its partition after
+// local predicates; local filters are aggregated into a global filter by
+// bitwise OR (the paper's combine_filter UDF) and shipped to the other
+// system, where it prunes non-joinable records before any data crosses the
+// network.
+//
+// The paper's configuration — 128 M bits and 2 hash functions for 16 M unique
+// join keys, ≈5% worst-case false-positive rate — is the default at scale 1.
+// Positions are derived by double hashing (Kirsch–Mitzenmacher), so only one
+// 64-bit hash of the key is computed per operation.
+package bloom
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Filter is a Bloom filter over uint64 hashes. It is not safe for concurrent
+// mutation; workers build private filters and merge them.
+type Filter struct {
+	m    uint64 // number of bits
+	k    int    // number of probe positions per key
+	bits []uint64
+}
+
+// New creates a filter with m bits (rounded up to a multiple of 64) and k
+// hash functions. It panics if m == 0 or k <= 0; sizes are static
+// configuration, not data-dependent.
+func New(m uint64, k int) *Filter {
+	if m == 0 || k <= 0 {
+		panic(fmt.Sprintf("bloom.New(%d, %d): invalid parameters", m, k))
+	}
+	words := (m + 63) / 64
+	return &Filter{m: words * 64, k: k, bits: make([]uint64, words)}
+}
+
+// NewForCapacity sizes a filter for n expected keys and a target
+// false-positive rate using the standard formulas m = -n·ln p / (ln 2)² and
+// k = (m/n)·ln 2.
+func NewForCapacity(n uint64, p float64) *Filter {
+	if n == 0 {
+		n = 1
+	}
+	if p <= 0 || p >= 1 {
+		p = 0.05
+	}
+	m := uint64(math.Ceil(-float64(n) * math.Log(p) / (math.Ln2 * math.Ln2)))
+	k := int(math.Round(float64(m) / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	return New(m, k)
+}
+
+// MBits returns the filter size in bits.
+func (f *Filter) MBits() uint64 { return f.m }
+
+// K returns the number of hash functions.
+func (f *Filter) K() int { return f.k }
+
+// SizeBytes returns the in-memory/wire size of the bit array.
+func (f *Filter) SizeBytes() int { return len(f.bits) * 8 }
+
+// positions derives the k probe positions from one 64-bit hash by double
+// hashing: pos_i = h1 + i·h2 mod m, with h2 forced odd so it is coprime with
+// the power-of-two word span.
+func (f *Filter) pos(h uint64, i int) uint64 {
+	h1 := h
+	h2 := (h>>32 | h<<32) | 1
+	return (h1 + uint64(i)*h2) % f.m
+}
+
+// AddHash inserts a key given its 64-bit hash.
+func (f *Filter) AddHash(h uint64) {
+	for i := 0; i < f.k; i++ {
+		p := f.pos(h, i)
+		f.bits[p>>6] |= 1 << (p & 63)
+	}
+}
+
+// TestHash reports whether the key with the given hash may be present.
+// False positives occur at the configured rate; false negatives never.
+func (f *Filter) TestHash(h uint64) bool {
+	for i := 0; i < f.k; i++ {
+		p := f.pos(h, i)
+		if f.bits[p>>6]&(1<<(p&63)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Union ORs other into f. The filters must have identical geometry — they do
+// in every algorithm, because geometry is part of the query plan.
+func (f *Filter) Union(other *Filter) error {
+	if other.m != f.m || other.k != f.k {
+		return fmt.Errorf("bloom: union geometry mismatch: (%d,%d) vs (%d,%d)", f.m, f.k, other.m, other.k)
+	}
+	for i, w := range other.bits {
+		f.bits[i] |= w
+	}
+	return nil
+}
+
+// FillRatio returns the fraction of set bits.
+func (f *Filter) FillRatio() float64 {
+	ones := 0
+	for _, w := range f.bits {
+		ones += bits.OnesCount64(w)
+	}
+	return float64(ones) / float64(f.m)
+}
+
+// FalsePositiveRate estimates the FPR from the observed fill ratio:
+// p ≈ fill^k. This is the rate that actually applies to probes, regardless
+// of how many keys were inserted.
+func (f *Filter) FalsePositiveRate() float64 {
+	return math.Pow(f.FillRatio(), float64(f.k))
+}
+
+// EstimateCardinality estimates the number of distinct keys inserted from the
+// fill ratio: n ≈ -(m/k)·ln(1 - fill).
+func (f *Filter) EstimateCardinality() uint64 {
+	fill := f.FillRatio()
+	if fill >= 1 {
+		return math.MaxUint64
+	}
+	return uint64(-float64(f.m) / float64(f.k) * math.Log(1-fill))
+}
+
+const marshalMagic = "HWBF"
+
+// Marshal serializes the filter for network transfer. Layout: magic, k
+// (uint32), m (uint64), words.
+func (f *Filter) Marshal() []byte {
+	buf := make([]byte, 0, 4+4+8+len(f.bits)*8)
+	buf = append(buf, marshalMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(f.k))
+	buf = binary.LittleEndian.AppendUint64(buf, f.m)
+	for _, w := range f.bits {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	return buf
+}
+
+// Unmarshal reconstructs a filter serialized by Marshal.
+func Unmarshal(b []byte) (*Filter, error) {
+	if len(b) < 16 || string(b[:4]) != marshalMagic {
+		return nil, fmt.Errorf("bloom: bad header")
+	}
+	k := int(binary.LittleEndian.Uint32(b[4:8]))
+	m := binary.LittleEndian.Uint64(b[8:16])
+	if k <= 0 || m == 0 || m%64 != 0 {
+		return nil, fmt.Errorf("bloom: corrupt geometry k=%d m=%d", k, m)
+	}
+	words := int(m / 64)
+	if len(b) != 16+words*8 {
+		return nil, fmt.Errorf("bloom: size mismatch: have %d bytes, want %d", len(b), 16+words*8)
+	}
+	f := &Filter{m: m, k: k, bits: make([]uint64, words)}
+	for i := range f.bits {
+		f.bits[i] = binary.LittleEndian.Uint64(b[16+i*8 : 24+i*8])
+	}
+	return f, nil
+}

@@ -1,0 +1,228 @@
+package bloom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hybridwh/internal/types"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(1<<17, 2)
+	const n = 10000
+	for k := int64(0); k < n; k++ {
+		f.AddHash(types.BloomHashKey(k))
+	}
+	for k := int64(0); k < n; k++ {
+		if !f.TestHash(types.BloomHashKey(k)) {
+			t.Fatalf("false negative for key %d", k)
+		}
+	}
+}
+
+func TestFalsePositiveRateNearPrediction(t *testing.T) {
+	// Paper geometry scaled by 1000: 128k bits, 2 hashes, 16k keys.
+	f := New(128_000, 2)
+	const n = 16000
+	for k := int64(0); k < n; k++ {
+		f.AddHash(types.BloomHashKey(k))
+	}
+	predicted := f.FalsePositiveRate()
+	fp := 0
+	const probes = 200000
+	for k := int64(n); k < n+probes; k++ {
+		if f.TestHash(types.BloomHashKey(k)) {
+			fp++
+		}
+	}
+	observed := float64(fp) / probes
+	// The paper quotes ~5% for this geometry; allow generous slack.
+	if observed > 0.10 {
+		t.Errorf("observed FPR %.4f too high", observed)
+	}
+	if math.Abs(observed-predicted) > 0.03 {
+		t.Errorf("observed FPR %.4f far from predicted %.4f", observed, predicted)
+	}
+}
+
+func TestUnionEquivalentToSingleFilter(t *testing.T) {
+	// Local filters per worker OR-ed together must behave exactly like one
+	// filter built over all keys — this is the combine_filter contract.
+	whole := New(1<<16, 2)
+	locals := make([]*Filter, 4)
+	for i := range locals {
+		locals[i] = New(1<<16, 2)
+	}
+	for k := int64(0); k < 8000; k++ {
+		h := types.BloomHashKey(k)
+		whole.AddHash(h)
+		locals[k%4].AddHash(h)
+	}
+	merged := New(1<<16, 2)
+	for _, l := range locals {
+		if err := merged.Union(l); err != nil {
+			t.Fatalf("Union: %v", err)
+		}
+	}
+	for i, w := range whole.bits {
+		if merged.bits[i] != w {
+			t.Fatalf("word %d differs after union", i)
+		}
+	}
+}
+
+func TestUnionGeometryMismatch(t *testing.T) {
+	a := New(128, 2)
+	if err := a.Union(New(256, 2)); err == nil {
+		t.Error("union with different m should fail")
+	}
+	if err := a.Union(New(128, 3)); err == nil {
+		t.Error("union with different k should fail")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	f := New(1<<12, 3)
+	for k := int64(0); k < 500; k++ {
+		f.AddHash(types.BloomHashKey(k * 7))
+	}
+	b := f.Marshal()
+	if len(b) != 16+f.SizeBytes() {
+		t.Errorf("marshal size %d, want %d", len(b), 16+f.SizeBytes())
+	}
+	g, err := Unmarshal(b)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if g.MBits() != f.MBits() || g.K() != f.K() {
+		t.Fatalf("geometry lost: (%d,%d)", g.MBits(), g.K())
+	}
+	for i := range f.bits {
+		if f.bits[i] != g.bits[i] {
+			t.Fatalf("word %d differs", i)
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(nil); err == nil {
+		t.Error("nil buffer: want error")
+	}
+	if _, err := Unmarshal([]byte("XXXX0000000000000000")); err == nil {
+		t.Error("bad magic: want error")
+	}
+	good := New(128, 2).Marshal()
+	if _, err := Unmarshal(good[:len(good)-1]); err == nil {
+		t.Error("truncated: want error")
+	}
+	bad := New(128, 2).Marshal()
+	bad[4] = 0 // k = 0
+	if _, err := Unmarshal(bad); err == nil {
+		t.Error("k=0: want error")
+	}
+}
+
+func TestNewForCapacity(t *testing.T) {
+	f := NewForCapacity(10000, 0.01)
+	// Standard sizing: ~9.6 bits/key, ~7 hashes for 1%.
+	if f.MBits() < 90000 || f.MBits() > 100000 {
+		t.Errorf("m = %d bits", f.MBits())
+	}
+	if f.K() < 6 || f.K() > 8 {
+		t.Errorf("k = %d", f.K())
+	}
+	// Degenerate parameters fall back to sane defaults rather than panicking.
+	if f := NewForCapacity(0, -1); f.MBits() == 0 || f.K() == 0 {
+		t.Error("degenerate capacity should still yield a usable filter")
+	}
+}
+
+func TestEstimateCardinality(t *testing.T) {
+	f := New(1<<18, 2)
+	const n = 20000
+	for k := int64(0); k < n; k++ {
+		f.AddHash(types.BloomHashKey(k))
+	}
+	est := f.EstimateCardinality()
+	if est < n*90/100 || est > n*110/100 {
+		t.Errorf("cardinality estimate %d for %d keys", est, n)
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	for _, c := range []struct {
+		m uint64
+		k int
+	}{{0, 2}, {64, 0}, {64, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) should panic", c.m, c.k)
+				}
+			}()
+			New(c.m, c.k)
+		}()
+	}
+}
+
+func TestQuickNoFalseNegatives(t *testing.T) {
+	f := func(keys []int64) bool {
+		fl := New(1<<14, 2)
+		for _, k := range keys {
+			fl.AddHash(types.BloomHashKey(k))
+		}
+		for _, k := range keys {
+			if !fl.TestHash(types.BloomHashKey(k)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUnionSuperset(t *testing.T) {
+	// After a.Union(b), everything in b tests positive in a.
+	f := func(aKeys, bKeys []int64) bool {
+		a, b := New(1<<13, 2), New(1<<13, 2)
+		for _, k := range aKeys {
+			a.AddHash(types.BloomHashKey(k))
+		}
+		for _, k := range bKeys {
+			b.AddHash(types.BloomHashKey(k))
+		}
+		if err := a.Union(b); err != nil {
+			return false
+		}
+		for _, k := range append(aKeys, bKeys...) {
+			if !a.TestHash(types.BloomHashKey(k)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAddHash(b *testing.B) {
+	f := New(128_000_000, 2)
+	for i := 0; i < b.N; i++ {
+		f.AddHash(types.BloomHashKey(int64(i)))
+	}
+}
+
+func BenchmarkTestHash(b *testing.B) {
+	f := New(128_000_000, 2)
+	for k := int64(0); k < 1_000_000; k++ {
+		f.AddHash(types.BloomHashKey(k))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.TestHash(types.BloomHashKey(int64(i)))
+	}
+}

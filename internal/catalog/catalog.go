@@ -1,0 +1,83 @@
+// Package catalog is the HCatalog analogue: it maps HDFS table names to
+// their storage path, file format, schema and basic statistics. The JEN
+// coordinator consults it when a DB worker's read request names an HDFS
+// table (Section 4.1 of the paper).
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"hybridwh/internal/types"
+)
+
+// Table is the metadata for one HDFS-resident table.
+type Table struct {
+	Name   string
+	Path   string // HDFS path prefix; all files under it belong to the table
+	Format string // format.TextName or format.HWCName
+	Schema types.Schema
+	// Statistics for planning (maintained by the loader).
+	Rows  int64
+	Bytes int64
+}
+
+// Catalog is a thread-safe metadata store.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]Table
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{tables: map[string]Table{}}
+}
+
+// Register adds or replaces a table entry.
+func (c *Catalog) Register(t Table) error {
+	if t.Name == "" || t.Path == "" {
+		return fmt.Errorf("catalog: table needs a name and a path: %+v", t)
+	}
+	if t.Schema.Len() == 0 {
+		return fmt.Errorf("catalog: table %s has an empty schema", t.Name)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tables[t.Name] = t
+	return nil
+}
+
+// Lookup returns the metadata for a table.
+func (c *Catalog) Lookup(name string) (Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[name]
+	if !ok {
+		return Table{}, fmt.Errorf("catalog: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// Drop removes a table entry.
+func (c *Catalog) Drop(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[name]; !ok {
+		return fmt.Errorf("catalog: unknown table %q", name)
+	}
+	delete(c.tables, name)
+	return nil
+}
+
+// Names lists registered tables, sorted.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

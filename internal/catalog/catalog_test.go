@@ -1,0 +1,98 @@
+package catalog
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"hybridwh/internal/types"
+)
+
+func entry(name string) Table {
+	return Table{
+		Name: name, Path: "/hw/" + name, Format: "hwc",
+		Schema: types.NewSchema(types.C("joinKey", types.KindInt32)),
+		Rows:   100, Bytes: 1000,
+	}
+}
+
+func TestRegisterLookupDrop(t *testing.T) {
+	c := New()
+	if err := c.Register(entry("L")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Lookup("L")
+	if err != nil || got.Path != "/hw/L" || got.Rows != 100 {
+		t.Fatalf("Lookup = %+v, %v", got, err)
+	}
+	if _, err := c.Lookup("missing"); err == nil {
+		t.Error("missing table: want error")
+	}
+	// Replace updates in place.
+	e := entry("L")
+	e.Rows = 200
+	if err := c.Register(e); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := c.Lookup("L"); got.Rows != 200 {
+		t.Errorf("replace failed: %+v", got)
+	}
+	if err := c.Drop("L"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Drop("L"); err == nil {
+		t.Error("double drop: want error")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	c := New()
+	if err := c.Register(Table{Name: "", Path: "/x"}); err == nil {
+		t.Error("empty name: want error")
+	}
+	if err := c.Register(Table{Name: "x", Path: ""}); err == nil {
+		t.Error("empty path: want error")
+	}
+	if err := c.Register(Table{Name: "x", Path: "/x"}); err == nil {
+		t.Error("empty schema: want error")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	c := New()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		if err := c.Register(entry(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Names(); !reflect.DeepEqual(got, []string{"alpha", "mid", "zeta"}) {
+		t.Errorf("Names = %v", got)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := string(rune('a' + g))
+			for i := 0; i < 100; i++ {
+				if err := c.Register(entry(name)); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := c.Lookup(name); err != nil {
+					t.Error(err)
+					return
+				}
+				c.Names()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if len(c.Names()) != 8 {
+		t.Errorf("Names = %v", c.Names())
+	}
+}

@@ -1,0 +1,134 @@
+// Package cluster pins down the topology shared by both engines: endpoint
+// naming, the agreed partitioning hash function (which lets DB workers send
+// rows directly to the JEN worker that will join them, Section 3.3), and the
+// division of JEN workers into per-DB-worker groups for parallel transfers
+// (Section 4.1, Figure 5).
+package cluster
+
+import (
+	"fmt"
+
+	"hybridwh/internal/types"
+)
+
+// Topology describes the two clusters.
+type Topology struct {
+	DBWorkers   int // paper default: 30 (6 workers × 5 servers)
+	JENWorkers  int // paper default: 30 (one per DataNode)
+	DisksPerJEN int // paper default: 4
+}
+
+// Default returns the paper's topology.
+func Default() Topology {
+	return Topology{DBWorkers: 30, JENWorkers: 30, DisksPerJEN: 4}
+}
+
+// Validate checks the topology is usable.
+func (t Topology) Validate() error {
+	if t.DBWorkers <= 0 || t.JENWorkers <= 0 {
+		return fmt.Errorf("cluster: need at least one worker on each side: %+v", t)
+	}
+	if t.DisksPerJEN <= 0 {
+		return fmt.Errorf("cluster: DisksPerJEN must be positive: %+v", t)
+	}
+	return nil
+}
+
+// Endpoint names. The bus classifies links by these prefixes.
+const (
+	dbPrefix  = "db/"
+	jenPrefix = "jen/"
+	// Coordinator is the JEN coordinator endpoint (runs on the NameNode).
+	Coordinator = "jen/coord"
+)
+
+// DBName returns the endpoint name of a DB worker.
+func DBName(i int) string { return fmt.Sprintf("%s%d", dbPrefix, i) }
+
+// JENName returns the endpoint name of a JEN worker.
+func JENName(i int) string { return fmt.Sprintf("%s%d", jenPrefix, i) }
+
+// IsDB reports whether an endpoint is a database worker.
+func IsDB(name string) bool { return len(name) > len(dbPrefix) && name[:len(dbPrefix)] == dbPrefix }
+
+// IsJEN reports whether an endpoint is on the HDFS side (worker or
+// coordinator).
+func IsJEN(name string) bool { return len(name) > len(jenPrefix) && name[:len(jenPrefix)] == jenPrefix }
+
+// LinkClass classifies a transfer by its endpoints.
+type LinkClass int
+
+// Link classes, in cost-model terms: the database interconnect, the HDFS
+// cluster's node NICs, and the inter-cluster switch.
+const (
+	IntraDB LinkClass = iota
+	IntraHDFS
+	Cross
+)
+
+// String names the link class.
+func (l LinkClass) String() string {
+	switch l {
+	case IntraDB:
+		return "intra-db"
+	case IntraHDFS:
+		return "intra-hdfs"
+	case Cross:
+		return "cross"
+	default:
+		return "unknown"
+	}
+}
+
+// Classify returns the link class for a (from, to) endpoint pair.
+func Classify(from, to string) LinkClass {
+	fdb, tdb := IsDB(from), IsDB(to)
+	switch {
+	case fdb && tdb:
+		return IntraDB
+	case !fdb && !tdb:
+		return IntraHDFS
+	default:
+		return Cross
+	}
+}
+
+// PartitionFor is the agreed hash partitioning: both sides route a join key
+// to JEN worker PartitionFor(key, topo.JENWorkers) so shuffled HDFS rows and
+// transferred DB rows meet at the same worker without re-shuffling.
+func PartitionFor(key int64, n int) int {
+	return int(types.PartitionHashKey(key) % uint64(n))
+}
+
+// Groups divides n JEN workers into m contiguous, maximally even groups —
+// one group per DB worker — for parallel DB↔HDFS data movement (Figure 5).
+// When m > n, groups beyond n are empty and callers should map DB worker i
+// to group i%n instead; GroupFor handles both cases.
+func Groups(n, m int) [][]int {
+	if m <= 0 || n <= 0 {
+		return nil
+	}
+	out := make([][]int, m)
+	next := 0
+	for g := 0; g < m; g++ {
+		count := n / m
+		if g < n%m {
+			count++
+		}
+		for k := 0; k < count; k++ {
+			out[g] = append(out[g], next)
+			next++
+		}
+	}
+	return out
+}
+
+// GroupFor returns the JEN workers that DB worker i exchanges bulk data
+// with. With fewer JEN workers than DB workers, multiple DB workers share a
+// JEN worker.
+func GroupFor(i, n, m int) []int {
+	if n >= m {
+		return Groups(n, m)[i]
+	}
+	return []int{i % n}
+}

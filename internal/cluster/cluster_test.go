@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func TestEndpointNamesAndClassify(t *testing.T) {
+	if DBName(3) != "db/3" || JENName(7) != "jen/7" {
+		t.Errorf("names: %s %s", DBName(3), JENName(7))
+	}
+	if !IsDB("db/0") || IsDB("jen/0") || IsDB("db/") {
+		t.Error("IsDB misbehaves")
+	}
+	if !IsJEN("jen/0") || !IsJEN(Coordinator) || IsJEN("db/1") {
+		t.Error("IsJEN misbehaves")
+	}
+	cases := []struct {
+		from, to string
+		want     LinkClass
+	}{
+		{"db/0", "db/1", IntraDB},
+		{"jen/0", "jen/1", IntraHDFS},
+		{"jen/0", Coordinator, IntraHDFS},
+		{"db/0", "jen/5", Cross},
+		{"jen/5", "db/0", Cross},
+	}
+	for _, c := range cases {
+		if got := Classify(c.from, c.to); got != c.want {
+			t.Errorf("Classify(%s,%s) = %v, want %v", c.from, c.to, got, c.want)
+		}
+	}
+	for _, l := range []LinkClass{IntraDB, IntraHDFS, Cross, LinkClass(9)} {
+		if l.String() == "" {
+			t.Error("LinkClass.String empty")
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Errorf("default topology invalid: %v", err)
+	}
+	bad := []Topology{
+		{DBWorkers: 0, JENWorkers: 1, DisksPerJEN: 1},
+		{DBWorkers: 1, JENWorkers: 0, DisksPerJEN: 1},
+		{DBWorkers: 1, JENWorkers: 1, DisksPerJEN: 0},
+	}
+	for _, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("Validate(%+v): want error", b)
+		}
+	}
+}
+
+func TestPartitionForStableAndInRange(t *testing.T) {
+	for k := int64(0); k < 1000; k++ {
+		p := PartitionFor(k, 30)
+		if p < 0 || p >= 30 {
+			t.Fatalf("PartitionFor(%d) = %d", k, p)
+		}
+		if p != PartitionFor(k, 30) {
+			t.Fatalf("PartitionFor not stable for %d", k)
+		}
+	}
+	// Balance check.
+	counts := make([]int, 16)
+	for k := int64(0); k < 32000; k++ {
+		counts[PartitionFor(k, 16)]++
+	}
+	for i, c := range counts {
+		if c < 1700 || c > 2300 {
+			t.Errorf("partition %d has %d keys", i, c)
+		}
+	}
+}
+
+func TestGroups(t *testing.T) {
+	cases := []struct {
+		n, m int
+	}{{30, 30}, {30, 5}, {31, 5}, {7, 3}, {5, 8}}
+	for _, c := range cases {
+		gs := Groups(c.n, c.m)
+		if len(gs) != c.m {
+			t.Fatalf("Groups(%d,%d): %d groups", c.n, c.m, len(gs))
+		}
+		seen := map[int]bool{}
+		min, max := c.n, 0
+		for _, g := range gs {
+			if len(g) < min {
+				min = len(g)
+			}
+			if len(g) > max {
+				max = len(g)
+			}
+			for _, w := range g {
+				if seen[w] {
+					t.Fatalf("Groups(%d,%d): worker %d twice", c.n, c.m, w)
+				}
+				seen[w] = true
+			}
+		}
+		if len(seen) != c.n {
+			t.Errorf("Groups(%d,%d): covered %d workers", c.n, c.m, len(seen))
+		}
+		if max-min > 1 {
+			t.Errorf("Groups(%d,%d): uneven sizes %d..%d", c.n, c.m, min, max)
+		}
+	}
+	if Groups(0, 3) != nil || Groups(3, 0) != nil {
+		t.Error("degenerate Groups should be nil")
+	}
+}
+
+func TestGroupFor(t *testing.T) {
+	// More JEN workers than DB workers: contiguous groups.
+	g0 := GroupFor(0, 30, 5)
+	if len(g0) != 6 || g0[0] != 0 || g0[5] != 5 {
+		t.Errorf("GroupFor(0,30,5) = %v", g0)
+	}
+	// Fewer JEN workers than DB workers: shared, one each.
+	g7 := GroupFor(7, 4, 10)
+	if len(g7) != 1 || g7[0] != 3 {
+		t.Errorf("GroupFor(7,4,10) = %v", g7)
+	}
+	// Every DB worker maps to at least one JEN worker.
+	for i := 0; i < 10; i++ {
+		if len(GroupFor(i, 4, 10)) == 0 {
+			t.Errorf("GroupFor(%d,4,10) empty", i)
+		}
+	}
+}

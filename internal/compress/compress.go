@@ -1,0 +1,140 @@
+// Package compress implements a byte-oriented LZ77 block compressor in the
+// spirit of Snappy: fast, no entropy coding, tuned for the columnar file
+// format's column chunks (internal/format). The paper stores the HDFS log
+// table in Parquet with Snappy compression, which shrinks the 1 TB text table
+// to 421 GB; this package plays that role for the HWC columnar format.
+//
+// Stream layout: uvarint(decompressed length), then a sequence of tokens.
+// Each token is uvarint(t): if t is even, a literal run of t/2 bytes follows;
+// if t is odd, it is a match of length t/2+minMatch at uvarint(offset) bytes
+// back in the output.
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+const (
+	minMatch    = 4
+	maxOffset   = 1 << 16 // 64 KiB window
+	hashBits    = 14
+	hashShift   = 32 - hashBits
+	tableSize   = 1 << hashBits
+	skipTrigger = 5 // accelerate through incompressible regions
+)
+
+func hash4(b []byte) uint32 {
+	v := binary.LittleEndian.Uint32(b)
+	return (v * 2654435761) >> hashShift
+}
+
+// Encode compresses src and returns a newly allocated buffer. Encoding never
+// fails; incompressible input grows by at most a few bytes per 64 KiB.
+func Encode(src []byte) []byte {
+	dst := binary.AppendUvarint(nil, uint64(len(src)))
+	if len(src) == 0 {
+		return dst
+	}
+
+	var table [tableSize]int32 // position+1 of last occurrence of each hash
+	litStart := 0
+	i := 0
+	skip := 0
+
+	emitLiterals := func(end int) {
+		if end > litStart {
+			n := end - litStart
+			dst = binary.AppendUvarint(dst, uint64(n)<<1)
+			dst = append(dst, src[litStart:end]...)
+		}
+	}
+
+	for i+minMatch <= len(src) {
+		h := hash4(src[i:])
+		cand := int(table[h]) - 1
+		table[h] = int32(i + 1)
+		if cand >= 0 && i-cand <= maxOffset && binary.LittleEndian.Uint32(src[cand:]) == binary.LittleEndian.Uint32(src[i:]) {
+			// Extend the match forward.
+			length := minMatch
+			for i+length < len(src) && src[cand+length] == src[i+length] {
+				length++
+			}
+			emitLiterals(i)
+			dst = binary.AppendUvarint(dst, uint64(length-minMatch)<<1|1)
+			dst = binary.AppendUvarint(dst, uint64(i-cand))
+			i += length
+			litStart = i
+			skip = 0
+			continue
+		}
+		skip++
+		i += 1 + skip>>skipTrigger
+	}
+	emitLiterals(len(src))
+	return dst
+}
+
+// Decode decompresses a buffer produced by Encode.
+func Decode(src []byte) ([]byte, error) {
+	n, sz := binary.Uvarint(src)
+	if sz <= 0 {
+		return nil, fmt.Errorf("compress: truncated header")
+	}
+	src = src[sz:]
+	// The header length is untrusted input: use it as a capacity hint only,
+	// bounded so corrupt headers cannot trigger huge allocations.
+	const maxPrealloc = 1 << 22
+	capHint := n
+	if capHint > maxPrealloc {
+		capHint = maxPrealloc
+	}
+	dst := make([]byte, 0, capHint)
+	for len(src) > 0 {
+		t, sz := binary.Uvarint(src)
+		if sz <= 0 {
+			return nil, fmt.Errorf("compress: truncated token")
+		}
+		src = src[sz:]
+		if t&1 == 0 {
+			// Literal run.
+			l := int(t >> 1)
+			if l > len(src) {
+				return nil, fmt.Errorf("compress: literal run of %d exceeds input", l)
+			}
+			dst = append(dst, src[:l]...)
+			src = src[l:]
+			continue
+		}
+		length := int(t>>1) + minMatch
+		off64, sz := binary.Uvarint(src)
+		if sz <= 0 {
+			return nil, fmt.Errorf("compress: truncated offset")
+		}
+		src = src[sz:]
+		off := int(off64)
+		if off == 0 || off > len(dst) {
+			return nil, fmt.Errorf("compress: offset %d out of range (have %d)", off, len(dst))
+		}
+		// Byte-at-a-time copy: matches may overlap their own output
+		// (run-length style), so bulk copy is not safe.
+		pos := len(dst) - off
+		for j := 0; j < length; j++ {
+			dst = append(dst, dst[pos+j])
+		}
+	}
+	if uint64(len(dst)) != n {
+		return nil, fmt.Errorf("compress: decoded %d bytes, header says %d", len(dst), n)
+	}
+	return dst, nil
+}
+
+// DecodedLen reports the decompressed size recorded in the stream header
+// without decompressing.
+func DecodedLen(src []byte) (int, error) {
+	n, sz := binary.Uvarint(src)
+	if sz <= 0 {
+		return 0, fmt.Errorf("compress: truncated header")
+	}
+	return int(n), nil
+}

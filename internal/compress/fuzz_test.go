@@ -1,0 +1,40 @@
+package compress
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRoundTrip: Encode→Decode must be the identity for every input.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("abcabcabcabc"))
+	f.Add(bytes.Repeat([]byte{0}, 1000))
+	f.Add([]byte("2015-03-23|42|camera|east-coast|"))
+	f.Fuzz(func(t *testing.T, src []byte) {
+		dec, err := Decode(Encode(src))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if !bytes.Equal(dec, src) {
+			t.Fatalf("round trip mismatch: %d bytes in, %d out", len(src), len(dec))
+		}
+	})
+}
+
+// FuzzDecode: arbitrary bytes must decode cleanly or error — no panics, no
+// runaway allocations.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte{0x80})
+	f.Add(Encode([]byte("seed data for mutation")))
+	f.Fuzz(func(t *testing.T, junk []byte) {
+		out, err := Decode(junk)
+		if err == nil && len(junk) > 0 {
+			// A successful decode must round-trip back through Encode.
+			if dec2, err2 := Decode(Encode(out)); err2 != nil || !bytes.Equal(dec2, out) {
+				t.Fatal("re-encode of decoded output failed")
+			}
+		}
+	})
+}

@@ -1,0 +1,67 @@
+package core
+
+import "fmt"
+
+// AdviceStats are the planning statistics the advisor consults: table sizes
+// and estimated local-predicate selectivities (from histograms on the DB
+// side and the catalog/cardinality hint on the HDFS side).
+type AdviceStats struct {
+	TRows  int64
+	LRows  int64
+	SigmaT float64 // estimated σ_T
+	SigmaL float64 // estimated σ_L
+	// AvgTWireBytes estimates the shipped width of a T' row (default 16).
+	AvgTWireBytes int
+}
+
+// Advice is the advisor's decision with its rationale.
+type Advice struct {
+	Algorithm Algorithm
+	Reason    string
+}
+
+// Thresholds codifying Section 5.5's empirical findings.
+const (
+	// broadcastMaxBytes: "broadcast join is only preferable when the
+	// predicate on T is highly selective, e.g. σT ≤ 0.001 (T' ≤ 25MB)".
+	broadcastMaxBytes = 25 << 20
+	// dbSideMaxSigmaL: "DB-side join performs better only when the
+	// predicate selectivity on the HDFS table is very selective
+	// (σL ≤ 0.01)".
+	dbSideMaxSigmaL = 0.01
+)
+
+// Advise picks a join algorithm for a hybrid query, implementing the
+// paper's discussion: broadcast when T' is tiny, the DB-side join (with a
+// Bloom filter) when the HDFS predicate is very selective, and otherwise
+// the zigzag join — "the most reliable join method that works the best most
+// of the time". Scale converts row estimates to paper-scale bytes for the
+// broadcast threshold; pass 1 when the inputs are full-size.
+func Advise(s AdviceStats, scale float64) Advice {
+	if scale <= 0 {
+		scale = 1
+	}
+	width := s.AvgTWireBytes
+	if width <= 0 {
+		width = 16
+	}
+	tPrimeBytes := float64(s.TRows) * scale * s.SigmaT * float64(width)
+	if tPrimeBytes > 0 && tPrimeBytes <= broadcastMaxBytes {
+		return Advice{
+			Algorithm: Broadcast,
+			Reason: fmt.Sprintf("T' ≈ %.1f MB fits on every worker; broadcasting avoids any HDFS shuffle",
+				tPrimeBytes/(1<<20)),
+		}
+	}
+	if s.SigmaL > 0 && s.SigmaL <= dbSideMaxSigmaL {
+		return Advice{
+			Algorithm: DBSideBloom,
+			Reason: fmt.Sprintf("σ_L ≈ %.4f is highly selective; shipping the small L' into the database wins",
+				s.SigmaL),
+		}
+	}
+	return Advice{
+		Algorithm: Zigzag,
+		Reason:    "no highly selective side: zigzag exploits join-key predicates in both directions and is the robust choice",
+	}
+}

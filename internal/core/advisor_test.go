@@ -1,0 +1,57 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAdviseMatchesPaperRegions(t *testing.T) {
+	base := AdviceStats{TRows: 1_600_000_000, LRows: 15_000_000_000}
+
+	// σT ≤ 0.001 → broadcast (T' ≈ 25 MB at 16 B/row).
+	s := base
+	s.SigmaT, s.SigmaL = 0.001, 0.2
+	if a := Advise(s, 1); a.Algorithm != Broadcast {
+		t.Errorf("tiny T': got %v (%s)", a.Algorithm, a.Reason)
+	}
+
+	// Very selective σL → DB-side with Bloom filter.
+	s = base
+	s.SigmaT, s.SigmaL = 0.1, 0.001
+	if a := Advise(s, 1); a.Algorithm != DBSideBloom {
+		t.Errorf("tiny L': got %v (%s)", a.Algorithm, a.Reason)
+	}
+	s.SigmaL = 0.01
+	if a := Advise(s, 1); a.Algorithm != DBSideBloom {
+		t.Errorf("σL=0.01 boundary: got %v", a.Algorithm)
+	}
+
+	// The common case → zigzag.
+	s = base
+	s.SigmaT, s.SigmaL = 0.1, 0.2
+	a := Advise(s, 1)
+	if a.Algorithm != Zigzag {
+		t.Errorf("common case: got %v (%s)", a.Algorithm, a.Reason)
+	}
+	if !strings.Contains(a.Reason, "robust") {
+		t.Errorf("reason should explain robustness: %q", a.Reason)
+	}
+
+	// Broadcast takes precedence over DB-side when both sides are tiny
+	// (no shuffle at all beats shipping anything).
+	s = base
+	s.SigmaT, s.SigmaL = 0.0005, 0.001
+	if a := Advise(s, 1); a.Algorithm != Broadcast {
+		t.Errorf("both tiny: got %v", a.Algorithm)
+	}
+
+	// Scaled-down stats with scale factor reach the same decision.
+	s = AdviceStats{TRows: 1_600_000, LRows: 15_000_000, SigmaT: 0.001, SigmaL: 0.2}
+	if a := Advise(s, 1000); a.Algorithm != Broadcast {
+		t.Errorf("scaled stats: got %v", a.Algorithm)
+	}
+	// Degenerate inputs still decide something sane.
+	if a := Advise(AdviceStats{}, 0); a.Algorithm != Zigzag {
+		t.Errorf("zero stats: got %v", a.Algorithm)
+	}
+}

@@ -1,0 +1,284 @@
+package core
+
+import (
+	"hybridwh/internal/bloom"
+	"hybridwh/internal/cluster"
+	"hybridwh/internal/edw"
+	"hybridwh/internal/jen"
+	"hybridwh/internal/metrics"
+	"hybridwh/internal/par"
+	"hybridwh/internal/plan"
+	"hybridwh/internal/relop"
+	"hybridwh/internal/types"
+)
+
+// runDBSide executes the DB-side join (Figure 1): the HDFS side applies
+// local predicates, projection and (optionally) BF_DB, then ships the
+// filtered table in parallel into the database — each JEN worker streams to
+// the DB worker owning its group (Figure 5). The database optimizer picks
+// the final join strategy (broadcast either side or repartition both), which
+// may reshuffle the ingested HDFS rows again because the database's
+// partitioning function is opaque to JEN (Section 4.3).
+func (e *Engine) runDBSide(qs string, q *plan.JoinQuery, useBF bool) (*Result, error) {
+	n, m := e.jen.Workers(), e.db.Workers()
+	tbl, err := e.db.Table(q.DBTable)
+	if err != nil {
+		return nil, err
+	}
+	scanPlan, err := e.jen.PlanScan(q.HDFSTable)
+	if err != nil {
+		return nil, err
+	}
+	need := append(append([]int(nil), q.DBProj...), colSet(q.DBPred)...)
+	accessPlan := e.db.PlanAccess(tbl, q.DBPred, need)
+
+	if useBF {
+		bfdb, err := e.db.BuildBloom(tbl, q.DBPred, q.DBJoinColBase, e.cfg.BloomBits, e.cfg.BloomHashes)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.sendBloom(dbName(0), qs+"bfdb", bfdb, e.jenNames()); err != nil {
+			return nil, err
+		}
+	}
+
+	// JEN worker → DB worker grouping (Figure 5). With n ≥ m, the n JEN
+	// workers divide into m groups; otherwise JEN worker j feeds DB worker j.
+	jenToDB := make([]int, n)
+	groupSize := make([]int, m)
+	if n >= m {
+		for i, group := range cluster.Groups(n, m) {
+			for _, j := range group {
+				jenToDB[j] = i
+				groupSize[i]++
+			}
+		}
+	} else {
+		for j := 0; j < n; j++ {
+			jenToDB[j] = j
+			groupSize[j]++
+		}
+	}
+
+	// The optimizer's strategy choice, from T' and L' cardinality estimates
+	// (the paper passes a cardinality hint to the read_hdfs UDF).
+	estT := int64(float64(tbl.Rows()) * accessPlan.EstSelectivity)
+	estL := q.HDFSCardHint
+	if estL == 0 {
+		if cat, err := e.jen.Catalog().Lookup(q.HDFSTable); err == nil {
+			estL = cat.Rows
+		}
+	}
+	strategy := edw.ChooseJoinStrategy(estT, estL, m)
+
+	var g par.Group
+	var resultRows []types.Row
+
+	for w := 0; w < n; w++ {
+		w := w
+		g.Go(func() error { return e.jenIngestProgram(qs, q, scanPlan, w, jenToDB[w], useBF) })
+	}
+	for i := 0; i < m; i++ {
+		i := i
+		g.Go(func() error {
+			rows, err := e.dbJoinProgram(qs, q, tbl, accessPlan, strategy, i, m, groupSize[i], nil)
+			if i == 0 {
+				resultRows = rows
+			}
+			return err
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	return &Result{Rows: resultRows, DBJoinStrategy: strategy}, nil
+}
+
+// jenIngestProgram is a JEN worker's role in the DB-side join: scan, filter,
+// project, apply BF_DB, and stream the surviving rows to its DB worker.
+func (e *Engine) jenIngestProgram(qs string, q *plan.JoinQuery, scanPlan *jen.ScanPlan, w, dbWorker int, useBF bool) error {
+	me := jenName(w)
+	var runErr error
+	var bfdb *bloom.Filter
+	if useBF {
+		f, err := e.recvBloom(me, qs+"bfdb", 1)
+		firstErr(&runErr, err)
+		bfdb = f
+	}
+	dest := dbName(dbWorker)
+	b := e.newBatcher(me, qs+"ingest", []string{dest}, metrics.HDFSSentTuples, metrics.HDFSSentBytes, w)
+	scanKey := q.HDFSWire[q.HDFSWireKey]
+	if runErr == nil {
+		err := e.jen.ScanFilter(jen.ScanSpec{
+			Plan: scanPlan, Worker: w,
+			Proj: q.HDFSScanProj, Pred: q.HDFSPred, Pruner: q.Pruner(),
+			DBFilter: wrapBloom(bfdb), BloomKeyIdx: scanKey,
+		}, func(r types.Row) error {
+			return b.send(dest, r.Project(q.HDFSWire))
+		})
+		firstErr(&runErr, err)
+	}
+	firstErr(&runErr, b.Close())
+	return runErr
+}
+
+// dbJoinProgram is a DB worker's role in the DB-side join. It always
+// completes the wire protocol (EOS to every peer) before reporting errors.
+// bfh, when set, further prunes the local T' (the dismissed DB-side zigzag
+// variant); the plain DB-side joins pass nil.
+func (e *Engine) dbJoinProgram(qs string, q *plan.JoinQuery, tbl *edw.Table, ap edw.AccessPlan, strategy edw.JoinStrategy, i, m, ingestSenders int, bfh *bloom.Filter) ([]types.Row, error) {
+	me := dbName(i)
+	var runErr error
+
+	// Local T' first.
+	tw, err := e.db.FilterProject(tbl, i, ap, q.DBProj)
+	firstErr(&runErr, err)
+	if err == nil && bfh != nil {
+		tw, _ = e.db.ApplyBloom(tw, q.DBWireKey, bfh)
+	}
+
+	// Background receivers registered before anything is sent.
+	ht := relop.NewHashTable(q.DBWireKey)
+	var lrows []types.Row
+	var bg par.Group
+
+	switch strategy {
+	case edw.RepartitionBoth, edw.BroadcastDB:
+		// The hash table holds T' rows arriving on the treshuf stream.
+		bg.Go(func() error {
+			return e.recvRows(me, qs+"treshuf", m, func(r types.Row) error { return ht.Insert(r) })
+		})
+	case edw.BroadcastIngested:
+		// The hash table is the local T' partition; no T reshuffle.
+		for _, r := range tw {
+			if err := ht.Insert(r); err != nil {
+				firstErr(&runErr, err)
+				break
+			}
+		}
+	}
+	switch strategy {
+	case edw.RepartitionBoth, edw.BroadcastIngested:
+		// HDFS rows arrive reshuffled/broadcast on lreshuf.
+		bg.Go(func() error {
+			rows, err := e.collectRows(me, qs+"lreshuf", m)
+			lrows = rows
+			return err
+		})
+	}
+
+	// Ship T' per strategy.
+	switch strategy {
+	case edw.RepartitionBoth:
+		tb := e.newBatcher(me, qs+"treshuf", e.dbNames(), metrics.DBReshuffleTuples, metrics.DBReshuffleBytes, i)
+		if runErr == nil {
+			for _, row := range tw {
+				dest := dbName(cluster.PartitionFor(row[q.DBWireKey].Int(), m))
+				if err := tb.send(dest, row); err != nil {
+					firstErr(&runErr, err)
+					break
+				}
+			}
+		}
+		firstErr(&runErr, tb.Close())
+	case edw.BroadcastDB:
+		tb := e.newBatcher(me, qs+"treshuf", e.dbNames(), metrics.DBReshuffleTuples, metrics.DBReshuffleBytes, i)
+		if runErr == nil {
+			for _, row := range tw {
+				if err := tb.broadcast(row); err != nil {
+					firstErr(&runErr, err)
+					break
+				}
+			}
+		}
+		firstErr(&runErr, tb.Close())
+	}
+
+	// Ingest the HDFS stream from this worker's JEN group, forwarding per
+	// strategy; pipelined — rows are forwarded as they arrive.
+	switch strategy {
+	case edw.RepartitionBoth:
+		lb := e.newBatcher(me, qs+"lreshuf", e.dbNames(), metrics.DBIngestTuples, metrics.DBIngestBytes, i)
+		err := e.recvRows(me, qs+"ingest", ingestSenders, func(r types.Row) error {
+			dest := dbName(cluster.PartitionFor(r[q.HDFSWireKey].Int(), m))
+			return lb.send(dest, r)
+		})
+		firstErr(&runErr, err)
+		firstErr(&runErr, lb.Close())
+	case edw.BroadcastIngested:
+		// Each ingested row is counted once even though it is replicated
+		// to every worker (the bus and byte counter see every copy).
+		lb := e.newBatcher(me, qs+"lreshuf", e.dbNames(), "", metrics.DBIngestBytes, i)
+		var ingested int64
+		err := e.recvRows(me, qs+"ingest", ingestSenders, func(r types.Row) error {
+			ingested++
+			return lb.broadcast(r)
+		})
+		firstErr(&runErr, err)
+		firstErr(&runErr, lb.Close())
+		e.rec.AddAt(metrics.DBIngestTuples, i, ingested)
+	case edw.BroadcastDB:
+		// No forwarding: buffer the ingested rows locally.
+		rows, err := e.collectRows(me, qs+"ingest", ingestSenders)
+		lrows = rows
+		firstErr(&runErr, err)
+		e.rec.AddAt(metrics.DBIngestTuples, i, int64(len(rows)))
+	}
+
+	firstErr(&runErr, bg.Wait())
+	e.rec.AddAt(metrics.JoinBuildTuples, i, ht.Len())
+	e.rec.AddAt(metrics.JoinProbeTuples, i, int64(len(lrows)))
+
+	// Probe: HDFS rows against the T' hash table. Combined layout is HDFS
+	// wire ++ DB wire.
+	agg := relop.NewHashAgg(q.GroupBy, q.Aggs)
+	if runErr == nil {
+		var output int64
+		for _, lr := range lrows {
+			for _, dbr := range ht.Probe(lr[q.HDFSWireKey].Int()) {
+				combined := lr.Concat(dbr)
+				ok, err := evalPost(q, combined)
+				if err != nil {
+					firstErr(&runErr, err)
+					break
+				}
+				if !ok {
+					continue
+				}
+				output++
+				if err := agg.Add(combined); err != nil {
+					firstErr(&runErr, err)
+					break
+				}
+			}
+			if runErr != nil {
+				break
+			}
+		}
+		e.rec.Add(metrics.JoinOutputTuples, output)
+	}
+
+	// Partial aggregates converge on db/0, which produces the result.
+	pb := e.newBatcher(me, qs+"partial", []string{dbName(0)}, "", "", i)
+	if runErr == nil {
+		for _, pr := range agg.PartialRows() {
+			if err := pb.send(dbName(0), pr); err != nil {
+				firstErr(&runErr, err)
+				break
+			}
+		}
+	}
+	firstErr(&runErr, pb.Close())
+
+	if i != 0 {
+		return nil, runErr
+	}
+	final := relop.NewHashAgg(q.GroupBy, q.Aggs)
+	err = e.recvRows(me, qs+"partial", m, func(r types.Row) error {
+		return final.MergePartial(r)
+	})
+	firstErr(&runErr, err)
+	rows := final.FinalRows()
+	e.rec.Add(metrics.AggGroups, int64(len(rows)))
+	return rows, runErr
+}

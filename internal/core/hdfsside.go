@@ -1,0 +1,471 @@
+package core
+
+import (
+	"hybridwh/internal/bloom"
+	"hybridwh/internal/cluster"
+	"hybridwh/internal/edw"
+	"hybridwh/internal/jen"
+	"hybridwh/internal/metrics"
+	"hybridwh/internal/par"
+	"hybridwh/internal/plan"
+	"hybridwh/internal/relop"
+	"hybridwh/internal/types"
+)
+
+func dbName(i int) string  { return cluster.DBName(i) }
+func jenName(i int) string { return cluster.JENName(i) }
+
+// firstErr keeps the first non-nil error.
+func firstErr(dst *error, err error) {
+	if *dst == nil && err != nil {
+		*dst = err
+	}
+}
+
+// runHDFSSide executes the repartition join (± Bloom filter) and the zigzag
+// join: the final join happens on the HDFS side, with both systems routing
+// rows by the agreed hash function (Figures 3 and 4).
+func (e *Engine) runHDFSSide(qs string, q *plan.JoinQuery, alg Algorithm) (*Result, error) {
+	useBF := alg == RepartitionBloom || alg == Zigzag
+	zig := alg == Zigzag
+	n, m := e.jen.Workers(), e.db.Workers()
+
+	tbl, err := e.db.Table(q.DBTable)
+	if err != nil {
+		return nil, err
+	}
+	scanPlan, err := e.jen.PlanScan(q.HDFSTable)
+	if err != nil {
+		return nil, err
+	}
+	need := append(append([]int(nil), q.DBProj...), colSet(q.DBPred)...)
+	accessPlan := e.db.PlanAccess(tbl, q.DBPred, need)
+
+	// Steps 1–2: build the global BF_DB and send it to every JEN worker.
+	// This is blocking — everything on the HDFS side depends on it.
+	if useBF {
+		bfdb, err := e.db.BuildBloom(tbl, q.DBPred, q.DBJoinColBase, e.cfg.BloomBits, e.cfg.BloomHashes)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.sendBloom(dbName(0), qs+"bfdb", bfdb, e.jenNames()); err != nil {
+			return nil, err
+		}
+	}
+
+	var g par.Group
+	var resultRows []types.Row
+
+	// The designated JEN worker returns the final aggregate to one DB node
+	// (step 9 of Figure 4).
+	g.Go(func() error {
+		rows, err := e.collectRows(dbName(0), qs+"final", 1)
+		resultRows = rows
+		return err
+	})
+
+	for i := 0; i < m; i++ {
+		i := i
+		g.Go(func() error { return e.dbShipProgram(qs, q, tbl, accessPlan, i, n, zig) })
+	}
+	for w := 0; w < n; w++ {
+		w := w
+		g.Go(func() error { return e.jenRepartitionProgram(qs, q, scanPlan, w, n, m, useBF, zig) })
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	return &Result{Rows: resultRows}, nil
+}
+
+// dbShipProgram is one DB worker's side of the repartition/zigzag join:
+// filter and project T locally, optionally wait for BF_H and apply it
+// (zigzag steps 4–5), then route T' rows directly to the JEN workers that
+// will join them (step 6), using the agreed hash function.
+func (e *Engine) dbShipProgram(qs string, q *plan.JoinQuery, tbl *edw.Table, ap edw.AccessPlan, i, n int, zig bool) error {
+	tw, err := e.db.FilterProject(tbl, i, ap, q.DBProj)
+	if err != nil {
+		// Protocol obligation: JEN workers still expect this worker's EOS.
+		b := e.newBatcher(dbName(i), qs+"dbrows", e.jenNames(), metrics.DBSentTuples, metrics.DBSentBytes, i)
+		firstErr(&err, b.Close())
+		if zig {
+			// And the BF_H receive must be drained so nothing blocks.
+			if _, berr := e.recvBloom(dbName(i), qs+"bfh", 1); berr != nil {
+				firstErr(&err, berr)
+			}
+		}
+		return err
+	}
+	if zig {
+		bfh, berr := e.recvBloom(dbName(i), qs+"bfh", 1)
+		if berr != nil {
+			firstErr(&err, berr)
+		} else {
+			// The optimizer decides whether T' was worth materializing; in
+			// either case BF_H prunes what is shipped (zigzag step 5).
+			tw, _ = e.db.ApplyBloom(tw, q.DBWireKey, bfh)
+		}
+	}
+	b := e.newBatcher(dbName(i), qs+"dbrows", e.jenNames(), metrics.DBSentTuples, metrics.DBSentBytes, i)
+	var sendErr error
+	if err == nil {
+		for _, row := range tw {
+			dest := jenName(cluster.PartitionFor(row[q.DBWireKey].Int(), n))
+			if sendErr = b.send(dest, row); sendErr != nil {
+				break
+			}
+		}
+	}
+	firstErr(&sendErr, b.Close())
+	firstErr(&err, sendErr)
+	return err
+}
+
+// jenRepartitionProgram is one JEN worker's side of the repartition/zigzag
+// join, implementing the Figure 7 pipeline: receive BF_DB, scan/filter/
+// shuffle while concurrently building the hash table from received rows and
+// buffering database rows in the background, then probe, partially
+// aggregate, and participate in the global aggregation.
+func (e *Engine) jenRepartitionProgram(qs string, q *plan.JoinQuery, scanPlan *jen.ScanPlan, w, n, m int, useBF, zig bool) error {
+	me := jenName(w)
+	var runErr error
+
+	// Blocking: wait for the database Bloom filter (zigzag step 2).
+	var bfdb *bloom.Filter
+	if useBF {
+		f, err := e.recvBloom(me, qs+"bfdb", 1)
+		firstErr(&runErr, err)
+		bfdb = f
+	}
+
+	// Background receivers start before any sending to keep the shuffle
+	// deadlock-free: the hash table builds from shuffled rows as they
+	// arrive, and database rows are buffered as they arrive (Section 4.4).
+	// With a spill budget configured, the build side grace-spills to disk
+	// instead of growing without bound.
+	ht, err := e.newJoinTable(q.HDFSWireKey)
+	if err != nil {
+		firstErr(&runErr, err)
+		ht = relop.NewMemJoinTable(q.HDFSWireKey)
+	}
+	defer ht.Close()
+	var dbRows []types.Row
+	var bg par.Group
+	bg.Go(func() error {
+		return e.recvRows(me, qs+"shuffle", n, func(r types.Row) error { return ht.Insert(r) })
+	})
+	bg.Go(func() error {
+		rows, err := e.collectRows(me, qs+"dbrows", m)
+		dbRows = rows
+		return err
+	})
+
+	// Scan + process + send, all pipelined.
+	var bfh *bloom.Filter
+	if zig {
+		bfh = bloom.New(e.cfg.BloomBits, e.cfg.BloomHashes)
+	}
+	b := e.newBatcher(me, qs+"shuffle", e.jenNames(), metrics.JENShuffleTuples, metrics.JENShuffleBytes, w)
+	scanKey := q.HDFSWire[q.HDFSWireKey]
+	if runErr == nil {
+		err := e.jen.ScanFilter(jen.ScanSpec{
+			Plan: scanPlan, Worker: w,
+			Proj: q.HDFSScanProj, Pred: q.HDFSPred, Pruner: q.Pruner(),
+			DBFilter: wrapBloom(bfdb), BuildBloom: bfh, BloomKeyIdx: scanKey,
+		}, func(r types.Row) error {
+			wire := r.Project(q.HDFSWire)
+			dest := jenName(cluster.PartitionFor(wire[q.HDFSWireKey].Int(), n))
+			return b.send(dest, wire)
+		})
+		firstErr(&runErr, err)
+	}
+	firstErr(&runErr, b.Close())
+
+	// Zigzag steps 3b–4: local BF_H to the designated worker; the
+	// designated worker unions them and broadcasts BF_H to the database.
+	desig := e.jen.DesignatedWorker()
+	if zig {
+		firstErr(&runErr, e.sendBloom(me, qs+"bfhlocal", bfh, []string{jenName(desig)}))
+		if w == desig {
+			global, err := e.recvBloom(me, qs+"bfhlocal", n)
+			firstErr(&runErr, err)
+			if global == nil {
+				global = bloom.New(e.cfg.BloomBits, e.cfg.BloomHashes)
+			}
+			firstErr(&runErr, e.sendBloom(me, qs+"bfh", global, e.dbNames()))
+		}
+	}
+
+	// Wait for the hash table and the buffered database rows.
+	firstErr(&runErr, bg.Wait())
+	firstErr(&runErr, ht.FinishBuild())
+	e.rec.AddAt(metrics.JoinBuildTuples, w, ht.Len())
+	e.rec.AddAt(metrics.JoinProbeTuples, w, int64(len(dbRows)))
+
+	// Probe with the database rows; combined layout is HDFS wire ++ DB wire.
+	agg := relop.NewHashAgg(q.GroupBy, q.Aggs)
+	if runErr == nil {
+		firstErr(&runErr, e.probeAndAggregate(ht, dbRows, q, agg, w))
+	}
+
+	return e.finishHDFSAggregation(qs, q, agg, w, n, runErr)
+}
+
+// newJoinTable builds the HDFS-side join table per the spill configuration.
+func (e *Engine) newJoinTable(keyIdx int) (relop.JoinTable, error) {
+	if e.cfg.SpillBudgetBytes > 0 {
+		return relop.NewSpillingHashTable(keyIdx, e.cfg.SpillBudgetBytes, e.cfg.SpillDir)
+	}
+	return relop.NewMemJoinTable(keyIdx), nil
+}
+
+// probeAndAggregate probes the table of HDFS rows with database rows,
+// applies the post-join predicate and folds survivors into the partial
+// aggregate. Spilled matches surface during Drain.
+func (e *Engine) probeAndAggregate(ht relop.JoinTable, dbRows []types.Row, q *plan.JoinQuery, agg *relop.HashAgg, slot int) error {
+	var output int64
+	emit := func(hr, dbr types.Row) error {
+		combined := hr.Concat(dbr)
+		ok, err := evalPost(q, combined)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		output++
+		return agg.Add(combined)
+	}
+	for _, dbr := range dbRows {
+		if err := ht.Probe(dbr, q.DBWireKey, emit); err != nil {
+			return err
+		}
+	}
+	if err := ht.Drain(emit); err != nil {
+		return err
+	}
+	e.rec.Add(metrics.JoinOutputTuples, output)
+	return nil
+}
+
+// finishHDFSAggregation ships this worker's partial aggregate to the
+// designated worker; the designated worker merges all partials and sends the
+// final rows to a single DB node (steps 7–9 of Figures 2–4). It always
+// completes the protocol, then reports runErr.
+func (e *Engine) finishHDFSAggregation(qs string, q *plan.JoinQuery, agg *relop.HashAgg, w, n int, runErr error) error {
+	desig := e.jen.DesignatedWorker()
+	pb := e.newBatcher(jenName(w), qs+"partial", []string{jenName(desig)}, "", "", w)
+	if runErr == nil {
+		for _, pr := range agg.PartialRows() {
+			if err := pb.send(jenName(desig), pr); err != nil {
+				firstErr(&runErr, err)
+				break
+			}
+		}
+	}
+	firstErr(&runErr, pb.Close())
+
+	if w == desig {
+		final := relop.NewHashAgg(q.GroupBy, q.Aggs)
+		err := e.recvRows(jenName(w), qs+"partial", n, func(r types.Row) error {
+			return final.MergePartial(r)
+		})
+		firstErr(&runErr, err)
+		rows := final.FinalRows()
+		e.rec.Add(metrics.AggGroups, int64(len(rows)))
+		fb := e.newBatcher(jenName(w), qs+"final", []string{dbName(0)}, "", "", w)
+		if runErr == nil {
+			for _, r := range rows {
+				if err := fb.send(dbName(0), r); err != nil {
+					firstErr(&runErr, err)
+					break
+				}
+			}
+		}
+		firstErr(&runErr, fb.Close())
+	}
+	return runErr
+}
+
+// evalPost evaluates the post-join predicate over a combined row.
+func evalPost(q *plan.JoinQuery, combined types.Row) (bool, error) {
+	if q.PostJoin == nil {
+		return true, nil
+	}
+	v, err := q.PostJoin.Eval(combined)
+	if err != nil {
+		return false, err
+	}
+	return v.Truth(), nil
+}
+
+// colSet returns the columns a predicate references.
+func colSet(e2 interface{ Cols([]int) []int }) []int {
+	if e2 == nil {
+		return nil
+	}
+	return e2.Cols(nil)
+}
+
+// runBroadcast executes the HDFS-side broadcast join (Figure 2): every DB
+// worker broadcasts its filtered partition to every JEN worker, which joins
+// it against its local share of the HDFS scan — no HDFS shuffle at all.
+//
+// Two transfer schemes exist (Section 4.3): the default ships every DB
+// worker's rows directly to all JEN workers; with Config.BroadcastRelay each
+// DB worker ships to exactly one JEN worker, which relays to the rest.
+func (e *Engine) runBroadcast(qs string, q *plan.JoinQuery) (*Result, error) {
+	n, m := e.jen.Workers(), e.db.Workers()
+	relay := e.cfg.BroadcastRelay
+	tbl, err := e.db.Table(q.DBTable)
+	if err != nil {
+		return nil, err
+	}
+	scanPlan, err := e.jen.PlanScan(q.HDFSTable)
+	if err != nil {
+		return nil, err
+	}
+	need := append(append([]int(nil), q.DBProj...), colSet(q.DBPred)...)
+	accessPlan := e.db.PlanAccess(tbl, q.DBPred, need)
+
+	// Relay mode: DB worker i feeds JEN worker i%n; directSenders counts
+	// the DB workers feeding each JEN worker.
+	directSenders := make([]int, n)
+	for i := 0; i < m; i++ {
+		directSenders[i%n]++
+	}
+
+	var g par.Group
+	var resultRows []types.Row
+	g.Go(func() error {
+		rows, err := e.collectRows(dbName(0), qs+"final", 1)
+		resultRows = rows
+		return err
+	})
+
+	for i := 0; i < m; i++ {
+		i := i
+		g.Go(func() error {
+			tw, err := e.db.FilterProject(tbl, i, accessPlan, q.DBProj)
+			// Tuples are counted once per row, not once per copy: the
+			// expensive per-row UDF read happens once, and the fan-out to
+			// every JEN worker is cheap replication (bytes are counted per
+			// copy by the bus and the byte counter).
+			dests := e.jenNames()
+			if relay {
+				dests = []string{jenName(i % n)}
+			}
+			b := e.newBatcher(dbName(i), qs+"dbrows", dests, "", metrics.DBSentBytes, i)
+			if err == nil {
+				for _, row := range tw {
+					if serr := b.broadcast(row); serr != nil {
+						firstErr(&err, serr)
+						break
+					}
+				}
+			}
+			firstErr(&err, b.Close())
+			e.rec.AddAt(metrics.DBSentTuples, i, int64(len(tw)))
+			return err
+		})
+	}
+
+	for w := 0; w < n; w++ {
+		w := w
+		g.Go(func() error {
+			me := jenName(w)
+			var runErr error
+			// Build the hash table from the broadcast T' first: local joins
+			// need the whole filtered database table.
+			ht := relop.NewHashTable(q.DBWireKey)
+			if relay {
+				firstErr(&runErr, e.broadcastRelayRecv(qs, me, w, n, directSenders[w], ht))
+			} else {
+				firstErr(&runErr, e.recvRows(me, qs+"dbrows", m, func(r types.Row) error {
+					return ht.Insert(r)
+				}))
+			}
+			e.rec.AddAt(metrics.JoinBuildTuples, w, ht.Len())
+
+			// Scan and probe in the pipeline; partial aggregation inline.
+			agg := relop.NewHashAgg(q.GroupBy, q.Aggs)
+			var probes, output int64
+			if runErr == nil {
+				err := e.jen.ScanFilter(jen.ScanSpec{
+					Plan: scanPlan, Worker: w,
+					Proj: q.HDFSScanProj, Pred: q.HDFSPred, Pruner: q.Pruner(),
+				}, func(r types.Row) error {
+					wire := r.Project(q.HDFSWire)
+					probes++
+					for _, dbr := range ht.Probe(wire[q.HDFSWireKey].Int()) {
+						combined := wire.Concat(dbr)
+						ok, err := evalPost(q, combined)
+						if err != nil {
+							return err
+						}
+						if !ok {
+							continue
+						}
+						output++
+						if err := agg.Add(combined); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				firstErr(&runErr, err)
+			}
+			e.rec.AddAt(metrics.JoinProbeTuples, w, probes)
+			e.rec.Add(metrics.JoinOutputTuples, output)
+
+			return e.finishHDFSAggregation(qs, q, agg, w, n, runErr)
+		})
+	}
+
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	return &Result{Rows: resultRows}, nil
+}
+
+// broadcastRelayRecv implements the JEN side of the relay scheme: rows from
+// this worker's DB feeders go into the hash table AND onward to every other
+// JEN worker; rows relayed by peers complete the table. Receivers drain the
+// relay stream in the background so relays never deadlock.
+func (e *Engine) broadcastRelayRecv(qs, me string, w, n, directSenders int, ht *relop.HashTable) error {
+	var runErr error
+	others := make([]string, 0, n-1)
+	for j := 0; j < n; j++ {
+		if j != w {
+			others = append(others, jenName(j))
+		}
+	}
+	var bg par.Group
+	bg.Go(func() error {
+		return e.recvRows(me, qs+"relay", n-1, func(r types.Row) error { return ht.Insert(r) })
+	})
+	rb := e.newBatcher(me, qs+"relay", others, metrics.JENShuffleTuples, metrics.JENShuffleBytes, w)
+	err := e.recvRows(me, qs+"dbrows", directSenders, func(r types.Row) error {
+		if err := ht.Insert(r); err != nil {
+			return err
+		}
+		for _, o := range others {
+			if err := rb.send(o, r); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	firstErr(&runErr, err)
+	firstErr(&runErr, rb.Close())
+	firstErr(&runErr, bg.Wait())
+	return runErr
+}
+
+// wrapBloom adapts a (possibly nil) Bloom filter to the scan's KeyFilter.
+func wrapBloom(bf *bloom.Filter) jen.KeyFilter {
+	if bf == nil {
+		return nil
+	}
+	return jen.BloomKeyFilter{F: bf}
+}

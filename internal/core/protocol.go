@@ -1,0 +1,225 @@
+package core
+
+import (
+	"fmt"
+
+	"hybridwh/internal/bloom"
+	"hybridwh/internal/metrics"
+	"hybridwh/internal/netsim"
+	"hybridwh/internal/types"
+)
+
+// The wire protocol shared by every algorithm. Row streams are identified
+// by a per-query stream name; each sender ends its stream to each receiver
+// with one EOS message, so receivers know completion without any global
+// coordinator. Per-(sender, receiver) bus ordering guarantees all of a
+// sender's rows precede its EOS.
+
+// batcher accumulates rows per destination and ships them as MsgRows
+// batches, recording tuple and byte counters against the sending worker.
+type batcher struct {
+	e      *Engine
+	from   string
+	stream string
+	size   int
+	dests  []string
+	bufs   map[string][]types.Row
+
+	// Counter names (vector counters, indexed by slot); empty to skip.
+	tupleCounter string
+	byteCounter  string
+	slot         int
+
+	tuples int64
+}
+
+// newBatcher creates a batcher. dests is the full set of endpoints this
+// sender may target; EOS goes to all of them on Close.
+func (e *Engine) newBatcher(from, stream string, dests []string, tupleCounter, byteCounter string, slot int) *batcher {
+	return &batcher{
+		e: e, from: from, stream: stream, size: e.cfg.BatchRows,
+		dests: dests, bufs: map[string][]types.Row{},
+		tupleCounter: tupleCounter, byteCounter: byteCounter, slot: slot,
+	}
+}
+
+// send queues one row for dest, flushing a full batch.
+func (b *batcher) send(dest string, row types.Row) error {
+	b.bufs[dest] = append(b.bufs[dest], row)
+	b.tuples++
+	if len(b.bufs[dest]) >= b.size {
+		return b.flush(dest)
+	}
+	return nil
+}
+
+// broadcast queues one row for every destination.
+func (b *batcher) broadcast(row types.Row) error {
+	for _, d := range b.dests {
+		if err := b.send(d, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *batcher) flush(dest string) error {
+	rows := b.bufs[dest]
+	if len(rows) == 0 {
+		return nil
+	}
+	payload := types.EncodeRows(rows)
+	b.bufs[dest] = b.bufs[dest][:0]
+	if b.byteCounter != "" {
+		b.e.rec.AddAt(b.byteCounter, b.slot, int64(len(payload)))
+	}
+	return b.e.bus.Send(b.from, dest, netsim.Msg{Type: netsim.MsgRows, Stream: b.stream, Payload: payload})
+}
+
+// Close flushes every buffer and sends EOS to every destination. It must
+// run even on error paths (usually via defer) so receivers never hang.
+func (b *batcher) Close() error {
+	var firstErr error
+	for _, d := range b.dests {
+		if err := b.flush(d); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, d := range b.dests {
+		if err := b.e.bus.Send(b.from, d, netsim.Msg{Type: netsim.MsgEOS, Stream: b.stream}); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if b.tupleCounter != "" {
+		b.e.rec.AddAt(b.tupleCounter, b.slot, b.tuples)
+	}
+	return firstErr
+}
+
+// recvRows drains the stream at endpoint `at` until `senders` EOS messages
+// arrive, invoking fn for every row. With senders == 0 it returns
+// immediately.
+func (e *Engine) recvRows(at, stream string, senders int, fn func(row types.Row) error) error {
+	if senders == 0 {
+		return nil
+	}
+	r := e.routers[at]
+	rows, err := r.Route(netsim.MsgRows, stream)
+	if err != nil {
+		return err
+	}
+	eos, err := r.Route(netsim.MsgEOS, stream)
+	if err != nil {
+		return err
+	}
+	defer r.Unroute(netsim.MsgRows, stream)
+	defer r.Unroute(netsim.MsgEOS, stream)
+
+	var consumeErr error
+	consume := func(env netsim.Envelope) error {
+		batch, err := types.DecodeRows(env.Payload)
+		if err != nil {
+			return fmt.Errorf("core: %s decoding %s from %s: %w", at, stream, env.From, err)
+		}
+		if consumeErr != nil {
+			return nil // already failed; keep draining the protocol
+		}
+		for _, row := range batch {
+			if err := fn(row); err != nil {
+				consumeErr = err
+				return nil
+			}
+		}
+		return nil
+	}
+
+	remaining := senders
+	for remaining > 0 {
+		select {
+		case env := <-rows:
+			if err := consume(env); err != nil {
+				return err
+			}
+		case <-eos:
+			remaining--
+		}
+	}
+	// Bus ordering: each sender's rows precede its EOS, and the router
+	// dispatches sequentially, so by the final EOS every row is buffered.
+	for {
+		select {
+		case env := <-rows:
+			if err := consume(env); err != nil {
+				return err
+			}
+		default:
+			return consumeErr
+		}
+	}
+}
+
+// collectRows is recvRows into a slice.
+func (e *Engine) collectRows(at, stream string, senders int) ([]types.Row, error) {
+	var out []types.Row
+	err := e.recvRows(at, stream, senders, func(r types.Row) error {
+		out = append(out, r)
+		return nil
+	})
+	return out, err
+}
+
+// sendBloom ships a marshalled filter to the destinations, counting the
+// bytes moved (the paper's 16 MB filters are visible in the cost model).
+func (e *Engine) sendBloom(from, stream string, bf *bloom.Filter, dests []string) error {
+	payload := bf.Marshal()
+	for _, d := range dests {
+		e.rec.Add(metrics.BloomBytes, int64(len(payload)))
+		if err := e.bus.Send(from, d, netsim.Msg{Type: netsim.MsgBloom, Stream: stream, Payload: payload}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recvBloom receives `parts` filters at an endpoint and returns their
+// union (parts == 1 is a plain receive).
+func (e *Engine) recvBloom(at, stream string, parts int) (*bloom.Filter, error) {
+	r := e.routers[at]
+	ch, err := r.Route(netsim.MsgBloom, stream)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Unroute(netsim.MsgBloom, stream)
+	var out *bloom.Filter
+	for i := 0; i < parts; i++ {
+		env := <-ch
+		bf, err := bloom.Unmarshal(env.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s bloom %s from %s: %w", at, stream, env.From, err)
+		}
+		if out == nil {
+			out = bf
+		} else if err := out.Union(bf); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// jenNames returns all JEN worker endpoint names.
+func (e *Engine) jenNames() []string {
+	out := make([]string, e.jen.Workers())
+	for i := range out {
+		out[i] = jenName(i)
+	}
+	return out
+}
+
+// dbNames returns all DB worker endpoint names.
+func (e *Engine) dbNames() []string {
+	out := make([]string, e.db.Workers())
+	for i := range out {
+		out[i] = dbName(i)
+	}
+	return out
+}

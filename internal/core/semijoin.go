@@ -1,0 +1,262 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"hybridwh/internal/cluster"
+	"hybridwh/internal/edw"
+	"hybridwh/internal/jen"
+	"hybridwh/internal/metrics"
+	"hybridwh/internal/netsim"
+	"hybridwh/internal/par"
+	"hybridwh/internal/plan"
+	"hybridwh/internal/relop"
+	"hybridwh/internal/types"
+)
+
+// SemiJoin is the classic exact two-way semijoin baseline the literature
+// contrasts Bloom joins against (the paper cites Mullin's semijoins and
+// PERF join as the predecessors): the same dataflow as the zigzag join, but
+// exchanging exact join-key sets instead of Bloom filters. No false
+// positives, but the key sets are far larger than 16 MB Bloom filters, so
+// the cross-cluster filter exchange costs more — the trade-off the paper's
+// Section 6 discusses. Implemented as an extension for ablation studies; it
+// is not one of the paper's evaluated algorithms.
+const SemiJoin Algorithm = 100
+
+// keySet is an exact join-key membership filter.
+type keySet map[int64]struct{}
+
+// TestKey implements jen.KeyFilter.
+func (s keySet) TestKey(k int64) bool {
+	_, ok := s[k]
+	return ok
+}
+
+// marshalKeySet encodes the set as sorted varint deltas.
+func marshalKeySet(s keySet) []byte {
+	keys := make([]int64, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	buf := binary.AppendUvarint(nil, uint64(len(keys)))
+	prev := int64(0)
+	for i, k := range keys {
+		if i == 0 {
+			buf = binary.AppendVarint(buf, k)
+		} else {
+			buf = binary.AppendUvarint(buf, uint64(k-prev))
+		}
+		prev = k
+	}
+	return buf
+}
+
+func unmarshalKeySet(b []byte) (keySet, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return nil, fmt.Errorf("core: truncated key set")
+	}
+	b = b[sz:]
+	out := make(keySet, n)
+	var prev int64
+	for i := uint64(0); i < n; i++ {
+		if i == 0 {
+			v, sz := binary.Varint(b)
+			if sz <= 0 {
+				return nil, fmt.Errorf("core: truncated key set")
+			}
+			prev = v
+			b = b[sz:]
+		} else {
+			d, sz := binary.Uvarint(b)
+			if sz <= 0 {
+				return nil, fmt.Errorf("core: truncated key set")
+			}
+			prev += int64(d)
+			b = b[sz:]
+		}
+		out[prev] = struct{}{}
+	}
+	return out, nil
+}
+
+// sendKeySet ships a key set, accounting its bytes like the Bloom filters
+// (they play the same role in the dataflow).
+func (e *Engine) sendKeySet(from, stream string, s keySet, dests []string) error {
+	payload := marshalKeySet(s)
+	for _, d := range dests {
+		e.rec.Add(metrics.BloomBytes, int64(len(payload)))
+		if err := e.bus.Send(from, d, netsim.Msg{Type: netsim.MsgControl, Stream: stream, Payload: payload}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recvKeySets receives and unions `parts` key sets.
+func (e *Engine) recvKeySets(at, stream string, parts int) (keySet, error) {
+	r := e.routers[at]
+	ch, err := r.Route(netsim.MsgControl, stream)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Unroute(netsim.MsgControl, stream)
+	out := keySet{}
+	for i := 0; i < parts; i++ {
+		env := <-ch
+		s, err := unmarshalKeySet(env.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s key set %s from %s: %w", at, stream, env.From, err)
+		}
+		for k := range s {
+			out[k] = struct{}{}
+		}
+	}
+	return out, nil
+}
+
+// runSemiJoin executes the exact semijoin: the zigzag dataflow with key
+// sets in place of Bloom filters.
+func (e *Engine) runSemiJoin(qs string, q *plan.JoinQuery) (*Result, error) {
+	n, m := e.jen.Workers(), e.db.Workers()
+	tbl, err := e.db.Table(q.DBTable)
+	if err != nil {
+		return nil, err
+	}
+	scanPlan, err := e.jen.PlanScan(q.HDFSTable)
+	if err != nil {
+		return nil, err
+	}
+	need := append(append([]int(nil), q.DBProj...), colSet(q.DBPred)...)
+	accessPlan := e.db.PlanAccess(tbl, q.DBPred, need)
+
+	// Exact T' key set to every JEN worker (blocking, like BF_DB).
+	tKeys, err := e.db.BuildKeySet(tbl, q.DBPred, q.DBJoinColBase)
+	if err != nil {
+		return nil, err
+	}
+	set := make(keySet, len(tKeys))
+	for _, k := range tKeys {
+		set[k] = struct{}{}
+	}
+	if err := e.sendKeySet(dbName(0), qs+"tkeys", set, e.jenNames()); err != nil {
+		return nil, err
+	}
+
+	var g par.Group
+	var resultRows []types.Row
+	g.Go(func() error {
+		rows, err := e.collectRows(dbName(0), qs+"final", 1)
+		resultRows = rows
+		return err
+	})
+
+	for i := 0; i < m; i++ {
+		i := i
+		g.Go(func() error { return e.dbSemiProgram(qs, q, tbl, accessPlan, i, n) })
+	}
+	for w := 0; w < n; w++ {
+		w := w
+		g.Go(func() error { return e.jenSemiProgram(qs, q, scanPlan, w, n, m) })
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	return &Result{Rows: resultRows}, nil
+}
+
+// dbSemiProgram mirrors dbShipProgram with an exact L'-key set instead of
+// BF_H.
+func (e *Engine) dbSemiProgram(qs string, q *plan.JoinQuery, tbl *edw.Table, ap edw.AccessPlan, i, n int) error {
+	tw, err := e.db.FilterProject(tbl, i, ap, q.DBProj)
+	lKeys, kerr := e.recvKeySets(dbName(i), qs+"lkeys", 1)
+	firstErr(&err, kerr)
+	if err == nil {
+		kept := tw[:0:0]
+		for _, row := range tw {
+			if lKeys.TestKey(row[q.DBWireKey].Int()) {
+				kept = append(kept, row)
+			}
+		}
+		tw = kept
+	}
+	b := e.newBatcher(dbName(i), qs+"dbrows", e.jenNames(), metrics.DBSentTuples, metrics.DBSentBytes, i)
+	var sendErr error
+	if err == nil {
+		for _, row := range tw {
+			dest := jenName(cluster.PartitionFor(row[q.DBWireKey].Int(), n))
+			if sendErr = b.send(dest, row); sendErr != nil {
+				break
+			}
+		}
+	}
+	firstErr(&sendErr, b.Close())
+	firstErr(&err, sendErr)
+	return err
+}
+
+// jenSemiProgram mirrors jenRepartitionProgram in zigzag mode with exact
+// key sets.
+func (e *Engine) jenSemiProgram(qs string, q *plan.JoinQuery, scanPlan *jen.ScanPlan, w, n, m int) error {
+	me := jenName(w)
+	var runErr error
+
+	tKeys, err := e.recvKeySets(me, qs+"tkeys", 1)
+	firstErr(&runErr, err)
+
+	ht := relop.NewMemJoinTable(q.HDFSWireKey)
+	var dbRows []types.Row
+	var bg par.Group
+	bg.Go(func() error {
+		return e.recvRows(me, qs+"shuffle", n, func(r types.Row) error { return ht.Insert(r) })
+	})
+	bg.Go(func() error {
+		rows, err := e.collectRows(me, qs+"dbrows", m)
+		dbRows = rows
+		return err
+	})
+
+	localKeys := keySet{}
+	b := e.newBatcher(me, qs+"shuffle", e.jenNames(), metrics.JENShuffleTuples, metrics.JENShuffleBytes, w)
+	scanKey := q.HDFSWire[q.HDFSWireKey]
+	if runErr == nil {
+		err := e.jen.ScanFilter(jen.ScanSpec{
+			Plan: scanPlan, Worker: w,
+			Proj: q.HDFSScanProj, Pred: q.HDFSPred, Pruner: q.Pruner(),
+			DBFilter: tKeys, BloomKeyIdx: scanKey,
+		}, func(r types.Row) error {
+			wire := r.Project(q.HDFSWire)
+			localKeys[wire[q.HDFSWireKey].Int()] = struct{}{}
+			dest := jenName(cluster.PartitionFor(wire[q.HDFSWireKey].Int(), n))
+			return b.send(dest, wire)
+		})
+		firstErr(&runErr, err)
+	}
+	firstErr(&runErr, b.Close())
+
+	desig := e.jen.DesignatedWorker()
+	firstErr(&runErr, e.sendKeySet(me, qs+"lkeyslocal", localKeys, []string{jenName(desig)}))
+	if w == desig {
+		global, err := e.recvKeySets(me, qs+"lkeyslocal", n)
+		firstErr(&runErr, err)
+		if global == nil {
+			global = keySet{}
+		}
+		firstErr(&runErr, e.sendKeySet(me, qs+"lkeys", global, e.dbNames()))
+	}
+
+	firstErr(&runErr, bg.Wait())
+	firstErr(&runErr, ht.FinishBuild())
+	e.rec.AddAt(metrics.JoinBuildTuples, w, ht.Len())
+	e.rec.AddAt(metrics.JoinProbeTuples, w, int64(len(dbRows)))
+
+	agg := relop.NewHashAgg(q.GroupBy, q.Aggs)
+	if runErr == nil {
+		firstErr(&runErr, e.probeAndAggregate(ht, dbRows, q, agg, w))
+	}
+	return e.finishHDFSAggregation(qs, q, agg, w, n, runErr)
+}

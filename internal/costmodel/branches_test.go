@@ -1,0 +1,125 @@
+package costmodel
+
+import (
+	"testing"
+
+	"hybridwh/internal/format"
+	"hybridwh/internal/metrics"
+	"hybridwh/internal/netsim"
+)
+
+// Branch coverage for the remaining algorithm shapes.
+
+func dbSideCounters(ingestTuples int64) *metrics.Recorder {
+	rec := metrics.New()
+	const n, m = 30, 30
+	for w := 0; w < n; w++ {
+		rec.AddAt(metrics.JENScanBytes, w, 15_000_000)
+		rec.AddAt(metrics.JENProcessTuples, w, 500_000)
+		rec.AddAt(metrics.HDFSSentTuples, w, ingestTuples/n)
+		rec.AddAt(metrics.HDFSSentBytes, w, ingestTuples/n*50)
+	}
+	for i := 0; i < m; i++ {
+		rec.AddAt(metrics.DBIngestTuples, i, ingestTuples/m)
+		rec.AddAt(metrics.DBIngestBytes, i, ingestTuples/m*50)
+		rec.AddAt(metrics.DBReshuffleTuples, i, 160_000/m)
+		rec.AddAt(metrics.JoinBuildTuples, i, 160_000/m)
+		rec.AddAt(metrics.JoinProbeTuples, i, ingestTuples/m)
+		rec.AddAt(metrics.DBIndexRows, i, 160_000/m)
+	}
+	return rec
+}
+
+func TestDBSideDeterioratesWithIngest(t *testing.T) {
+	m := New(DefaultRates())
+	small, err := m.Estimate("db", dbSideCounters(15_000), netsim.NewCounters(), Params{Scale: 1000, Format: format.HWCName})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := m.Estimate("db", dbSideCounters(3_000_000), netsim.NewCounters(), Params{Scale: 1000, Format: format.HWCName})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(big.Total > 4*small.Total) {
+		t.Errorf("DB-side should deteriorate steeply: %.0fs vs %.0fs", small.Total, big.Total)
+	}
+}
+
+func TestZigzagDBVariantPaysTwoScans(t *testing.T) {
+	m := New(DefaultRates())
+	// Same counters except the variant's scan counters hold two passes.
+	oneScan := dbSideCounters(150_000)
+	twoScans := dbSideCounters(150_000)
+	for w := 0; w < 30; w++ {
+		twoScans.AddAt(metrics.JENScanBytes, w, 15_000_000)
+		twoScans.AddAt(metrics.JENProcessTuples, w, 500_000)
+	}
+	db, err := m.Estimate("db(BF)", oneScan, netsim.NewCounters(), Params{Scale: 1000, Format: format.HWCName})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zdb, err := m.Estimate("zigzag-db", twoScans, netsim.NewCounters(), Params{Scale: 1000, Format: format.HWCName})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(zdb.Total > db.Total) {
+		t.Errorf("two scans should cost more: db(BF)=%.0fs zigzag-db=%.0fs", db.Total, zdb.Total)
+	}
+	// The breakdown names the first scan phase.
+	found := false
+	for _, p := range zdb.Phases {
+		if p.Name == "scan#1 (BF_H only)" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("zigzag-db breakdown missing the first scan: %s", zdb)
+	}
+}
+
+func TestBroadcastShape(t *testing.T) {
+	rec := metrics.New()
+	for w := 0; w < 30; w++ {
+		rec.AddAt(metrics.JENScanBytes, w, 15_000_000)
+		rec.AddAt(metrics.JENProcessTuples, w, 500_000)
+		rec.AddAt(metrics.JoinBuildTuples, w, 1600) // full tiny T' everywhere
+		rec.AddAt(metrics.JoinProbeTuples, w, 100_000)
+	}
+	for i := 0; i < 30; i++ {
+		rec.AddAt(metrics.DBSentTuples, i, 1600/30)
+		rec.AddAt(metrics.DBSentBytes, i, 1600*30/30*15)
+	}
+	m := New(DefaultRates())
+	b, err := m.Estimate("broadcast", rec, netsim.NewCounters(), Params{Scale: 1000, Format: format.HWCName})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tiny T': total ≈ the scan/process floor plus overheads.
+	if b.Total < 20 || b.Total > 150 {
+		t.Errorf("broadcast with tiny T' = %.0fs; want near the scan floor", b.Total)
+	}
+}
+
+func TestSemijoinUsesZigzagShape(t *testing.T) {
+	m := New(DefaultRates())
+	rec := repartitionCounters(591_000, 30_000)
+	zig, err := m.Estimate("zigzag", rec, netsim.NewCounters(), Params{Scale: 1000, Format: format.HWCName})
+	if err != nil {
+		t.Fatal(err)
+	}
+	semi, err := m.Estimate("semijoin", rec, netsim.NewCounters(), Params{Scale: 1000, Format: format.HWCName})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zig.Total != semi.Total {
+		t.Errorf("identical counters should estimate identically: %.1f vs %.1f", zig.Total, semi.Total)
+	}
+}
+
+func TestCrossBytesHelper(t *testing.T) {
+	c := netsim.NewCounters()
+	m := New(DefaultRates())
+	if got := m.CrossBytes(c, 1000); got != 0 {
+		t.Errorf("CrossBytes of empty counters = %v", got)
+	}
+}

@@ -1,0 +1,277 @@
+// Package costmodel converts the counters measured by a (scaled-down) run
+// into paper-scale execution-time estimates. The simulation executes the
+// real algorithms over real data at 1/scale size; the model multiplies the
+// measured per-worker byte and tuple counts back up and applies rates
+// calibrated to the paper's published anchors:
+//
+//   - 1 TB text table scans in ≈240 s over 30 workers × 4 disks
+//     (Section 5.4) → ~145 MB/s per worker;
+//   - the projected columns of the columnar table read in ≈38 s → an
+//     effective ~450 MB/s per worker of compressed, projected bytes;
+//   - 1 Gbit/s per HDFS node, 20 Gbit inter-cluster switch, 10 Gbit per DB
+//     server (Section 5 setup);
+//   - the DB side is deliberately under-provisioned (the paper allocates it
+//     fewer resources, and rows leave DB2 through per-row UDF calls), which
+//     shows up as low per-tuple rates on the database side.
+//
+// Phase composition mirrors the engines' actual overlap structure
+// (Section 4.4): phases that the implementation pipelines combine by max;
+// sequential phases add. This is what makes the text format mask the Bloom
+// filter's shuffle savings (Figure 15) and the zigzag join pay its
+// database transfer after the scan.
+package costmodel
+
+import (
+	"fmt"
+	"strings"
+
+	"hybridwh/internal/cluster"
+	"hybridwh/internal/format"
+	"hybridwh/internal/metrics"
+	"hybridwh/internal/netsim"
+)
+
+// Rates are paper-scale throughputs. Bytes/s and tuples/s are per worker
+// unless stated otherwise.
+type Rates struct {
+	TextScanBps float64 // text bytes scanned per JEN worker
+	HWCScanBps  float64 // compressed projected bytes per JEN worker
+
+	IntraHDFSBps float64 // per-node NIC (shuffle send)
+	CrossBps     float64 // aggregate inter-cluster switch
+	IntraDBBps   float64 // per-DB-worker share of the server NIC
+
+	JENProcessTps   float64 // rows through a worker's process thread
+	JENSerializeTps float64 // shuffle-row serialization per worker
+	JENBuildTps     float64 // hash-table inserts per worker
+	JENProbeTps     float64 // probes per worker
+
+	DBSendTps      float64 // rows leaving a DB worker (UDF path)
+	DBForwardTps   float64 // HDFS rows ingested per DB worker (UDF path)
+	DBReshuffleTps float64 // rows reshuffled natively inside the database
+	DBBuildTps     float64 // DB-side hash-table inserts per worker
+	DBProbeTps     float64 // DB-side probes per worker
+	DBIndexTps     float64 // index entries touched per DB worker
+	DBFilterTps    float64 // base rows filtered per DB worker
+
+	Setup      float64 // fixed per-query coordination overhead (s)
+	BloomSetup float64 // extra round-trip overhead when Bloom filters are used (s)
+}
+
+// DefaultRates returns the calibrated rates.
+func DefaultRates() Rates {
+	return Rates{
+		TextScanBps: 145e6,
+		HWCScanBps:  450e6,
+
+		IntraHDFSBps: 125e6,
+		CrossBps:     2.5e9,
+		IntraDBBps:   208e6,
+
+		JENProcessTps:   8e6,
+		JENSerializeTps: 0.8e6,
+		JENBuildTps:     1.2e6,
+		JENProbeTps:     2.5e6,
+
+		// The database moves rows through per-row UDF calls on a cluster
+		// that is deliberately under-provisioned and shared (Section 5):
+		// these rates are what make the paper's trade-offs appear — T'
+		// export dominates the repartition joins (which the zigzag join's
+		// BF_H cuts by S_T'), and L' ingest dominates the DB-side join
+		// (which deteriorates steeply with σ_L).
+		DBSendTps:      30e3,
+		DBForwardTps:   40e3,
+		DBReshuffleTps: 1.5e6,
+		DBBuildTps:     300e3,
+		DBProbeTps:     300e3,
+		DBIndexTps:     5e6,
+		DBFilterTps:    3e6,
+
+		Setup:      2,
+		BloomSetup: 2,
+	}
+}
+
+// Params frame one estimate.
+type Params struct {
+	// Scale multiplies measured counters to paper scale (e.g. 1000 when
+	// the run used 1/1000 of the paper's rows).
+	Scale float64
+	// Format is the HDFS table format (format.TextName or format.HWCName).
+	Format string
+}
+
+// Phase is one component of the estimate.
+type Phase struct {
+	Name    string
+	Seconds float64
+}
+
+// Breakdown is the full estimate.
+type Breakdown struct {
+	Algorithm string
+	Phases    []Phase
+	Total     float64
+}
+
+// String renders the breakdown.
+func (b Breakdown) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %.1fs", b.Algorithm, b.Total)
+	for _, p := range b.Phases {
+		fmt.Fprintf(&sb, "  [%s %.1fs]", p.Name, p.Seconds)
+	}
+	return sb.String()
+}
+
+// Model estimates execution times from run counters.
+type Model struct {
+	Rates Rates
+}
+
+// New returns a model with the given rates (zero value fields are filled
+// from DefaultRates).
+func New(r Rates) *Model {
+	d := DefaultRates()
+	if r.TextScanBps == 0 {
+		r = d
+	}
+	return &Model{Rates: r}
+}
+
+// inputs gathers scaled counter reads.
+type inputs struct {
+	scale float64
+	rec   *metrics.Recorder
+	bus   *netsim.Counters
+}
+
+func (in inputs) max(name string) float64 { return float64(in.rec.Max(name)) * in.scale }
+func (in inputs) sum(name string) float64 { return float64(in.rec.Get(name)) * in.scale }
+
+// Estimate computes the paper-scale breakdown for one algorithm run. The
+// algorithm is identified by its core name ("db", "db(BF)", "broadcast",
+// "repartition", "repartition(BF)", "zigzag").
+func (m *Model) Estimate(alg string, rec *metrics.Recorder, bus *netsim.Counters, p Params) (Breakdown, error) {
+	if p.Scale <= 0 {
+		p.Scale = 1
+	}
+	in := inputs{scale: p.Scale, rec: rec, bus: bus}
+	r := m.Rates
+
+	scanBps := r.HWCScanBps
+	if p.Format == format.TextName {
+		scanBps = r.TextScanBps
+	}
+
+	// Shared components.
+	useBF := strings.Contains(alg, "BF") || alg == "zigzag" || alg == "semijoin" || alg == "zigzag-db"
+	tScan := in.max(metrics.JENScanBytes) / scanBps
+	tProcess := in.max(metrics.JENProcessTuples) / r.JENProcessTps
+	tShuffleNet := in.max(metrics.JENShuffleBytes) / r.IntraHDFSBps
+	tShuffleCPU := in.max(metrics.JENShuffleTuples) / r.JENSerializeTps
+	tJENBuild := in.max(metrics.JoinBuildTuples) / r.JENBuildTps
+	tJENProbe := in.max(metrics.JoinProbeTuples) / r.JENProbeTps
+	tDBPrep := in.max(metrics.DBIndexRows)/r.DBIndexTps + in.max(metrics.DBScanRows)/r.DBFilterTps
+	tDBSendCPU := in.max(metrics.DBSentTuples) / r.DBSendTps
+	tDBSendNet := in.sum(metrics.DBSentBytes) / r.CrossBps
+	tDBSend := maxf(tDBSendCPU, tDBSendNet)
+	tBloomX := in.sum(metrics.BloomBytes) / r.CrossBps
+	tAgg := 0.5 // group counts are tiny by assumption (Section 2)
+
+	overhead := r.Setup
+	if useBF {
+		overhead += r.BloomSetup + tBloomX
+	}
+
+	var phases []Phase
+	add := func(name string, secs float64) {
+		phases = append(phases, Phase{Name: name, Seconds: secs})
+	}
+
+	var total float64
+	switch alg {
+	case "repartition", "repartition(BF)":
+		// T' ships while the scan/shuffle pipeline runs (Figure 3): one
+		// big overlapped phase, then probe.
+		pipeline := maxf(tScan, tProcess, tShuffleNet, tShuffleCPU, tJENBuild, tDBSend)
+		add("db-prep", tDBPrep)
+		add("scan|shuffle|build|T'-send", pipeline)
+		add("probe", tJENProbe)
+		add("agg", tAgg)
+		total = overhead + tDBPrep + pipeline + tJENProbe + tAgg
+
+	case "zigzag", "semijoin":
+		// The database transfer starts only after BF_H (or the exact L'
+		// key set) exists, i.e. after the scan finishes (Section 4.4):
+		// sequential tail.
+		pipeline := maxf(tScan, tProcess, tShuffleNet, tShuffleCPU, tJENBuild)
+		add("db-prep", tDBPrep)
+		add("scan|shuffle|build", pipeline)
+		add("T''-send", tDBSend)
+		add("probe", tJENProbe)
+		add("agg", tAgg)
+		total = overhead + tDBPrep + pipeline + tDBSend + tJENProbe + tAgg
+
+	case "broadcast":
+		// T' broadcast and hash-table build precede the scan+probe
+		// pipeline (Figure 2). In relay mode the extra intra-HDFS round
+		// appears through the shuffle counters.
+		build := maxf(tDBSend, tJENBuild, tShuffleNet, tShuffleCPU)
+		pipeline := maxf(tScan, tProcess, tJENProbe)
+		add("db-prep", tDBPrep)
+		add("T'-broadcast|build", build)
+		add("scan|probe", pipeline)
+		add("agg", tAgg)
+		total = overhead + tDBPrep + build + pipeline + tAgg
+
+	case "db", "db(BF)", "zigzag-db":
+		// The HDFS scan, the cross-cluster transfer and the database-side
+		// ingest/reshuffle pipeline overlap; the DB join runs after
+		// (Figure 1).
+		tCross := in.sum(metrics.HDFSSentBytes) / r.CrossBps
+		tIngest := in.max(metrics.DBIngestTuples) / r.DBForwardTps
+		tReshufT := in.max(metrics.DBReshuffleTuples) / r.DBReshuffleTps
+		tReshufNet := (in.max(metrics.DBReshuffleBytes) + in.max(metrics.DBIngestBytes)) / r.IntraDBBps
+		tDBBuild := in.max(metrics.JoinBuildTuples) / r.DBBuildTps
+		tDBProbe := in.max(metrics.JoinProbeTuples) / r.DBProbeTps
+		pipeline := maxf(tScan, tProcess, tCross, tIngest, tReshufT, tReshufNet, tDBBuild)
+		add("db-prep", tDBPrep)
+		if alg == "zigzag-db" {
+			// The dismissed variant scans the HDFS table twice; the
+			// counters already hold both scans' bytes/rows, so halve for
+			// the pipelined second phase and charge the first scan
+			// sequentially up front (it only builds BF_H).
+			firstScan := maxf(tScan, tProcess) / 2
+			pipeline = maxf(tScan/2, tProcess/2, tCross, tIngest, tReshufT, tReshufNet, tDBBuild)
+			add("scan#1 (BF_H only)", firstScan)
+			total += firstScan
+		}
+		add("scan|ingest|reshuffle", pipeline)
+		add("db-probe", tDBProbe)
+		add("agg", tAgg)
+		total += overhead + tDBPrep + pipeline + tDBProbe + tAgg
+
+	default:
+		return Breakdown{}, fmt.Errorf("costmodel: unknown algorithm %q", alg)
+	}
+
+	add("overhead", overhead)
+	return Breakdown{Algorithm: alg, Phases: phases, Total: total}, nil
+}
+
+// CrossBytes reports the scaled bytes that crossed the inter-cluster link,
+// for reports.
+func (m *Model) CrossBytes(bus *netsim.Counters, scale float64) float64 {
+	return float64(bus.Bytes(cluster.Cross)) * scale
+}
+
+func maxf(vs ...float64) float64 {
+	out := vs[0]
+	for _, v := range vs[1:] {
+		if v > out {
+			out = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package costmodel
+
+import (
+	"strings"
+	"testing"
+
+	"hybridwh/internal/format"
+	"hybridwh/internal/metrics"
+	"hybridwh/internal/netsim"
+)
+
+// synthetic counters approximating a repartition join at 1/1000 scale with
+// σL=0.4: 6M shuffled rows over 30 workers, 165k DB rows.
+func repartitionCounters(shuffleTuples, dbTuples int64) *metrics.Recorder {
+	rec := metrics.New()
+	const n, m = 30, 30
+	for w := 0; w < n; w++ {
+		rec.AddAt(metrics.JENScanBytes, w, 450_000_000/1000/n*1000/30) // placeholder per-worker bytes
+		rec.AddAt(metrics.JENScanBytes, w, 0)
+		rec.AddAt(metrics.JENProcessTuples, w, 15_000_000/n)
+		rec.AddAt(metrics.JENShuffleTuples, w, shuffleTuples/n)
+		rec.AddAt(metrics.JENShuffleBytes, w, shuffleTuples/n*50)
+		rec.AddAt(metrics.JoinBuildTuples, w, shuffleTuples/n)
+		rec.AddAt(metrics.JoinProbeTuples, w, dbTuples/n)
+	}
+	for i := 0; i < m; i++ {
+		rec.AddAt(metrics.DBSentTuples, i, dbTuples/m)
+		rec.AddAt(metrics.DBSentBytes, i, dbTuples/m*15)
+		rec.AddAt(metrics.DBIndexRows, i, 160_000/m)
+	}
+	return rec
+}
+
+func estimate(t *testing.T, alg string, rec *metrics.Recorder) Breakdown {
+	t.Helper()
+	m := New(DefaultRates())
+	b, err := m.Estimate(alg, rec, netsim.NewCounters(), Params{Scale: 1000, Format: format.HWCName})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Total <= 0 {
+		t.Fatalf("%s: nonpositive total %v", alg, b.Total)
+	}
+	return b
+}
+
+func TestZigzagBeatsRepartitionVariants(t *testing.T) {
+	// Table 1 volumes: repartition shuffles 5854k (sim scale), BF variants
+	// 591k; zigzag also cuts DB tuples 165k → 30k.
+	plain := estimate(t, "repartition", repartitionCounters(5_854_000, 165_000))
+	bf := estimate(t, "repartition(BF)", repartitionCounters(591_000, 165_000))
+	zig := estimate(t, "zigzag", repartitionCounters(591_000, 30_000))
+	if !(zig.Total < bf.Total && bf.Total < plain.Total) {
+		t.Errorf("ordering violated: zigzag=%.0f bf=%.0f plain=%.0f", zig.Total, bf.Total, plain.Total)
+	}
+	// Magnitudes in the paper's range (hundreds of seconds, < 700).
+	for _, b := range []Breakdown{plain, bf, zig} {
+		if b.Total < 20 || b.Total > 700 {
+			t.Errorf("%s total %.0fs outside plausible range", b.Algorithm, b.Total)
+		}
+	}
+}
+
+func TestTextFormatMasksBloomSavings(t *testing.T) {
+	m := New(DefaultRates())
+	textParams := Params{Scale: 1000, Format: format.TextName}
+	// Give both a 1TB/30-worker text scan (sim: 33MB/worker → ×1000).
+	mk := func(shuffle int64) *metrics.Recorder {
+		rec := repartitionCounters(shuffle, 165_000)
+		for w := 0; w < 30; w++ {
+			rec.AddAt(metrics.JENScanBytes, w, 33_000_000)
+		}
+		return rec
+	}
+	plain, err := m.Estimate("repartition", mk(5_854_000), netsim.NewCounters(), textParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := m.Estimate("repartition(BF)", mk(591_000), netsim.NewCounters(), textParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The scan floor (~230s) dominates both; BF saves little on text.
+	saving := (plain.Total - bf.Total) / plain.Total
+	if saving > 0.35 {
+		t.Errorf("text format should mask most BF savings; got %.0f%% (plain=%.0f bf=%.0f)", saving*100, plain.Total, bf.Total)
+	}
+	if plain.Total < 230 {
+		t.Errorf("text scan floor missing: %.0fs", plain.Total)
+	}
+}
+
+func TestScanFloorMatchesPaperAnchors(t *testing.T) {
+	m := New(DefaultRates())
+	rec := metrics.New()
+	// 1 TB text over 30 workers at sim scale 1/1000: 33.3 MB per worker.
+	for w := 0; w < 30; w++ {
+		rec.AddAt(metrics.JENScanBytes, w, 33_333_333)
+		rec.AddAt(metrics.JENProcessTuples, w, 500_000)
+	}
+	b, err := m.Estimate("repartition", rec, netsim.NewCounters(), Params{Scale: 1000, Format: format.TextName})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pipelined phase should be ≈ 240 s (the paper's text scan time).
+	var pipeline float64
+	for _, p := range b.Phases {
+		if strings.HasPrefix(p.Name, "scan") {
+			pipeline = p.Seconds
+		}
+	}
+	if pipeline < 200 || pipeline > 280 {
+		t.Errorf("text scan phase %.0fs, want ≈240s", pipeline)
+	}
+}
+
+func TestUnknownAlgorithm(t *testing.T) {
+	m := New(DefaultRates())
+	if _, err := m.Estimate("nope", metrics.New(), netsim.NewCounters(), Params{Scale: 1}); err == nil {
+		t.Error("unknown algorithm: want error")
+	}
+}
+
+func TestZeroScaleDefaultsToOne(t *testing.T) {
+	m := New(Rates{})
+	b, err := m.Estimate("broadcast", metrics.New(), netsim.NewCounters(), Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Total <= 0 {
+		t.Error("empty counters should still cost the fixed overhead")
+	}
+	if b.String() == "" {
+		t.Error("Breakdown.String empty")
+	}
+}

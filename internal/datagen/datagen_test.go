@@ -1,0 +1,286 @@
+package datagen
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"hybridwh/internal/types"
+)
+
+func smallData() Data {
+	return Data{TRows: 40_000, LRows: 120_000, Keys: 2_000, Seed: 9, DateDays: 30, Groups: 50}
+}
+
+// measure generates both tables once and computes the realized
+// selectivities of a workload's predicate literals.
+func measure(t *testing.T, w Workload) (sigmaT, sigmaL, st, sl float64) {
+	t.Helper()
+	lo, hi := w.LCorRange()
+	tKeys := map[int64]bool{}
+	var tPass, tTotal int64
+	if err := w.Data.GenT(func(r types.Row) error {
+		tTotal++
+		if r[2].Int() <= w.TCorMax() && r[3].Int() <= w.TIndMax() {
+			tPass++
+			tKeys[r[1].Int()] = true
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	lKeys := map[int64]bool{}
+	var lPass, lTotal int64
+	if err := w.Data.GenL(func(r types.Row) error {
+		lTotal++
+		if r[1].Int() >= lo && r[1].Int() <= hi && r[2].Int() <= w.LIndMax() {
+			lPass++
+			lKeys[r[0].Int()] = true
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	both := 0
+	for k := range tKeys {
+		if lKeys[k] {
+			both++
+		}
+	}
+	return float64(tPass) / float64(tTotal), float64(lPass) / float64(lTotal),
+		float64(both) / float64(len(tKeys)), float64(both) / float64(len(lKeys))
+}
+
+func TestSolveRealizesPaperParameterPoints(t *testing.T) {
+	// Every (σ_T, σ_L, S_T′, S_L′) combination family the paper's figures use.
+	cases := []Selectivities{
+		{SigmaT: 0.1, SigmaL: 0.4, ST: 0.2, SL: 0.1},   // Table 1
+		{SigmaT: 0.1, SigmaL: 0.1, ST: 0.05, SL: 0.1},  // Fig 8(a)
+		{SigmaT: 0.1, SigmaL: 0.2, ST: 0.1, SL: 0.1},   // Fig 8(a)
+		{SigmaT: 0.2, SigmaL: 0.4, ST: 0.2, SL: 0.2},   // Fig 8(b)
+		{SigmaT: 0.1, SigmaL: 0.4, ST: 0.5, SL: 0.8},   // Fig 9(a)
+		{SigmaT: 0.1, SigmaL: 0.4, ST: 0.5, SL: 0.1},   // Fig 9(a)
+		{SigmaT: 0.1, SigmaL: 0.4, ST: 0.35, SL: 0.4},  // Fig 9(b)
+		{SigmaT: 0.05, SigmaL: 0.2, ST: 0.3, SL: 0.05}, // Fig 11(a) family
+	}
+	for _, sel := range cases {
+		w, err := Solve(smallData(), sel)
+		if err != nil {
+			t.Fatalf("Solve(%+v): %v", sel, err)
+		}
+		sigmaT, sigmaL, st, sl := measure(t, w)
+		if math.Abs(sigmaT-sel.SigmaT) > 0.012+0.1*sel.SigmaT {
+			t.Errorf("%+v: σT = %.4f", sel, sigmaT)
+		}
+		if math.Abs(sigmaL-sel.SigmaL) > 0.012+0.1*sel.SigmaL {
+			t.Errorf("%+v: σL = %.4f", sel, sigmaL)
+		}
+		if math.Abs(st-sel.ST) > 0.06+0.12*sel.ST {
+			t.Errorf("%+v: S_T' = %.4f", sel, st)
+		}
+		if math.Abs(sl-sel.SL) > 0.06+0.12*sel.SL {
+			t.Errorf("%+v: S_L' = %.4f", sel, sl)
+		}
+	}
+}
+
+// TestOneDatasetServesManyCells is the property that makes the benchmark
+// harness cheap: different workloads over the *same* data realize their own
+// selectivities, because the knobs live in predicate literals only.
+func TestOneDatasetServesManyCells(t *testing.T) {
+	data := smallData()
+	for _, sel := range []Selectivities{
+		{SigmaT: 0.1, SigmaL: 0.1, ST: 0.1, SL: 0.1},
+		{SigmaT: 0.1, SigmaL: 0.4, ST: 0.2, SL: 0.1},
+		{SigmaT: 0.2, SigmaL: 0.2, ST: 0.2, SL: 0.2},
+	} {
+		w, err := Solve(data, sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sT, sL, _, _ := measure(t, w)
+		if math.Abs(sT-sel.SigmaT) > 0.02 || math.Abs(sL-sel.SigmaL) > 0.03 {
+			t.Errorf("%+v realized σT=%.3f σL=%.3f", sel, sT, sL)
+		}
+	}
+}
+
+// TestSmallSigmaLNeedsDenseKeys checks the documented coverage condition:
+// with σL = 0.001 the ind selectivity is tiny, so realized join-key
+// selectivity only approaches the target when rows-per-key is paper-like.
+func TestSmallSigmaLNeedsDenseKeys(t *testing.T) {
+	data := Data{TRows: 20_000, LRows: 600_000, Keys: 500, Seed: 9, DateDays: 30, Groups: 50}
+	sel := Selectivities{SigmaT: 0.1, SigmaL: 0.001, ST: 0.3, SL: 0.1}
+	w, err := Solve(data, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sigmaL, st, _ := measure(t, w)
+	if math.Abs(sigmaL-sel.SigmaL) > 0.0005 {
+		t.Errorf("σL = %.5f", sigmaL)
+	}
+	if st < 0.2 || st > 0.4 {
+		t.Errorf("S_T' = %.4f, want ≈0.3 with 1200 rows/key", st)
+	}
+}
+
+func TestSolveRejectsBadInputs(t *testing.T) {
+	bad := []Selectivities{
+		{SigmaT: 0, SigmaL: 0.1, ST: 0.5, SL: 0.5},
+		{SigmaT: 0.1, SigmaL: 2, ST: 0.5, SL: 0.5},
+		{SigmaT: 0.1, SigmaL: 0.1, ST: 0, SL: 0.5},
+		{SigmaT: 0.1, SigmaL: 0.1, ST: 0.5, SL: 1.5},
+		// Infeasible: σT=0.9 forces fT≥0.9 but ST'=0.05 with SL'=0.9 needs
+		// fL = fT·ST'/SL' = 0.05 < σL=0.5 ⇒ no solution.
+		{SigmaT: 0.9, SigmaL: 0.5, ST: 0.05, SL: 0.9},
+	}
+	for _, sel := range bad {
+		if _, err := Solve(smallData(), sel); err == nil {
+			t.Errorf("Solve(%+v): want error", sel)
+		}
+	}
+}
+
+func TestSchemasMatchPaper(t *testing.T) {
+	ts := TSchema()
+	if ts.Len() != 8 || ts.Cols[0].Name != "uniqKey" || ts.Cols[0].Kind != types.KindInt64 {
+		t.Errorf("T schema: %s", ts)
+	}
+	if ts.ColIndex("predAfterJoin") != 4 || ts.Cols[4].Kind != types.KindDate {
+		t.Errorf("T schema: %s", ts)
+	}
+	ls := LSchema()
+	if ls.Len() != 6 || ls.Cols[4].Name != "groupByExtractCol" {
+		t.Errorf("L schema: %s", ls)
+	}
+}
+
+func TestGeneratedRowsMatchSchemas(t *testing.T) {
+	data := Data{TRows: 200, LRows: 300, Keys: 100, Seed: 3, DateDays: 30, Groups: 10}
+	ts, ls := TSchema(), LSchema()
+	var n int64
+	if err := data.GenT(func(r types.Row) error {
+		n++
+		if len(r) != ts.Len() {
+			t.Fatalf("T row width %d", len(r))
+		}
+		for i, v := range r {
+			if v.K != ts.Cols[i].Kind {
+				t.Fatalf("T col %s kind %v", ts.Cols[i].Name, v.K)
+			}
+		}
+		if len(r[5].Str()) != 50 {
+			t.Fatalf("dummy1 length %d", len(r[5].Str()))
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 200 {
+		t.Errorf("T rows = %d", n)
+	}
+	n = 0
+	if err := data.GenL(func(r types.Row) error {
+		n++
+		if len(r) != ls.Len() {
+			t.Fatalf("L row width %d", len(r))
+		}
+		if got := len(r[4].Str()); got != 44 {
+			t.Fatalf("groupByExtractCol length %d", got)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 300 {
+		t.Errorf("L rows = %d", n)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	data := Data{TRows: 100, LRows: 100, Keys: 50, Seed: 4, DateDays: 30, Groups: 10}
+	var a, b []string
+	if err := data.GenT(func(r types.Row) error { a = append(a, r.String()); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := data.GenT(func(r types.Row) error { b = append(b, r.String()); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs between runs", i)
+		}
+	}
+}
+
+func TestPermIsBijective(t *testing.T) {
+	for _, keys := range []int64{16, 100, 997, 16000} {
+		p := newPerm(keys, 7)
+		seen := make(map[int64]bool, keys)
+		for jk := int64(0); jk < keys; jk++ {
+			pos := p.pos(jk)
+			if pos < 0 || pos >= keys {
+				t.Fatalf("keys=%d: pos(%d) = %d out of range", keys, jk, pos)
+			}
+			if seen[pos] {
+				t.Fatalf("keys=%d: pos collision at %d", keys, pos)
+			}
+			seen[pos] = true
+		}
+	}
+}
+
+func TestLCorRangeWithinDomain(t *testing.T) {
+	w, err := Solve(smallData(), Selectivities{SigmaT: 0.1, SigmaL: 0.4, ST: 0.5, SL: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := w.LCorRange()
+	if lo < 0 || hi >= w.Data.Keys || lo > hi {
+		t.Errorf("LCorRange = [%d, %d] outside [0, %d)", lo, hi, w.Data.Keys)
+	}
+}
+
+func TestGenErrorsPropagate(t *testing.T) {
+	data := Data{TRows: 10, LRows: 10, Keys: 5, Seed: 1, DateDays: 30, Groups: 5}
+	boom := func(types.Row) error { return errSentinel }
+	if err := data.GenT(boom); err != errSentinel {
+		t.Errorf("GenT err = %v", err)
+	}
+	if err := data.GenL(boom); err != errSentinel {
+		t.Errorf("GenL err = %v", err)
+	}
+}
+
+var errSentinel = errors.New("boom")
+
+func TestSolveNearest(t *testing.T) {
+	data := smallData()
+	// Feasible point: passes through unchanged.
+	sel := Selectivities{SigmaT: 0.1, SigmaL: 0.4, ST: 0.2, SL: 0.1}
+	_, adjusted, err := SolveNearest(data, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adjusted != sel {
+		t.Errorf("feasible point adjusted: %+v", adjusted)
+	}
+	// The infeasible Fig 8(a) corner: ST' raised to the minimum feasible.
+	infeasible := Selectivities{SigmaT: 0.1, SigmaL: 0.4, ST: 0.05, SL: 0.1}
+	w, adjusted, err := SolveNearest(data, infeasible)
+	if err != nil {
+		t.Fatalf("SolveNearest should repair the point: %v", err)
+	}
+	if adjusted.ST <= infeasible.ST {
+		t.Errorf("ST not raised: %+v", adjusted)
+	}
+	// The repaired point actually realizes its σ values.
+	sigmaT, sigmaL, _, _ := measure(t, w)
+	if math.Abs(sigmaT-0.1) > 0.02 || math.Abs(sigmaL-0.4) > 0.05 {
+		t.Errorf("repaired point: σT=%.3f σL=%.3f", sigmaT, sigmaL)
+	}
+	// Nonsense input still errors.
+	if _, _, err := SolveNearest(data, Selectivities{}); err == nil {
+		t.Error("zero selectivities: want error")
+	}
+}

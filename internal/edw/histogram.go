@@ -1,0 +1,107 @@
+package edw
+
+// Histogram is an equi-width histogram over an integer column, the
+// optimizer's cardinality estimator.
+type Histogram struct {
+	min, max int64
+	width    float64
+	counts   []int64
+	total    int64
+}
+
+type histogramBuilder struct {
+	buckets int
+	vals    []int64
+}
+
+func newHistogramBuilder(buckets int) *histogramBuilder {
+	if buckets <= 0 {
+		buckets = 64
+	}
+	return &histogramBuilder{buckets: buckets}
+}
+
+func (b *histogramBuilder) add(v int64) { b.vals = append(b.vals, v) }
+
+func (b *histogramBuilder) build() *Histogram {
+	h := &Histogram{counts: make([]int64, b.buckets)}
+	if len(b.vals) == 0 {
+		h.width = 1
+		return h
+	}
+	h.min, h.max = b.vals[0], b.vals[0]
+	for _, v := range b.vals {
+		if v < h.min {
+			h.min = v
+		}
+		if v > h.max {
+			h.max = v
+		}
+	}
+	h.width = float64(h.max-h.min+1) / float64(b.buckets)
+	if h.width <= 0 {
+		h.width = 1
+	}
+	for _, v := range b.vals {
+		i := int(float64(v-h.min) / h.width)
+		if i >= len(h.counts) {
+			i = len(h.counts) - 1
+		}
+		h.counts[i]++
+		h.total++
+	}
+	return h
+}
+
+// Total returns the number of values summarized.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Min returns the smallest summarized value.
+func (h *Histogram) Min() int64 { return h.min }
+
+// Max returns the largest summarized value.
+func (h *Histogram) Max() int64 { return h.max }
+
+// EstimateRange estimates the fraction of values in [lo, hi], interpolating
+// within partially covered buckets.
+func (h *Histogram) EstimateRange(lo, hi int64) float64 {
+	if h.total == 0 || hi < lo || hi < h.min || lo > h.max {
+		return 0
+	}
+	if lo < h.min {
+		lo = h.min
+	}
+	if hi > h.max {
+		hi = h.max
+	}
+	var est float64
+	for i, c := range h.counts {
+		bLo := float64(h.min) + float64(i)*h.width
+		bHi := bLo + h.width
+		rLo, rHi := float64(lo), float64(hi)+1
+		overlap := minf(bHi, rHi) - maxf(bLo, rLo)
+		if overlap <= 0 {
+			continue
+		}
+		frac := overlap / h.width
+		if frac > 1 {
+			frac = 1
+		}
+		est += float64(c) * frac
+	}
+	return est / float64(h.total)
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,173 @@
+package edw
+
+import (
+	"math"
+
+	"hybridwh/internal/expr"
+	"hybridwh/internal/plan"
+)
+
+// AccessPath is how a predicate is evaluated over a partition.
+type AccessPath int
+
+// Access paths, cheapest applicable first.
+const (
+	// PathTableScan reads every row of the partition.
+	PathTableScan AccessPath = iota
+	// PathIndexRange walks an index's leading-column range and fetches rows.
+	PathIndexRange
+	// PathIndexOnly walks an index whose key covers every needed column, so
+	// base rows are never touched (the paper builds BF_DB this way via the
+	// (corPred, indPred, joinKey) index).
+	PathIndexOnly
+)
+
+// String names the path.
+func (p AccessPath) String() string {
+	switch p {
+	case PathTableScan:
+		return "table-scan"
+	case PathIndexRange:
+		return "index-range"
+	case PathIndexOnly:
+		return "index-only"
+	default:
+		return "unknown"
+	}
+}
+
+// AccessPlan is the optimizer's decision for evaluating pred over a table.
+type AccessPlan struct {
+	Path  AccessPath
+	Index string // for index paths
+	// Leading-column range for index paths.
+	Lo, Hi int64
+	// Pred is the full predicate, re-checked per row (the leading range is a
+	// superset filter).
+	Pred expr.Expr
+	// EstSelectivity is the histogram-estimated fraction of rows surviving.
+	EstSelectivity float64
+}
+
+// indexScanThreshold is the selectivity above which a table scan beats an
+// index range scan (random access amplification in a real system; here it
+// keeps plan shapes faithful).
+const indexScanThreshold = 0.3
+
+// PlanAccess chooses how to evaluate pred over t when the columns in need
+// must be produced. Preference order: a covering index whose leading column
+// has a usable range (index-only), then an index range scan when the
+// estimated selectivity is low enough, then a table scan.
+func (db *DB) PlanAccess(t *Table, pred expr.Expr, need []int) AccessPlan {
+	ap := AccessPlan{Path: PathTableScan, Pred: pred, EstSelectivity: 1}
+	if pred == nil {
+		return ap
+	}
+
+	// Estimate overall selectivity as the product of per-column range
+	// selectivities (independence assumption — the textbook estimator).
+	sel := 1.0
+	for _, c := range expr.ColumnSet(pred) {
+		lo, hi, ok := plan.RangeOf(pred, c)
+		if !ok {
+			continue
+		}
+		if h := t.Histogram(c); h != nil {
+			sel *= h.EstimateRange(lo, hi)
+		}
+	}
+	ap.EstSelectivity = sel
+
+	t.mu.RLock()
+	defs := append([]*IndexDef(nil), t.indexes...)
+	t.mu.RUnlock()
+
+	best := ap
+	bestCoveringFrac := math.Inf(1)
+	for _, d := range defs {
+		lo, hi, ok := plan.RangeOf(pred, d.Cols[0])
+		if !ok {
+			continue
+		}
+		// Fraction of index entries the leading range touches.
+		frac := 1.0
+		if h := t.Histogram(d.Cols[0]); h != nil {
+			frac = h.EstimateRange(lo, hi)
+		}
+		switch {
+		case d.covers(need):
+			// Index-only wins whenever available: no base-row access at
+			// all. Among covering indexes, prefer the tightest range.
+			if best.Path != PathIndexOnly || frac < bestCoveringFrac {
+				best = AccessPlan{Path: PathIndexOnly, Index: d.Name, Lo: lo, Hi: hi, Pred: pred, EstSelectivity: sel}
+				bestCoveringFrac = frac
+			}
+		case frac <= indexScanThreshold && best.Path == PathTableScan:
+			best = AccessPlan{Path: PathIndexRange, Index: d.Name, Lo: lo, Hi: hi, Pred: pred, EstSelectivity: sel}
+		}
+	}
+	return best
+}
+
+// JoinStrategy is the DB-side final-join data movement choice.
+type JoinStrategy int
+
+// DB-side join strategies (Section 4.3: "DB2 can choose whatever algorithms
+// for the final join that it sees fit based on data statistics").
+const (
+	// RepartitionBoth reshuffles both inputs on the join key.
+	RepartitionBoth JoinStrategy = iota
+	// BroadcastDB replicates the (filtered) database rows to every worker.
+	BroadcastDB
+	// BroadcastIngested replicates the ingested HDFS rows to every worker.
+	BroadcastIngested
+)
+
+// String names the strategy.
+func (s JoinStrategy) String() string {
+	switch s {
+	case RepartitionBoth:
+		return "repartition"
+	case BroadcastDB:
+		return "broadcast-db"
+	case BroadcastIngested:
+		return "broadcast-hdfs"
+	default:
+		return "unknown"
+	}
+}
+
+// ChooseJoinStrategy picks the cheapest movement plan for joining dbRows
+// (total T' tuples) with ingested HDFS rows (total L' tuples) across m
+// workers, by transferred-tuple cost: broadcasting side X costs |X|·(m-1),
+// repartitioning costs |T'|+|L'| (each tuple moves at most once).
+func ChooseJoinStrategy(dbRows, hdfsRows int64, m int) JoinStrategy {
+	if m <= 1 {
+		return BroadcastDB // degenerate: no movement either way
+	}
+	bcastDB := dbRows * int64(m-1)
+	bcastHD := hdfsRows * int64(m-1)
+	repart := dbRows + hdfsRows
+	switch {
+	case bcastDB <= bcastHD && bcastDB <= repart:
+		return BroadcastDB
+	case bcastHD <= repart:
+		return BroadcastIngested
+	default:
+		return RepartitionBoth
+	}
+}
+
+// ChooseZigzagReaccess decides how the database produces T” in zigzag step
+// 5: re-filter the materialized T' (cheap when T' is small relative to the
+// base table) or walk the base table again through an index. Returns true
+// to materialize.
+func ChooseZigzagReaccess(tPrimeRows, tableRows int64) bool {
+	if tableRows == 0 {
+		return true
+	}
+	// Materialization costs memory ~ |T'|; index re-access costs index
+	// probes ~ |T'| anyway, plus base-row fetches. Materialize unless T' is
+	// more than half the table (when keeping it pinned is not worthwhile).
+	return tPrimeRows*2 <= tableRows
+}

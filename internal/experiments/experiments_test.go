@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// quick runs experiments at a very small scale for unit testing.
+func quick() RunConfig {
+	return RunConfig{Scale: 200000, DBWorkers: 8, JENWorkers: 8, Seed: 3}
+}
+
+func TestAllExperimentsDeclared(t *testing.T) {
+	all := All()
+	want := []string{
+		"table1",
+		"fig8a", "fig8b", "fig9a", "fig9b",
+		"fig10a", "fig10b", "fig11a", "fig11b",
+		"fig12a", "fig12b", "fig13a", "fig13b",
+		"fig14a", "fig14b", "fig15a", "fig15b",
+	}
+	if len(all) != len(want) {
+		t.Fatalf("%d experiments declared, want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Errorf("experiment %d = %s, want %s", i, all[i].ID, id)
+		}
+		if all[i].Title == "" || len(all[i].Cells) == 0 || len(all[i].Algs) == 0 {
+			t.Errorf("%s incompletely declared", id)
+		}
+	}
+	if _, err := ByID("table1"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown id: want error")
+	}
+}
+
+func TestRunTable1Quick(t *testing.T) {
+	exp, err := ByID("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(exp, quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 1 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	v := rep.Rows[0].Values
+	// At any scale, the Table 1 relations must hold.
+	if !(v["shuffled repartition(BF)"] < v["shuffled repartition"]/4) {
+		t.Errorf("BF shuffle reduction: %v", v)
+	}
+	if !(v["DB sent zigzag"] < v["DB sent repartition"]/2) {
+		t.Errorf("zigzag DB reduction: %v", v)
+	}
+	out := rep.String()
+	for _, want := range []string{"Table 1", "shuffled repartition", "DB sent zigzag"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	if bad := rep.CheckShape(); len(bad) > 0 {
+		t.Errorf("shape violations at quick scale: %v", bad)
+	}
+}
+
+func TestRunFig9bQuickShape(t *testing.T) {
+	exp, err := ByID("fig9b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(exp, quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	// Zigzag must improve as ST' decreases even at tiny scale.
+	if !(rep.Rows[2].Values["zigzag"] <= rep.Rows[0].Values["zigzag"]*1.05) {
+		t.Errorf("zigzag did not improve with ST': %v vs %v",
+			rep.Rows[2].Values["zigzag"], rep.Rows[0].Values["zigzag"])
+	}
+}
+
+func TestRunFig14aQuickBothFormats(t *testing.T) {
+	exp, err := ByID("fig14a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trim to two cells for speed.
+	exp.Cells = exp.Cells[:2]
+	rep, err := Run(exp, quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rep.Rows {
+		if row.Values["text"] <= row.Values["hwc"] {
+			t.Errorf("%s: text %.0f should exceed hwc %.0f", row.Label, row.Values["text"], row.Values["hwc"])
+		}
+	}
+	if got := rep.Series; len(got) < 2 || got[0] != "text" || got[1] != "hwc" {
+		t.Errorf("series = %v", got)
+	}
+}
+
+func TestReportValueLookup(t *testing.T) {
+	r := &Report{
+		Rows: []CellResult{{Label: "a", Values: map[string]float64{"x": 1}}},
+	}
+	if v := r.value("a", "x"); v != 1 {
+		t.Errorf("value = %v", v)
+	}
+	if v := r.value("a", "missing"); v == v { // NaN != NaN
+		t.Errorf("missing series should be NaN, got %v", v)
+	}
+	if v := r.value("nope", "x"); v == v {
+		t.Errorf("missing label should be NaN, got %v", v)
+	}
+}

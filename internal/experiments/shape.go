@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+)
+
+// CheckShape validates the qualitative claims the paper makes about each
+// table/figure against the measured report. It returns one message per
+// violation (empty = the reproduction has the paper's shape). Absolute
+// numbers are not compared — the substrate differs — but winners, orderings
+// and crossovers must match.
+func (r *Report) CheckShape() []string {
+	var bad []string
+	fail := func(format string, args ...any) {
+		bad = append(bad, fmt.Sprintf(format, args...))
+	}
+	le := func(a, b, slack float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return false
+		}
+		return a <= b*(1+slack)
+	}
+
+	switch r.Exp.ID {
+	case "table1":
+		row := r.Rows[0].Values
+		shufPlain := row["shuffled repartition"]
+		shufBF := row["shuffled repartition(BF)"]
+		shufZig := row["shuffled zigzag"]
+		sentPlain := row["DB sent repartition"]
+		sentZig := row["DB sent zigzag"]
+		// BF cuts the shuffle by ≈ S_L' (0.1) + false positives: expect at
+		// least 5x (the paper sees ~10x).
+		if !(shufBF < shufPlain/5) {
+			fail("table1: BF shuffle reduction too small: %.0f vs %.0f", shufBF, shufPlain)
+		}
+		// Zigzag shuffles the same as repartition(BF).
+		if math.Abs(shufZig-shufBF) > 0.1*shufBF {
+			fail("table1: zigzag shuffle %.0f != repartition(BF) %.0f", shufZig, shufBF)
+		}
+		// BF_H cuts the DB transfer by ≈ S_T' (0.2): expect at least 3x.
+		if !(sentZig < sentPlain/3) {
+			fail("table1: zigzag DB transfer reduction too small: %.0f vs %.0f", sentZig, sentPlain)
+		}
+
+	case "fig8a", "fig8b", "fig9a", "fig9b":
+		for _, row := range r.Rows {
+			z, bf, plain := row.Values["zigzag"], row.Values["repartition(BF)"], row.Values["repartition"]
+			if !le(bf, plain, 0.05) {
+				fail("%s %s: repartition(BF) %.0fs should not exceed repartition %.0fs", r.Exp.ID, row.Label, bf, plain)
+			}
+			// Zigzag is "the most robust ... in almost all cases": it must
+			// win whenever either join-key predicate is selective. In the
+			// deliberately unselective corner (S' ≥ 0.35 on both sides) its
+			// sequential T''-transfer may cost it a bounded premium.
+			selective := row.Values["__sl"] <= 0.2 || row.Values["__st"] <= 0.2
+			if selective {
+				if !le(z, bf, 0.05) {
+					fail("%s %s: zigzag %.0fs should not exceed repartition(BF) %.0fs", r.Exp.ID, row.Label, z, bf)
+				}
+			} else if !le(z, bf, 0.5) {
+				fail("%s %s: zigzag %.0fs too far above repartition(BF) %.0fs even for an unselective join", r.Exp.ID, row.Label, z, bf)
+			}
+		}
+		if r.Exp.ID == "fig9a" || r.Exp.ID == "fig9b" {
+			// Zigzag improves (or holds) as the join gets more selective
+			// down the rows.
+			for i := 1; i < len(r.Rows); i++ {
+				a := r.Rows[i-1].Values["zigzag"]
+				b := r.Rows[i].Values["zigzag"]
+				if b > a*1.05 {
+					fail("%s: zigzag should improve with selectivity: %.0fs → %.0fs", r.Exp.ID, a, b)
+				}
+			}
+		}
+
+	case "fig10a":
+		// σT=0.001: broadcast is competitive (within ~20%) or better
+		// everywhere, and its advantage is "not dramatic".
+		for _, row := range r.Rows {
+			bc, rp := row.Values["broadcast"], row.Values["repartition"]
+			if !le(bc, rp, 0.25) {
+				fail("fig10a %s: broadcast %.0fs should be ≈≤ repartition %.0fs at σT=0.001", row.Label, bc, rp)
+			}
+		}
+
+	case "fig10b":
+		// σT=0.01: repartition is comparable or better in most cells.
+		worse := 0
+		for _, row := range r.Rows {
+			if !le(row.Values["repartition"], row.Values["broadcast"], 0.10) {
+				worse++
+			}
+		}
+		if worse > 1 {
+			fail("fig10b: repartition should beat broadcast at σT=0.01 (lost %d of %d cells)", worse, len(r.Rows))
+		}
+
+	case "fig11a", "fig11b":
+		// BF helps except at the smallest σL, where it may wash out.
+		for _, row := range r.Rows {
+			db, bf := row.Values["db"], row.Values["db(BF)"]
+			if row.Label == "σL=0.001" {
+				if !le(bf, db, 0.25) {
+					fail("%s %s: db(BF) %.0fs should be within overhead of db %.0fs", r.Exp.ID, row.Label, bf, db)
+				}
+				continue
+			}
+			if !le(bf, db, 0.02) {
+				fail("%s %s: db(BF) %.0fs should beat db %.0fs", r.Exp.ID, row.Label, bf, db)
+			}
+		}
+		// The benefit grows with σL.
+		first := r.Rows[0].Values["db"] - r.Rows[0].Values["db(BF)"]
+		last := r.Rows[len(r.Rows)-1].Values["db"] - r.Rows[len(r.Rows)-1].Values["db(BF)"]
+		if last <= first {
+			fail("%s: BF benefit should grow with σL (%.0fs → %.0fs)", r.Exp.ID, first, last)
+		}
+
+	case "fig12a", "fig12b", "fig13a", "fig13b":
+		dbName := "db"
+		if r.Exp.ID == "fig13a" || r.Exp.ID == "fig13b" {
+			dbName = "db-best"
+		}
+		// DB-side wins only at very selective σL; HDFS-side wins at 0.1+.
+		if v := r.value("σL=0.001", dbName); !le(v, r.value("σL=0.001", "hdfs-best"), 0.05) {
+			fail("%s: DB-side should win at σL=0.001 (%.0fs vs %.0fs)", r.Exp.ID, v, r.value("σL=0.001", "hdfs-best"))
+		}
+		for _, lbl := range []string{"σL=0.1", "σL=0.2"} {
+			if v := r.value(lbl, "hdfs-best"); !le(v, r.value(lbl, dbName), 0.05) {
+				fail("%s: HDFS-side should win at %s (%.0fs vs %.0fs)", r.Exp.ID, lbl, v, r.value(lbl, dbName))
+			}
+		}
+		// DB-side deteriorates steeply; HDFS-side stays comparatively flat.
+		dbSlope := r.value("σL=0.2", dbName) / r.value("σL=0.001", dbName)
+		hdfsSlope := r.value("σL=0.2", "hdfs-best") / r.value("σL=0.001", "hdfs-best")
+		if !(dbSlope > 2*hdfsSlope) {
+			fail("%s: DB-side slope %.1fx should far exceed HDFS-side slope %.1fx", r.Exp.ID, dbSlope, hdfsSlope)
+		}
+
+	case "fig14a", "fig14b":
+		for _, row := range r.Rows {
+			hwc, text := row.Values["hwc"], row.Values["text"]
+			if !le(hwc, text, 0) {
+				fail("%s %s: columnar %.0fs should beat text %.0fs", r.Exp.ID, row.Label, hwc, text)
+			}
+		}
+		// The gap is dramatic at low σL where the scan dominates.
+		if hwc, text := r.value("σL=0.001", "hwc"), r.value("σL=0.001", "text"); !(text > 2*hwc) {
+			fail("%s: text %.0fs should be ≫ columnar %.0fs at σL=0.001", r.Exp.ID, text, hwc)
+		}
+
+	case "fig15a":
+		// On text, the BF's shuffle savings are largely masked: the gain of
+		// repartition(BF) over repartition is modest, while zigzag remains
+		// robustly best.
+		for _, row := range r.Rows {
+			z, bf := row.Values["zigzag"], row.Values["repartition(BF)"]
+			if !le(z, bf, 0.05) {
+				fail("fig15a %s: zigzag %.0fs should still win on text (bf %.0fs)", row.Label, z, bf)
+			}
+		}
+		worst := 0.0
+		for _, row := range r.Rows {
+			plain, bf := row.Values["repartition"], row.Values["repartition(BF)"]
+			if g := (plain - bf) / plain; g > worst {
+				worst = g
+			}
+		}
+		if worst > 0.45 {
+			fail("fig15a: BF shuffle savings should be largely masked on text; best gain %.0f%%", worst*100)
+		}
+
+	case "fig15b":
+		// DB-side BF still helps on text (it reduces the cross transfer),
+		// but less dramatically than on columnar data.
+		for _, row := range r.Rows {
+			db, bf := row.Values["db"], row.Values["db(BF)"]
+			if !le(bf, db, 0.25) {
+				fail("fig15b %s: db(BF) %.0fs should not exceed db %.0fs by much", row.Label, bf, db)
+			}
+		}
+	}
+	return bad
+}

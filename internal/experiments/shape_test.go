@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// mkReport builds a synthetic report for shape-check unit testing.
+func mkReport(id string, rows []CellResult) *Report {
+	exp, _ := ByID(id)
+	return &Report{Exp: exp, Rows: rows}
+}
+
+func cell(label string, kv ...any) CellResult {
+	c := CellResult{Label: label, Values: map[string]float64{}}
+	for i := 0; i < len(kv); i += 2 {
+		c.Values[kv[i].(string)] = kv[i+1].(float64)
+	}
+	return c
+}
+
+func TestShapeTable1(t *testing.T) {
+	good := mkReport("table1", []CellResult{cell("paper cell",
+		"shuffled repartition", 5854e6, "shuffled repartition(BF)", 591e6,
+		"shuffled zigzag", 591e6,
+		"DB sent repartition", 165e6, "DB sent zigzag", 30e6,
+	)})
+	if bad := good.CheckShape(); len(bad) != 0 {
+		t.Errorf("paper's own Table 1 flagged: %v", bad)
+	}
+	// A useless BF must be flagged.
+	broken := mkReport("table1", []CellResult{cell("paper cell",
+		"shuffled repartition", 5854e6, "shuffled repartition(BF)", 5800e6,
+		"shuffled zigzag", 5800e6,
+		"DB sent repartition", 165e6, "DB sent zigzag", 30e6,
+	)})
+	if bad := broken.CheckShape(); len(bad) == 0 {
+		t.Error("ineffective BF not flagged")
+	}
+	// Zigzag shuffling differently from repartition(BF) must be flagged.
+	drift := mkReport("table1", []CellResult{cell("paper cell",
+		"shuffled repartition", 5854e6, "shuffled repartition(BF)", 591e6,
+		"shuffled zigzag", 900e6,
+		"DB sent repartition", 165e6, "DB sent zigzag", 30e6,
+	)})
+	if bad := drift.CheckShape(); len(bad) == 0 {
+		t.Error("zigzag/BF shuffle drift not flagged")
+	}
+}
+
+func TestShapeFig8OrderingViolations(t *testing.T) {
+	// Selective cell where zigzag loses: violation.
+	r := mkReport("fig8a", []CellResult{cell("σL=0.1 ST'=0.05",
+		"repartition", 400.0, "repartition(BF)", 300.0, "zigzag", 380.0,
+		"__st", 0.05, "__sl", 0.1,
+	)})
+	if bad := r.CheckShape(); len(bad) == 0 {
+		t.Error("zigzag losing a selective cell not flagged")
+	}
+	// Unselective cell: a bounded premium is tolerated.
+	r2 := mkReport("fig9a", []CellResult{cell("SL'=0.8",
+		"repartition", 400.0, "repartition(BF)", 300.0, "zigzag", 380.0,
+		"__st", 0.5, "__sl", 0.8,
+	)})
+	if bad := r2.CheckShape(); len(bad) != 0 {
+		t.Errorf("bounded unselective premium flagged: %v", bad)
+	}
+	// BF worse than plain repartition: always a violation.
+	r3 := mkReport("fig8a", []CellResult{cell("σL=0.1 ST'=0.2",
+		"repartition", 300.0, "repartition(BF)", 400.0, "zigzag", 200.0,
+		"__st", 0.2, "__sl", 0.1,
+	)})
+	if bad := r3.CheckShape(); len(bad) == 0 {
+		t.Error("BF regression not flagged")
+	}
+}
+
+func TestShapeFig12Crossover(t *testing.T) {
+	good := mkReport("fig12b", []CellResult{
+		cell("σL=0.001", "db", 70.0, "hdfs-best", 200.0),
+		cell("σL=0.01", "db", 160.0, "hdfs-best", 200.0),
+		cell("σL=0.1", "db", 1500.0, "hdfs-best", 200.0),
+		cell("σL=0.2", "db", 3000.0, "hdfs-best", 200.0),
+	})
+	if bad := good.CheckShape(); len(bad) != 0 {
+		t.Errorf("paper-shaped fig12 flagged: %v", bad)
+	}
+	// DB-side flat (no deterioration): violation.
+	flat := mkReport("fig12b", []CellResult{
+		cell("σL=0.001", "db", 70.0, "hdfs-best", 200.0),
+		cell("σL=0.01", "db", 75.0, "hdfs-best", 200.0),
+		cell("σL=0.1", "db", 80.0, "hdfs-best", 200.0),
+		cell("σL=0.2", "db", 85.0, "hdfs-best", 200.0),
+	})
+	if bad := flat.CheckShape(); len(bad) == 0 {
+		t.Error("flat DB-side not flagged (no crossover)")
+	}
+}
+
+func TestShapeFig14FormatGap(t *testing.T) {
+	good := mkReport("fig14a", []CellResult{
+		cell("σL=0.001", "text", 350.0, "hwc", 130.0),
+		cell("σL=0.2", "text", 360.0, "hwc", 140.0),
+	})
+	if bad := good.CheckShape(); len(bad) != 0 {
+		t.Errorf("good fig14 flagged: %v", bad)
+	}
+	inverted := mkReport("fig14a", []CellResult{
+		cell("σL=0.001", "text", 100.0, "hwc", 130.0),
+		cell("σL=0.2", "text", 100.0, "hwc", 140.0),
+	})
+	if bad := inverted.CheckShape(); len(bad) == 0 {
+		t.Error("text beating columnar not flagged")
+	}
+}
+
+func TestShapeFig15Masking(t *testing.T) {
+	// Large BF gains on text contradict the masking claim.
+	r := mkReport("fig15a", []CellResult{cell("σL=0.4 ST'=0.2",
+		"repartition", 600.0, "repartition(BF)", 250.0, "zigzag", 240.0,
+		"__st", 0.2, "__sl", 0.2,
+	)})
+	if bad := r.CheckShape(); len(bad) == 0 {
+		t.Error("unmasked BF gain on text not flagged")
+	}
+}
+
+func TestShapeMissingSeriesFlagged(t *testing.T) {
+	// NaNs (missing series) must not silently pass the inequality checks.
+	r := mkReport("fig13b", []CellResult{
+		cell("σL=0.001", "db-best", 70.0),
+		cell("σL=0.1"), cell("σL=0.2"),
+	})
+	if bad := r.CheckShape(); len(bad) == 0 {
+		t.Error("missing hdfs-best series not flagged")
+	}
+	for _, msg := range r.CheckShape() {
+		if !strings.Contains(msg, "fig13b") {
+			t.Errorf("violation message lacks the experiment id: %q", msg)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hybridwh/internal/types"
+)
+
+// Supplemental tests for the accessors and remapping paths the main suite
+// does not reach.
+
+func TestNodeKindsAndCols(t *testing.T) {
+	c := col(1, "x", types.KindInt32)
+	lit := NewLit(types.Int32(5))
+	cmp := NewCmp(EQ, c, lit)
+	not := NewNot(cmp)
+	logic := NewAnd(cmp, cmp).(*Logic)
+	reg := NewRegistry()
+	days, _ := reg.Lookup("days")
+	call, _ := NewCall(days, col(2, "d", types.KindDate))
+
+	if cmp.Kind() != types.KindBool || not.Kind() != types.KindBool || logic.Kind() != types.KindBool {
+		t.Error("boolean node kinds")
+	}
+	if call.Kind() != types.KindInt64 {
+		t.Errorf("call kind = %v", call.Kind())
+	}
+	if got := ColumnSet(not); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Not cols = %v", got)
+	}
+	if got := ColumnSet(call); len(got) != 1 || got[0] != 2 {
+		t.Errorf("Call cols = %v", got)
+	}
+	// Display forms.
+	if s := not.String(); !strings.Contains(s, "NOT") {
+		t.Errorf("Not.String = %q", s)
+	}
+	if s := (&Col{Index: 3}).String(); s != "#3" {
+		t.Errorf("anonymous col string = %q", s)
+	}
+	if s := NewLit(types.String("it's")).String(); s != "'it's'" {
+		t.Errorf("string literal = %q", s)
+	}
+	or := NewOr(cmp, cmp)
+	if s := or.String(); !strings.Contains(s, " OR ") {
+		t.Errorf("Or.String = %q", s)
+	}
+	arith := NewArith(Mul, c, lit)
+	if s := arith.String(); !strings.Contains(s, "*") {
+		t.Errorf("Arith.String = %q", s)
+	}
+	for _, op := range []ArithOp{Add, Sub, Mul, Div, ArithOp(9)} {
+		_ = op.String()
+	}
+	for _, op := range []CmpOp{EQ, NE, LT, LE, GT, GE, CmpOp(9)} {
+		_ = op.String()
+	}
+}
+
+func TestArithKindInference(t *testing.T) {
+	d := col(0, "d", types.KindDate)
+	i := col(1, "i", types.KindInt32)
+	f := col(2, "f", types.KindFloat64)
+	if k := NewArith(Add, d, i).Kind(); k != types.KindDate {
+		t.Errorf("date+int kind = %v", k)
+	}
+	if k := NewArith(Sub, d, d).Kind(); k != types.KindInt64 {
+		t.Errorf("date-date kind = %v", k)
+	}
+	if k := NewArith(Mul, f, i).Kind(); k != types.KindFloat64 {
+		t.Errorf("float*int kind = %v", k)
+	}
+	if k := NewArith(Mul, i, i).Kind(); k != types.KindInt64 {
+		t.Errorf("int*int kind = %v", k)
+	}
+}
+
+func TestEvalPredErrors(t *testing.T) {
+	// A non-boolean predicate result is simply not-true.
+	got, err := EvalPred(NewLit(types.Int32(1)), nil)
+	if err != nil || got {
+		t.Errorf("non-boolean pred: %v %v", got, err)
+	}
+	// Errors inside the predicate propagate.
+	boom := NewCmp(EQ, col(9, "missing", types.KindInt32), NewLit(types.Int32(1)))
+	if _, err := EvalPred(boom, types.Row{}); err == nil {
+		t.Error("want evaluation error")
+	}
+}
+
+func TestRemapAllNodeKinds(t *testing.T) {
+	reg := NewRegistry()
+	days, _ := reg.Lookup("days")
+	call, _ := NewCall(days, col(0, "d", types.KindDate))
+	e := NewOr(
+		NewNot(NewCmp(EQ, NewArith(Add, col(0, "d", types.KindDate), NewLit(types.Int32(1))), NewLit(types.Date(5)))),
+		NewCmp(GT, call, NewLit(types.Int64(0))),
+	)
+	m := map[int]int{0: 2}
+	re, err := Remap(e, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := types.Row{types.Null, types.Null, types.Date(10)}
+	got, err := EvalPred(re, row)
+	if err != nil || !got {
+		t.Errorf("remapped or-pred = %v, %v", got, err)
+	}
+	// Remap failures inside nested nodes propagate.
+	if _, err := Remap(e, map[int]int{}); err == nil {
+		t.Error("missing mapping: want error")
+	}
+	// Arith with missing right side.
+	bad := NewArith(Add, NewLit(types.Int32(1)), col(7, "x", types.KindInt32))
+	if _, err := Remap(bad, map[int]int{}); err == nil {
+		t.Error("missing arith mapping: want error")
+	}
+}
+
+func TestArithErrorPropagation(t *testing.T) {
+	bad := col(9, "x", types.KindInt32)
+	lit := NewLit(types.Int32(1))
+	if _, err := NewArith(Add, bad, lit).Eval(types.Row{}); err == nil {
+		t.Error("left error: want error")
+	}
+	if _, err := NewArith(Add, lit, bad).Eval(types.Row{}); err == nil {
+		t.Error("right error: want error")
+	}
+	// Null operands yield null.
+	v, err := NewArith(Add, NewLit(types.Null), lit).Eval(nil)
+	if err != nil || !v.IsNull() {
+		t.Errorf("null arith = %v, %v", v, err)
+	}
+	// Float division by zero errors.
+	if _, err := NewArith(Div, NewLit(types.Float64(1)), NewLit(types.Float64(0))).Eval(nil); err == nil {
+		t.Error("float div by zero: want error")
+	}
+	// Float add/sub/div paths.
+	if v, _ := NewArith(Sub, NewLit(types.Float64(3)), NewLit(types.Float64(1))).Eval(nil); v.Float() != 2 {
+		t.Errorf("float sub = %v", v)
+	}
+	if v, _ := NewArith(Div, NewLit(types.Float64(3)), NewLit(types.Float64(2))).Eval(nil); v.Float() != 1.5 {
+		t.Errorf("float div = %v", v)
+	}
+	if v, _ := NewArith(Add, NewLit(types.Float64(3)), NewLit(types.Float64(2))).Eval(nil); v.Float() != 5 {
+		t.Errorf("float add = %v", v)
+	}
+}
+
+func TestLogicAndNotErrorPropagation(t *testing.T) {
+	boom := NewCmp(EQ, col(9, "x", types.KindInt32), NewLit(types.Int32(1)))
+	if _, err := NewAnd(boom, boom).Eval(types.Row{}); err == nil {
+		t.Error("logic error: want error")
+	}
+	if _, err := NewNot(boom).Eval(types.Row{}); err == nil {
+		t.Error("not error: want error")
+	}
+	if _, err := NewCmp(EQ, boom, boom).Eval(types.Row{}); err == nil {
+		t.Error("cmp-nested error: want error")
+	}
+}
+
+// TestQuickDeMorgan: NOT(a AND b) == (NOT a) OR (NOT b) over arbitrary rows.
+func TestQuickDeMorgan(t *testing.T) {
+	a := NewCmp(LE, col(0, "x", types.KindInt64), NewLit(types.Int64(0)))
+	b := NewCmp(GT, col(1, "y", types.KindInt64), NewLit(types.Int64(10)))
+	lhs := NewNot(NewAnd(a, b))
+	rhs := NewOr(NewNot(a), NewNot(b))
+	f := func(x, y int64) bool {
+		row := types.Row{types.Int64(x), types.Int64(y)}
+		l, err1 := EvalPred(lhs, row)
+		r, err2 := EvalPred(rhs, row)
+		return err1 == nil && err2 == nil && l == r
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,477 @@
+// Package expr provides the expression trees evaluated by both query engines:
+// local predicates pushed to each side, the post-join predicate, group-by
+// expressions and aggregate inputs. The same representation is shipped (in
+// spirit) from the database to the JEN workers, mirroring how the paper's
+// read_hdfs UDF passes predicate strings to the HDFS side.
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"hybridwh/internal/types"
+)
+
+// Expr is a node of an expression tree evaluated against a row.
+type Expr interface {
+	// Eval evaluates the expression against the row.
+	Eval(row types.Row) (types.Value, error)
+	// Kind reports the static result kind where known, KindNull otherwise.
+	Kind() types.Kind
+	// Cols appends the referenced column indexes to dst.
+	Cols(dst []int) []int
+	// String renders the expression in SQL-ish form for plans and EXPLAIN.
+	String() string
+}
+
+// Col references a column of the input row by index. Name is retained for
+// display only.
+type Col struct {
+	Index int
+	Name  string
+	K     types.Kind
+}
+
+// NewCol builds a column reference.
+func NewCol(index int, name string, k types.Kind) *Col {
+	return &Col{Index: index, Name: name, K: k}
+}
+
+// Eval implements Expr.
+func (c *Col) Eval(row types.Row) (types.Value, error) {
+	if c.Index < 0 || c.Index >= len(row) {
+		return types.Null, fmt.Errorf("column %s index %d out of range (row has %d)", c.Name, c.Index, len(row))
+	}
+	return row[c.Index], nil
+}
+
+// Kind implements Expr.
+func (c *Col) Kind() types.Kind { return c.K }
+
+// Cols implements Expr.
+func (c *Col) Cols(dst []int) []int { return append(dst, c.Index) }
+
+// String implements Expr.
+func (c *Col) String() string {
+	if c.Name != "" {
+		return c.Name
+	}
+	return fmt.Sprintf("#%d", c.Index)
+}
+
+// Lit is a literal value.
+type Lit struct{ V types.Value }
+
+// NewLit builds a literal.
+func NewLit(v types.Value) *Lit { return &Lit{V: v} }
+
+// Eval implements Expr.
+func (l *Lit) Eval(types.Row) (types.Value, error) { return l.V, nil }
+
+// Kind implements Expr.
+func (l *Lit) Kind() types.Kind { return l.V.K }
+
+// Cols implements Expr.
+func (l *Lit) Cols(dst []int) []int { return dst }
+
+// String implements Expr.
+func (l *Lit) String() string {
+	if l.V.K == types.KindString {
+		return "'" + l.V.S + "'"
+	}
+	return l.V.Format()
+}
+
+// CmpOp is a comparison operator.
+type CmpOp int
+
+// Comparison operators.
+const (
+	EQ CmpOp = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+func (o CmpOp) String() string {
+	switch o {
+	case EQ:
+		return "="
+	case NE:
+		return "<>"
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	case GE:
+		return ">="
+	}
+	return "?"
+}
+
+// Cmp compares two sub-expressions.
+type Cmp struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// NewCmp builds a comparison.
+func NewCmp(op CmpOp, l, r Expr) *Cmp { return &Cmp{Op: op, L: l, R: r} }
+
+// Eval implements Expr.
+func (c *Cmp) Eval(row types.Row) (types.Value, error) {
+	lv, err := c.L.Eval(row)
+	if err != nil {
+		return types.Null, err
+	}
+	rv, err := c.R.Eval(row)
+	if err != nil {
+		return types.Null, err
+	}
+	if lv.IsNull() || rv.IsNull() {
+		return types.Bool(false), nil
+	}
+	n := types.Compare(lv, rv)
+	switch c.Op {
+	case EQ:
+		return types.Bool(n == 0), nil
+	case NE:
+		return types.Bool(n != 0), nil
+	case LT:
+		return types.Bool(n < 0), nil
+	case LE:
+		return types.Bool(n <= 0), nil
+	case GT:
+		return types.Bool(n > 0), nil
+	case GE:
+		return types.Bool(n >= 0), nil
+	default:
+		return types.Null, fmt.Errorf("unknown comparison op %d", c.Op)
+	}
+}
+
+// Kind implements Expr.
+func (c *Cmp) Kind() types.Kind { return types.KindBool }
+
+// Cols implements Expr.
+func (c *Cmp) Cols(dst []int) []int { return c.R.Cols(c.L.Cols(dst)) }
+
+// String implements Expr.
+func (c *Cmp) String() string {
+	return fmt.Sprintf("%s %s %s", c.L, c.Op, c.R)
+}
+
+// BoolOp is a boolean connective.
+type BoolOp int
+
+// Boolean connectives.
+const (
+	And BoolOp = iota
+	Or
+)
+
+// Logic combines boolean sub-expressions.
+type Logic struct {
+	Op    BoolOp
+	Terms []Expr
+}
+
+// NewAnd conjoins terms; nil terms are dropped. Returns nil for no terms.
+func NewAnd(terms ...Expr) Expr { return newLogic(And, terms) }
+
+// NewOr disjoins terms; nil terms are dropped. Returns nil for no terms.
+func NewOr(terms ...Expr) Expr { return newLogic(Or, terms) }
+
+func newLogic(op BoolOp, terms []Expr) Expr {
+	var kept []Expr
+	for _, t := range terms {
+		if t != nil {
+			kept = append(kept, t)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	default:
+		return &Logic{Op: op, Terms: kept}
+	}
+}
+
+// Eval implements Expr with short-circuit semantics.
+func (l *Logic) Eval(row types.Row) (types.Value, error) {
+	for _, t := range l.Terms {
+		v, err := t.Eval(row)
+		if err != nil {
+			return types.Null, err
+		}
+		if l.Op == And && !v.Truth() {
+			return types.Bool(false), nil
+		}
+		if l.Op == Or && v.Truth() {
+			return types.Bool(true), nil
+		}
+	}
+	return types.Bool(l.Op == And), nil
+}
+
+// Kind implements Expr.
+func (l *Logic) Kind() types.Kind { return types.KindBool }
+
+// Cols implements Expr.
+func (l *Logic) Cols(dst []int) []int {
+	for _, t := range l.Terms {
+		dst = t.Cols(dst)
+	}
+	return dst
+}
+
+// String implements Expr.
+func (l *Logic) String() string {
+	word := " AND "
+	if l.Op == Or {
+		word = " OR "
+	}
+	parts := make([]string, len(l.Terms))
+	for i, t := range l.Terms {
+		parts[i] = t.String()
+	}
+	return "(" + strings.Join(parts, word) + ")"
+}
+
+// Not negates a boolean sub-expression.
+type Not struct{ E Expr }
+
+// NewNot builds a negation.
+func NewNot(e Expr) *Not { return &Not{E: e} }
+
+// Eval implements Expr.
+func (n *Not) Eval(row types.Row) (types.Value, error) {
+	v, err := n.E.Eval(row)
+	if err != nil {
+		return types.Null, err
+	}
+	return types.Bool(!v.Truth()), nil
+}
+
+// Kind implements Expr.
+func (n *Not) Kind() types.Kind { return types.KindBool }
+
+// Cols implements Expr.
+func (n *Not) Cols(dst []int) []int { return n.E.Cols(dst) }
+
+// String implements Expr.
+func (n *Not) String() string { return "NOT " + n.E.String() }
+
+// ArithOp is an arithmetic operator.
+type ArithOp int
+
+// Arithmetic operators.
+const (
+	Add ArithOp = iota
+	Sub
+	Mul
+	Div
+)
+
+func (o ArithOp) String() string {
+	switch o {
+	case Add:
+		return "+"
+	case Sub:
+		return "-"
+	case Mul:
+		return "*"
+	case Div:
+		return "/"
+	}
+	return "?"
+}
+
+// Arith combines numeric sub-expressions. Integer kinds produce KindInt64;
+// any float operand produces KindFloat64. Date ± integer yields a date,
+// matching SQL date arithmetic in the example query (L.ldate+1).
+type Arith struct {
+	Op   ArithOp
+	L, R Expr
+}
+
+// NewArith builds an arithmetic node.
+func NewArith(op ArithOp, l, r Expr) *Arith { return &Arith{Op: op, L: l, R: r} }
+
+// Eval implements Expr.
+func (a *Arith) Eval(row types.Row) (types.Value, error) {
+	lv, err := a.L.Eval(row)
+	if err != nil {
+		return types.Null, err
+	}
+	rv, err := a.R.Eval(row)
+	if err != nil {
+		return types.Null, err
+	}
+	if lv.IsNull() || rv.IsNull() {
+		return types.Null, nil
+	}
+	if lv.K == types.KindFloat64 || rv.K == types.KindFloat64 {
+		lf, rf := lv.Float(), rv.Float()
+		switch a.Op {
+		case Add:
+			return types.Float64(lf + rf), nil
+		case Sub:
+			return types.Float64(lf - rf), nil
+		case Mul:
+			return types.Float64(lf * rf), nil
+		case Div:
+			if rf == 0 {
+				return types.Null, fmt.Errorf("division by zero")
+			}
+			return types.Float64(lf / rf), nil
+		}
+	}
+	li, ri := lv.Int(), rv.Int()
+	var out int64
+	switch a.Op {
+	case Add:
+		out = li + ri
+	case Sub:
+		out = li - ri
+	case Mul:
+		out = li * ri
+	case Div:
+		if ri == 0 {
+			return types.Null, fmt.Errorf("division by zero")
+		}
+		out = li / ri
+	}
+	// Date ± int stays a date; everything else is int64.
+	if (lv.K == types.KindDate && rv.K != types.KindDate) && (a.Op == Add || a.Op == Sub) {
+		return types.Date(int32(out)), nil
+	}
+	return types.Int64(out), nil
+}
+
+// Kind implements Expr.
+func (a *Arith) Kind() types.Kind {
+	if a.L.Kind() == types.KindFloat64 || a.R.Kind() == types.KindFloat64 {
+		return types.KindFloat64
+	}
+	if a.L.Kind() == types.KindDate && a.R.Kind() != types.KindDate {
+		return types.KindDate
+	}
+	return types.KindInt64
+}
+
+// Cols implements Expr.
+func (a *Arith) Cols(dst []int) []int { return a.R.Cols(a.L.Cols(dst)) }
+
+// String implements Expr.
+func (a *Arith) String() string {
+	return fmt.Sprintf("%s %s %s", a.L, a.Op, a.R)
+}
+
+// EvalPred evaluates e as a predicate. A nil expression accepts every row.
+func EvalPred(e Expr, row types.Row) (bool, error) {
+	if e == nil {
+		return true, nil
+	}
+	v, err := e.Eval(row)
+	if err != nil {
+		return false, err
+	}
+	return v.Truth(), nil
+}
+
+// ColumnSet returns the sorted, deduplicated column indexes referenced by the
+// expressions (nil expressions are skipped).
+func ColumnSet(exprs ...Expr) []int {
+	var all []int
+	for _, e := range exprs {
+		if e != nil {
+			all = e.Cols(all)
+		}
+	}
+	seen := map[int]bool{}
+	var out []int
+	for _, c := range all {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Remap rewrites all column references through the given old→new index map,
+// returning an error if a referenced column is absent. It is used when an
+// expression built against a base-table schema must run against a projected
+// row layout.
+func Remap(e Expr, mapping map[int]int) (Expr, error) {
+	switch n := e.(type) {
+	case nil:
+		return nil, nil
+	case *Col:
+		idx, ok := mapping[n.Index]
+		if !ok {
+			return nil, fmt.Errorf("column %s (#%d) not available after projection", n.Name, n.Index)
+		}
+		return &Col{Index: idx, Name: n.Name, K: n.K}, nil
+	case *Lit:
+		return n, nil
+	case *Cmp:
+		l, err := Remap(n.L, mapping)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Remap(n.R, mapping)
+		if err != nil {
+			return nil, err
+		}
+		return &Cmp{Op: n.Op, L: l, R: r}, nil
+	case *Logic:
+		terms := make([]Expr, len(n.Terms))
+		for i, t := range n.Terms {
+			var err error
+			if terms[i], err = Remap(t, mapping); err != nil {
+				return nil, err
+			}
+		}
+		return &Logic{Op: n.Op, Terms: terms}, nil
+	case *Not:
+		inner, err := Remap(n.E, mapping)
+		if err != nil {
+			return nil, err
+		}
+		return &Not{E: inner}, nil
+	case *Arith:
+		l, err := Remap(n.L, mapping)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Remap(n.R, mapping)
+		if err != nil {
+			return nil, err
+		}
+		return &Arith{Op: n.Op, L: l, R: r}, nil
+	case *Call:
+		args := make([]Expr, len(n.Args))
+		for i, a := range n.Args {
+			var err error
+			if args[i], err = Remap(a, mapping); err != nil {
+				return nil, err
+			}
+		}
+		return &Call{Fn: n.Fn, Name: n.Name, Args: args}, nil
+	default:
+		return nil, fmt.Errorf("remap: unknown node %T", e)
+	}
+}

@@ -1,0 +1,339 @@
+package expr
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"hybridwh/internal/types"
+)
+
+// Test schema: joinKey int, corPred int, tdate date, name string, score double
+func row(jk, cp int32, days int32, name string, score float64) types.Row {
+	return types.Row{
+		types.Int32(jk), types.Int32(cp), types.Date(days),
+		types.String(name), types.Float64(score),
+	}
+}
+
+func col(i int, name string, k types.Kind) *Col { return NewCol(i, name, k) }
+
+func TestColEval(t *testing.T) {
+	r := row(7, 42, 100, "x", 1.5)
+	c := col(1, "corPred", types.KindInt32)
+	v, err := c.Eval(r)
+	if err != nil || v.Int() != 42 {
+		t.Fatalf("Eval = %v, %v", v, err)
+	}
+	if _, err := col(9, "bad", types.KindInt32).Eval(r); err == nil {
+		t.Error("out-of-range column: want error")
+	}
+}
+
+func TestCmpOperators(t *testing.T) {
+	r := row(7, 42, 100, "x", 1.5)
+	cp := col(1, "corPred", types.KindInt32)
+	cases := []struct {
+		op   CmpOp
+		rhs  int32
+		want bool
+	}{
+		{EQ, 42, true}, {EQ, 41, false},
+		{NE, 41, true}, {NE, 42, false},
+		{LT, 43, true}, {LT, 42, false},
+		{LE, 42, true}, {LE, 41, false},
+		{GT, 41, true}, {GT, 42, false},
+		{GE, 42, true}, {GE, 43, false},
+	}
+	for _, c := range cases {
+		e := NewCmp(c.op, cp, NewLit(types.Int32(c.rhs)))
+		got, err := EvalPred(e, r)
+		if err != nil {
+			t.Fatalf("%s: %v", e, err)
+		}
+		if got != c.want {
+			t.Errorf("%s = %v, want %v", e, got, c.want)
+		}
+	}
+}
+
+func TestCmpNullIsFalse(t *testing.T) {
+	e := NewCmp(EQ, NewLit(types.Null), NewLit(types.Int32(1)))
+	got, err := EvalPred(e, nil)
+	if err != nil || got {
+		t.Errorf("null = 1 should be false: %v, %v", got, err)
+	}
+}
+
+func TestLogicShortCircuit(t *testing.T) {
+	r := row(7, 42, 100, "x", 1.5)
+	tru := NewCmp(EQ, NewLit(types.Int32(1)), NewLit(types.Int32(1)))
+	fls := NewCmp(EQ, NewLit(types.Int32(1)), NewLit(types.Int32(2)))
+	// An erroring term after a short-circuit point must not be evaluated.
+	boom := NewCmp(EQ, col(99, "boom", types.KindInt32), NewLit(types.Int32(1)))
+
+	if got, err := EvalPred(NewAnd(fls, boom), r); err != nil || got {
+		t.Errorf("AND short circuit: %v, %v", got, err)
+	}
+	if got, err := EvalPred(NewOr(tru, boom), r); err != nil || !got {
+		t.Errorf("OR short circuit: %v, %v", got, err)
+	}
+	if got, _ := EvalPred(NewAnd(tru, tru), r); !got {
+		t.Error("AND of trues should hold")
+	}
+	if got, _ := EvalPred(NewOr(fls, fls), r); got {
+		t.Error("OR of falses should not hold")
+	}
+}
+
+func TestLogicConstructorSimplification(t *testing.T) {
+	tru := NewCmp(EQ, NewLit(types.Int32(1)), NewLit(types.Int32(1)))
+	if NewAnd() != nil {
+		t.Error("empty AND should be nil")
+	}
+	if NewAnd(nil, nil) != nil {
+		t.Error("AND of nils should be nil")
+	}
+	if NewAnd(tru, nil) != Expr(tru) {
+		t.Error("single-term AND should collapse")
+	}
+}
+
+func TestNot(t *testing.T) {
+	fls := NewCmp(EQ, NewLit(types.Int32(1)), NewLit(types.Int32(2)))
+	got, err := EvalPred(NewNot(fls), nil)
+	if err != nil || !got {
+		t.Errorf("NOT false = %v, %v", got, err)
+	}
+}
+
+func TestArith(t *testing.T) {
+	r := row(7, 42, 100, "x", 1.5)
+	cp := col(1, "corPred", types.KindInt32)
+	cases := []struct {
+		op   ArithOp
+		want int64
+	}{{Add, 44}, {Sub, 40}, {Mul, 84}, {Div, 21}}
+	for _, c := range cases {
+		e := NewArith(c.op, cp, NewLit(types.Int32(2)))
+		v, err := e.Eval(r)
+		if err != nil || v.Int() != c.want {
+			t.Errorf("%s: %v, %v (want %d)", e, v, err, c.want)
+		}
+		if e.Kind() != types.KindInt64 {
+			t.Errorf("%s kind = %v", e, e.Kind())
+		}
+	}
+	// Division by zero errors.
+	if _, err := NewArith(Div, cp, NewLit(types.Int32(0))).Eval(r); err == nil {
+		t.Error("div by zero: want error")
+	}
+	// Float propagation.
+	fe := NewArith(Mul, col(4, "score", types.KindFloat64), NewLit(types.Int32(2)))
+	if v, _ := fe.Eval(r); v.Float() != 3.0 {
+		t.Errorf("float mul = %v", v.Float())
+	}
+	if fe.Kind() != types.KindFloat64 {
+		t.Errorf("float kind = %v", fe.Kind())
+	}
+}
+
+func TestDateArithmetic(t *testing.T) {
+	// L.ldate + 1 stays a date — the example query's range condition.
+	r := row(7, 42, 100, "x", 1.5)
+	e := NewArith(Add, col(2, "tdate", types.KindDate), NewLit(types.Int32(1)))
+	v, err := e.Eval(r)
+	if err != nil || v.K != types.KindDate || v.I != 101 {
+		t.Errorf("date+1 = %+v, %v", v, err)
+	}
+	if e.Kind() != types.KindDate {
+		t.Errorf("Kind = %v", e.Kind())
+	}
+	// date - date is an integer day count.
+	d := NewArith(Sub, col(2, "tdate", types.KindDate), col(2, "tdate", types.KindDate))
+	if v, _ := d.Eval(r); v.K != types.KindInt64 || v.I != 0 {
+		t.Errorf("date-date = %+v", v)
+	}
+}
+
+func TestColumnSet(t *testing.T) {
+	e := NewAnd(
+		NewCmp(LE, col(1, "corPred", types.KindInt32), NewLit(types.Int32(5))),
+		NewCmp(EQ, col(0, "joinKey", types.KindInt32), col(1, "corPred", types.KindInt32)),
+	)
+	got := ColumnSet(e, nil)
+	if !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Errorf("ColumnSet = %v", got)
+	}
+	if ColumnSet(nil) != nil {
+		t.Error("ColumnSet() should be empty")
+	}
+}
+
+func TestRemap(t *testing.T) {
+	e := NewAnd(
+		NewCmp(LE, col(3, "name", types.KindString), NewLit(types.String("zz"))),
+		NewCmp(GT, col(1, "corPred", types.KindInt32), NewLit(types.Int32(0))),
+	)
+	m := map[int]int{3: 0, 1: 1}
+	re, err := Remap(e, m)
+	if err != nil {
+		t.Fatalf("Remap: %v", err)
+	}
+	// Projected row: (name, corPred)
+	r := types.Row{types.String("x"), types.Int32(42)}
+	got, err := EvalPred(re, r)
+	if err != nil || !got {
+		t.Errorf("remapped eval = %v, %v", got, err)
+	}
+	// Missing column errors.
+	if _, err := Remap(e, map[int]int{3: 0}); err == nil {
+		t.Error("Remap with missing column: want error")
+	}
+	// nil stays nil.
+	if re, err := Remap(nil, m); re != nil || err != nil {
+		t.Errorf("Remap(nil) = %v, %v", re, err)
+	}
+}
+
+func TestString(t *testing.T) {
+	e := NewAnd(
+		NewCmp(LE, col(1, "corPred", types.KindInt32), NewLit(types.Int32(5))),
+		NewNot(NewCmp(EQ, col(3, "name", types.KindString), NewLit(types.String("x")))),
+	)
+	s := e.String()
+	for _, want := range []string{"corPred <= 5", "NOT name = 'x'", " AND "} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestRegistryAndCalls(t *testing.T) {
+	reg := NewRegistry()
+	if _, err := reg.Lookup("nosuch"); err == nil {
+		t.Error("unknown function: want error")
+	}
+	days, err := reg.Lookup("DAYS") // case-insensitive
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	c, err := NewCall(days, col(2, "tdate", types.KindDate))
+	if err != nil {
+		t.Fatalf("NewCall: %v", err)
+	}
+	v, err := c.Eval(row(7, 42, 100, "x", 1.5))
+	if err != nil || v.Int() != 100 {
+		t.Errorf("days() = %v, %v", v, err)
+	}
+	if _, err := NewCall(days); err == nil {
+		t.Error("arity mismatch: want error")
+	}
+	if got := c.String(); got != "days(tdate)" {
+		t.Errorf("Call.String() = %q", got)
+	}
+	if len(reg.Names()) < 5 {
+		t.Errorf("expected ≥5 builtins, got %v", reg.Names())
+	}
+}
+
+func TestRegionFunction(t *testing.T) {
+	reg := NewRegistry()
+	region, _ := reg.Lookup("region")
+	cases := map[string]string{
+		"10.1.2.3":  "East Coast",
+		"70.1.2.3":  "Central",
+		"130.1.2.3": "Mountain",
+		"200.1.2.3": "West Coast",
+		"no-dots":   "Unknown",
+		"999.1.1.1": "Unknown",
+		"abc.1.1.1": "Unknown",
+	}
+	for ip, want := range cases {
+		v, err := region.Apply([]types.Value{types.String(ip)})
+		if err != nil || v.Str() != want {
+			t.Errorf("region(%q) = %v, %v; want %q", ip, v, err, want)
+		}
+	}
+	if _, err := region.Apply([]types.Value{types.Int32(1)}); err == nil {
+		t.Error("region(int): want error")
+	}
+}
+
+func TestExtractGroup(t *testing.T) {
+	reg := NewRegistry()
+	eg, _ := reg.Lookup("extract_group")
+	v, err := eg.Apply([]types.Value{types.String("grp-00042/path/elems")})
+	if err != nil || v.Int() != 42 {
+		t.Errorf("extract_group = %v, %v", v, err)
+	}
+	for _, bad := range []string{"nodash", "grp-xyz"} {
+		if _, err := eg.Apply([]types.Value{types.String(bad)}); err == nil {
+			t.Errorf("extract_group(%q): want error", bad)
+		}
+	}
+}
+
+func TestURLPrefix(t *testing.T) {
+	reg := NewRegistry()
+	up, _ := reg.Lookup("url_prefix")
+	cases := map[string]string{
+		"http://shop.example.com/cameras/canon/eos": "shop.example.com/cameras",
+		"shop.example.com/cameras":                  "shop.example.com/cameras",
+		"https://example.com":                       "example.com",
+	}
+	for in, want := range cases {
+		v, err := up.Apply([]types.Value{types.String(in)})
+		if err != nil || v.Str() != want {
+			t.Errorf("url_prefix(%q) = %q, %v; want %q", in, v.Str(), err, want)
+		}
+	}
+}
+
+func TestAbs(t *testing.T) {
+	reg := NewRegistry()
+	abs, _ := reg.Lookup("abs")
+	if v, _ := abs.Apply([]types.Value{types.Int32(-5)}); v.Int() != 5 {
+		t.Errorf("abs(-5) = %v", v)
+	}
+	if v, _ := abs.Apply([]types.Value{types.Float64(-1.5)}); v.Float() != 1.5 {
+		t.Errorf("abs(-1.5) = %v", v)
+	}
+	if v, _ := abs.Apply([]types.Value{types.Null}); !v.IsNull() {
+		t.Errorf("abs(null) = %v", v)
+	}
+	if _, err := abs.Apply([]types.Value{types.String("x")}); err == nil {
+		t.Error("abs(string): want error")
+	}
+}
+
+func TestExampleQueryPredicateShape(t *testing.T) {
+	// Reconstruct the paper's post-join predicate:
+	// days(T.tdate)-days(L.ldate) >= 0 AND days(T.tdate)-days(L.ldate) <= 1
+	reg := NewRegistry()
+	days, _ := reg.Lookup("days")
+	// Combined row layout: [L.ldate at 0, T.tdate at 1]
+	dL, _ := NewCall(days, col(0, "ldate", types.KindDate))
+	dT, _ := NewCall(days, col(1, "tdate", types.KindDate))
+	diff := NewArith(Sub, dT, dL)
+	pred := NewAnd(
+		NewCmp(GE, diff, NewLit(types.Int64(0))),
+		NewCmp(LE, diff, NewLit(types.Int64(1))),
+	)
+	cases := []struct {
+		ldate, tdate int32
+		want         bool
+	}{
+		{100, 100, true}, {100, 101, true}, {100, 102, false}, {100, 99, false},
+	}
+	for _, c := range cases {
+		r := types.Row{types.Date(c.ldate), types.Date(c.tdate)}
+		got, err := EvalPred(pred, r)
+		if err != nil {
+			t.Fatalf("eval: %v", err)
+		}
+		if got != c.want {
+			t.Errorf("ldate=%d tdate=%d: got %v want %v", c.ldate, c.tdate, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package hdfs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Assignment is one block a worker must scan, with the disk it will stream
+// from when the read is local (-1 when remote).
+type Assignment struct {
+	Block BlockInfo
+	Local bool
+	Disk  int
+}
+
+// AssignStats summarizes an assignment's balance and locality.
+type AssignStats struct {
+	TotalBlocks    int
+	LocalBlocks    int
+	MaxWorkerBytes int64
+	MinWorkerBytes int64
+}
+
+// LocalityFraction is the fraction of blocks assigned to a worker holding a
+// replica.
+func (s AssignStats) LocalityFraction() float64 {
+	if s.TotalBlocks == 0 {
+		return 1
+	}
+	return float64(s.LocalBlocks) / float64(s.TotalBlocks)
+}
+
+// AssignBlocks distributes the blocks of the given files across workers,
+// mirroring the JEN coordinator's locality-aware balanced assignment
+// (Section 4.2): each block goes to the least-loaded worker among those
+// holding a live replica, unless that would leave the assignment unbalanced
+// by more than one block relative to the least-loaded worker overall, in
+// which case the block is assigned remotely to rebalance. workers[i] is the
+// DataNode index that JEN worker i runs on.
+//
+// If locality is false, blocks are assigned purely round-robin (the ablation
+// baseline).
+func (c *Cluster) AssignBlocks(paths []string, workers []int, locality bool) (map[int][]Assignment, AssignStats, error) {
+	var blocks []BlockInfo
+	for _, p := range paths {
+		info, err := c.Stat(p)
+		if err != nil {
+			return nil, AssignStats{}, err
+		}
+		blocks = append(blocks, info.Blocks...)
+	}
+	// Deterministic order regardless of map iteration upstream.
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].ID < blocks[j].ID })
+
+	if len(workers) == 0 {
+		return nil, AssignStats{}, fmt.Errorf("hdfs: no workers to assign to")
+	}
+
+	nodeToWorker := map[int]int{}
+	for w, n := range workers {
+		nodeToWorker[n] = w
+	}
+
+	out := make(map[int][]Assignment, len(workers))
+	load := make([]int64, len(workers))
+	stats := AssignStats{TotalBlocks: len(blocks)}
+
+	minLoad := func() int64 {
+		m := load[0]
+		for _, l := range load[1:] {
+			if l < m {
+				m = l
+			}
+		}
+		return m
+	}
+	leastLoaded := func() int {
+		best := 0
+		for w := 1; w < len(load); w++ {
+			if load[w] < load[best] {
+				best = w
+			}
+		}
+		return best
+	}
+
+	// localDisk returns the disk of a live replica the worker holds, or -1.
+	localDisk := func(w int, b BlockInfo) int {
+		for _, r := range b.Replicas {
+			if c.nodeUp(r.Node) && nodeToWorker[r.Node] == w {
+				return r.Disk
+			}
+		}
+		return -1
+	}
+	assign := func(w int, b BlockInfo) {
+		disk := localDisk(w, b)
+		out[w] = append(out[w], Assignment{Block: b, Local: disk >= 0, Disk: disk})
+		load[w] += int64(b.Len)
+	}
+
+	// Phase 1: every block goes to its least-loaded live replica holder;
+	// blocks with no live replica holder among the workers fall back to the
+	// globally least-loaded worker. The locality-oblivious baseline spreads
+	// blocks pseudo-randomly instead (hashing the block ID avoids accidental
+	// alignment with the writer's round-robin primary placement).
+	maxBlock := 0
+	for _, b := range blocks {
+		if b.Len > maxBlock {
+			maxBlock = b.Len
+		}
+		chosen := -1
+		if locality {
+			for _, r := range b.Replicas {
+				if !c.nodeUp(r.Node) {
+					continue
+				}
+				if w, ok := nodeToWorker[r.Node]; ok {
+					if chosen == -1 || load[w] < load[chosen] {
+						chosen = w
+					}
+				}
+			}
+			if chosen == -1 {
+				chosen = leastLoaded()
+			}
+		} else {
+			chosen = int(uint64(b.ID)*0x9e3779b97f4a7c15>>33) % len(workers)
+		}
+		assign(chosen, b)
+	}
+
+	// Phase 2 (locality mode): best-effort rebalance — while the spread
+	// exceeds one block, move a block from the most- to the least-loaded
+	// worker, preferring to move a block the target also holds locally.
+	if locality {
+		for moves := 0; moves < len(blocks); moves++ {
+			hi, lo := 0, 0
+			for w := 1; w < len(load); w++ {
+				if load[w] > load[hi] {
+					hi = w
+				}
+				if load[w] < load[lo] {
+					lo = w
+				}
+			}
+			if load[hi]-load[lo] <= int64(maxBlock) {
+				break
+			}
+			// Pick the victim: prefer one that stays local at lo.
+			victim := len(out[hi]) - 1
+			for i := len(out[hi]) - 1; i >= 0; i-- {
+				if localDisk(lo, out[hi][i].Block) >= 0 {
+					victim = i
+					break
+				}
+			}
+			b := out[hi][victim].Block
+			load[hi] -= int64(b.Len)
+			out[hi] = append(out[hi][:victim], out[hi][victim+1:]...)
+			assign(lo, b)
+		}
+	}
+
+	for _, as := range out {
+		for _, a := range as {
+			if a.Local {
+				stats.LocalBlocks++
+			}
+		}
+	}
+	stats.MinWorkerBytes = minLoad()
+	stats.MaxWorkerBytes = load[0]
+	for _, l := range load[1:] {
+		if l > stats.MaxWorkerBytes {
+			stats.MaxWorkerBytes = l
+		}
+	}
+	return out, stats, nil
+}

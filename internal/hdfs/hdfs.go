@@ -1,0 +1,453 @@
+// Package hdfs simulates the HDFS deployment the paper runs on: a NameNode
+// holding file→block metadata and a set of DataNodes storing replicated
+// blocks, with the properties the join algorithms actually depend on —
+// block-granular locality, balanced locality-aware block assignment to
+// workers (Section 4.2), per-disk read parallelism, short-circuit local
+// reads, and scan-based access with no record-level indexing.
+//
+// Files are byte streams split into fixed-size blocks at write time. Readers
+// address files by (offset, length); the client resolves blocks and picks a
+// replica, preferring one local to the reading node (a short-circuit read).
+package hdfs
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Config sizes the simulated cluster. The defaults mirror the paper's
+// cluster at 1/1000 data scale: 30 DataNodes, 4 data disks each,
+// replication 2.
+type Config struct {
+	DataNodes    int
+	DisksPerNode int
+	BlockSize    int
+	Replication  int
+	Seed         int64
+	// StorageDir, when set, stores block replicas as files under
+	// StorageDir/node<N>/ instead of in memory — exercising real disk I/O
+	// on the scan path.
+	StorageDir string
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.DataNodes <= 0 {
+		c.DataNodes = 30
+	}
+	if c.DisksPerNode <= 0 {
+		c.DisksPerNode = 4
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 4 << 20 // 4 MiB, a 1/32-scale stand-in for 128 MiB
+	}
+	if c.Replication <= 0 {
+		c.Replication = 2
+	}
+	if c.Replication > c.DataNodes {
+		c.Replication = c.DataNodes
+	}
+	return c
+}
+
+// BlockID identifies a block cluster-wide.
+type BlockID int64
+
+// Replica locates one copy of a block.
+type Replica struct {
+	Node int // DataNode index
+	Disk int // disk index within the node
+}
+
+// BlockInfo is the NameNode's metadata for one block of a file.
+type BlockInfo struct {
+	ID         BlockID
+	FileOffset int64
+	Len        int
+	Replicas   []Replica
+}
+
+// FileInfo describes a stored file.
+type FileInfo struct {
+	Path   string
+	Size   int64
+	Blocks []BlockInfo
+}
+
+// dataNode stores block replicas, either in memory or as files under dir.
+type dataNode struct {
+	mu     sync.RWMutex
+	blocks map[BlockID][]byte
+	dir    string // "" = in-memory
+	down   bool
+}
+
+func (n *dataNode) store(id BlockID, data []byte) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.dir == "" {
+		n.blocks[id] = data
+		return nil
+	}
+	if err := os.MkdirAll(n.dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(n.blockPath(id), data, 0o644)
+}
+
+func (n *dataNode) load(id BlockID) ([]byte, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if n.dir == "" {
+		data, ok := n.blocks[id]
+		return data, ok
+	}
+	data, err := os.ReadFile(n.blockPath(id))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+func (n *dataNode) drop(id BlockID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.dir == "" {
+		delete(n.blocks, id)
+		return
+	}
+	os.Remove(n.blockPath(id))
+}
+
+func (n *dataNode) blockPath(id BlockID) string {
+	return filepath.Join(n.dir, fmt.Sprintf("blk_%d", id))
+}
+
+// Cluster is the simulated HDFS: NameNode state plus DataNodes.
+type Cluster struct {
+	cfg Config
+
+	mu            sync.RWMutex
+	files         map[string]*FileInfo
+	nextID        BlockID
+	rng           *rand.Rand
+	nextPlacement int // round-robin cursor for primary replica placement
+
+	nodes []*dataNode
+
+	// Read counters (atomic; bytes).
+	localBytes  atomic.Int64
+	remoteBytes atomic.Int64
+}
+
+// New creates an empty cluster.
+func New(cfg Config) *Cluster {
+	cfg = cfg.withDefaults()
+	c := &Cluster{
+		cfg:   cfg,
+		files: map[string]*FileInfo{},
+		rng:   rand.New(rand.NewSource(cfg.Seed + 1)),
+		nodes: make([]*dataNode, cfg.DataNodes),
+	}
+	for i := range c.nodes {
+		dir := ""
+		if cfg.StorageDir != "" {
+			dir = filepath.Join(cfg.StorageDir, fmt.Sprintf("node%02d", i))
+		}
+		c.nodes[i] = &dataNode{blocks: map[BlockID][]byte{}, dir: dir}
+	}
+	return c
+}
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// NumDataNodes returns the number of DataNodes.
+func (c *Cluster) NumDataNodes() int { return c.cfg.DataNodes }
+
+// LocalReadBytes returns the total bytes served by short-circuit local reads.
+func (c *Cluster) LocalReadBytes() int64 { return c.localBytes.Load() }
+
+// RemoteReadBytes returns the total bytes served from non-local replicas.
+func (c *Cluster) RemoteReadBytes() int64 { return c.remoteBytes.Load() }
+
+// ResetReadCounters zeroes the read counters (between experiments).
+func (c *Cluster) ResetReadCounters() {
+	c.localBytes.Store(0)
+	c.remoteBytes.Store(0)
+}
+
+// SetNodeDown marks a DataNode up or down. Blocks whose only live replicas
+// are on down nodes become unreadable; Assign routes around down nodes.
+func (c *Cluster) SetNodeDown(node int, down bool) error {
+	if node < 0 || node >= len(c.nodes) {
+		return fmt.Errorf("hdfs: no such node %d", node)
+	}
+	n := c.nodes[node]
+	n.mu.Lock()
+	n.down = down
+	n.mu.Unlock()
+	return nil
+}
+
+func (c *Cluster) nodeUp(i int) bool {
+	n := c.nodes[i]
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return !n.down
+}
+
+// FileWriter streams a file into the cluster, cutting blocks as it goes.
+type FileWriter struct {
+	c      *Cluster
+	path   string
+	buf    []byte
+	info   *FileInfo
+	closed bool
+}
+
+// Create starts writing a new file. It fails if the path already exists.
+func (c *Cluster) Create(path string) (*FileWriter, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.files[path]; exists {
+		return nil, fmt.Errorf("hdfs: file exists: %s", path)
+	}
+	info := &FileInfo{Path: path}
+	c.files[path] = info
+	return &FileWriter{c: c, path: path, info: info}, nil
+}
+
+// Write appends bytes to the file.
+func (w *FileWriter) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, fmt.Errorf("hdfs: write after close: %s", w.path)
+	}
+	w.buf = append(w.buf, p...)
+	for len(w.buf) >= w.c.cfg.BlockSize {
+		w.cutBlock(w.buf[:w.c.cfg.BlockSize])
+		w.buf = w.buf[w.c.cfg.BlockSize:]
+	}
+	return len(p), nil
+}
+
+// Close flushes the final partial block and seals the file.
+func (w *FileWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	if len(w.buf) > 0 {
+		w.cutBlock(w.buf)
+		w.buf = nil
+	}
+	w.closed = true
+	return nil
+}
+
+// cutBlock places one block: primary replica round-robin across nodes (a
+// distributed writer), remaining replicas on distinct random nodes.
+func (w *FileWriter) cutBlock(data []byte) {
+	c := w.c
+	c.mu.Lock()
+	id := c.nextID
+	c.nextID++
+	primary := c.nextPlacement % c.cfg.DataNodes
+	c.nextPlacement++
+	nodes := []int{primary}
+	for len(nodes) < c.cfg.Replication {
+		n := c.rng.Intn(c.cfg.DataNodes)
+		dup := false
+		for _, m := range nodes {
+			if m == n {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			nodes = append(nodes, n)
+		}
+	}
+	c.mu.Unlock()
+
+	replicas := make([]Replica, len(nodes))
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	for i, n := range nodes {
+		disk := int(id) % c.cfg.DisksPerNode
+		replicas[i] = Replica{Node: n, Disk: disk}
+		if err := c.nodes[n].store(id, cp); err != nil {
+			// Placement failures surface on read as a missing replica; a
+			// real DataNode would re-replicate. Record nothing here.
+			continue
+		}
+	}
+
+	c.mu.Lock()
+	w.info.Blocks = append(w.info.Blocks, BlockInfo{
+		ID: id, FileOffset: w.info.Size, Len: len(data), Replicas: replicas,
+	})
+	w.info.Size += int64(len(data))
+	c.mu.Unlock()
+}
+
+// WriteFile stores a whole byte slice as a file.
+func (c *Cluster) WriteFile(path string, data []byte) error {
+	w, err := c.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+// Stat returns the metadata for a file.
+func (c *Cluster) Stat(path string) (FileInfo, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	info, ok := c.files[path]
+	if !ok {
+		return FileInfo{}, fmt.Errorf("hdfs: no such file: %s", path)
+	}
+	out := *info
+	out.Blocks = append([]BlockInfo(nil), info.Blocks...)
+	return out, nil
+}
+
+// List returns the paths with the given prefix, sorted.
+func (c *Cluster) List(prefix string) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []string
+	for p := range c.files {
+		if len(p) >= len(prefix) && p[:len(prefix)] == prefix {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Delete removes a file and its blocks.
+func (c *Cluster) Delete(path string) error {
+	c.mu.Lock()
+	info, ok := c.files[path]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("hdfs: no such file: %s", path)
+	}
+	delete(c.files, path)
+	c.mu.Unlock()
+	for _, b := range info.Blocks {
+		for _, r := range b.Replicas {
+			c.nodes[r.Node].drop(b.ID)
+		}
+	}
+	return nil
+}
+
+// ReadAt reads length bytes from the file starting at off, on behalf of a
+// reader running on the given node (-1 for an off-cluster reader such as a
+// DB worker). Replica choice prefers a local copy; counters record local vs
+// remote bytes.
+func (c *Cluster) ReadAt(path string, off int64, length int, atNode int) ([]byte, error) {
+	info, err := c.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if off < 0 || off > info.Size {
+		return nil, fmt.Errorf("hdfs: read offset %d outside file %s (size %d)", off, path, info.Size)
+	}
+	if off+int64(length) > info.Size {
+		length = int(info.Size - off)
+	}
+	out := make([]byte, 0, length)
+	for length > 0 {
+		b := blockAt(info.Blocks, off)
+		if b == nil {
+			return nil, fmt.Errorf("hdfs: no block at offset %d in %s", off, path)
+		}
+		inner := int(off - b.FileOffset)
+		n := b.Len - inner
+		if n > length {
+			n = length
+		}
+		data, local, err := c.readBlock(*b, atNode)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, data[inner:inner+n]...)
+		if local {
+			c.localBytes.Add(int64(n))
+		} else {
+			c.remoteBytes.Add(int64(n))
+		}
+		off += int64(n)
+		length -= n
+	}
+	return out, nil
+}
+
+// ReadBlock fetches a whole block by metadata on behalf of a node.
+func (c *Cluster) ReadBlock(b BlockInfo, atNode int) ([]byte, error) {
+	data, local, err := c.readBlock(b, atNode)
+	if err != nil {
+		return nil, err
+	}
+	if local {
+		c.localBytes.Add(int64(len(data)))
+	} else {
+		c.remoteBytes.Add(int64(len(data)))
+	}
+	return data, nil
+}
+
+func (c *Cluster) readBlock(b BlockInfo, atNode int) (data []byte, local bool, err error) {
+	// Prefer the local replica (short-circuit read), else any live one.
+	var chosen *Replica
+	for i := range b.Replicas {
+		if b.Replicas[i].Node == atNode && c.nodeUp(b.Replicas[i].Node) {
+			chosen = &b.Replicas[i]
+			local = true
+			break
+		}
+	}
+	if chosen == nil {
+		for i := range b.Replicas {
+			if c.nodeUp(b.Replicas[i].Node) {
+				chosen = &b.Replicas[i]
+				break
+			}
+		}
+	}
+	if chosen == nil {
+		return nil, false, fmt.Errorf("hdfs: block %d has no live replica", b.ID)
+	}
+	data, ok := c.nodes[chosen.Node].load(b.ID)
+	if !ok {
+		return nil, false, fmt.Errorf("hdfs: block %d missing on node %d", b.ID, chosen.Node)
+	}
+	return data, local, nil
+}
+
+func blockAt(blocks []BlockInfo, off int64) *BlockInfo {
+	lo, hi := 0, len(blocks)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		b := &blocks[mid]
+		if off < b.FileOffset {
+			hi = mid - 1
+		} else if off >= b.FileOffset+int64(b.Len) {
+			lo = mid + 1
+		} else {
+			return b
+		}
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package jen
+
+import (
+	"fmt"
+
+	"hybridwh/internal/catalog"
+	"hybridwh/internal/format"
+	"hybridwh/internal/hdfs"
+	"hybridwh/internal/types"
+)
+
+// rowWriter is the format-writer interface both file formats satisfy.
+type rowWriter interface {
+	Write(types.Row) error
+	Close() error
+}
+
+// CreateHDFSTable streams generated rows into HDFS as nfiles files of the
+// given format under dir, and registers the table in the catalog with row
+// and byte statistics. Rows are distributed round-robin across files, the
+// usual layout for a table written by a parallel job.
+func CreateHDFSTable(dfs *hdfs.Cluster, cat *catalog.Catalog, name, dir, formatName string, schema types.Schema, nfiles int, gen func(emit func(types.Row) error) error) error {
+	if nfiles <= 0 {
+		nfiles = 1
+	}
+	files := make([]*hdfs.FileWriter, nfiles)
+	writers := make([]rowWriter, nfiles)
+	for i := range files {
+		path := fmt.Sprintf("%s/part-%05d.%s", dir, i, formatName)
+		fw, err := dfs.Create(path)
+		if err != nil {
+			return err
+		}
+		files[i] = fw
+		switch formatName {
+		case format.TextName:
+			writers[i] = format.NewTextWriter(fw, schema)
+		case format.HWCName:
+			hw, err := format.NewHWCWriter(fw, schema, format.HWCOptions{})
+			if err != nil {
+				return err
+			}
+			writers[i] = hw
+		default:
+			return fmt.Errorf("jen: unknown format %q", formatName)
+		}
+	}
+
+	var rows int64
+	next := 0
+	err := gen(func(r types.Row) error {
+		w := writers[next]
+		next = (next + 1) % nfiles
+		rows++
+		return w.Write(r)
+	})
+	if err != nil {
+		return err
+	}
+
+	var bytes int64
+	for i := range writers {
+		if err := writers[i].Close(); err != nil {
+			return err
+		}
+		if err := files[i].Close(); err != nil {
+			return err
+		}
+	}
+	for _, p := range dfs.List(dir + "/") {
+		info, err := dfs.Stat(p)
+		if err != nil {
+			return err
+		}
+		bytes += info.Size
+	}
+
+	return cat.Register(catalog.Table{
+		Name: name, Path: dir + "/", Format: formatName, Schema: schema,
+		Rows: rows, Bytes: bytes,
+	})
+}

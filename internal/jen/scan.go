@@ -1,0 +1,194 @@
+package jen
+
+import (
+	"fmt"
+	"sync"
+
+	"hybridwh/internal/bloom"
+	"hybridwh/internal/expr"
+	"hybridwh/internal/format"
+	"hybridwh/internal/metrics"
+	"hybridwh/internal/par"
+	"hybridwh/internal/types"
+)
+
+// KeyFilter tests whether a join key can participate in the join. The
+// Bloom-filter algorithms use BloomKeyFilter; the exact semijoin baseline
+// uses a key set.
+type KeyFilter interface {
+	TestKey(key int64) bool
+}
+
+// BloomKeyFilter adapts a Bloom filter to KeyFilter.
+type BloomKeyFilter struct{ F *bloom.Filter }
+
+// TestKey implements KeyFilter.
+func (b BloomKeyFilter) TestKey(key int64) bool {
+	return b.F.TestHash(types.BloomHashKey(key))
+}
+
+// ScanSpec describes one worker's filtered, projected table scan — the read
+// threads plus process thread of Figure 7. Rows that survive every filter
+// are handed to the caller's yield, which typically partitions them into
+// send buffers (repartition/zigzag), probes or builds hash tables
+// (broadcast), or streams them to a DB worker (DB-side join).
+type ScanSpec struct {
+	Plan   *ScanPlan
+	Worker int
+	// Proj lists file-schema columns to materialize; output rows are in
+	// Proj order. nil keeps all columns.
+	Proj []int
+	// Pred is the local predicate over the *projected* layout.
+	Pred expr.Expr
+	// Pruner holds row-group range constraints over the *file* schema
+	// (HWC predicate pushdown).
+	Pruner *format.Pruner
+	// DBFilter, when set, drops rows whose join key it rejects (BF_DB or
+	// the semijoin key set).
+	DBFilter KeyFilter
+	// BuildBloom, when set, is populated with the BloomKey of every
+	// surviving row (BF_H construction during the scan — zigzag step 3b).
+	BuildBloom *bloom.Filter
+	// BloomKeyIdx is the join-key column in the projected layout.
+	BloomKeyIdx int
+}
+
+// ScanFilter runs the pipelined scan: one read goroutine per disk feeds
+// decoded row batches to the caller's goroutine, which applies the
+// predicate, the database Bloom filter and projection, populates BF_H, and
+// yields surviving rows. Reading and processing overlap, as in the paper's
+// worker (reads per disk, one process thread).
+func (c *Cluster) ScanFilter(spec ScanSpec, yield func(types.Row) error) error {
+	units := spec.Plan.Units[spec.Worker]
+	if len(units) == 0 {
+		return nil
+	}
+	// Partition units by disk; remote units (-1) form their own stream, as
+	// a network-read thread would.
+	byDisk := map[int][]WorkUnit{}
+	for _, u := range units {
+		byDisk[u.Disk] = append(byDisk[u.Disk], u)
+	}
+	disks := make([]int, 0, len(byDisk))
+	for d := range byDisk {
+		disks = append(disks, d)
+	}
+
+	type batch struct {
+		rows []types.Row
+	}
+	rowsCh := make(chan batch, 4*len(disks))
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+
+	var g par.Group
+	var scanStats struct {
+		sync.Mutex
+		s format.ScanStats
+	}
+	for _, d := range disks {
+		us := byDisk[d]
+		g.Go(func() error {
+			buf := make([]types.Row, 0, c.cfg.BatchRows)
+			flush := func() bool {
+				if len(buf) == 0 {
+					return true
+				}
+				b := batch{rows: buf}
+				buf = make([]types.Row, 0, c.cfg.BatchRows)
+				select {
+				case rowsCh <- b:
+					return true
+				case <-stop:
+					return false
+				}
+			}
+			for _, u := range us {
+				st, err := c.scanUnit(u, spec, func(r types.Row) error {
+					buf = append(buf, r)
+					if len(buf) >= c.cfg.BatchRows {
+						if !flush() {
+							return errScanStopped
+						}
+					}
+					return nil
+				})
+				scanStats.Lock()
+				scanStats.s.Add(st)
+				scanStats.Unlock()
+				if err == errScanStopped {
+					return nil
+				}
+				if err != nil {
+					stopOnce.Do(func() { close(stop) })
+					return fmt.Errorf("jen: worker %d scan %s: %w", spec.Worker, u.Path, err)
+				}
+			}
+			flush()
+			return nil
+		})
+	}
+	readerErr := make(chan error, 1)
+	go func() {
+		err := g.Wait()
+		close(rowsCh)
+		readerErr <- err
+	}()
+
+	// Process stage: runs on the caller's goroutine.
+	var procErr error
+	var processed int64
+	for b := range rowsCh {
+		if procErr != nil {
+			continue // drain so readers do not block forever
+		}
+		for _, row := range b.rows {
+			processed++
+			ok, err := expr.EvalPred(spec.Pred, row)
+			if err != nil {
+				procErr = err
+				break
+			}
+			if !ok {
+				continue
+			}
+			if spec.DBFilter != nil && !spec.DBFilter.TestKey(row[spec.BloomKeyIdx].Int()) {
+				continue
+			}
+			if spec.BuildBloom != nil {
+				spec.BuildBloom.AddHash(types.BloomHashKey(row[spec.BloomKeyIdx].Int()))
+			}
+			if err := yield(row); err != nil {
+				procErr = err
+				break
+			}
+		}
+		if procErr != nil {
+			stopOnce.Do(func() { close(stop) })
+		}
+	}
+	rerr := <-readerErr
+
+	c.rec.AddAt(metrics.JENScanBytes, spec.Worker, scanStats.s.BytesRead)
+	c.rec.AddAt(metrics.JENScanRows, spec.Worker, scanStats.s.RowsRead)
+	c.rec.AddAt(metrics.JENProcessTuples, spec.Worker, processed)
+
+	if procErr != nil {
+		return procErr
+	}
+	return rerr
+}
+
+// errScanStopped aborts a reader when the process stage has failed.
+var errScanStopped = fmt.Errorf("jen: scan stopped")
+
+func (c *Cluster) scanUnit(u WorkUnit, spec ScanSpec, yield func(types.Row) error) (format.ScanStats, error) {
+	atNode := spec.Worker // worker i on DataNode i: local replicas short-circuit
+	src := c.Source(u.Path, atNode)
+	switch {
+	case u.Meta != nil:
+		return format.ScanHWC(src, u.Meta, u.Groups, spec.Proj, spec.Pruner, u.ChargeFooter, yield)
+	default:
+		return format.ScanText(src, spec.Plan.Table.Schema, u.Start, u.End, spec.Proj, yield)
+	}
+}

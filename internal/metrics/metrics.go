@@ -1,0 +1,187 @@
+// Package metrics collects the counters the experiments report and the cost
+// model consumes: tuples shuffled and sent (Table 1 of the paper), bytes
+// scanned and transferred per worker, and Bloom filter effectiveness.
+//
+// Counters come in two shapes: scalars (one value per name) and vectors (one
+// value per worker slot, so the cost model can apply max-over-workers
+// semantics to pipelined phases).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Recorder accumulates counters. It is safe for concurrent use.
+type Recorder struct {
+	mu      sync.Mutex
+	scalars map[string]int64
+	vectors map[string][]int64
+}
+
+// New returns an empty recorder.
+func New() *Recorder {
+	return &Recorder{scalars: map[string]int64{}, vectors: map[string][]int64{}}
+}
+
+// Add increments a scalar counter.
+func (r *Recorder) Add(name string, n int64) {
+	r.mu.Lock()
+	r.scalars[name] += n
+	r.mu.Unlock()
+}
+
+// AddAt increments slot `slot` of a vector counter, growing it as needed.
+func (r *Recorder) AddAt(name string, slot int, n int64) {
+	if slot < 0 {
+		slot = 0
+	}
+	r.mu.Lock()
+	v := r.vectors[name]
+	for len(v) <= slot {
+		v = append(v, 0)
+	}
+	v[slot] += n
+	r.vectors[name] = v
+	r.mu.Unlock()
+}
+
+// Get returns a scalar counter, or the sum of a vector counter of the same
+// name if no scalar exists.
+func (r *Recorder) Get(name string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := r.scalars[name]; ok {
+		return v
+	}
+	var sum int64
+	for _, x := range r.vectors[name] {
+		sum += x
+	}
+	return sum
+}
+
+// Vector returns a copy of a vector counter (nil if absent).
+func (r *Recorder) Vector(name string) []int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v := r.vectors[name]
+	if v == nil {
+		return nil
+	}
+	return append([]int64(nil), v...)
+}
+
+// Max returns the maximum slot of a vector counter (0 if absent). This is
+// the straggler bound for a pipelined parallel phase.
+func (r *Recorder) Max(name string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var m int64
+	for _, x := range r.vectors[name] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Snapshot returns all counters flattened: vectors appear both as their sum
+// ("name") and their max ("name.max").
+func (r *Recorder) Snapshot() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.scalars)+2*len(r.vectors))
+	for k, v := range r.scalars {
+		out[k] = v
+	}
+	for k, vec := range r.vectors {
+		var sum, max int64
+		for _, x := range vec {
+			sum += x
+			if x > max {
+				max = x
+			}
+		}
+		out[k] = sum
+		out[k+".max"] = max
+	}
+	return out
+}
+
+// Reset clears all counters.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.scalars = map[string]int64{}
+	r.vectors = map[string][]int64{}
+	r.mu.Unlock()
+}
+
+// String renders the snapshot sorted by name, for reports.
+func (r *Recorder) String() string {
+	snap := r.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%-40s %d\n", k, snap[k])
+	}
+	return b.String()
+}
+
+// Canonical counter names shared by the engines, the cost model and the
+// experiment reports. Vector counters are per-worker.
+const (
+	// HDFS-side scan.
+	JENScanBytes  = "jen.scan.bytes"  // vector: bytes read from HDFS per JEN worker
+	JENScanRows   = "jen.scan.rows"   // vector: raw rows decoded per JEN worker
+	JENScanLocal  = "jen.scan.local"  // scalar: short-circuit bytes
+	JENScanRemote = "jen.scan.remote" // scalar: non-local bytes
+
+	// HDFS-side shuffle (among JEN workers).
+	JENShuffleTuples = "jen.shuffle.tuples" // vector: tuples sent per worker
+	JENShuffleBytes  = "jen.shuffle.bytes"  // vector
+
+	// Database → HDFS transfer.
+	DBSentTuples = "db.sent.tuples" // vector: per DB worker
+	DBSentBytes  = "db.sent.bytes"  // vector
+
+	// HDFS → database transfer (DB-side join).
+	HDFSSentTuples = "hdfs.sent.tuples" // vector: per JEN worker
+	HDFSSentBytes  = "hdfs.sent.bytes"  // vector
+
+	// Database internal reshuffle of T' (native engine path).
+	DBReshuffleTuples = "db.reshuffle.tuples" // vector
+	DBReshuffleBytes  = "db.reshuffle.bytes"  // vector
+
+	// HDFS rows ingested into the database (the slow UDF path); each
+	// ingested row is counted once, at the worker that received it from
+	// its JEN group.
+	DBIngestTuples = "db.ingest.tuples" // vector
+	DBIngestBytes  = "db.ingest.bytes"  // vector
+
+	// Database-side access.
+	DBScanRows      = "db.scan.rows"      // vector: base-table rows touched per DB worker
+	DBIndexRows     = "db.index.rows"     // vector: index-only rows touched
+	DBFilteredRows  = "db.filtered.rows"  // vector: rows in T' per DB worker
+	DBBloomFiltered = "db.bloom.filtered" // scalar: T' rows dropped by BF_H
+
+	// Bloom filters.
+	BloomBuildKeys = "bloom.build.keys" // scalar: keys inserted (both sides)
+	BloomBytes     = "bloom.bytes"      // scalar: filter bytes moved across the interconnect
+
+	// Join and aggregation on whichever side executes them.
+	JoinBuildTuples  = "join.build.tuples"  // vector: hash table inserts
+	JoinProbeTuples  = "join.probe.tuples"  // vector: probes
+	JoinOutputTuples = "join.output.tuples" // scalar: joined rows pre-aggregation
+	AggGroups        = "agg.groups"         // scalar: final group count
+
+	// JEN worker pipeline accounting (for the cost model's overlap rules).
+	JENProcessTuples = "jen.process.tuples" // vector: rows through the process thread
+	JENRecvTuples    = "jen.recv.tuples"    // vector: shuffled rows received
+)

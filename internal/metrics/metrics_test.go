@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestScalarAndVector(t *testing.T) {
+	r := New()
+	r.Add("a", 5)
+	r.Add("a", 3)
+	if got := r.Get("a"); got != 8 {
+		t.Errorf("Get(a) = %d", got)
+	}
+	r.AddAt("v", 0, 10)
+	r.AddAt("v", 2, 30)
+	r.AddAt("v", 1, 20)
+	if got := r.Get("v"); got != 60 {
+		t.Errorf("Get(v) = %d (sum)", got)
+	}
+	if got := r.Max("v"); got != 30 {
+		t.Errorf("Max(v) = %d", got)
+	}
+	if got := r.Vector("v"); len(got) != 3 || got[2] != 30 {
+		t.Errorf("Vector(v) = %v", got)
+	}
+	if r.Vector("missing") != nil {
+		t.Error("Vector(missing) should be nil")
+	}
+	if r.Get("missing") != 0 || r.Max("missing") != 0 {
+		t.Error("missing counters should read 0")
+	}
+	// Negative slot clamps rather than panicking (defensive for -1 ids).
+	r.AddAt("w", -1, 7)
+	if got := r.Get("w"); got != 7 {
+		t.Errorf("Get(w) = %d", got)
+	}
+}
+
+func TestSnapshotAndReset(t *testing.T) {
+	r := New()
+	r.Add("s", 1)
+	r.AddAt("v", 0, 2)
+	r.AddAt("v", 1, 5)
+	snap := r.Snapshot()
+	if snap["s"] != 1 || snap["v"] != 7 || snap["v.max"] != 5 {
+		t.Errorf("Snapshot = %v", snap)
+	}
+	if s := r.String(); !strings.Contains(s, "v.max") {
+		t.Errorf("String() = %q", s)
+	}
+	r.Reset()
+	if len(r.Snapshot()) != 0 {
+		t.Error("Reset left counters behind")
+	}
+}
+
+func TestConcurrentCounting(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Add("s", 1)
+				r.AddAt("v", g, 1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Get("s") != 8000 {
+		t.Errorf("s = %d", r.Get("s"))
+	}
+	if r.Get("v") != 8000 || r.Max("v") != 1000 {
+		t.Errorf("v sum=%d max=%d", r.Get("v"), r.Max("v"))
+	}
+}

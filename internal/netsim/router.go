@@ -1,0 +1,117 @@
+package netsim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Router demultiplexes an endpoint's single inbox into per-(type, stream)
+// channels. Worker programs run several concurrent flows at once — the
+// database Bloom filter arriving while shuffle rows stream in, for example —
+// and each flow subscribes to its own route.
+//
+// Messages that arrive before their route is registered are buffered, so
+// subscription order never races message arrival.
+type Router struct {
+	mu      sync.Mutex
+	routes  map[routeKey]chan Envelope
+	pending map[routeKey][]Envelope
+	stopped bool
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+type routeKey struct {
+	t      MsgType
+	stream string
+}
+
+// routeBuffer is the depth of each route channel; senders of a flow respect
+// end-to-end backpressure through the bus, so this only smooths bursts.
+const routeBuffer = 256
+
+// NewRouter starts routing the inbox. Call Stop to terminate the routing
+// goroutine (usually when the engine shuts down).
+func NewRouter(inbox <-chan Envelope) *Router {
+	r := &Router{
+		routes:  map[routeKey]chan Envelope{},
+		pending: map[routeKey][]Envelope{},
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go r.run(inbox)
+	return r
+}
+
+func (r *Router) run(inbox <-chan Envelope) {
+	defer close(r.done)
+	for {
+		select {
+		case env, ok := <-inbox:
+			if !ok {
+				return
+			}
+			r.dispatch(env)
+		case <-r.stop:
+			return
+		}
+	}
+}
+
+func (r *Router) dispatch(env Envelope) {
+	k := routeKey{t: env.Type, stream: env.Stream}
+	r.mu.Lock()
+	ch, ok := r.routes[k]
+	if !ok {
+		r.pending[k] = append(r.pending[k], env)
+		r.mu.Unlock()
+		return
+	}
+	r.mu.Unlock()
+	// Deliver outside the lock; the route channel applies backpressure.
+	select {
+	case ch <- env:
+	case <-r.stop:
+	}
+}
+
+// Route subscribes to messages of the given type and stream. Registering the
+// same route twice is a programming error.
+func (r *Router) Route(t MsgType, stream string) (<-chan Envelope, error) {
+	k := routeKey{t: t, stream: stream}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stopped {
+		return nil, fmt.Errorf("netsim: router stopped")
+	}
+	if _, dup := r.routes[k]; dup {
+		return nil, fmt.Errorf("netsim: route %v/%q already registered", t, stream)
+	}
+	ch := make(chan Envelope, routeBuffer)
+	r.routes[k] = ch
+	for _, env := range r.pending[k] {
+		ch <- env // pending fits: routeBuffer >> realistic pre-subscription backlog
+	}
+	delete(r.pending, k)
+	return ch, nil
+}
+
+// Unroute removes a subscription (between queries, so stream names can be
+// reused safely).
+func (r *Router) Unroute(t MsgType, stream string) {
+	k := routeKey{t: t, stream: stream}
+	r.mu.Lock()
+	delete(r.routes, k)
+	r.mu.Unlock()
+}
+
+// Stop terminates routing. Buffered messages are dropped.
+func (r *Router) Stop() {
+	r.mu.Lock()
+	if !r.stopped {
+		r.stopped = true
+		close(r.stop)
+	}
+	r.mu.Unlock()
+	<-r.done
+}

@@ -1,0 +1,149 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func routerFixture(t *testing.T) (*ChanBus, *Router) {
+	t.Helper()
+	b := NewChanBus(64)
+	if _, err := b.Register("db/0"); err != nil {
+		t.Fatal(err)
+	}
+	inbox, err := b.Register("jen/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRouter(inbox)
+	t.Cleanup(r.Stop)
+	return b, r
+}
+
+func TestRouterDispatchByTypeAndStream(t *testing.T) {
+	b, r := routerFixture(t)
+	rows, err := r.Route(MsgRows, "q1/shuffle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blooms, err := r.Route(MsgBloom, "q1/bfdb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send("db/0", "jen/0", Msg{Type: MsgBloom, Stream: "q1/bfdb", Payload: []byte("bf")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send("db/0", "jen/0", Msg{Type: MsgRows, Stream: "q1/shuffle", Payload: []byte("rows")}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case env := <-blooms:
+		if string(env.Payload) != "bf" {
+			t.Errorf("bloom payload %q", env.Payload)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("bloom route starved")
+	}
+	select {
+	case env := <-rows:
+		if string(env.Payload) != "rows" {
+			t.Errorf("rows payload %q", env.Payload)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("rows route starved")
+	}
+}
+
+func TestRouterBuffersPreSubscriptionMessages(t *testing.T) {
+	b, r := routerFixture(t)
+	// Messages arrive before anyone subscribes.
+	for i := 0; i < 5; i++ {
+		if err := b.Send("db/0", "jen/0", Msg{Type: MsgRows, Stream: "early", Payload: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Give the router time to buffer them as pending.
+	time.Sleep(20 * time.Millisecond)
+	ch, err := r.Route(MsgRows, "early")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		select {
+		case env := <-ch:
+			if env.Payload[0] != byte(i) {
+				t.Fatalf("pending out of order: %d", env.Payload[0])
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("pending message %d never delivered", i)
+		}
+	}
+}
+
+func TestRouterDuplicateRouteRejected(t *testing.T) {
+	_, r := routerFixture(t)
+	if _, err := r.Route(MsgRows, "s"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Route(MsgRows, "s"); err == nil {
+		t.Error("duplicate route: want error")
+	}
+	// Unroute allows re-registration (stream reuse across queries).
+	r.Unroute(MsgRows, "s")
+	if _, err := r.Route(MsgRows, "s"); err != nil {
+		t.Errorf("re-route after Unroute: %v", err)
+	}
+}
+
+func TestRouterStopIsIdempotentAndRejectsRoutes(t *testing.T) {
+	_, r := routerFixture(t)
+	r.Stop()
+	r.Stop() // no panic
+	if _, err := r.Route(MsgRows, "s"); err == nil {
+		t.Error("route after stop: want error")
+	}
+}
+
+func TestRouterStopUnblocksFullRoute(t *testing.T) {
+	b, r := routerFixture(t)
+	ch, err := r.Route(MsgRows, "full")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ch // never drained
+	// Overfill the route buffer; the router goroutine will block delivering.
+	go func() {
+		for i := 0; i < routeBuffer+50; i++ {
+			if err := b.Send("db/0", "jen/0", Msg{Type: MsgRows, Stream: "full"}); err != nil {
+				return
+			}
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		r.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop deadlocked on a full route")
+	}
+}
+
+func TestRouterClosedInboxTerminates(t *testing.T) {
+	inbox := make(chan Envelope)
+	r := NewRouter(inbox)
+	close(inbox)
+	done := make(chan struct{})
+	go func() {
+		r.Stop() // must return promptly since run() exited on close
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("router did not terminate on closed inbox")
+	}
+}

@@ -1,0 +1,260 @@
+package netsim
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCPBus carries the same protocol as ChanBus over real loopback sockets.
+// Every endpoint gets a listener; senders keep one connection per
+// destination and multiplex messages over it with length-prefixed frames:
+//
+//	frame := u16(fromLen) from u8(type) u16(streamLen) stream u32(payloadLen) payload
+//
+// Receivers push decoded frames into the endpoint's inbox channel; a full
+// inbox exerts backpressure through TCP flow control.
+type TCPBus struct {
+	mu        sync.Mutex
+	endpoints map[string]*tcpEndpoint
+	addrs     map[string]string
+	counters  *Counters
+	buffer    int
+	closed    bool
+	done      chan struct{}
+	wg        sync.WaitGroup
+}
+
+type tcpEndpoint struct {
+	name  string
+	ln    net.Listener
+	inbox chan Envelope
+
+	mu    sync.Mutex
+	conns map[string]*tcpConn // by destination endpoint
+}
+
+type tcpConn struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+	c  net.Conn
+}
+
+// NewTCPBus creates a TCP bus on loopback.
+func NewTCPBus(buffer int) *TCPBus {
+	if buffer <= 0 {
+		buffer = 1024
+	}
+	return &TCPBus{
+		endpoints: map[string]*tcpEndpoint{},
+		addrs:     map[string]string{},
+		counters:  NewCounters(),
+		buffer:    buffer,
+		done:      make(chan struct{}),
+	}
+}
+
+// Register implements Bus.
+func (b *TCPBus) Register(name string) (<-chan Envelope, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, fmt.Errorf("netsim: bus closed")
+	}
+	if _, dup := b.endpoints[name]; dup {
+		return nil, fmt.Errorf("netsim: endpoint %q already registered", name)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("netsim: listen for %q: %w", name, err)
+	}
+	ep := &tcpEndpoint{
+		name:  name,
+		ln:    ln,
+		inbox: make(chan Envelope, b.buffer),
+		conns: map[string]*tcpConn{},
+	}
+	b.endpoints[name] = ep
+	b.addrs[name] = ln.Addr().String()
+	b.wg.Add(1)
+	go b.acceptLoop(ep)
+	return ep.inbox, nil
+}
+
+func (b *TCPBus) acceptLoop(ep *tcpEndpoint) {
+	defer b.wg.Done()
+	for {
+		conn, err := ep.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		b.wg.Add(1)
+		go b.readLoop(ep, conn)
+	}
+}
+
+func (b *TCPBus) readLoop(ep *tcpEndpoint, conn net.Conn) {
+	defer b.wg.Done()
+	defer conn.Close()
+	r := bufio.NewReaderSize(conn, 256<<10)
+	for {
+		env, err := readFrame(r)
+		if err != nil {
+			return // EOF or connection torn down
+		}
+		// Deliver, but never block past bus shutdown: a receiver that has
+		// stopped draining must not wedge Close.
+		select {
+		case ep.inbox <- env:
+		case <-b.done:
+			return
+		}
+	}
+}
+
+func readFrame(r *bufio.Reader) (Envelope, error) {
+	var env Envelope
+	from, err := readLenBytes16(r)
+	if err != nil {
+		return env, err
+	}
+	t, err := r.ReadByte()
+	if err != nil {
+		return env, err
+	}
+	stream, err := readLenBytes16(r)
+	if err != nil {
+		return env, err
+	}
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return env, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return env, err
+	}
+	env.From = string(from)
+	env.Msg = Msg{Type: MsgType(t), Stream: string(stream), Payload: payload}
+	return env, nil
+}
+
+func readLenBytes16(r *bufio.Reader) ([]byte, error) {
+	var lb [2]byte
+	if _, err := io.ReadFull(r, lb[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint16(lb[:])
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Send implements Bus.
+func (b *TCPBus) Send(from, to string, m Msg) error {
+	b.mu.Lock()
+	src, okFrom := b.endpoints[from]
+	addr, okTo := b.addrs[to]
+	closed := b.closed
+	b.mu.Unlock()
+	if closed {
+		return fmt.Errorf("netsim: bus closed")
+	}
+	if !okFrom {
+		return fmt.Errorf("netsim: unknown sender %q", from)
+	}
+	if !okTo {
+		return fmt.Errorf("netsim: unknown receiver %q", to)
+	}
+
+	src.mu.Lock()
+	tc, ok := src.conns[to]
+	if !ok {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			src.mu.Unlock()
+			return fmt.Errorf("netsim: dial %q: %w", to, err)
+		}
+		tc = &tcpConn{w: bufio.NewWriterSize(conn, 256<<10), c: conn}
+		src.conns[to] = tc
+	}
+	src.mu.Unlock()
+
+	b.counters.record(from, to, m.wireSize())
+
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if err := writeFrame(tc.w, from, m); err != nil {
+		return fmt.Errorf("netsim: send %s→%s: %w", from, to, err)
+	}
+	// Flush per message: the protocols are latency-sensitive (Bloom filter
+	// round trips) and batch rows upstream of the bus anyway.
+	return tc.w.Flush()
+}
+
+func writeFrame(w *bufio.Writer, from string, m Msg) error {
+	if len(from) > 0xFFFF || len(m.Stream) > 0xFFFF {
+		return fmt.Errorf("name or stream too long")
+	}
+	var lb [4]byte
+	binary.BigEndian.PutUint16(lb[:2], uint16(len(from)))
+	if _, err := w.Write(lb[:2]); err != nil {
+		return err
+	}
+	if _, err := w.WriteString(from); err != nil {
+		return err
+	}
+	if err := w.WriteByte(byte(m.Type)); err != nil {
+		return err
+	}
+	binary.BigEndian.PutUint16(lb[:2], uint16(len(m.Stream)))
+	if _, err := w.Write(lb[:2]); err != nil {
+		return err
+	}
+	if _, err := w.WriteString(m.Stream); err != nil {
+		return err
+	}
+	binary.BigEndian.PutUint32(lb[:], uint32(len(m.Payload)))
+	if _, err := w.Write(lb[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(m.Payload)
+	return err
+}
+
+// Counters implements Bus.
+func (b *TCPBus) Counters() *Counters { return b.counters }
+
+// Close implements Bus. It closes all listeners and connections and waits
+// for reader goroutines to drain.
+func (b *TCPBus) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	close(b.done)
+	eps := make([]*tcpEndpoint, 0, len(b.endpoints))
+	for _, ep := range b.endpoints {
+		eps = append(eps, ep)
+	}
+	b.mu.Unlock()
+
+	for _, ep := range eps {
+		ep.ln.Close()
+		ep.mu.Lock()
+		for _, tc := range ep.conns {
+			tc.c.Close()
+		}
+		ep.mu.Unlock()
+	}
+	b.wg.Wait()
+	return nil
+}

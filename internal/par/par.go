@@ -1,0 +1,47 @@
+// Package par provides the tiny parallel-execution helpers the engines use
+// to fan worker programs out across goroutines: an error-collecting group
+// (errgroup without the dependency) and a parallel for-each over worker ids.
+package par
+
+import "sync"
+
+// Group runs functions concurrently and reports the first error.
+type Group struct {
+	wg  sync.WaitGroup
+	mu  sync.Mutex
+	err error
+}
+
+// Go launches f in a goroutine.
+func (g *Group) Go(f func() error) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		if err := f(); err != nil {
+			g.mu.Lock()
+			if g.err == nil {
+				g.err = err
+			}
+			g.mu.Unlock()
+		}
+	}()
+}
+
+// Wait blocks until every launched function returns, then reports the first
+// error observed.
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.err
+}
+
+// ForEach runs f(i) for i in [0, n) concurrently and returns the first error.
+func ForEach(n int, f func(i int) error) error {
+	var g Group
+	for i := 0; i < n; i++ {
+		i := i
+		g.Go(func() error { return f(i) })
+	}
+	return g.Wait()
+}

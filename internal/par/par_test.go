@@ -1,0 +1,60 @@
+package par
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGroupCollectsFirstError(t *testing.T) {
+	var g Group
+	e1, e2 := errors.New("one"), errors.New("two")
+	done := make(chan struct{})
+	g.Go(func() error { <-done; return e2 })
+	g.Go(func() error { return e1 })
+	close(done)
+	if err := g.Wait(); err != e1 && err != e2 {
+		t.Errorf("Wait = %v, want one of the errors", err)
+	}
+}
+
+func TestGroupNilOnSuccess(t *testing.T) {
+	var g Group
+	var n atomic.Int64
+	for i := 0; i < 20; i++ {
+		g.Go(func() error { n.Add(1); return nil })
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 20 {
+		t.Errorf("ran %d of 20", n.Load())
+	}
+}
+
+func TestForEach(t *testing.T) {
+	hits := make([]atomic.Int64, 10)
+	if err := ForEach(10, func(i int) error {
+		hits[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Errorf("index %d hit %d times", i, hits[i].Load())
+		}
+	}
+	boom := errors.New("boom")
+	if err := ForEach(5, func(i int) error {
+		if i == 3 {
+			return boom
+		}
+		return nil
+	}); err != boom {
+		t.Errorf("ForEach err = %v", err)
+	}
+	if err := ForEach(0, func(int) error { return errors.New("never") }); err != nil {
+		t.Errorf("empty ForEach err = %v", err)
+	}
+}

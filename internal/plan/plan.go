@@ -1,0 +1,287 @@
+// Package plan defines the decomposed two-table join query that the join
+// algorithms execute: local predicates per side, projections (scan-level and
+// wire-level), the equi-join columns, post-join predicates, grouping and
+// aggregation. internal/sqlparse produces these from SQL; the benchmark
+// harness also builds them directly.
+//
+// Layout conventions, used consistently by every algorithm:
+//
+//   - HDFS scan layout: the columns in HDFSScanProj, in that order, as
+//     materialized by the table scan (projection pushdown). HDFSPred is
+//     evaluated over this layout.
+//   - HDFS wire layout: the columns in HDFSWire (indexes into the scan
+//     layout) — what is shuffled or shipped after filtering. Predicate-only
+//     columns are dropped here, as in the paper's L'.
+//   - DB wire layout: the base-table columns in DBProj — T' as shipped.
+//   - Combined layout: HDFS wire row followed by DB wire row. PostJoin,
+//     GroupBy and Aggs are expressed over this layout.
+package plan
+
+import (
+	"fmt"
+
+	"hybridwh/internal/expr"
+	"hybridwh/internal/format"
+	"hybridwh/internal/relop"
+	"hybridwh/internal/types"
+)
+
+// JoinQuery is the executable decomposition of a two-table hybrid join.
+type JoinQuery struct {
+	DBTable   string
+	HDFSTable string
+
+	// HDFS side.
+	HDFSScanProj     []int
+	HDFSPred         expr.Expr // over the scan layout
+	HDFSPrunerRanges []format.IntRange
+	HDFSWire         []int // indexes into the scan layout
+	HDFSWireKey      int   // join key position in the wire layout
+	HDFSWireSchema   types.Schema
+
+	// DB side.
+	DBPred        expr.Expr // over the base layout
+	DBProj        []int     // base columns shipped as T'
+	DBWireKey     int       // join key position in the DB wire layout
+	DBWireSchema  types.Schema
+	DBJoinColBase int // join key column in the base layout
+
+	// Combined layout: HDFS wire ++ DB wire.
+	PostJoin     expr.Expr
+	GroupBy      []expr.Expr
+	Aggs         []relop.AggSpec
+	OutputSchema types.Schema
+
+	// HDFSCardHint estimates |L'| for the DB optimizer's join-strategy
+	// choice — the cardinality hint the paper passes to the read_hdfs UDF.
+	// Zero means "use catalog rows".
+	HDFSCardHint int64
+}
+
+// Validate checks internal consistency.
+func (q *JoinQuery) Validate() error {
+	if q.DBTable == "" || q.HDFSTable == "" {
+		return fmt.Errorf("plan: both table names are required")
+	}
+	if len(q.HDFSScanProj) == 0 || len(q.HDFSWire) == 0 {
+		return fmt.Errorf("plan: HDFS projections are empty")
+	}
+	for _, w := range q.HDFSWire {
+		if w < 0 || w >= len(q.HDFSScanProj) {
+			return fmt.Errorf("plan: HDFS wire column %d outside scan layout of %d", w, len(q.HDFSScanProj))
+		}
+	}
+	if q.HDFSWireKey < 0 || q.HDFSWireKey >= len(q.HDFSWire) {
+		return fmt.Errorf("plan: HDFS wire key %d outside wire layout of %d", q.HDFSWireKey, len(q.HDFSWire))
+	}
+	if len(q.DBProj) == 0 {
+		return fmt.Errorf("plan: DB projection is empty")
+	}
+	if q.DBWireKey < 0 || q.DBWireKey >= len(q.DBProj) {
+		return fmt.Errorf("plan: DB wire key %d outside wire layout of %d", q.DBWireKey, len(q.DBProj))
+	}
+	if len(q.GroupBy) == 0 && len(q.Aggs) == 0 {
+		return fmt.Errorf("plan: analytic queries need grouping or aggregation")
+	}
+	if q.HDFSWireSchema.Len() != len(q.HDFSWire) {
+		return fmt.Errorf("plan: HDFS wire schema width %d != %d", q.HDFSWireSchema.Len(), len(q.HDFSWire))
+	}
+	if q.DBWireSchema.Len() != len(q.DBProj) {
+		return fmt.Errorf("plan: DB wire schema width %d != %d", q.DBWireSchema.Len(), len(q.DBProj))
+	}
+	return nil
+}
+
+// CombinedSchema returns the layout post-join expressions see.
+func (q *JoinQuery) CombinedSchema() types.Schema {
+	return q.HDFSWireSchema.Concat(q.DBWireSchema)
+}
+
+// Pruner returns the HWC row-group pruner for the HDFS scan, or nil.
+func (q *JoinQuery) Pruner() *format.Pruner {
+	if len(q.HDFSPrunerRanges) == 0 {
+		return nil
+	}
+	return &format.Pruner{Ranges: q.HDFSPrunerRanges}
+}
+
+// Builder assembles a JoinQuery from base-table schemas, doing the
+// projection bookkeeping (scan layout, wire layout, remapping) that is easy
+// to get wrong by hand.
+type Builder struct {
+	q          JoinQuery
+	dbSchema   types.Schema
+	hdfsSchema types.Schema
+
+	hdfsPredBase expr.Expr // over the HDFS base layout
+	hdfsWireBase []int     // base columns to ship
+	hdfsKeyBase  int
+
+	err error
+}
+
+// NewBuilder starts a builder for the given tables.
+func NewBuilder(dbTable string, dbSchema types.Schema, hdfsTable string, hdfsSchema types.Schema) *Builder {
+	return &Builder{
+		q:          JoinQuery{DBTable: dbTable, HDFSTable: hdfsTable},
+		dbSchema:   dbSchema,
+		hdfsSchema: hdfsSchema,
+	}
+}
+
+// DBPred sets the database-side local predicate (base layout).
+func (b *Builder) DBPred(p expr.Expr) *Builder { b.q.DBPred = p; return b }
+
+// HDFSPred sets the HDFS-side local predicate (base layout; remapped later).
+func (b *Builder) HDFSPred(p expr.Expr) *Builder { b.hdfsPredBase = p; return b }
+
+// Join sets the equi-join columns by base-layout index.
+func (b *Builder) Join(dbCol, hdfsCol int) *Builder {
+	b.q.DBJoinColBase = dbCol
+	b.hdfsKeyBase = hdfsCol
+	return b
+}
+
+// Ship declares the base columns each side must deliver to the join (the
+// join keys are added automatically).
+func (b *Builder) Ship(dbCols, hdfsCols []int) *Builder {
+	b.q.DBProj = append([]int(nil), dbCols...)
+	b.hdfsWireBase = append([]int(nil), hdfsCols...)
+	return b
+}
+
+// PostJoin sets the post-join predicate over the combined wire layout
+// (HDFS wire columns first, then DB wire columns).
+func (b *Builder) PostJoin(p expr.Expr) *Builder { b.q.PostJoin = p; return b }
+
+// GroupBy sets the grouping expressions over the combined wire layout.
+func (b *Builder) GroupBy(es ...expr.Expr) *Builder { b.q.GroupBy = es; return b }
+
+// Aggregates sets the aggregate list.
+func (b *Builder) Aggregates(aggs ...relop.AggSpec) *Builder { b.q.Aggs = aggs; return b }
+
+// CardHint sets the |L'| estimate passed to the DB optimizer.
+func (b *Builder) CardHint(rows int64) *Builder { b.q.HDFSCardHint = rows; return b }
+
+// Build finalizes the query: computes the scan projection (wire ∪ predicate
+// columns), remaps the HDFS predicate onto the scan layout, derives pruner
+// ranges and wire schemas, and validates.
+func (b *Builder) Build() (*JoinQuery, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	q := b.q
+
+	// HDFS wire layout: declared columns plus the join key (first if absent).
+	wireBase := b.hdfsWireBase
+	if !contains(wireBase, b.hdfsKeyBase) {
+		wireBase = append([]int{b.hdfsKeyBase}, wireBase...)
+	}
+	// Scan layout: wire columns plus predicate-only columns.
+	scanProj := append([]int(nil), wireBase...)
+	for _, c := range expr.ColumnSet(b.hdfsPredBase) {
+		if !contains(scanProj, c) {
+			scanProj = append(scanProj, c)
+		}
+	}
+	for _, c := range scanProj {
+		if c < 0 || c >= b.hdfsSchema.Len() {
+			return nil, fmt.Errorf("plan: HDFS column %d out of range", c)
+		}
+	}
+	q.HDFSScanProj = scanProj
+
+	// Remap the HDFS predicate from base to scan layout.
+	baseToScan := map[int]int{}
+	for i, c := range scanProj {
+		baseToScan[c] = i
+	}
+	pred, err := expr.Remap(b.hdfsPredBase, baseToScan)
+	if err != nil {
+		return nil, fmt.Errorf("plan: remap HDFS predicate: %w", err)
+	}
+	q.HDFSPred = pred
+
+	// Wire layout as indexes into the scan layout.
+	q.HDFSWire = nil
+	for _, c := range wireBase {
+		q.HDFSWire = append(q.HDFSWire, baseToScan[c])
+	}
+	q.HDFSWireKey = indexOf(wireBase, b.hdfsKeyBase)
+	q.HDFSWireSchema = b.hdfsSchema.Project(wireBase)
+
+	// Pruner ranges from the base predicate (HWC stats are per base column).
+	q.HDFSPrunerRanges = prunerRanges(b.hdfsPredBase, b.hdfsSchema)
+
+	// DB wire layout: declared columns plus the join key.
+	if !contains(q.DBProj, q.DBJoinColBase) {
+		q.DBProj = append([]int{q.DBJoinColBase}, q.DBProj...)
+	}
+	for _, c := range q.DBProj {
+		if c < 0 || c >= b.dbSchema.Len() {
+			return nil, fmt.Errorf("plan: DB column %d out of range", c)
+		}
+	}
+	q.DBWireKey = indexOf(q.DBProj, q.DBJoinColBase)
+	q.DBWireSchema = b.dbSchema.Project(q.DBProj)
+
+	// Output schema: group-by columns then aggregate outputs.
+	var out types.Schema
+	for i, g := range q.GroupBy {
+		name := fmt.Sprintf("group%d", i)
+		out.Cols = append(out.Cols, types.C(name, g.Kind()))
+	}
+	for _, a := range q.Aggs {
+		k := types.KindInt64
+		if a.Kind == relop.AggAvg {
+			k = types.KindFloat64
+		}
+		name := a.Name
+		if name == "" {
+			name = a.Kind.String()
+		}
+		out.Cols = append(out.Cols, types.C(name, k))
+	}
+	q.OutputSchema = out
+
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return &q, nil
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func indexOf(s []int, v int) int {
+	for i, x := range s {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// prunerRanges extracts closed int ranges per column from a conjunctive
+// base-layout predicate, for HWC row-group pruning.
+func prunerRanges(pred expr.Expr, schema types.Schema) []format.IntRange {
+	var out []format.IntRange
+	for _, c := range expr.ColumnSet(pred) {
+		switch schema.Cols[c].Kind {
+		case types.KindInt32, types.KindInt64, types.KindDate, types.KindTime:
+		default:
+			continue
+		}
+		lo, hi, ok := RangeOf(pred, c)
+		if ok {
+			out = append(out, format.IntRange{Col: c, Lo: lo, Hi: hi})
+		}
+	}
+	return out
+}

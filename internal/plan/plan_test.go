@@ -1,0 +1,185 @@
+package plan
+
+import (
+	"testing"
+
+	"hybridwh/internal/expr"
+	"hybridwh/internal/relop"
+	"hybridwh/internal/types"
+)
+
+func dbSchema() types.Schema {
+	return types.NewSchema(
+		types.C("uniqKey", types.KindInt64),
+		types.C("joinKey", types.KindInt32),
+		types.C("corPred", types.KindInt32),
+		types.C("tdate", types.KindDate),
+	)
+}
+
+func hdfsSchema() types.Schema {
+	return types.NewSchema(
+		types.C("joinKey", types.KindInt32),
+		types.C("corPred", types.KindInt32),
+		types.C("ldate", types.KindDate),
+		types.C("grp", types.KindString),
+	)
+}
+
+func builder() *Builder {
+	return NewBuilder("T", dbSchema(), "L", hdfsSchema())
+}
+
+func baseQuery(t *testing.T) *JoinQuery {
+	t.Helper()
+	q, err := builder().
+		DBPred(corLE(2, 10)).
+		HDFSPred(corLE(1, 20)).
+		Join(1, 0).
+		Ship([]int{3}, []int{2, 3}).
+		GroupBy(expr.NewCol(2, "grp", types.KindString)).
+		Aggregates(relop.AggSpec{Kind: relop.AggCount, Name: "cnt"}).
+		CardHint(1234).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func corLE(col int, v int32) expr.Expr {
+	return expr.NewCmp(expr.LE, expr.NewCol(col, "corPred", types.KindInt32), expr.NewLit(types.Int32(v)))
+}
+
+func TestBuilderLayouts(t *testing.T) {
+	q := baseQuery(t)
+	// HDFS wire: joinKey prepended, then declared ldate(2), grp(3).
+	if len(q.HDFSWire) != 3 || q.HDFSWireKey != 0 {
+		t.Errorf("HDFSWire = %v key %d", q.HDFSWire, q.HDFSWireKey)
+	}
+	if q.HDFSWireSchema.Cols[0].Name != "joinKey" || q.HDFSWireSchema.Cols[2].Name != "grp" {
+		t.Errorf("wire schema = %s", q.HDFSWireSchema)
+	}
+	// Scan layout adds the predicate column corPred(1).
+	if len(q.HDFSScanProj) != 4 {
+		t.Errorf("scan proj = %v", q.HDFSScanProj)
+	}
+	// DB wire: joinKey prepended, then tdate.
+	if len(q.DBProj) != 2 || q.DBProj[0] != 1 || q.DBWireKey != 0 {
+		t.Errorf("DBProj = %v key %d", q.DBProj, q.DBWireKey)
+	}
+	// The remapped HDFS predicate evaluates over the scan layout.
+	scanRow := types.Row{types.Int32(5), types.Date(1), types.String("g"), types.Int32(15)}
+	ok, err := expr.EvalPred(q.HDFSPred, scanRow)
+	if err != nil || !ok {
+		t.Errorf("remapped pred: %v %v", ok, err)
+	}
+	if q.HDFSCardHint != 1234 {
+		t.Errorf("card hint = %d", q.HDFSCardHint)
+	}
+	// Combined schema concatenates wire layouts.
+	if got := q.CombinedSchema().Len(); got != 5 {
+		t.Errorf("combined width = %d", got)
+	}
+	// Output: group then count.
+	if q.OutputSchema.Len() != 2 || q.OutputSchema.Cols[1].Name != "cnt" {
+		t.Errorf("output = %s", q.OutputSchema)
+	}
+	if err := q.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestBuilderJoinKeyAlreadyShipped(t *testing.T) {
+	q, err := builder().
+		Join(1, 0).
+		Ship([]int{1, 3}, []int{0, 3}).
+		Aggregates(relop.AggSpec{Kind: relop.AggCount}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No duplicate prepend.
+	if len(q.DBProj) != 2 || len(q.HDFSWire) != 2 {
+		t.Errorf("proj = %v / %v", q.DBProj, q.HDFSWire)
+	}
+}
+
+func TestBuilderPrunerRanges(t *testing.T) {
+	q := baseQuery(t)
+	p := q.Pruner()
+	if p == nil || len(p.Ranges) != 1 {
+		t.Fatalf("pruner = %+v", p)
+	}
+	if p.Ranges[0].Col != 1 || p.Ranges[0].Hi != 20 {
+		t.Errorf("range = %+v", p.Ranges[0])
+	}
+	// No int-range predicates → nil pruner.
+	q2, err := builder().Join(1, 0).Ship(nil, nil).
+		Aggregates(relop.AggSpec{Kind: relop.AggCount}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.Pruner() != nil {
+		t.Errorf("pruner = %+v", q2.Pruner())
+	}
+}
+
+func TestBuilderColumnRangeErrors(t *testing.T) {
+	if _, err := builder().Join(1, 0).Ship([]int{99}, nil).
+		Aggregates(relop.AggSpec{Kind: relop.AggCount}).Build(); err == nil {
+		t.Error("DB column out of range: want error")
+	}
+	if _, err := builder().Join(1, 0).Ship(nil, []int{99}).
+		Aggregates(relop.AggSpec{Kind: relop.AggCount}).Build(); err == nil {
+		t.Error("HDFS column out of range: want error")
+	}
+	// Predicate referencing an out-of-range HDFS column.
+	if _, err := builder().HDFSPred(corLE(9, 1)).Join(1, 0).Ship(nil, nil).
+		Aggregates(relop.AggSpec{Kind: relop.AggCount}).Build(); err == nil {
+		t.Error("predicate column out of range: want error")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	good := baseQuery(t)
+	cases := []func(q *JoinQuery){
+		func(q *JoinQuery) { q.DBTable = "" },
+		func(q *JoinQuery) { q.HDFSScanProj = nil },
+		func(q *JoinQuery) { q.HDFSWire = []int{99} },
+		func(q *JoinQuery) { q.HDFSWireKey = 99 },
+		func(q *JoinQuery) { q.DBProj = nil },
+		func(q *JoinQuery) { q.DBWireKey = -1 },
+		func(q *JoinQuery) { q.GroupBy, q.Aggs = nil, nil },
+		func(q *JoinQuery) { q.HDFSWireSchema = types.Schema{} },
+		func(q *JoinQuery) { q.DBWireSchema = types.Schema{} },
+	}
+	for i, mutate := range cases {
+		q := *good
+		mutate(&q)
+		if err := q.Validate(); err == nil {
+			t.Errorf("case %d: want validation error", i)
+		}
+	}
+}
+
+func TestAvgOutputKind(t *testing.T) {
+	q, err := builder().Join(1, 0).Ship(nil, nil).
+		Aggregates(
+			relop.AggSpec{Kind: relop.AggAvg, Input: expr.NewCol(0, "joinKey", types.KindInt32)},
+			relop.AggSpec{Kind: relop.AggSum, Input: expr.NewCol(0, "joinKey", types.KindInt32)},
+		).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.OutputSchema.Cols[0].Kind != types.KindFloat64 {
+		t.Errorf("avg output kind = %v", q.OutputSchema.Cols[0].Kind)
+	}
+	if q.OutputSchema.Cols[1].Kind != types.KindInt64 {
+		t.Errorf("sum output kind = %v", q.OutputSchema.Cols[1].Kind)
+	}
+	// Unnamed aggregates get their kind name.
+	if q.OutputSchema.Cols[0].Name != "avg" {
+		t.Errorf("default agg name = %q", q.OutputSchema.Cols[0].Name)
+	}
+}

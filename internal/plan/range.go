@@ -1,0 +1,120 @@
+package plan
+
+import (
+	"math"
+
+	"hybridwh/internal/expr"
+	"hybridwh/internal/types"
+)
+
+// RangeOf extracts the conjunctive range constraint [lo, hi] that pred
+// places on column col: comparisons between the bare column and integer
+// literals, joined by AND. It returns ok=false when the predicate does not
+// constrain the column that way (e.g. the column appears under an OR).
+// Both the database optimizer (index range selection) and the HWC pruner
+// use this extraction.
+func RangeOf(pred expr.Expr, col int) (lo, hi int64, ok bool) {
+	lo, hi = math.MinInt64, math.MaxInt64
+	found := false
+	var walk func(e expr.Expr) bool // false if the node breaks conjunctivity
+	walk = func(e expr.Expr) bool {
+		switch n := e.(type) {
+		case *expr.Logic:
+			if n.Op != expr.And {
+				// A disjunction mentioning the column spoils the range.
+				for _, c := range expr.ColumnSet(n) {
+					if c == col {
+						return false
+					}
+				}
+				return true
+			}
+			for _, term := range n.Terms {
+				if !walk(term) {
+					return false
+				}
+			}
+			return true
+		case *expr.Cmp:
+			c, lit, op, isCol := colLitCmp(n)
+			if !isCol || c != col {
+				return true
+			}
+			switch op {
+			case expr.EQ:
+				if lit > lo {
+					lo = lit
+				}
+				if lit < hi {
+					hi = lit
+				}
+			case expr.LE:
+				if lit < hi {
+					hi = lit
+				}
+			case expr.LT:
+				if lit-1 < hi {
+					hi = lit - 1
+				}
+			case expr.GE:
+				if lit > lo {
+					lo = lit
+				}
+			case expr.GT:
+				if lit+1 > lo {
+					lo = lit + 1
+				}
+			case expr.NE:
+				return true // no range contribution
+			}
+			found = true
+			return true
+		default:
+			return true
+		}
+	}
+	if pred == nil || !walk(pred) || !found {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}
+
+// colLitCmp decomposes a comparison into (column, literal, normalized op),
+// flipping the operator when the literal is on the left.
+func colLitCmp(c *expr.Cmp) (col int, lit int64, op expr.CmpOp, ok bool) {
+	if l, isCol := c.L.(*expr.Col); isCol {
+		if r, isLit := c.R.(*expr.Lit); isLit && intLit(r) {
+			return l.Index, r.V.Int(), c.Op, true
+		}
+	}
+	if r, isCol := c.R.(*expr.Col); isCol {
+		if l, isLit := c.L.(*expr.Lit); isLit && intLit(l) {
+			return r.Index, l.V.Int(), flipCmp(c.Op), true
+		}
+	}
+	return 0, 0, 0, false
+}
+
+func intLit(l *expr.Lit) bool {
+	switch l.V.K {
+	case types.KindInt32, types.KindInt64, types.KindDate, types.KindTime:
+		return true
+	default:
+		return false
+	}
+}
+
+func flipCmp(op expr.CmpOp) expr.CmpOp {
+	switch op {
+	case expr.LT:
+		return expr.GT
+	case expr.LE:
+		return expr.GE
+	case expr.GT:
+		return expr.LT
+	case expr.GE:
+		return expr.LE
+	default:
+		return op
+	}
+}

@@ -1,0 +1,51 @@
+package plan
+
+import (
+	"testing"
+
+	"hybridwh/internal/expr"
+	"hybridwh/internal/types"
+)
+
+func corPredLE(v int32) expr.Expr {
+	return expr.NewCmp(expr.LE, expr.NewCol(2, "corPred", types.KindInt32), expr.NewLit(types.Int32(v)))
+}
+
+func TestRangeOf(t *testing.T) {
+	col2 := expr.NewCol(2, "corPred", types.KindInt32)
+	cases := []struct {
+		pred   expr.Expr
+		lo, hi int64
+		ok     bool
+	}{
+		{corPredLE(10), -1 << 62, 10, true},
+		{expr.NewCmp(expr.GE, col2, expr.NewLit(types.Int32(5))), 5, 1<<62 - 1, true},
+		{expr.NewAnd(
+			expr.NewCmp(expr.GT, col2, expr.NewLit(types.Int32(4))),
+			expr.NewCmp(expr.LT, col2, expr.NewLit(types.Int32(10))),
+		), 5, 9, true},
+		{expr.NewCmp(expr.EQ, col2, expr.NewLit(types.Int32(7))), 7, 7, true},
+		// Literal on the left flips the operator.
+		{expr.NewCmp(expr.GE, expr.NewLit(types.Int32(10)), col2), -1 << 62, 10, true},
+		// OR involving the column spoils the range.
+		{expr.NewOr(corPredLE(10), corPredLE(20)), 0, 0, false},
+		// Unrelated predicate: no constraint.
+		{expr.NewCmp(expr.LE, expr.NewCol(3, "x", types.KindInt32), expr.NewLit(types.Int32(1))), 0, 0, false},
+	}
+	for i, c := range cases {
+		lo, hi, ok := RangeOf(c.pred, 2)
+		if ok != c.ok {
+			t.Errorf("case %d: ok = %v", i, ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if c.lo > -1<<61 && lo != c.lo {
+			t.Errorf("case %d: lo = %d, want %d", i, lo, c.lo)
+		}
+		if c.hi < 1<<61 && hi != c.hi {
+			t.Errorf("case %d: hi = %d, want %d", i, hi, c.hi)
+		}
+	}
+}

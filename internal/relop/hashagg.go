@@ -1,0 +1,256 @@
+package relop
+
+import (
+	"fmt"
+	"sort"
+
+	"hybridwh/internal/expr"
+	"hybridwh/internal/types"
+)
+
+// AggKind enumerates the supported aggregate functions.
+type AggKind int
+
+// Aggregate kinds.
+const (
+	AggCount AggKind = iota // COUNT(*) — Input may be nil
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+)
+
+// String names the aggregate.
+func (k AggKind) String() string {
+	switch k {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggAvg:
+		return "avg"
+	default:
+		return fmt.Sprintf("agg(%d)", int(k))
+	}
+}
+
+// AggSpec is one aggregate in the SELECT list.
+type AggSpec struct {
+	Kind  AggKind
+	Input expr.Expr // nil for COUNT(*)
+	Name  string    // output column name
+}
+
+// PartialWidth is the number of state columns the aggregate occupies in a
+// partial-aggregation row (AVG carries sum and count).
+func (a AggSpec) PartialWidth() int {
+	if a.Kind == AggAvg {
+		return 2
+	}
+	return 1
+}
+
+// HashAgg is a mergeable hash aggregator. Workers run it in partial mode and
+// ship PartialRows to a designated worker, which merges them with
+// MergePartial and extracts the final rows — the paper's partial/final
+// aggregation split (Figures 2–4, steps "partial aggregation" and "final
+// aggregation").
+//
+// Partial row layout: [groupValues..., state...] where state flattens each
+// aggregate's PartialWidth columns.
+type HashAgg struct {
+	groupBy []expr.Expr
+	aggs    []AggSpec
+	groups  map[string]*aggGroup
+}
+
+type aggGroup struct {
+	keys  types.Row
+	state []types.Value
+}
+
+// NewHashAgg creates an aggregator.
+func NewHashAgg(groupBy []expr.Expr, aggs []AggSpec) *HashAgg {
+	return &HashAgg{groupBy: groupBy, aggs: aggs, groups: map[string]*aggGroup{}}
+}
+
+// NumGroups returns the current group count.
+func (h *HashAgg) NumGroups() int64 { return int64(len(h.groups)) }
+
+func (h *HashAgg) stateWidth() int {
+	w := 0
+	for _, a := range h.aggs {
+		w += a.PartialWidth()
+	}
+	return w
+}
+
+func groupKey(keys types.Row) string {
+	var buf []byte
+	for _, v := range keys {
+		buf = types.AppendValue(buf, v)
+	}
+	return string(buf)
+}
+
+func (h *HashAgg) group(keys types.Row) *aggGroup {
+	k := groupKey(keys)
+	g, ok := h.groups[k]
+	if !ok {
+		g = &aggGroup{keys: keys.Clone(), state: make([]types.Value, h.stateWidth())}
+		s := 0
+		for _, a := range h.aggs {
+			switch a.Kind {
+			case AggCount:
+				g.state[s] = types.Int64(0)
+			case AggSum:
+				g.state[s] = types.Int64(0)
+			case AggAvg:
+				g.state[s] = types.Float64(0)
+				g.state[s+1] = types.Int64(0)
+			case AggMin, AggMax:
+				g.state[s] = types.Null
+			}
+			s += a.PartialWidth()
+		}
+		h.groups[k] = g
+	}
+	return g
+}
+
+// Add folds one input row into the aggregation.
+func (h *HashAgg) Add(row types.Row) error {
+	keys := make(types.Row, len(h.groupBy))
+	for i, e := range h.groupBy {
+		v, err := e.Eval(row)
+		if err != nil {
+			return fmt.Errorf("relop: group-by expr %d: %w", i, err)
+		}
+		keys[i] = v
+	}
+	g := h.group(keys)
+	s := 0
+	for _, a := range h.aggs {
+		var in types.Value
+		if a.Input != nil {
+			var err error
+			in, err = a.Input.Eval(row)
+			if err != nil {
+				return fmt.Errorf("relop: aggregate input: %w", err)
+			}
+		}
+		switch a.Kind {
+		case AggCount:
+			if a.Input == nil || !in.IsNull() {
+				g.state[s] = types.Int64(g.state[s].Int() + 1)
+			}
+		case AggSum:
+			if !in.IsNull() {
+				g.state[s] = addNumeric(g.state[s], in)
+			}
+		case AggMin:
+			if !in.IsNull() && (g.state[s].IsNull() || types.Compare(in, g.state[s]) < 0) {
+				g.state[s] = in
+			}
+		case AggMax:
+			if !in.IsNull() && (g.state[s].IsNull() || types.Compare(in, g.state[s]) > 0) {
+				g.state[s] = in
+			}
+		case AggAvg:
+			if !in.IsNull() {
+				g.state[s] = types.Float64(g.state[s].Float() + in.Float())
+				g.state[s+1] = types.Int64(g.state[s+1].Int() + 1)
+			}
+		}
+		s += a.PartialWidth()
+	}
+	return nil
+}
+
+func addNumeric(acc, in types.Value) types.Value {
+	if acc.K == types.KindFloat64 || in.K == types.KindFloat64 {
+		return types.Float64(acc.Float() + in.Float())
+	}
+	return types.Int64(acc.Int() + in.Int())
+}
+
+// PartialRows extracts the partial state for shipping.
+func (h *HashAgg) PartialRows() []types.Row {
+	out := make([]types.Row, 0, len(h.groups))
+	for _, g := range h.groups {
+		row := make(types.Row, 0, len(g.keys)+len(g.state))
+		row = append(row, g.keys...)
+		row = append(row, g.state...)
+		out = append(out, row)
+	}
+	return out
+}
+
+// MergePartial folds a partial row (from PartialRows of a compatible
+// aggregator) into this aggregator.
+func (h *HashAgg) MergePartial(row types.Row) error {
+	nk := len(h.groupBy)
+	if len(row) != nk+h.stateWidth() {
+		return fmt.Errorf("relop: partial row has %d cols, want %d", len(row), nk+h.stateWidth())
+	}
+	keys := row[:nk]
+	in := row[nk:]
+	g := h.group(keys)
+	s := 0
+	for _, a := range h.aggs {
+		switch a.Kind {
+		case AggCount, AggSum:
+			g.state[s] = addNumeric(g.state[s], in[s])
+		case AggMin:
+			if !in[s].IsNull() && (g.state[s].IsNull() || types.Compare(in[s], g.state[s]) < 0) {
+				g.state[s] = in[s]
+			}
+		case AggMax:
+			if !in[s].IsNull() && (g.state[s].IsNull() || types.Compare(in[s], g.state[s]) > 0) {
+				g.state[s] = in[s]
+			}
+		case AggAvg:
+			g.state[s] = types.Float64(g.state[s].Float() + in[s].Float())
+			g.state[s+1] = types.Int64(g.state[s+1].Int() + in[s+1].Int())
+		}
+		s += a.PartialWidth()
+	}
+	return nil
+}
+
+// FinalRows extracts the finished groups: [groupValues..., aggOutputs...],
+// sorted by group key for deterministic output.
+func (h *HashAgg) FinalRows() []types.Row {
+	keys := make([]string, 0, len(h.groups))
+	for k := range h.groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]types.Row, 0, len(keys))
+	for _, k := range keys {
+		g := h.groups[k]
+		row := make(types.Row, 0, len(g.keys)+len(h.aggs))
+		row = append(row, g.keys...)
+		s := 0
+		for _, a := range h.aggs {
+			switch a.Kind {
+			case AggAvg:
+				cnt := g.state[s+1].Int()
+				if cnt == 0 {
+					row = append(row, types.Null)
+				} else {
+					row = append(row, types.Float64(g.state[s].Float()/float64(cnt)))
+				}
+			default:
+				row = append(row, g.state[s])
+			}
+			s += a.PartialWidth()
+		}
+		out = append(out, row)
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+// Package relop implements the relational operators shared by the two query
+// engines: hash tables for equi-joins and mergeable hash aggregation. The
+// parallel database (internal/edw) and JEN (internal/jen) both build on
+// these, just as the paper's engines share the standard parallel-database
+// repertoire (hash join, hash-based aggregation, pipelining).
+package relop
+
+import (
+	"fmt"
+
+	"hybridwh/internal/expr"
+	"hybridwh/internal/types"
+)
+
+// HashTable is an in-memory equi-join hash table keyed by an integer join
+// key column. It is built by one goroutine (the receive path) and probed by
+// another afterwards; it is not safe for concurrent mutation.
+type HashTable struct {
+	keyIdx  int
+	buckets map[int64][]types.Row
+	rows    int64
+}
+
+// NewHashTable creates a table keyed on column keyIdx of inserted rows.
+func NewHashTable(keyIdx int) *HashTable {
+	return &HashTable{keyIdx: keyIdx, buckets: map[int64][]types.Row{}}
+}
+
+// Insert adds a row.
+func (h *HashTable) Insert(row types.Row) error {
+	if h.keyIdx >= len(row) {
+		return fmt.Errorf("relop: join key column %d out of range (row has %d)", h.keyIdx, len(row))
+	}
+	k := row[h.keyIdx].Int()
+	h.buckets[k] = append(h.buckets[k], row)
+	h.rows++
+	return nil
+}
+
+// Probe returns the rows matching the key (nil if none).
+func (h *HashTable) Probe(key int64) []types.Row { return h.buckets[key] }
+
+// Len returns the number of inserted rows.
+func (h *HashTable) Len() int64 { return h.rows }
+
+// Join streams the equi-join of probe rows against the table. For each
+// probe row and each match, the combined row is built(Build-side row first,
+// then probe row), filtered by post (which sees the combined layout), and
+// passed to yield.
+func (h *HashTable) Join(probeRow types.Row, probeKeyIdx int, post expr.Expr, yield func(types.Row) error) (matches int64, err error) {
+	if probeKeyIdx >= len(probeRow) {
+		return 0, fmt.Errorf("relop: probe key column %d out of range (row has %d)", probeKeyIdx, len(probeRow))
+	}
+	key := probeRow[probeKeyIdx].Int()
+	for _, b := range h.buckets[key] {
+		combined := b.Concat(probeRow)
+		ok, err := expr.EvalPred(post, combined)
+		if err != nil {
+			return matches, err
+		}
+		if !ok {
+			continue
+		}
+		matches++
+		if err := yield(combined); err != nil {
+			return matches, err
+		}
+	}
+	return matches, nil
+}

@@ -1,0 +1,108 @@
+package relop
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hybridwh/internal/expr"
+	"hybridwh/internal/types"
+)
+
+// Property: partial-aggregation merging is order- and partition-invariant —
+// the distributed aggregation tree can combine partials in any shape.
+func TestQuickMergeOrderInvariance(t *testing.T) {
+	groupBy := []expr.Expr{expr.NewCol(0, "g", types.KindInt32)}
+	aggs := []AggSpec{
+		{Kind: AggCount, Name: "cnt"},
+		{Kind: AggSum, Input: expr.NewCol(1, "v", types.KindInt64), Name: "sum"},
+		{Kind: AggMin, Input: expr.NewCol(1, "v", types.KindInt64), Name: "min"},
+		{Kind: AggMax, Input: expr.NewCol(1, "v", types.KindInt64), Name: "max"},
+	}
+
+	f := func(vals []int16, seed int64, parts uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		nparts := int(parts%7) + 1
+		rng := rand.New(rand.NewSource(seed))
+
+		rows := make([]types.Row, len(vals))
+		for i, v := range vals {
+			rows[i] = types.Row{types.Int32(int32(i % 5)), types.Int64(int64(v))}
+		}
+
+		// Reference: single aggregator.
+		ref := NewHashAgg(groupBy, aggs)
+		for _, r := range rows {
+			if err := ref.Add(r); err != nil {
+				return false
+			}
+		}
+		want := render(ref.FinalRows())
+
+		// Random partitioning, merged in random order.
+		partsAgg := make([]*HashAgg, nparts)
+		for i := range partsAgg {
+			partsAgg[i] = NewHashAgg(groupBy, aggs)
+		}
+		for _, r := range rows {
+			if err := partsAgg[rng.Intn(nparts)].Add(r); err != nil {
+				return false
+			}
+		}
+		var partials []types.Row
+		for _, p := range partsAgg {
+			partials = append(partials, p.PartialRows()...)
+		}
+		rng.Shuffle(len(partials), func(i, j int) { partials[i], partials[j] = partials[j], partials[i] })
+		final := NewHashAgg(groupBy, aggs)
+		for _, pr := range partials {
+			if err := final.MergePartial(pr); err != nil {
+				return false
+			}
+		}
+		return render(final.FinalRows()) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func render(rows []types.Row) string {
+	out := ""
+	for _, r := range rows {
+		out += r.String() + "\n"
+	}
+	return out
+}
+
+// Property: for any build/probe multiset, the hash join emits exactly the
+// cross product per key.
+func TestQuickJoinCardinality(t *testing.T) {
+	f := func(buildKeys, probeKeys []uint8) bool {
+		ht := NewHashTable(0)
+		buildCount := map[int64]int{}
+		for _, k := range buildKeys {
+			key := int64(k % 16)
+			buildCount[key]++
+			if err := ht.Insert(types.Row{types.Int64(key)}); err != nil {
+				return false
+			}
+		}
+		var want, got int64
+		for _, k := range probeKeys {
+			key := int64(k % 16)
+			want += int64(buildCount[key])
+			m, err := ht.Join(types.Row{types.Int64(key)}, 0, nil, func(types.Row) error { return nil })
+			if err != nil {
+				return false
+			}
+			got += m
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

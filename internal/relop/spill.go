@@ -1,0 +1,302 @@
+package relop
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"hybridwh/internal/types"
+)
+
+// The paper's JEN "requires that all data fit in memory for the local
+// hash-based join on each worker. In the future, we plan to support spilling
+// to disk to overcome this limitation." SpillingHashTable is that extension:
+// a hybrid Grace hash join. While the build side fits in the memory budget
+// it behaves exactly like HashTable; on overflow it partitions build rows to
+// disk, probe rows for spilled partitions follow, and Drain grace-joins the
+// spilled partitions one at a time.
+
+// JoinTable abstracts the build side of a local equi-join so engines can
+// switch between the in-memory and spilling implementations.
+type JoinTable interface {
+	// Insert adds a build-side row.
+	Insert(row types.Row) error
+	// Len reports the inserted row count.
+	Len() int64
+	// FinishBuild seals the build side; Probe may be called after.
+	FinishBuild() error
+	// Probe emits the build rows matching the probe row's key — possibly
+	// deferring spilled matches to Drain.
+	Probe(probeRow types.Row, probeKeyIdx int, emit func(buildRow, probeRow types.Row) error) error
+	// Drain emits all deferred matches and releases resources.
+	Drain(emit func(buildRow, probeRow types.Row) error) error
+	// Close releases resources without draining (error paths).
+	Close() error
+}
+
+// MemJoinTable adapts HashTable to JoinTable.
+type MemJoinTable struct{ H *HashTable }
+
+// NewMemJoinTable wraps an in-memory hash table.
+func NewMemJoinTable(keyIdx int) *MemJoinTable {
+	return &MemJoinTable{H: NewHashTable(keyIdx)}
+}
+
+// Insert implements JoinTable.
+func (m *MemJoinTable) Insert(row types.Row) error { return m.H.Insert(row) }
+
+// Len implements JoinTable.
+func (m *MemJoinTable) Len() int64 { return m.H.Len() }
+
+// FinishBuild implements JoinTable.
+func (m *MemJoinTable) FinishBuild() error { return nil }
+
+// Probe implements JoinTable.
+func (m *MemJoinTable) Probe(probeRow types.Row, probeKeyIdx int, emit func(buildRow, probeRow types.Row) error) error {
+	if probeKeyIdx >= len(probeRow) {
+		return fmt.Errorf("relop: probe key column %d out of range", probeKeyIdx)
+	}
+	for _, b := range m.H.Probe(probeRow[probeKeyIdx].Int()) {
+		if err := emit(b, probeRow); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Drain implements JoinTable.
+func (m *MemJoinTable) Drain(func(buildRow, probeRow types.Row) error) error { return nil }
+
+// Close implements JoinTable.
+func (m *MemJoinTable) Close() error { return nil }
+
+// spillParts is the grace fan-out; one level of partitioning only, so each
+// spilled partition must fit in memory (budget × spillParts of build data
+// handled overall).
+const spillParts = 16
+
+// SpillingHashTable is the hybrid Grace implementation of JoinTable.
+type SpillingHashTable struct {
+	keyIdx int
+	budget int64
+	dir    string
+
+	mem      *HashTable
+	memBytes int64
+	rows     int64
+	spilling bool
+	sealed   bool
+
+	buildFiles [spillParts]*spillFile
+	probeFiles [spillParts]*spillFile
+
+	// SpilledBuildRows / SpilledProbeRows count disk traffic for reports.
+	SpilledBuildRows int64
+	SpilledProbeRows int64
+}
+
+type spillFile struct {
+	f *os.File
+	w *bufio.Writer
+	n int64
+}
+
+// NewSpillingHashTable creates a table keyed on keyIdx with the given
+// in-memory byte budget. Temp files go under dir ("" = os.TempDir()).
+func NewSpillingHashTable(keyIdx int, budgetBytes int64, dir string) (*SpillingHashTable, error) {
+	if budgetBytes <= 0 {
+		return nil, fmt.Errorf("relop: spill budget must be positive")
+	}
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	tmp, err := os.MkdirTemp(dir, "hwspill-")
+	if err != nil {
+		return nil, err
+	}
+	return &SpillingHashTable{
+		keyIdx: keyIdx, budget: budgetBytes, dir: tmp,
+		mem: NewHashTable(keyIdx),
+	}, nil
+}
+
+func (s *SpillingHashTable) part(key int64) int {
+	// A different seed than the shuffle hash, so spill partitions are
+	// uncorrelated with worker partitioning.
+	return int(types.Mix64(uint64(key)^0xA5A5A5A5) % spillParts)
+}
+
+func (s *SpillingHashTable) file(files *[spillParts]*spillFile, side string, p int) (*spillFile, error) {
+	if files[p] == nil {
+		f, err := os.Create(filepath.Join(s.dir, fmt.Sprintf("%s-%02d.rows", side, p)))
+		if err != nil {
+			return nil, err
+		}
+		files[p] = &spillFile{f: f, w: bufio.NewWriterSize(f, 64<<10)}
+	}
+	return files[p], nil
+}
+
+func (sf *spillFile) writeRow(row types.Row) error {
+	buf := types.AppendRow(nil, row)
+	if _, err := sf.w.Write(buf); err != nil {
+		return err
+	}
+	sf.n++
+	return nil
+}
+
+// readRows streams every row back from the start of the file.
+func (sf *spillFile) readRows(fn func(types.Row) error) error {
+	if err := sf.w.Flush(); err != nil {
+		return err
+	}
+	data, err := os.ReadFile(sf.f.Name())
+	if err != nil {
+		return err
+	}
+	for off := 0; off < len(data); {
+		row, n, err := types.DecodeRow(data[off:])
+		if err != nil {
+			return fmt.Errorf("relop: corrupt spill file %s: %w", sf.f.Name(), err)
+		}
+		off += n
+		if err := fn(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Insert implements JoinTable.
+func (s *SpillingHashTable) Insert(row types.Row) error {
+	if s.sealed {
+		return fmt.Errorf("relop: insert after FinishBuild")
+	}
+	if s.keyIdx >= len(row) {
+		return fmt.Errorf("relop: join key column %d out of range (row has %d)", s.keyIdx, len(row))
+	}
+	s.rows++
+	if !s.spilling {
+		s.memBytes += int64(types.EncodedRowSize(row)) + 48 // struct overhead estimate
+		if s.memBytes <= s.budget {
+			return s.mem.Insert(row)
+		}
+		// Budget exceeded: dump the in-memory table to partitions and
+		// switch to spill mode.
+		s.spilling = true
+		for _, bucket := range s.mem.buckets {
+			for _, r := range bucket {
+				if err := s.spillBuild(r); err != nil {
+					return err
+				}
+			}
+		}
+		s.mem = NewHashTable(s.keyIdx)
+		s.memBytes = 0
+	}
+	return s.spillBuild(row)
+}
+
+func (s *SpillingHashTable) spillBuild(row types.Row) error {
+	sf, err := s.file(&s.buildFiles, "build", s.part(row[s.keyIdx].Int()))
+	if err != nil {
+		return err
+	}
+	s.SpilledBuildRows++
+	return sf.writeRow(row)
+}
+
+// Len implements JoinTable.
+func (s *SpillingHashTable) Len() int64 { return s.rows }
+
+// Spilled reports whether the table overflowed to disk.
+func (s *SpillingHashTable) Spilled() bool { return s.spilling }
+
+// FinishBuild implements JoinTable.
+func (s *SpillingHashTable) FinishBuild() error {
+	s.sealed = true
+	return nil
+}
+
+// Probe implements JoinTable. In-memory matches are emitted immediately;
+// when the table spilled, probe rows are partitioned to disk and their
+// matches appear during Drain.
+func (s *SpillingHashTable) Probe(probeRow types.Row, probeKeyIdx int, emit func(buildRow, probeRow types.Row) error) error {
+	if !s.sealed {
+		return fmt.Errorf("relop: probe before FinishBuild")
+	}
+	if probeKeyIdx >= len(probeRow) {
+		return fmt.Errorf("relop: probe key column %d out of range", probeKeyIdx)
+	}
+	if !s.spilling {
+		for _, b := range s.mem.Probe(probeRow[probeKeyIdx].Int()) {
+			if err := emit(b, probeRow); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	sf, err := s.file(&s.probeFiles, "probe", s.part(probeRow[probeKeyIdx].Int()))
+	if err != nil {
+		return err
+	}
+	s.SpilledProbeRows++
+	// The probe key position is recorded by prefixing it as a column so
+	// Drain can rebuild the pairing without schema knowledge.
+	tagged := make(types.Row, 0, len(probeRow)+1)
+	tagged = append(tagged, types.Int32(int32(probeKeyIdx)))
+	tagged = append(tagged, probeRow...)
+	return sf.writeRow(tagged)
+}
+
+// Drain implements JoinTable: grace-join each spilled partition.
+func (s *SpillingHashTable) Drain(emit func(buildRow, probeRow types.Row) error) error {
+	defer s.cleanup()
+	if !s.spilling {
+		return nil
+	}
+	for p := 0; p < spillParts; p++ {
+		bf, pf := s.buildFiles[p], s.probeFiles[p]
+		if bf == nil || pf == nil {
+			continue // nothing to join in this partition
+		}
+		ht := NewHashTable(s.keyIdx)
+		if err := bf.readRows(func(r types.Row) error { return ht.Insert(r) }); err != nil {
+			return err
+		}
+		err := pf.readRows(func(tagged types.Row) error {
+			keyIdx := int(tagged[0].Int())
+			probeRow := tagged[1:]
+			for _, b := range ht.Probe(probeRow[keyIdx].Int()) {
+				if err := emit(b, probeRow); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close implements JoinTable.
+func (s *SpillingHashTable) Close() error {
+	s.cleanup()
+	return nil
+}
+
+func (s *SpillingHashTable) cleanup() {
+	for p := 0; p < spillParts; p++ {
+		for _, sf := range []*spillFile{s.buildFiles[p], s.probeFiles[p]} {
+			if sf != nil {
+				sf.f.Close()
+			}
+		}
+		s.buildFiles[p], s.probeFiles[p] = nil, nil
+	}
+	os.RemoveAll(s.dir)
+}

@@ -1,0 +1,183 @@
+package relop
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"hybridwh/internal/types"
+)
+
+// joinAll runs a full build+probe+drain cycle and returns the matched
+// (buildKey, probePayload) pairs, sorted.
+func joinAll(t *testing.T, jt JoinTable, build, probe []types.Row, probeKeyIdx int) []string {
+	t.Helper()
+	for _, r := range build {
+		if err := jt.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := jt.FinishBuild(); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	emit := func(b, p types.Row) error {
+		got = append(got, fmt.Sprintf("%s|%s", b.String(), p.String()))
+		return nil
+	}
+	for _, r := range probe {
+		if err := jt.Probe(r, probeKeyIdx, emit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := jt.Drain(emit); err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(got)
+	return got
+}
+
+func mkRows(n, keys int, tag string) []types.Row {
+	rows := make([]types.Row, n)
+	for i := range rows {
+		rows[i] = types.Row{
+			types.Int32(int32(i % keys)),
+			types.String(fmt.Sprintf("%s-%04d", tag, i)),
+		}
+	}
+	return rows
+}
+
+// TestSpillingMatchesInMemory is the core equivalence property: a spilled
+// grace join must produce exactly the matches of the in-memory join.
+func TestSpillingMatchesInMemory(t *testing.T) {
+	build := mkRows(2000, 150, "b")
+	probe := mkRows(500, 300, "p") // half the probe keys have no match
+
+	want := joinAll(t, NewMemJoinTable(0), build, probe, 0)
+	if len(want) == 0 {
+		t.Fatal("fixture produced no matches")
+	}
+
+	// A tiny budget forces heavy spilling.
+	sp, err := NewSpillingHashTable(0, 4096, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := joinAll(t, sp, build, probe, 0)
+	if !sp.Spilled() {
+		t.Fatal("expected the table to spill")
+	}
+	if sp.SpilledBuildRows == 0 || sp.SpilledProbeRows == 0 {
+		t.Errorf("spill counters: build=%d probe=%d", sp.SpilledBuildRows, sp.SpilledProbeRows)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("spilled join: %d matches, in-memory %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("match %d: %q != %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSpillingStaysInMemoryUnderBudget(t *testing.T) {
+	sp, err := NewSpillingHashTable(0, 1<<20, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := mkRows(100, 10, "b")
+	probe := mkRows(50, 10, "p")
+	got := joinAll(t, sp, build, probe, 0)
+	if sp.Spilled() {
+		t.Error("small input should not spill")
+	}
+	want := joinAll(t, NewMemJoinTable(0), build, probe, 0)
+	if len(got) != len(want) {
+		t.Fatalf("%d matches, want %d", len(got), len(want))
+	}
+}
+
+func TestSpillingUsageErrors(t *testing.T) {
+	if _, err := NewSpillingHashTable(0, 0, ""); err == nil {
+		t.Error("zero budget: want error")
+	}
+	sp, err := NewSpillingHashTable(0, 1024, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	row := types.Row{types.Int32(1)}
+	if err := sp.Probe(row, 0, nil); err == nil {
+		t.Error("probe before FinishBuild: want error")
+	}
+	if err := sp.Insert(types.Row{}); err == nil {
+		t.Error("key out of range: want error")
+	}
+	if err := sp.FinishBuild(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Insert(row); err == nil {
+		t.Error("insert after FinishBuild: want error")
+	}
+	if err := sp.Probe(types.Row{}, 5, nil); err == nil {
+		t.Error("probe key out of range: want error")
+	}
+}
+
+func TestSpillingEmitErrorPropagates(t *testing.T) {
+	sp, err := NewSpillingHashTable(0, 512, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := mkRows(500, 20, "b")
+	for _, r := range build {
+		if err := sp.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sp.FinishBuild(); err != nil {
+		t.Fatal(err)
+	}
+	boom := fmt.Errorf("boom")
+	for _, r := range mkRows(100, 20, "p") {
+		if err := sp.Probe(r, 0, func(_, _ types.Row) error { return boom }); err != nil && err != boom {
+			t.Fatal(err)
+		}
+	}
+	if err := sp.Drain(func(_, _ types.Row) error { return boom }); err != boom {
+		t.Errorf("Drain err = %v", err)
+	}
+}
+
+func TestMemJoinTableInterface(t *testing.T) {
+	var jt JoinTable = NewMemJoinTable(0)
+	if err := jt.Insert(types.Row{types.Int32(1), types.String("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if jt.Len() != 1 {
+		t.Errorf("Len = %d", jt.Len())
+	}
+	if err := jt.FinishBuild(); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := jt.Probe(types.Row{types.Int32(1)}, 0, func(b, p types.Row) error {
+		n++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("matches = %d", n)
+	}
+	if err := jt.Probe(types.Row{}, 3, nil); err == nil {
+		t.Error("probe key out of range: want error")
+	}
+	if err := jt.Drain(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := jt.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,127 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+
+	"hybridwh/internal/types"
+)
+
+// The AST uses name references; the resolver binds them to table columns.
+
+// Node is an unresolved expression node.
+type Node interface {
+	// Render prints the node in SQL-ish form (used for group-by matching
+	// and error messages).
+	Render() string
+}
+
+// NameRef is a possibly-qualified column reference.
+type NameRef struct {
+	Table string // "" when unqualified
+	Col   string
+}
+
+// Render implements Node.
+func (n *NameRef) Render() string {
+	if n.Table != "" {
+		return n.Table + "." + n.Col
+	}
+	return n.Col
+}
+
+// LitNode is a literal.
+type LitNode struct{ V types.Value }
+
+// Render implements Node.
+func (n *LitNode) Render() string {
+	if n.V.K == types.KindString {
+		return "'" + n.V.S + "'"
+	}
+	return n.V.Format()
+}
+
+// CmpNode is a comparison.
+type CmpNode struct {
+	Op   string // = <> < <= > >=
+	L, R Node
+}
+
+// Render implements Node.
+func (n *CmpNode) Render() string {
+	return fmt.Sprintf("%s %s %s", n.L.Render(), n.Op, n.R.Render())
+}
+
+// LogicNode is AND/OR over terms.
+type LogicNode struct {
+	Op    string // "and" | "or"
+	Terms []Node
+}
+
+// Render implements Node.
+func (n *LogicNode) Render() string {
+	parts := make([]string, len(n.Terms))
+	for i, t := range n.Terms {
+		parts[i] = t.Render()
+	}
+	return "(" + strings.Join(parts, " "+strings.ToUpper(n.Op)+" ") + ")"
+}
+
+// NotNode negates.
+type NotNode struct{ E Node }
+
+// Render implements Node.
+func (n *NotNode) Render() string { return "NOT " + n.E.Render() }
+
+// ArithNode is +,-,*,/.
+type ArithNode struct {
+	Op   string
+	L, R Node
+}
+
+// Render implements Node.
+func (n *ArithNode) Render() string {
+	return fmt.Sprintf("%s %s %s", n.L.Render(), n.Op, n.R.Render())
+}
+
+// CallNode is a scalar function call.
+type CallNode struct {
+	Name string
+	Args []Node
+}
+
+// Render implements Node.
+func (n *CallNode) Render() string {
+	parts := make([]string, len(n.Args))
+	for i, a := range n.Args {
+		parts[i] = a.Render()
+	}
+	return strings.ToLower(n.Name) + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// SelectItem is one item of the SELECT list: either a plain expression
+// (which must match a GROUP BY expression) or an aggregate.
+type SelectItem struct {
+	// Agg is the aggregate function name ("count", "sum", ...) or "".
+	Agg string
+	// Star marks COUNT(*).
+	Star bool
+	// Expr is the item or aggregate-input expression (nil for COUNT(*)).
+	Expr Node
+	// As is the optional output name.
+	As string
+}
+
+// TableRef is a FROM-list entry.
+type TableRef struct {
+	Name  string
+	Alias string // defaults to Name
+}
+
+// Query is a parsed two-table analytic query.
+type Query struct {
+	Select  []SelectItem
+	From    []TableRef
+	Where   Node // nil when absent
+	GroupBy []Node
+}

@@ -1,0 +1,46 @@
+package sqlparse
+
+import (
+	"testing"
+
+	"hybridwh/internal/datagen"
+	"hybridwh/internal/expr"
+)
+
+// FuzzParse: the parser must never panic, and whatever parses must also
+// survive planning (or fail cleanly).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		paperQuery,
+		"select count(*) from T, L where T.joinKey = L.joinKey",
+		"select a from t",
+		"select sum(x) as s from T tt, L where tt.a = L.b group by z",
+		"select count(*) from T, L where T.predAfterJoin >= date '2015-03-23' and T.joinKey = L.joinKey",
+		"select min(x), max(y), avg(z) from T, L where not (a < 1 or b > 2) and T.joinKey = L.joinKey",
+		"select count(*) from T, L where x between 1 and 2",
+		"'unterminated",
+		"select",
+		"))))((((",
+		"select count(*) from T, L where T.joinKey = L.joinKey and days(T.predAfterJoin) - days(L.predAfterJoin) <= 1",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	db := TableMeta{Name: "T", Schema: datagen.TSchema()}
+	hd := TableMeta{Name: "L", Schema: datagen.LSchema()}
+	reg := expr.NewRegistry()
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Parsed input must plan or error, never panic.
+		jq, err := PlanQuery(q, db, hd, reg)
+		if err != nil {
+			return
+		}
+		if err := jq.Validate(); err != nil {
+			t.Errorf("PlanQuery produced an invalid plan for %q: %v", src, err)
+		}
+	})
+}

@@ -1,0 +1,193 @@
+// Package sqlparse parses the analytic SQL subset the hybrid warehouse
+// accepts — two-table select-project-join-aggregate queries of the shape in
+// Section 2 of the paper — and resolves them into executable plan.JoinQuery
+// values.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // ( ) , . * = <> <= >= < > + - /
+	tokKeyword
+)
+
+// keywords recognized by the lexer (case-insensitive).
+var keywords = map[string]bool{
+	"select": true, "from": true, "where": true, "group": true, "by": true,
+	"and": true, "or": true, "not": true, "as": true, "between": true,
+	"count": true, "sum": true, "min": true, "max": true, "avg": true,
+	"date": true,
+}
+
+type token struct {
+	kind tokKind
+	text string // keywords lowercased; symbols literal; idents as written
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the input.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.emit(tokEOF, "")
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			l.ident()
+		case c >= '0' && c <= '9':
+			l.number()
+		case c == '\'':
+			if err := l.str(); err != nil {
+				return nil, err
+			}
+		case strings.IndexByte("(),.*=+-/", c) >= 0:
+			l.emit(tokSymbol, string(c))
+			l.pos++
+		case c == '<':
+			if l.peek(1) == '=' {
+				l.emit(tokSymbol, "<=")
+				l.pos += 2
+			} else if l.peek(1) == '>' {
+				l.emit(tokSymbol, "<>")
+				l.pos += 2
+			} else {
+				l.emit(tokSymbol, "<")
+				l.pos++
+			}
+		case c == '>':
+			if l.peek(1) == '=' {
+				l.emit(tokSymbol, ">=")
+				l.pos += 2
+			} else {
+				l.emit(tokSymbol, ">")
+				l.pos++
+			}
+		case c == '!':
+			if l.peek(1) == '=' {
+				l.emit(tokSymbol, "<>")
+				l.pos += 2
+			} else {
+				return nil, fmt.Errorf("sql: stray '!' at %d", l.pos)
+			}
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at %d", c, l.pos)
+		}
+	}
+}
+
+func (l *lexer) emit(k tokKind, text string) {
+	l.toks = append(l.toks, token{kind: k, text: text, pos: l.pos})
+}
+
+func (l *lexer) peek(n int) byte {
+	if l.pos+n < len(l.src) {
+		return l.src[l.pos+n]
+	}
+	return 0
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '-' && l.peek(1) == '-' {
+			// Line comment.
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		if !unicode.IsSpace(rune(c)) {
+			return
+		}
+		l.pos++
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (l *lexer) ident() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	word := l.src[start:l.pos]
+	lower := strings.ToLower(word)
+	if keywords[lower] {
+		l.toks = append(l.toks, token{kind: tokKeyword, text: lower, pos: start})
+		return
+	}
+	l.toks = append(l.toks, token{kind: tokIdent, text: word, pos: start})
+}
+
+func (l *lexer) number() {
+	start := l.pos
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '.' && !seenDot {
+			// Only part of the number if followed by a digit (else it is
+			// qualification punctuation, which cannot follow a number
+			// anyway, but keep the lexer simple and strict).
+			if d := l.peek(1); d < '0' || d > '9' {
+				break
+			}
+			seenDot = true
+			l.pos++
+			continue
+		}
+		if c < '0' || c > '9' {
+			break
+		}
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) str() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.peek(1) == '\'' { // escaped quote
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: b.String(), pos: start})
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sql: unterminated string starting at %d", start)
+}

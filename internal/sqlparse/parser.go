@@ -1,0 +1,392 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hybridwh/internal/types"
+)
+
+// Parse parses one SELECT statement.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.query()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, fmt.Errorf("sql: trailing input at %q", p.cur().text)
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token { return p.toks[p.i] }
+
+func (p *parser) at(k tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == k && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(k tokKind, text string) bool {
+	if p.at(k, text) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokKind, text string) (token, error) {
+	t := p.cur()
+	if !p.at(k, text) {
+		return t, fmt.Errorf("sql: expected %q, found %q at %d", text, t.text, t.pos)
+	}
+	p.i++
+	return t, nil
+}
+
+func (p *parser) query() (*Query, error) {
+	if _, err := p.expect(tokKeyword, "select"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	for {
+		item, err := p.selectItem()
+		if err != nil {
+			return nil, err
+		}
+		q.Select = append(q.Select, item)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokKeyword, "from"); err != nil {
+		return nil, err
+	}
+	for {
+		tr, err := p.tableRef()
+		if err != nil {
+			return nil, err
+		}
+		q.From = append(q.From, tr)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if p.accept(tokKeyword, "where") {
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = e
+	}
+	if p.accept(tokKeyword, "group") {
+		if _, err := p.expect(tokKeyword, "by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, e)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	return q, nil
+}
+
+var aggNames = map[string]bool{"count": true, "sum": true, "min": true, "max": true, "avg": true}
+
+func (p *parser) selectItem() (SelectItem, error) {
+	var item SelectItem
+	t := p.cur()
+	if t.kind == tokKeyword && aggNames[t.text] {
+		item.Agg = t.text
+		p.i++
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return item, err
+		}
+		if item.Agg == "count" && p.accept(tokSymbol, "*") {
+			item.Star = true
+		} else {
+			e, err := p.addExpr()
+			if err != nil {
+				return item, err
+			}
+			item.Expr = e
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return item, err
+		}
+	} else {
+		e, err := p.addExpr()
+		if err != nil {
+			return item, err
+		}
+		item.Expr = e
+	}
+	if p.accept(tokKeyword, "as") {
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return item, err
+		}
+		item.As = name.text
+	}
+	return item, nil
+}
+
+func (p *parser) tableRef() (TableRef, error) {
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return TableRef{}, err
+	}
+	tr := TableRef{Name: name.text, Alias: name.text}
+	if p.accept(tokKeyword, "as") {
+		alias, err := p.expect(tokIdent, "")
+		if err != nil {
+			return tr, err
+		}
+		tr.Alias = alias.text
+	} else if p.at(tokIdent, "") {
+		tr.Alias = p.cur().text
+		p.i++
+	}
+	return tr, nil
+}
+
+// Expression grammar: or → and → not → cmp → add → mul → primary.
+
+func (p *parser) orExpr() (Node, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	terms := []Node{l}
+	for p.accept(tokKeyword, "or") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, r)
+	}
+	if len(terms) == 1 {
+		return l, nil
+	}
+	return &LogicNode{Op: "or", Terms: terms}, nil
+}
+
+func (p *parser) andExpr() (Node, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	terms := []Node{l}
+	for p.accept(tokKeyword, "and") {
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, r)
+	}
+	if len(terms) == 1 {
+		return l, nil
+	}
+	return &LogicNode{Op: "and", Terms: terms}, nil
+}
+
+func (p *parser) notExpr() (Node, error) {
+	if p.accept(tokKeyword, "not") {
+		e, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &NotNode{E: e}, nil
+	}
+	return p.cmpExpr()
+}
+
+var cmpOps = map[string]bool{"=": true, "<>": true, "<": true, "<=": true, ">": true, ">=": true}
+
+func (p *parser) cmpExpr() (Node, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.kind == tokSymbol && cmpOps[t.text] {
+		p.i++
+		r, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &CmpNode{Op: t.text, L: l, R: r}, nil
+	}
+	if p.accept(tokKeyword, "between") {
+		lo, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "and"); err != nil {
+			return nil, err
+		}
+		hi, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &LogicNode{Op: "and", Terms: []Node{
+			&CmpNode{Op: ">=", L: l, R: lo},
+			&CmpNode{Op: "<=", L: l, R: hi},
+		}}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (Node, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokSymbol || (t.text != "+" && t.text != "-") {
+			return l, nil
+		}
+		p.i++
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &ArithNode{Op: t.text, L: l, R: r}
+	}
+}
+
+func (p *parser) mulExpr() (Node, error) {
+	l, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokSymbol || (t.text != "*" && t.text != "/") {
+			return l, nil
+		}
+		p.i++
+		r, err := p.primary()
+		if err != nil {
+			return nil, err
+		}
+		l = &ArithNode{Op: t.text, L: l, R: r}
+	}
+}
+
+func (p *parser) primary() (Node, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokSymbol && t.text == "-":
+		// Unary minus: negate a numeric literal or subtract from zero.
+		p.i++
+		inner, err := p.primary()
+		if err != nil {
+			return nil, err
+		}
+		if lit, ok := inner.(*LitNode); ok {
+			switch lit.V.K {
+			case types.KindInt64, types.KindInt32:
+				return &LitNode{V: types.Int64(-lit.V.Int())}, nil
+			case types.KindFloat64:
+				return &LitNode{V: types.Float64(-lit.V.Float())}, nil
+			}
+		}
+		return &ArithNode{Op: "-", L: &LitNode{V: types.Int64(0)}, R: inner}, nil
+
+	case t.kind == tokNumber:
+		p.i++
+		if strings.ContainsRune(t.text, '.') {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sql: bad number %q: %w", t.text, err)
+			}
+			return &LitNode{V: types.Float64(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad number %q: %w", t.text, err)
+		}
+		return &LitNode{V: types.Int64(n)}, nil
+
+	case t.kind == tokString:
+		p.i++
+		return &LitNode{V: types.String(t.text)}, nil
+
+	case t.kind == tokKeyword && t.text == "date":
+		// DATE 'yyyy-mm-dd' literal.
+		p.i++
+		s, err := p.expect(tokString, "")
+		if err != nil {
+			return nil, err
+		}
+		v, err := types.ParseValue(types.KindDate, s.text)
+		if err != nil {
+			return nil, fmt.Errorf("sql: %w", err)
+		}
+		return &LitNode{V: v}, nil
+
+	case t.kind == tokIdent:
+		p.i++
+		// Function call?
+		if p.accept(tokSymbol, "(") {
+			call := &CallNode{Name: strings.ToLower(t.text)}
+			if !p.at(tokSymbol, ")") {
+				for {
+					arg, err := p.addExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, arg)
+					if !p.accept(tokSymbol, ",") {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		// Qualified name?
+		if p.accept(tokSymbol, ".") {
+			col, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			return &NameRef{Table: t.text, Col: col.text}, nil
+		}
+		return &NameRef{Col: t.text}, nil
+
+	case t.kind == tokSymbol && t.text == "(":
+		p.i++
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+
+	default:
+		return nil, fmt.Errorf("sql: unexpected token %q at %d", t.text, t.pos)
+	}
+}

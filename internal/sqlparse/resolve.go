@@ -1,0 +1,481 @@
+package sqlparse
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hybridwh/internal/expr"
+	"hybridwh/internal/plan"
+	"hybridwh/internal/relop"
+	"hybridwh/internal/types"
+)
+
+// TableMeta names a table and its schema for resolution.
+type TableMeta struct {
+	Name   string
+	Schema types.Schema
+}
+
+// side identifies which system owns a column.
+type side int
+
+const (
+	dbSide side = iota
+	hdfsSide
+)
+
+// resolver binds name references against the two tables.
+type resolver struct {
+	db, hdfs  TableMeta
+	dbAlias   string
+	hdfsAlias string
+	reg       *expr.Registry
+}
+
+// colRef is a resolved column.
+type colRef struct {
+	side side
+	idx  int
+}
+
+// PlanQuery resolves a parsed query against the database table and the HDFS
+// table and produces the executable decomposition: local predicates pushed
+// to each side, the equi-join pair, post-join predicates, grouping and
+// aggregation — the planning the paper performs when rewriting the query
+// into the UDF form of Section 4.1.1.
+func PlanQuery(q *Query, db, hdfs TableMeta, reg *expr.Registry) (*plan.JoinQuery, error) {
+	if reg == nil {
+		reg = expr.NewRegistry()
+	}
+	if len(q.From) != 2 {
+		return nil, fmt.Errorf("sql: hybrid joins take exactly two tables, got %d", len(q.From))
+	}
+	r := &resolver{db: db, hdfs: hdfs, reg: reg}
+	for _, tr := range q.From {
+		switch {
+		case strings.EqualFold(tr.Name, db.Name):
+			r.dbAlias = tr.Alias
+		case strings.EqualFold(tr.Name, hdfs.Name):
+			r.hdfsAlias = tr.Alias
+		default:
+			return nil, fmt.Errorf("sql: unknown table %q (known: %s in the database, %s on HDFS)", tr.Name, db.Name, hdfs.Name)
+		}
+	}
+	if r.dbAlias == "" || r.hdfsAlias == "" {
+		return nil, fmt.Errorf("sql: the query must join %s with %s", db.Name, hdfs.Name)
+	}
+
+	// Split WHERE into conjuncts and classify them.
+	var dbConj, hdfsConj, postConj []Node
+	var joinDB, joinHDFS = -1, -1
+	for _, c := range conjuncts(q.Where) {
+		// Equi-join detection: bare column = bare column across sides.
+		if cmp, ok := c.(*CmpNode); ok && cmp.Op == "=" && joinDB < 0 {
+			lr, lok := cmp.L.(*NameRef)
+			rr, rok := cmp.R.(*NameRef)
+			if lok && rok {
+				lc, lerr := r.resolve(lr)
+				rc, rerr := r.resolve(rr)
+				if lerr == nil && rerr == nil && lc.side != rc.side {
+					if lc.side == dbSide {
+						joinDB, joinHDFS = lc.idx, rc.idx
+					} else {
+						joinDB, joinHDFS = rc.idx, lc.idx
+					}
+					continue
+				}
+			}
+		}
+		sides, err := r.sidesOf(c)
+		if err != nil {
+			return nil, err
+		}
+		switch sides {
+		case 1 << dbSide:
+			dbConj = append(dbConj, c)
+		case 1 << hdfsSide:
+			hdfsConj = append(hdfsConj, c)
+		default: // both sides or no columns: evaluate after the join
+			postConj = append(postConj, c)
+		}
+	}
+	if joinDB < 0 {
+		return nil, fmt.Errorf("sql: no equi-join condition between %s and %s", db.Name, hdfs.Name)
+	}
+
+	// Aggregates and grouping from the SELECT list.
+	var aggs []relop.AggSpec
+	var groupItems []SelectItem
+	for _, it := range q.Select {
+		if it.Agg == "" {
+			groupItems = append(groupItems, it)
+			continue
+		}
+	}
+	if len(q.GroupBy) != len(groupItems) {
+		return nil, fmt.Errorf("sql: %d non-aggregate select items but %d GROUP BY expressions", len(groupItems), len(q.GroupBy))
+	}
+	for i, it := range groupItems {
+		if it.Expr.Render() != q.GroupBy[i].Render() {
+			return nil, fmt.Errorf("sql: select item %q does not match GROUP BY expression %q", it.Expr.Render(), q.GroupBy[i].Render())
+		}
+	}
+
+	// Shipped columns per side: everything the post-join stage needs.
+	shipSet := map[side]map[int]bool{dbSide: {}, hdfsSide: {}}
+	collect := func(n Node) error {
+		return walkNames(n, func(nr *NameRef) error {
+			c, err := r.resolve(nr)
+			if err != nil {
+				return err
+			}
+			shipSet[c.side][c.idx] = true
+			return nil
+		})
+	}
+	for _, c := range postConj {
+		if err := collect(c); err != nil {
+			return nil, err
+		}
+	}
+	for _, g := range q.GroupBy {
+		if err := collect(g); err != nil {
+			return nil, err
+		}
+	}
+	for _, it := range q.Select {
+		if it.Agg != "" && it.Expr != nil {
+			if err := collect(it.Expr); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Wire layouts: join key first (so the builder's auto-prepend is a
+	// no-op and combined indexes are known here), then the rest sorted.
+	dbShip := shipList(shipSet[dbSide], joinDB)
+	hdfsShip := shipList(shipSet[hdfsSide], joinHDFS)
+
+	// Combined layout: HDFS wire ++ DB wire.
+	combined := func(c colRef) (int, types.Kind, error) {
+		if c.side == hdfsSide {
+			for i, b := range hdfsShip {
+				if b == c.idx {
+					return i, r.hdfs.Schema.Cols[c.idx].Kind, nil
+				}
+			}
+		} else {
+			for i, b := range dbShip {
+				if b == c.idx {
+					return len(hdfsShip) + i, r.db.Schema.Cols[c.idx].Kind, nil
+				}
+			}
+		}
+		return 0, 0, fmt.Errorf("sql: column not shipped to the join")
+	}
+
+	// Convert classified predicates.
+	base := func(s side) func(colRef) (int, types.Kind, error) {
+		return func(c colRef) (int, types.Kind, error) {
+			if c.side != s {
+				return 0, 0, fmt.Errorf("sql: cross-side column in single-side predicate")
+			}
+			sch := r.db.Schema
+			if s == hdfsSide {
+				sch = r.hdfs.Schema
+			}
+			return c.idx, sch.Cols[c.idx].Kind, nil
+		}
+	}
+	dbPred, err := r.convertAll(dbConj, base(dbSide))
+	if err != nil {
+		return nil, err
+	}
+	hdfsPred, err := r.convertAll(hdfsConj, base(hdfsSide))
+	if err != nil {
+		return nil, err
+	}
+	postPred, err := r.convertAll(postConj, combined)
+	if err != nil {
+		return nil, err
+	}
+	var groupExprs []expr.Expr
+	for _, g := range q.GroupBy {
+		e, err := r.convert(g, combined)
+		if err != nil {
+			return nil, err
+		}
+		groupExprs = append(groupExprs, e)
+	}
+	for _, it := range q.Select {
+		if it.Agg == "" {
+			continue
+		}
+		spec := relop.AggSpec{Name: it.As}
+		switch it.Agg {
+		case "count":
+			spec.Kind = relop.AggCount
+		case "sum":
+			spec.Kind = relop.AggSum
+		case "min":
+			spec.Kind = relop.AggMin
+		case "max":
+			spec.Kind = relop.AggMax
+		case "avg":
+			spec.Kind = relop.AggAvg
+		}
+		if !it.Star {
+			in, err := r.convert(it.Expr, combined)
+			if err != nil {
+				return nil, err
+			}
+			spec.Input = in
+		}
+		if spec.Name == "" {
+			spec.Name = it.Agg
+		}
+		aggs = append(aggs, spec)
+	}
+	if len(aggs) == 0 {
+		return nil, fmt.Errorf("sql: analytic queries need at least one aggregate (Section 2 assumption)")
+	}
+
+	return plan.NewBuilder(db.Name, db.Schema, hdfs.Name, hdfs.Schema).
+		DBPred(dbPred).
+		HDFSPred(hdfsPred).
+		Join(joinDB, joinHDFS).
+		Ship(dbShip, hdfsShip).
+		PostJoin(postPred).
+		GroupBy(groupExprs...).
+		Aggregates(aggs...).
+		Build()
+}
+
+// conjuncts flattens nested top-level ANDs.
+func conjuncts(n Node) []Node {
+	if n == nil {
+		return nil
+	}
+	if l, ok := n.(*LogicNode); ok && l.Op == "and" {
+		var out []Node
+		for _, t := range l.Terms {
+			out = append(out, conjuncts(t)...)
+		}
+		return out
+	}
+	return []Node{n}
+}
+
+// walkNames visits every NameRef in the tree.
+func walkNames(n Node, fn func(*NameRef) error) error {
+	switch t := n.(type) {
+	case nil:
+		return nil
+	case *NameRef:
+		return fn(t)
+	case *LitNode:
+		return nil
+	case *CmpNode:
+		if err := walkNames(t.L, fn); err != nil {
+			return err
+		}
+		return walkNames(t.R, fn)
+	case *LogicNode:
+		for _, term := range t.Terms {
+			if err := walkNames(term, fn); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *NotNode:
+		return walkNames(t.E, fn)
+	case *ArithNode:
+		if err := walkNames(t.L, fn); err != nil {
+			return err
+		}
+		return walkNames(t.R, fn)
+	case *CallNode:
+		for _, a := range t.Args {
+			if err := walkNames(a, fn); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("sql: unknown node %T", n)
+	}
+}
+
+// resolve binds a name reference to a table column.
+func (r *resolver) resolve(nr *NameRef) (colRef, error) {
+	switch {
+	case strings.EqualFold(nr.Table, r.dbAlias) || strings.EqualFold(nr.Table, r.db.Name):
+		i := r.db.Schema.ColIndex(nr.Col)
+		if i < 0 {
+			return colRef{}, fmt.Errorf("sql: %s has no column %q", r.db.Name, nr.Col)
+		}
+		return colRef{side: dbSide, idx: i}, nil
+	case strings.EqualFold(nr.Table, r.hdfsAlias) || strings.EqualFold(nr.Table, r.hdfs.Name):
+		i := r.hdfs.Schema.ColIndex(nr.Col)
+		if i < 0 {
+			return colRef{}, fmt.Errorf("sql: %s has no column %q", r.hdfs.Name, nr.Col)
+		}
+		return colRef{side: hdfsSide, idx: i}, nil
+	case nr.Table == "":
+		di := r.db.Schema.ColIndex(nr.Col)
+		hi := r.hdfs.Schema.ColIndex(nr.Col)
+		switch {
+		case di >= 0 && hi >= 0:
+			return colRef{}, fmt.Errorf("sql: column %q is ambiguous; qualify it", nr.Col)
+		case di >= 0:
+			return colRef{side: dbSide, idx: di}, nil
+		case hi >= 0:
+			return colRef{side: hdfsSide, idx: hi}, nil
+		default:
+			return colRef{}, fmt.Errorf("sql: unknown column %q", nr.Col)
+		}
+	default:
+		return colRef{}, fmt.Errorf("sql: unknown table qualifier %q", nr.Table)
+	}
+}
+
+// sidesOf returns a bitmask of the sides a node references.
+func (r *resolver) sidesOf(n Node) (int, error) {
+	mask := 0
+	err := walkNames(n, func(nr *NameRef) error {
+		c, err := r.resolve(nr)
+		if err != nil {
+			return err
+		}
+		mask |= 1 << c.side
+		return nil
+	})
+	return mask, err
+}
+
+func shipList(set map[int]bool, joinCol int) []int {
+	out := []int{joinCol}
+	var rest []int
+	for c := range set {
+		if c != joinCol {
+			rest = append(rest, c)
+		}
+	}
+	sort.Ints(rest)
+	return append(out, rest...)
+}
+
+// convertAll converts and conjoins a conjunct list (nil when empty).
+func (r *resolver) convertAll(nodes []Node, col func(colRef) (int, types.Kind, error)) (expr.Expr, error) {
+	var terms []expr.Expr
+	for _, n := range nodes {
+		e, err := r.convert(n, col)
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, e)
+	}
+	return expr.NewAnd(terms...), nil
+}
+
+// convert lowers an AST node into an executable expression, mapping column
+// references through col.
+func (r *resolver) convert(n Node, col func(colRef) (int, types.Kind, error)) (expr.Expr, error) {
+	switch t := n.(type) {
+	case *NameRef:
+		c, err := r.resolve(t)
+		if err != nil {
+			return nil, err
+		}
+		idx, kind, err := col(c)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s", err, t.Render())
+		}
+		return expr.NewCol(idx, t.Render(), kind), nil
+	case *LitNode:
+		return expr.NewLit(t.V), nil
+	case *CmpNode:
+		l, err := r.convert(t.L, col)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := r.convert(t.R, col)
+		if err != nil {
+			return nil, err
+		}
+		var op expr.CmpOp
+		switch t.Op {
+		case "=":
+			op = expr.EQ
+		case "<>":
+			op = expr.NE
+		case "<":
+			op = expr.LT
+		case "<=":
+			op = expr.LE
+		case ">":
+			op = expr.GT
+		case ">=":
+			op = expr.GE
+		default:
+			return nil, fmt.Errorf("sql: unknown comparison %q", t.Op)
+		}
+		return expr.NewCmp(op, l, rr), nil
+	case *LogicNode:
+		terms := make([]expr.Expr, len(t.Terms))
+		for i, term := range t.Terms {
+			e, err := r.convert(term, col)
+			if err != nil {
+				return nil, err
+			}
+			terms[i] = e
+		}
+		if t.Op == "or" {
+			return expr.NewOr(terms...), nil
+		}
+		return expr.NewAnd(terms...), nil
+	case *NotNode:
+		e, err := r.convert(t.E, col)
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewNot(e), nil
+	case *ArithNode:
+		l, err := r.convert(t.L, col)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := r.convert(t.R, col)
+		if err != nil {
+			return nil, err
+		}
+		var op expr.ArithOp
+		switch t.Op {
+		case "+":
+			op = expr.Add
+		case "-":
+			op = expr.Sub
+		case "*":
+			op = expr.Mul
+		case "/":
+			op = expr.Div
+		}
+		return expr.NewArith(op, l, rr), nil
+	case *CallNode:
+		fn, err := r.reg.Lookup(t.Name)
+		if err != nil {
+			return nil, err
+		}
+		args := make([]expr.Expr, len(t.Args))
+		for i, a := range t.Args {
+			e, err := r.convert(a, col)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = e
+		}
+		return expr.NewCall(fn, args...)
+	default:
+		return nil, fmt.Errorf("sql: cannot convert node %T", n)
+	}
+}

@@ -1,0 +1,166 @@
+package types
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The wire codec serializes rows into compact frames for transfer between
+// workers. The same encoding is used by the in-process and TCP transports so
+// that byte counters are identical regardless of transport, and it is the
+// size the cost model charges against network links.
+//
+// Encoding: per value, one kind byte; fixed-width kinds are followed by a
+// varint payload; strings by a varint length and the raw bytes.
+
+// AppendValue appends the wire encoding of v to dst.
+func AppendValue(dst []byte, v Value) []byte {
+	dst = append(dst, byte(v.K))
+	switch v.K {
+	case KindNull:
+		return dst
+	case KindString:
+		dst = binary.AppendUvarint(dst, uint64(len(v.S)))
+		return append(dst, v.S...)
+	default:
+		return binary.AppendVarint(dst, v.I)
+	}
+}
+
+// DecodeValue decodes one value from b, returning the value and the number of
+// bytes consumed.
+func DecodeValue(b []byte) (Value, int, error) {
+	if len(b) == 0 {
+		return Null, 0, fmt.Errorf("decode value: empty buffer")
+	}
+	k := Kind(b[0])
+	switch k {
+	case KindNull:
+		return Null, 1, nil
+	case KindString:
+		n, sz := binary.Uvarint(b[1:])
+		if sz <= 0 {
+			return Null, 0, fmt.Errorf("decode string length: truncated")
+		}
+		start := 1 + sz
+		// Compare as uint64 before converting: a corrupt length must not
+		// overflow int arithmetic.
+		if n > uint64(len(b)-start) {
+			return Null, 0, fmt.Errorf("decode string: need %d bytes, have %d", n, len(b)-start)
+		}
+		end := start + int(n)
+		return String(string(b[start:end])), end, nil
+	case KindInt32, KindInt64, KindDate, KindTime, KindFloat64, KindBool:
+		i, sz := binary.Varint(b[1:])
+		if sz <= 0 {
+			return Null, 0, fmt.Errorf("decode %s: truncated varint", k)
+		}
+		return Value{K: k, I: i}, 1 + sz, nil
+	default:
+		return Null, 0, fmt.Errorf("decode value: unknown kind %d", b[0])
+	}
+}
+
+// AppendRow appends the wire encoding of the row (column count varint, then
+// each value) to dst.
+func AppendRow(dst []byte, r Row) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(r)))
+	for _, v := range r {
+		dst = AppendValue(dst, v)
+	}
+	return dst
+}
+
+// DecodeRow decodes one row from b, returning the row and bytes consumed.
+func DecodeRow(b []byte) (Row, int, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return nil, 0, fmt.Errorf("decode row: truncated column count")
+	}
+	// The count is untrusted wire input; every column costs at least one
+	// byte, so anything beyond the buffer is corrupt.
+	if n > uint64(len(b)-sz) {
+		return nil, 0, fmt.Errorf("decode row: %d columns exceed %d remaining bytes", n, len(b)-sz)
+	}
+	off := sz
+	row := make(Row, n)
+	for i := range row {
+		v, used, err := DecodeValue(b[off:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("decode row col %d: %w", i, err)
+		}
+		row[i] = v
+		off += used
+	}
+	return row, off, nil
+}
+
+// EncodedRowSize returns the wire size of the row without materializing the
+// encoding; used for cheap accounting.
+func EncodedRowSize(r Row) int {
+	n := uvarintLen(uint64(len(r)))
+	for _, v := range r {
+		n++ // kind byte
+		switch v.K {
+		case KindNull:
+		case KindString:
+			n += uvarintLen(uint64(len(v.S))) + len(v.S)
+		default:
+			n += varintLen(v.I)
+		}
+	}
+	return n
+}
+
+// EncodeRows encodes a batch of rows into a single buffer.
+func EncodeRows(rows []Row) []byte {
+	var buf []byte
+	buf = binary.AppendUvarint(buf, uint64(len(rows)))
+	for _, r := range rows {
+		buf = AppendRow(buf, r)
+	}
+	return buf
+}
+
+// DecodeRows decodes a batch encoded by EncodeRows.
+func DecodeRows(b []byte) ([]Row, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return nil, fmt.Errorf("decode rows: truncated batch count")
+	}
+	// Untrusted batch count: every row costs at least one byte.
+	if n > uint64(len(b)-sz) {
+		return nil, fmt.Errorf("decode rows: %d rows exceed %d remaining bytes", n, len(b)-sz)
+	}
+	off := sz
+	rows := make([]Row, 0, n)
+	for i := uint64(0); i < n; i++ {
+		r, used, err := DecodeRow(b[off:])
+		if err != nil {
+			return nil, fmt.Errorf("decode rows[%d]: %w", i, err)
+		}
+		rows = append(rows, r)
+		off += used
+	}
+	if off != len(b) {
+		return nil, fmt.Errorf("decode rows: %d trailing bytes", len(b)-off)
+	}
+	return rows, nil
+}
+
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+func varintLen(x int64) int {
+	ux := uint64(x) << 1
+	if x < 0 {
+		ux = ^ux
+	}
+	return uvarintLen(ux)
+}

@@ -1,0 +1,142 @@
+package types
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueCodecRoundTrip(t *testing.T) {
+	vals := []Value{
+		Null, Int32(0), Int32(-1), Int32(1 << 30), Int64(-1 << 60),
+		Date(16517), TimeOfDay(86399), String(""), String("abc"),
+		String(string(make([]byte, 300))), Float64(-2.5), Bool(true),
+	}
+	for _, v := range vals {
+		buf := AppendValue(nil, v)
+		got, n, err := DecodeValue(buf)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", v, err)
+		}
+		if n != len(buf) {
+			t.Errorf("decode %+v consumed %d of %d bytes", v, n, len(buf))
+		}
+		if got != v && !(v.K == KindString && got.S == v.S) {
+			t.Errorf("round trip %+v -> %+v", v, got)
+		}
+	}
+}
+
+func TestRowCodecRoundTrip(t *testing.T) {
+	rows := []Row{
+		{},
+		{Int32(1)},
+		{Int32(1), String("abc"), Date(100), Null, Float64(1.5)},
+	}
+	for _, r := range rows {
+		buf := AppendRow(nil, r)
+		if got := EncodedRowSize(r); got != len(buf) {
+			t.Errorf("EncodedRowSize = %d, actual %d", got, len(buf))
+		}
+		back, n, err := DecodeRow(buf)
+		if err != nil {
+			t.Fatalf("DecodeRow: %v", err)
+		}
+		if n != len(buf) || len(back) != len(r) {
+			t.Fatalf("DecodeRow consumed %d, got %d cols", n, len(back))
+		}
+		for i := range r {
+			if !Equal(back[i], r[i]) && !(r[i].IsNull() && back[i].IsNull()) {
+				t.Errorf("col %d: %+v != %+v", i, back[i], r[i])
+			}
+		}
+	}
+}
+
+func TestBatchCodec(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var rows []Row
+	for i := 0; i < 500; i++ {
+		rows = append(rows, Row{
+			Int32(int32(rng.Intn(1000))),
+			Int64(rng.Int63()),
+			String(randString(rng, rng.Intn(50))),
+			Date(int32(rng.Intn(20000))),
+		})
+	}
+	buf := EncodeRows(rows)
+	back, err := DecodeRows(buf)
+	if err != nil {
+		t.Fatalf("DecodeRows: %v", err)
+	}
+	if len(back) != len(rows) {
+		t.Fatalf("got %d rows, want %d", len(back), len(rows))
+	}
+	for i := range rows {
+		for j := range rows[i] {
+			if !Equal(back[i][j], rows[i][j]) {
+				t.Fatalf("row %d col %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := DecodeValue(nil); err == nil {
+		t.Error("DecodeValue(nil): want error")
+	}
+	if _, _, err := DecodeValue([]byte{byte(KindString), 5, 'a'}); err == nil {
+		t.Error("short string: want error")
+	}
+	if _, _, err := DecodeValue([]byte{99}); err == nil {
+		t.Error("unknown kind: want error")
+	}
+	if _, _, err := DecodeRow([]byte{}); err == nil {
+		t.Error("empty row buffer: want error")
+	}
+	if _, err := DecodeRows([]byte{}); err == nil {
+		t.Error("empty batch buffer: want error")
+	}
+	// Trailing garbage after a valid batch must be rejected.
+	buf := EncodeRows([]Row{{Int32(1)}})
+	buf = append(buf, 0xFF)
+	if _, err := DecodeRows(buf); err == nil {
+		t.Error("trailing bytes: want error")
+	}
+}
+
+func TestQuickValueCodec(t *testing.T) {
+	f := func(i int64, s string, pickString bool) bool {
+		var v Value
+		if pickString {
+			v = String(s)
+		} else {
+			v = Int64(i)
+		}
+		buf := AppendValue(nil, v)
+		got, n, err := DecodeValue(buf)
+		return err == nil && n == len(buf) && Equal(got, v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEncodedRowSize(t *testing.T) {
+	f := func(a int64, b string, c int32) bool {
+		r := Row{Int64(a), String(b), Int32(c), Null}
+		return EncodedRowSize(r) == len(AppendRow(nil, r))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randString(rng *rand.Rand, n int) string {
+	const alphabet = "abcdefghijklmnopqrstuvwxyz0123456789/-_"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return string(b)
+}

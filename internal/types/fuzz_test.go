@@ -1,0 +1,23 @@
+package types
+
+import "testing"
+
+// FuzzDecodeRows: the wire codec must reject or decode arbitrary frames
+// without panicking — it parses bytes received from other workers.
+func FuzzDecodeRows(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add(EncodeRows([]Row{{Int32(1), String("abc"), Date(100)}}))
+	f.Add(EncodeRows(nil))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		rows, err := DecodeRows(buf)
+		if err != nil {
+			return
+		}
+		// Valid frames must re-encode to an equivalent frame.
+		back, err := DecodeRows(EncodeRows(rows))
+		if err != nil || len(back) != len(rows) {
+			t.Fatalf("re-encode mismatch: %v (%d vs %d rows)", err, len(back), len(rows))
+		}
+	})
+}

@@ -1,0 +1,60 @@
+package types
+
+import "math"
+
+// The hybrid warehouse needs two independent hash families: one for
+// partitioning rows across workers (the "agreed hash function" the database
+// and JEN share, Section 3.3 of the paper) and one for Bloom filters.
+// Both are built on splitmix64, seeded differently, so that Bloom filter
+// false positives are independent of partition skew.
+
+const (
+	seedPartition uint64 = 0x9e3779b97f4a7c15
+	seedBloom     uint64 = 0xc2b2ae3d27d4eb4f
+)
+
+// splitmix64 is the finalizer of the SplitMix64 generator; it is a strong
+// 64-bit mixer with full avalanche.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashString is FNV-1a over the bytes of s, then mixed.
+func hashString(s string, seed uint64) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return splitmix64(h ^ seed)
+}
+
+// hashValue hashes a single value with the given seed.
+func hashValue(v Value, seed uint64) uint64 {
+	if v.K == KindString {
+		return hashString(v.S, seed)
+	}
+	return splitmix64(uint64(v.I) ^ seed ^ uint64(v.K)<<56)
+}
+
+// PartitionHash hashes a value with the partitioning family.
+func PartitionHash(v Value) uint64 { return hashValue(v, seedPartition) }
+
+// BloomHash hashes a value with the Bloom filter family.
+func BloomHash(v Value) uint64 { return hashValue(v, seedBloom) }
+
+// PartitionHashKey hashes a raw integer key with the partitioning family.
+func PartitionHashKey(k int64) uint64 { return splitmix64(uint64(k) ^ seedPartition) }
+
+// BloomHashKey hashes a raw integer key with the Bloom filter family.
+func BloomHashKey(k int64) uint64 { return splitmix64(uint64(k) ^ seedBloom) }
+
+// Mix64 exposes the raw mixer for packages that need a cheap deterministic
+// pseudo-random mapping (e.g. the data generator's key permutation).
+func Mix64(x uint64) uint64 { return splitmix64(x) }
+
+func floatBits(f float64) uint64     { return math.Float64bits(f) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }

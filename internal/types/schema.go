@@ -1,0 +1,113 @@
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Col is one column of a schema.
+type Col struct {
+	Name string
+	Kind Kind
+}
+
+// Schema describes the columns of a table or of an intermediate row stream.
+type Schema struct {
+	Cols []Col
+}
+
+// NewSchema builds a schema from name/kind pairs.
+func NewSchema(cols ...Col) Schema { return Schema{Cols: cols} }
+
+// C is shorthand for constructing a column.
+func C(name string, kind Kind) Col { return Col{Name: name, Kind: kind} }
+
+// Len returns the number of columns.
+func (s Schema) Len() int { return len(s.Cols) }
+
+// ColIndex returns the index of the named column, or -1.
+func (s Schema) ColIndex(name string) int {
+	for i, c := range s.Cols {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// MustColIndex is ColIndex but panics on unknown columns; for use in tests
+// and generators where the schema is static.
+func (s Schema) MustColIndex(name string) int {
+	i := s.ColIndex(name)
+	if i < 0 {
+		panic(fmt.Sprintf("schema has no column %q", name))
+	}
+	return i
+}
+
+// Project returns the schema restricted to the given column indexes, in order.
+func (s Schema) Project(idx []int) Schema {
+	out := Schema{Cols: make([]Col, len(idx))}
+	for i, j := range idx {
+		out.Cols[i] = s.Cols[j]
+	}
+	return out
+}
+
+// Concat returns the schema of rows formed by appending b's columns to s's.
+// Duplicate names are qualified by the caller before concatenation.
+func (s Schema) Concat(b Schema) Schema {
+	out := Schema{Cols: make([]Col, 0, len(s.Cols)+len(b.Cols))}
+	out.Cols = append(out.Cols, s.Cols...)
+	out.Cols = append(out.Cols, b.Cols...)
+	return out
+}
+
+// String renders the schema as "name kind, name kind, ...".
+func (s Schema) String() string {
+	var b strings.Builder
+	for i, c := range s.Cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", c.Name, c.Kind)
+	}
+	return b.String()
+}
+
+// Row is a tuple of values laid out per some schema.
+type Row []Value
+
+// Project returns the row restricted to the given column indexes.
+func (r Row) Project(idx []int) Row {
+	out := make(Row, len(idx))
+	for i, j := range idx {
+		out[i] = r[j]
+	}
+	return out
+}
+
+// Clone returns a copy of the row (value structs are copied; strings share
+// backing storage, which is safe because values are immutable).
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Concat returns a new row with b's values appended.
+func (r Row) Concat(b Row) Row {
+	out := make(Row, 0, len(r)+len(b))
+	out = append(out, r...)
+	out = append(out, b...)
+	return out
+}
+
+// String renders the row in text-format style for debugging.
+func (r Row) String() string {
+	parts := make([]string, len(r))
+	for i, v := range r {
+		parts[i] = v.Format()
+	}
+	return strings.Join(parts, "|")
+}

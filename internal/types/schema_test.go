@@ -1,0 +1,78 @@
+package types
+
+import "testing"
+
+func testSchema() Schema {
+	return NewSchema(
+		C("joinKey", KindInt32),
+		C("corPred", KindInt32),
+		C("indPred", KindInt32),
+		C("predAfterJoin", KindDate),
+		C("groupByExtractCol", KindString),
+		C("dummy", KindString),
+	)
+}
+
+func TestColIndex(t *testing.T) {
+	s := testSchema()
+	if i := s.ColIndex("corPred"); i != 1 {
+		t.Errorf("ColIndex(corPred) = %d", i)
+	}
+	if i := s.ColIndex("CORPRED"); i != 1 {
+		t.Errorf("ColIndex is case sensitive: %d", i)
+	}
+	if i := s.ColIndex("nope"); i != -1 {
+		t.Errorf("ColIndex(nope) = %d", i)
+	}
+	if got := s.MustColIndex("dummy"); got != 5 {
+		t.Errorf("MustColIndex(dummy) = %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustColIndex on missing column should panic")
+		}
+	}()
+	s.MustColIndex("missing")
+}
+
+func TestProjectAndConcat(t *testing.T) {
+	s := testSchema()
+	p := s.Project([]int{4, 0})
+	if p.Len() != 2 || p.Cols[0].Name != "groupByExtractCol" || p.Cols[1].Name != "joinKey" {
+		t.Errorf("Project: %v", p)
+	}
+	c := p.Concat(NewSchema(C("cnt", KindInt64)))
+	if c.Len() != 3 || c.Cols[2].Name != "cnt" {
+		t.Errorf("Concat: %v", c)
+	}
+	if s.Len() != 6 {
+		t.Error("Concat/Project must not mutate the receiver")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := NewSchema(C("a", KindInt32), C("b", KindString))
+	if got := s.String(); got != "a int, b varchar" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestRowOps(t *testing.T) {
+	r := Row{Int32(7), String("x"), Date(100)}
+	p := r.Project([]int{2, 0})
+	if len(p) != 2 || p[0].I != 100 || p[1].I != 7 {
+		t.Errorf("Project: %v", p)
+	}
+	c := r.Clone()
+	c[0] = Int32(8)
+	if r[0].I != 7 {
+		t.Error("Clone aliases the original")
+	}
+	cc := r.Concat(Row{Int64(1)})
+	if len(cc) != 4 || cc[3].I != 1 {
+		t.Errorf("Concat: %v", cc)
+	}
+	if got := r.String(); got != "7|x|1970-04-11" {
+		t.Errorf("Row.String() = %q", got)
+	}
+}

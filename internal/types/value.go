@@ -1,0 +1,247 @@
+// Package types defines the value, row and schema representations shared by
+// every layer of the hybrid warehouse: the parallel database (internal/edw),
+// the HDFS-side engine (internal/jen), the file formats (internal/format) and
+// the wire protocol (internal/netsim).
+//
+// Values are kept deliberately compact: a small kind tag, one 64-bit integer
+// payload and one string payload. Dates are stored as days since the Unix
+// epoch, times as seconds since midnight, so that the date arithmetic used by
+// the paper's example query (days(T.tdate)-days(L.ldate)) is plain integer
+// arithmetic.
+package types
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// Kind enumerates the column types supported by the hybrid warehouse. They
+// mirror the schema of the paper's Section 5 dataset (bigint, int, date,
+// time, varchar/char).
+type Kind uint8
+
+const (
+	// KindNull is the zero Kind; it marks an absent value.
+	KindNull Kind = iota
+	// KindInt32 is a 32-bit signed integer ("int" in the paper's schemas).
+	KindInt32
+	// KindInt64 is a 64-bit signed integer ("bigint").
+	KindInt64
+	// KindDate is a calendar date, stored as days since 1970-01-01.
+	KindDate
+	// KindTime is a time of day, stored as seconds since midnight.
+	KindTime
+	// KindString is a variable-length string ("varchar"/"char").
+	KindString
+	// KindFloat64 is a double-precision float, used by AVG aggregates.
+	KindFloat64
+	// KindBool is a boolean, produced by predicate evaluation.
+	KindBool
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindInt32:
+		return "int"
+	case KindInt64:
+		return "bigint"
+	case KindDate:
+		return "date"
+	case KindTime:
+		return "time"
+	case KindString:
+		return "varchar"
+	case KindFloat64:
+		return "double"
+	case KindBool:
+		return "boolean"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Fixed is true for kinds whose wire encoding has a fixed width.
+func (k Kind) Fixed() bool { return k != KindString }
+
+// Value is a single column value. Numeric kinds (including date, time and
+// bool) live in I; float64 is stored as its bit pattern in I; strings live
+// in S.
+type Value struct {
+	K Kind
+	I int64
+	S string
+}
+
+// Null is the absent value.
+var Null = Value{K: KindNull}
+
+// Int32 returns an int32 value.
+func Int32(v int32) Value { return Value{K: KindInt32, I: int64(v)} }
+
+// Int64 returns an int64 value.
+func Int64(v int64) Value { return Value{K: KindInt64, I: v} }
+
+// Date returns a date value from days since the Unix epoch.
+func Date(days int32) Value { return Value{K: KindDate, I: int64(days)} }
+
+// TimeOfDay returns a time value from seconds since midnight.
+func TimeOfDay(secs int32) Value { return Value{K: KindTime, I: int64(secs)} }
+
+// String returns a string value.
+func String(s string) Value { return Value{K: KindString, S: s} }
+
+// Float64 returns a double value.
+func Float64(f float64) Value { return Value{K: KindFloat64, I: int64(floatBits(f))} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value {
+	if b {
+		return Value{K: KindBool, I: 1}
+	}
+	return Value{K: KindBool, I: 0}
+}
+
+// IsNull reports whether the value is absent.
+func (v Value) IsNull() bool { return v.K == KindNull }
+
+// Int returns the integer payload. It is valid for all numeric kinds.
+func (v Value) Int() int64 { return v.I }
+
+// Float returns the float payload of a KindFloat64 value, or the integer
+// payload converted to float for other numeric kinds.
+func (v Value) Float() float64 {
+	if v.K == KindFloat64 {
+		return floatFromBits(uint64(v.I))
+	}
+	return float64(v.I)
+}
+
+// Str returns the string payload.
+func (v Value) Str() string { return v.S }
+
+// Truth reports whether a boolean value is true. Null is false.
+func (v Value) Truth() bool { return v.K == KindBool && v.I != 0 }
+
+// DateString formats a KindDate value as YYYY-MM-DD.
+func (v Value) DateString() string {
+	t := time.Unix(0, 0).UTC().AddDate(0, 0, int(v.I))
+	return t.Format("2006-01-02")
+}
+
+// Format renders the value for the text file format and for result display.
+func (v Value) Format() string {
+	switch v.K {
+	case KindNull:
+		return ""
+	case KindInt32, KindInt64:
+		return strconv.FormatInt(v.I, 10)
+	case KindDate:
+		return v.DateString()
+	case KindTime:
+		s := v.I
+		return fmt.Sprintf("%02d:%02d:%02d", s/3600, (s/60)%60, s%60)
+	case KindString:
+		return v.S
+	case KindFloat64:
+		return strconv.FormatFloat(v.Float(), 'g', -1, 64)
+	case KindBool:
+		if v.I != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return fmt.Sprintf("<%s>", v.K)
+	}
+}
+
+// ParseValue parses the text-format rendering of a value of the given kind.
+func ParseValue(k Kind, s string) (Value, error) {
+	switch k {
+	case KindInt32:
+		n, err := strconv.ParseInt(s, 10, 32)
+		if err != nil {
+			return Null, fmt.Errorf("parse int %q: %w", s, err)
+		}
+		return Int32(int32(n)), nil
+	case KindInt64:
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Null, fmt.Errorf("parse bigint %q: %w", s, err)
+		}
+		return Int64(n), nil
+	case KindDate:
+		t, err := time.Parse("2006-01-02", s)
+		if err != nil {
+			return Null, fmt.Errorf("parse date %q: %w", s, err)
+		}
+		return Date(int32(t.Unix() / 86400)), nil
+	case KindTime:
+		var h, m, sec int
+		if _, err := fmt.Sscanf(s, "%d:%d:%d", &h, &m, &sec); err != nil {
+			return Null, fmt.Errorf("parse time %q: %w", s, err)
+		}
+		return TimeOfDay(int32(h*3600 + m*60 + sec)), nil
+	case KindString:
+		return String(s), nil
+	case KindFloat64:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return Null, fmt.Errorf("parse double %q: %w", s, err)
+		}
+		return Float64(f), nil
+	case KindBool:
+		return Bool(s == "true"), nil
+	default:
+		return Null, fmt.Errorf("cannot parse kind %s", k)
+	}
+}
+
+// Compare orders two values of the same kind: -1, 0 or +1. Null sorts first.
+func Compare(a, b Value) int {
+	if a.K == KindNull || b.K == KindNull {
+		switch {
+		case a.K == b.K:
+			return 0
+		case a.K == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if a.K == KindString {
+		switch {
+		case a.S < b.S:
+			return -1
+		case a.S > b.S:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if a.K == KindFloat64 || b.K == KindFloat64 {
+		af, bf := a.Float(), b.Float()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	switch {
+	case a.I < b.I:
+		return -1
+	case a.I > b.I:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal reports value equality (same ordering class compares equal).
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }

@@ -1,0 +1,90 @@
+package hybridwh
+
+import (
+	"fmt"
+
+	"hybridwh/internal/jen"
+	"hybridwh/internal/types"
+)
+
+// The generic loading API: bring your own schemas and rows instead of the
+// paper's synthetic dataset (see examples/clickstream for the Section 2
+// scenario built this way). One table lives in the parallel database, one on
+// HDFS; queries then join them by name.
+
+// TableDef describes a user table.
+type TableDef struct {
+	Name   string
+	Schema types.Schema
+	// DistCol is the database distribution column (DB table only; defaults
+	// to column 0).
+	DistCol int
+	// Indexes are composite index column lists to build (DB table only).
+	Indexes [][]int
+}
+
+// RowSource streams rows into a loader; datagen.Data.GenT and GenL have
+// this shape, and any user iterator fits.
+type RowSource func(emit func(types.Row) error) error
+
+// SliceSource adapts a row slice to a RowSource.
+func SliceSource(rows []types.Row) RowSource {
+	return func(emit func(types.Row) error) error {
+		for _, r := range rows {
+			if err := emit(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// LoadTables loads a custom pair of tables: db into the parallel database
+// (with statistics and any requested indexes) and hdfs onto the HDFS cluster
+// in the configured format. It replaces LoadPaperData for non-synthetic
+// workloads; call it once per warehouse.
+func (w *Warehouse) LoadTables(db TableDef, dbRows RowSource, hdfs TableDef, hdfsRows RowSource) error {
+	if w.dbTable != "" {
+		return fmt.Errorf("hybridwh: warehouse already loaded with %s ⋈ %s", w.dbTable, w.hdfsName)
+	}
+	if db.Name == "" || hdfs.Name == "" {
+		return fmt.Errorf("hybridwh: both tables need names")
+	}
+	tbl, err := w.db.CreateTable(db.Name, db.Schema, db.DistCol)
+	if err != nil {
+		return err
+	}
+	const loadBatch = 8192
+	batch := make([]types.Row, 0, loadBatch)
+	err = dbRows(func(r types.Row) error {
+		batch = append(batch, r)
+		if len(batch) == loadBatch {
+			if err := tbl.Load(batch); err != nil {
+				return err
+			}
+			batch = batch[:0]
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if err := tbl.Load(batch); err != nil {
+		return err
+	}
+	tbl.BuildStats(128)
+	for i, cols := range db.Indexes {
+		if err := tbl.CreateIndex(fmt.Sprintf("%s_ix%d", db.Name, i), cols); err != nil {
+			return err
+		}
+	}
+
+	dir := "/warehouse/" + hdfs.Name
+	if err := jen.CreateHDFSTable(w.dfs, w.cat, hdfs.Name, dir, w.cfg.Format,
+		hdfs.Schema, w.cfg.HDFSFiles, hdfsRows); err != nil {
+		return err
+	}
+	w.dbTable = db.Name
+	w.hdfsName = hdfs.Name
+	return nil
+}

@@ -1,0 +1,43 @@
+package hybridwh
+
+import (
+	"fmt"
+
+	"hybridwh/internal/datagen"
+)
+
+// PaperQuerySQL renders the paper's Section 5 experiment query with the
+// predicate literals of a solved workload point:
+//
+//	select extract_group(L.groupByExtractCol), count(*)
+//	from T, L
+//	where T.corPred <= a and T.indPred <= b
+//	and L.corPred between lo and hi and L.indPred <= d
+//	and T.joinKey = L.joinKey
+//	and days(T.predAfterJoin) - days(L.predAfterJoin) >= 0
+//	and days(T.predAfterJoin) - days(L.predAfterJoin) <= 1
+//	group by extract_group(L.groupByExtractCol)
+//
+// The corPred literals control the join-key selectivities, the indPred
+// literals top up the local-predicate selectivities — exactly the paper's
+// constants a, b, c, d.
+func PaperQuerySQL(wl datagen.Workload) string {
+	lo, hi := wl.LCorRange()
+	return fmt.Sprintf(`
+select extract_group(L.groupByExtractCol), count(*)
+from T, L
+where T.corPred <= %d and T.indPred <= %d
+and L.corPred between %d and %d and L.indPred <= %d
+and T.joinKey = L.joinKey
+and days(T.predAfterJoin) - days(L.predAfterJoin) >= 0
+and days(T.predAfterJoin) - days(L.predAfterJoin) <= 1
+group by extract_group(L.groupByExtractCol)`,
+		wl.TCorMax(), wl.TIndMax(), lo, hi, wl.LIndMax())
+}
+
+// ExpectedLPrimeRows estimates |L'| for a workload — the cardinality hint
+// the harness passes, as the paper does, so the DB optimizer can choose the
+// right plan.
+func ExpectedLPrimeRows(wl datagen.Workload) int64 {
+	return int64(float64(wl.Data.WithDefaults().LRows) * wl.Sel.SigmaL)
+}

@@ -1,0 +1,61 @@
+package hybridwh
+
+import (
+	"errors"
+
+	"hybridwh/internal/expr"
+	"hybridwh/internal/jen"
+	"hybridwh/internal/plan"
+	"hybridwh/internal/types"
+)
+
+// sampleRowsDefault bounds the sampling scan the advisor runs when it has no
+// cardinality hint.
+const sampleRowsDefault = 2000
+
+// errEnoughSample stops the sampling scan early.
+var errEnoughSample = errors.New("sample complete")
+
+// EstimateSigmaL estimates the HDFS-side predicate selectivity by scanning a
+// bounded sample of L on one JEN worker and measuring the pass rate. The
+// paper sidesteps this with a cardinality hint to the read_hdfs UDF; the
+// estimator makes the advisor autonomous when no hint is available.
+//
+// The sample reads real data through the real scan path (including
+// projection pushdown), so its cost is a few row groups; counters touched
+// during sampling are reset again before the query proper runs.
+func (w *Warehouse) EstimateSigmaL(jq *plan.JoinQuery, sampleRows int) (float64, error) {
+	if sampleRows <= 0 {
+		sampleRows = sampleRowsDefault
+	}
+	scanPlan, err := w.jenc.PlanScan(jq.HDFSTable)
+	if err != nil {
+		return 0, err
+	}
+	var scanned, passed int64
+	// Predicate evaluation happens here rather than in the scan so both the
+	// pass and fail counts are visible.
+	err = w.jenc.ScanFilter(jen.ScanSpec{
+		Plan: scanPlan, Worker: 0, Proj: jq.HDFSScanProj,
+	}, func(r types.Row) error {
+		scanned++
+		ok, err := expr.EvalPred(jq.HDFSPred, r)
+		if err != nil {
+			return err
+		}
+		if ok {
+			passed++
+		}
+		if scanned >= int64(sampleRows) {
+			return errEnoughSample
+		}
+		return nil
+	})
+	if err != nil && !errors.Is(err, errEnoughSample) {
+		return 0, err
+	}
+	if scanned == 0 {
+		return 1, nil
+	}
+	return float64(passed) / float64(scanned), nil
+}

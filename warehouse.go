@@ -1,0 +1,469 @@
+// Package hybridwh is a from-scratch reproduction of "Joins for Hybrid
+// Warehouses: Exploiting Massive Parallelism in Hadoop and Enterprise Data
+// Warehouses" (Tian, Zou, Özcan, Goncalves, Pirahesh; EDBT 2015).
+//
+// A Warehouse assembles the whole system: a shared-nothing parallel database
+// holding the transaction table T, a simulated HDFS cluster holding the log
+// table L (text or columnar format), the JEN execution engine on the HDFS
+// side, and the message bus connecting every worker. Queries are issued in
+// SQL at the database side; the engine executes one of the paper's join
+// algorithms — DB-side (±Bloom filter), HDFS-side broadcast, repartition
+// (±Bloom filter) or zigzag — chosen explicitly or by the advisor, and a
+// calibrated cost model reports paper-scale execution-time estimates next to
+// the exact tuple and byte counters the run measured.
+//
+//	w, _ := hybridwh.Open(hybridwh.Config{})
+//	defer w.Close()
+//	w.LoadPaperData(datagen.Data{TRows: 160_000, LRows: 1_500_000, Keys: 1_600})
+//	res, _ := w.Query(`select extract_group(L.groupByExtractCol), count(*)
+//	                   from T, L where T.joinKey = L.joinKey ... `)
+package hybridwh
+
+import (
+	"fmt"
+
+	"hybridwh/internal/catalog"
+	"hybridwh/internal/core"
+	"hybridwh/internal/costmodel"
+	"hybridwh/internal/datagen"
+	"hybridwh/internal/edw"
+	"hybridwh/internal/expr"
+	"hybridwh/internal/format"
+	"hybridwh/internal/hdfs"
+	"hybridwh/internal/jen"
+	"hybridwh/internal/metrics"
+	"hybridwh/internal/netsim"
+	"hybridwh/internal/plan"
+	"hybridwh/internal/sqlparse"
+	"hybridwh/internal/types"
+)
+
+// Config sizes and wires the hybrid warehouse. The zero value reproduces
+// the paper's topology at 1/1000 data scale over the in-process transport.
+type Config struct {
+	// DBWorkers is the parallel database worker count (paper: 30).
+	DBWorkers int
+	// JENWorkers is the JEN worker count, one per HDFS DataNode (paper: 30).
+	JENWorkers int
+	// DisksPerNode is the data-disk count per DataNode (paper: 4).
+	DisksPerNode int
+	// Scale is the data scale divisor relative to the paper (default 1000,
+	// i.e. the simulation holds 1/1000 of the paper's rows). The cost
+	// model multiplies measured counters by Scale.
+	Scale float64
+	// Format is the HDFS file format: format.HWCName (default, the
+	// Parquet stand-in) or format.TextName.
+	Format string
+	// Transport selects the bus: "chan" (default) or "tcp".
+	Transport string
+	// Seed makes data generation and block placement deterministic.
+	Seed int64
+	// BatchRows is the pipeline/wire batch size (default 512).
+	BatchRows int
+	// BlockSize is the HDFS block size. The default (256 KiB) keeps many
+	// blocks per worker at simulation scales so assignments stay balanced;
+	// raise it for larger datasets.
+	BlockSize int
+	// HDFSFiles is how many files the L table is written as (default 8).
+	HDFSFiles int
+	// NoLocality disables locality-aware block assignment (ablation).
+	NoLocality bool
+	// BloomBits/BloomHashes size every Bloom filter; defaults follow the
+	// paper's 128M bits / 2 hashes scaled by Scale.
+	BloomBits   uint64
+	BloomHashes int
+	// SpillBudgetBytes bounds each JEN worker's in-memory join hash table;
+	// beyond it the build side grace-spills to disk (the paper's stated
+	// future work). Zero keeps the paper's all-in-memory behaviour.
+	SpillBudgetBytes int64
+	// SpillDir hosts spill files ("" = the OS temp dir).
+	SpillDir string
+	// BroadcastRelay switches the broadcast join to the §4.3 relay transfer
+	// scheme (each DB worker ships to one JEN worker, which relays).
+	BroadcastRelay bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.DBWorkers <= 0 {
+		c.DBWorkers = 30
+	}
+	if c.JENWorkers <= 0 {
+		c.JENWorkers = 30
+	}
+	if c.DisksPerNode <= 0 {
+		c.DisksPerNode = 4
+	}
+	if c.Scale <= 0 {
+		c.Scale = 1000
+	}
+	if c.Format == "" {
+		c.Format = format.HWCName
+	}
+	if c.Transport == "" {
+		c.Transport = "chan"
+	}
+	if c.HDFSFiles <= 0 {
+		c.HDFSFiles = 2 * c.JENWorkers
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 256 << 10
+	}
+	if c.BloomBits == 0 {
+		c.BloomBits = uint64(128_000_000 / c.Scale)
+		if c.BloomBits < 1024 {
+			c.BloomBits = 1024
+		}
+	}
+	if c.BloomHashes <= 0 {
+		c.BloomHashes = 2
+	}
+	return c
+}
+
+// Warehouse is an assembled hybrid warehouse.
+type Warehouse struct {
+	cfg Config
+
+	rec  *metrics.Recorder
+	db   *edw.DB
+	dfs  *hdfs.Cluster
+	cat  *catalog.Catalog
+	jenc *jen.Cluster
+	bus  netsim.Bus
+	eng  *core.Engine
+
+	model *costmodel.Model
+	reg   *expr.Registry
+
+	data     datagen.Data
+	dbTable  string
+	hdfsName string
+}
+
+// Open assembles an empty warehouse.
+func Open(cfg Config) (*Warehouse, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Format != format.HWCName && cfg.Format != format.TextName {
+		return nil, fmt.Errorf("hybridwh: unknown format %q", cfg.Format)
+	}
+	rec := metrics.New()
+	db, err := edw.New(cfg.DBWorkers, rec)
+	if err != nil {
+		return nil, err
+	}
+	dfs := hdfs.New(hdfs.Config{
+		DataNodes:    cfg.JENWorkers,
+		DisksPerNode: cfg.DisksPerNode,
+		BlockSize:    cfg.BlockSize,
+		Replication:  2,
+		Seed:         cfg.Seed,
+	})
+	cat := catalog.New()
+	jenc, err := jen.New(jen.Config{
+		Workers:   cfg.JENWorkers,
+		BatchRows: cfg.BatchRows,
+		Locality:  !cfg.NoLocality,
+	}, dfs, cat, rec)
+	if err != nil {
+		return nil, err
+	}
+	var bus netsim.Bus
+	switch cfg.Transport {
+	case "chan":
+		bus = netsim.NewChanBus(0)
+	case "tcp":
+		bus = netsim.NewTCPBus(0)
+	default:
+		return nil, fmt.Errorf("hybridwh: unknown transport %q", cfg.Transport)
+	}
+	eng, err := core.New(db, jenc, bus, rec, core.Config{
+		BloomBits:        cfg.BloomBits,
+		BloomHashes:      cfg.BloomHashes,
+		BatchRows:        cfg.BatchRows,
+		SpillBudgetBytes: cfg.SpillBudgetBytes,
+		SpillDir:         cfg.SpillDir,
+		BroadcastRelay:   cfg.BroadcastRelay,
+	})
+	if err != nil {
+		bus.Close()
+		return nil, err
+	}
+	return &Warehouse{
+		cfg: cfg, rec: rec, db: db, dfs: dfs, cat: cat, jenc: jenc, bus: bus,
+		eng: eng, model: costmodel.New(costmodel.DefaultRates()), reg: expr.NewRegistry(),
+	}, nil
+}
+
+// Close releases the warehouse's transports and routers.
+func (w *Warehouse) Close() error { return w.eng.Close() }
+
+// LoadPaperData generates and loads the Section 5 dataset: T into the
+// database (hash-distributed on uniqKey, with the paper's two indexes and
+// statistics) and L onto HDFS in the configured format.
+func (w *Warehouse) LoadPaperData(data datagen.Data) error {
+	if w.dbTable != "" {
+		return fmt.Errorf("hybridwh: warehouse already loaded with %s ⋈ %s", w.dbTable, w.hdfsName)
+	}
+	data = data.WithDefaults()
+	if data.Seed == 0 {
+		data.Seed = w.cfg.Seed + 1
+	}
+	tSchema := datagen.TSchema()
+	tbl, err := w.db.CreateTable("T", tSchema, tSchema.MustColIndex("uniqKey"))
+	if err != nil {
+		return err
+	}
+	const loadBatch = 8192
+	batch := make([]types.Row, 0, loadBatch)
+	err = data.GenT(func(r types.Row) error {
+		batch = append(batch, r)
+		if len(batch) == loadBatch {
+			if err := tbl.Load(batch); err != nil {
+				return err
+			}
+			batch = batch[:0]
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if err := tbl.Load(batch); err != nil {
+		return err
+	}
+	tbl.BuildStats(128)
+	cor := tSchema.MustColIndex("corPred")
+	ind := tSchema.MustColIndex("indPred")
+	jk := tSchema.MustColIndex("joinKey")
+	// The paper's two indexes: (corPred, indPred) and
+	// (corPred, indPred, joinKey) for index-only Bloom filter builds.
+	if err := tbl.CreateIndex("t_cor_ind", []int{cor, ind}); err != nil {
+		return err
+	}
+	if err := tbl.CreateIndex("t_cor_ind_key", []int{cor, ind, jk}); err != nil {
+		return err
+	}
+
+	if err := jen.CreateHDFSTable(w.dfs, w.cat, "L", "/warehouse/L", w.cfg.Format,
+		datagen.LSchema(), w.cfg.HDFSFiles, data.GenL); err != nil {
+		return err
+	}
+	w.data = data
+	w.dbTable = "T"
+	w.hdfsName = "L"
+	return nil
+}
+
+// Data returns the loaded dataset parameters.
+func (w *Warehouse) Data() datagen.Data { return w.data }
+
+// Option tunes one query execution.
+type Option func(*queryOpts)
+
+type queryOpts struct {
+	alg      core.Algorithm
+	forced   bool
+	cardHint int64
+	sigmaL   float64
+	keep     bool
+}
+
+// WithAlgorithm forces a join algorithm instead of consulting the advisor.
+func WithAlgorithm(a core.Algorithm) Option {
+	return func(o *queryOpts) { o.alg = a; o.forced = true }
+}
+
+// WithCardHint passes the |L'| estimate the paper's read_hdfs UDF receives;
+// it steers the DB-side join strategy and the advisor.
+func WithCardHint(rows int64) Option {
+	return func(o *queryOpts) { o.cardHint = rows }
+}
+
+// WithSigmaL tells the advisor the estimated HDFS predicate selectivity
+// (the database cannot derive it without a cardinality hint).
+func WithSigmaL(s float64) Option {
+	return func(o *queryOpts) { o.sigmaL = s }
+}
+
+// KeepCounters accumulates metrics across queries instead of resetting.
+func KeepCounters() Option {
+	return func(o *queryOpts) { o.keep = true }
+}
+
+// Result is a completed query with its measurements.
+type Result struct {
+	// Rows hold the final grouped aggregates, returned at the DB side.
+	Rows   []types.Row
+	Schema types.Schema
+	// Algorithm that ran, with the advisor's reasoning when it chose.
+	Algorithm core.Algorithm
+	Advice    string
+	// DBJoinStrategy is the database's final-join choice (DB-side joins).
+	DBJoinStrategy string
+	// EstimatedTime is the calibrated paper-scale execution estimate.
+	EstimatedTime costmodel.Breakdown
+	// Counters snapshots the run's measured metrics.
+	Counters map[string]int64
+}
+
+// Query parses and executes a two-table hybrid join query.
+func (w *Warehouse) Query(sql string, opts ...Option) (*Result, error) {
+	jq, err := w.Plan(sql)
+	if err != nil {
+		return nil, err
+	}
+	return w.RunPlan(jq, opts...)
+}
+
+// Plan parses a query into its executable decomposition without running it.
+func (w *Warehouse) Plan(sql string) (*plan.JoinQuery, error) {
+	if w.dbTable == "" {
+		return nil, fmt.Errorf("hybridwh: no data loaded")
+	}
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := w.db.Table(w.dbTable)
+	if err != nil {
+		return nil, err
+	}
+	cat, err := w.cat.Lookup(w.hdfsName)
+	if err != nil {
+		return nil, err
+	}
+	return sqlparse.PlanQuery(q,
+		sqlparse.TableMeta{Name: w.dbTable, Schema: tbl.Schema},
+		sqlparse.TableMeta{Name: w.hdfsName, Schema: cat.Schema},
+		w.reg)
+}
+
+// RunPlan executes a planned query.
+func (w *Warehouse) RunPlan(jq *plan.JoinQuery, opts ...Option) (*Result, error) {
+	var o queryOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.cardHint > 0 {
+		jq.HDFSCardHint = o.cardHint
+	}
+
+	alg := o.alg
+	advice := ""
+	if !o.forced {
+		a := w.advise(jq, o)
+		alg = a.Algorithm
+		advice = a.Reason
+	}
+	if !o.keep {
+		w.rec.Reset()
+		w.bus.Counters().Reset()
+		w.dfs.ResetReadCounters()
+	}
+	res, err := w.eng.Run(jq, alg)
+	if err != nil {
+		return nil, err
+	}
+	est, err := w.model.Estimate(alg.String(), w.rec, w.bus.Counters(), costmodel.Params{
+		Scale:  w.cfg.Scale,
+		Format: w.cfg.Format,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Rows:           res.Rows,
+		Schema:         res.Schema,
+		Algorithm:      alg,
+		Advice:         advice,
+		DBJoinStrategy: res.DBJoinStrategy.String(),
+		EstimatedTime:  est,
+		Counters:       res.Metrics,
+	}, nil
+}
+
+// advise runs the Section 5.5 decision logic on available statistics.
+func (w *Warehouse) advise(jq *plan.JoinQuery, o queryOpts) core.Advice {
+	stats := core.AdviceStats{SigmaT: 1, SigmaL: o.sigmaL}
+	if tbl, err := w.db.Table(jq.DBTable); err == nil {
+		stats.TRows = tbl.Rows()
+		need := append([]int(nil), jq.DBProj...)
+		stats.SigmaT = w.db.PlanAccess(tbl, jq.DBPred, need).EstSelectivity
+	}
+	if cat, err := w.cat.Lookup(jq.HDFSTable); err == nil {
+		stats.LRows = cat.Rows
+		if stats.SigmaL == 0 {
+			if jq.HDFSCardHint > 0 && cat.Rows > 0 {
+				stats.SigmaL = float64(jq.HDFSCardHint) / float64(cat.Rows)
+			} else if est, err := w.EstimateSigmaL(jq, 0); err == nil {
+				// Without a hint, sample L to estimate the predicate
+				// selectivity (the paper instead always passes a hint).
+				stats.SigmaL = est
+			} else {
+				// Sampling unavailable: assume the paper's common case.
+				stats.SigmaL = 0.2
+			}
+		}
+	}
+	return core.Advise(stats, w.cfg.Scale)
+}
+
+// Explain renders the plan, the advisor's choice and the optimizer's
+// access-path decision without executing.
+func (w *Warehouse) Explain(sql string, opts ...Option) (string, error) {
+	jq, err := w.Plan(sql)
+	if err != nil {
+		return "", err
+	}
+	var o queryOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	a := w.advise(jq, o)
+	tbl, err := w.db.Table(jq.DBTable)
+	if err != nil {
+		return "", err
+	}
+	ap := w.db.PlanAccess(tbl, jq.DBPred, append([]int(nil), jq.DBProj...))
+	out := fmt.Sprintf(
+		"hybrid join: %s (database) ⋈ %s (HDFS, %s format)\n"+
+			"  db predicate:    %v  [access: %s, est. σ_T=%.4f]\n"+
+			"  hdfs predicate:  %v\n"+
+			"  post-join:       %v\n"+
+			"  shipped columns: db=%v hdfs=%v\n"+
+			"  algorithm:       %s — %s\n",
+		jq.DBTable, jq.HDFSTable, w.cfg.Format,
+		exprString(jq.DBPred), ap.Path, ap.EstSelectivity,
+		exprString(jq.HDFSPred), exprString(jq.PostJoin),
+		jq.DBWireSchema, jq.HDFSWireSchema,
+		a.Algorithm, a.Reason)
+	return out, nil
+}
+
+func exprString(e expr.Expr) string {
+	if e == nil {
+		return "(none)"
+	}
+	return e.String()
+}
+
+// Engine exposes the core engine (experiments and tools).
+func (w *Warehouse) Engine() *core.Engine { return w.eng }
+
+// Recorder exposes the shared metrics recorder.
+func (w *Warehouse) Recorder() *metrics.Recorder { return w.rec }
+
+// Model exposes the cost model.
+func (w *Warehouse) Model() *costmodel.Model { return w.model }
+
+// Config returns the effective configuration.
+func (w *Warehouse) Config() Config { return w.cfg }
+
+// HDFS exposes the simulated HDFS cluster (failure injection, stats).
+func (w *Warehouse) HDFS() *hdfs.Cluster { return w.dfs }
+
+// Catalog exposes the HDFS table catalog.
+func (w *Warehouse) Catalog() *catalog.Catalog { return w.cat }
+
+// DB exposes the parallel database.
+func (w *Warehouse) DB() *edw.DB { return w.db }
