@@ -1,0 +1,32 @@
+# Development entry points. `make check` is what CI runs.
+
+GO ?= go
+
+.PHONY: check fmt build vet lint test race bench
+
+check: fmt build vet lint test
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "files need gofmt:"; echo "$$out"; exit 1; fi
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# hwlint runs the project's own analyzers (see internal/lint); -novet because
+# the vet target above already ran.
+lint:
+	$(GO) run ./cmd/hwlint -novet ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-heavy packages under the race detector.
+race:
+	$(GO) test -race ./internal/netsim/ ./internal/par/ ./internal/jen/ ./internal/core/
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...

@@ -1,0 +1,87 @@
+// Command hwlint is the project's static-analysis driver: a multichecker
+// running the custom analyzers in internal/lint alongside the stock `go
+// vet` passes. It exits non-zero when any analyzer reports an unsuppressed
+// finding or vet fails.
+//
+// Usage:
+//
+//	go run ./cmd/hwlint [flags] [packages]
+//
+// With no packages, ./... is linted. Findings can be silenced, one line
+// above or on the flagged line, with
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// A directive without a reason is ignored: every suppression must say why.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+
+	"hybridwh/internal/lint"
+	"hybridwh/internal/lint/load"
+	"hybridwh/internal/lint/run"
+)
+
+func main() {
+	novet := flag.Bool("novet", false, "skip the stock go vet passes")
+	verbose := flag.Bool("v", false, "also list suppressed findings with their reasons")
+	flag.Usage = usage
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	exit := 0
+	if !lintPackages(patterns, *verbose) {
+		exit = 1
+	}
+	if !*novet && !runVet(patterns) {
+		exit = 1
+	}
+	os.Exit(exit)
+}
+
+func lintPackages(patterns []string, verbose bool) bool {
+	loader := load.New()
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hwlint:", err)
+		return false
+	}
+	findings, err := run.Analyze(pkgs, lint.Analyzers(), lint.Applies)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hwlint:", err)
+		return false
+	}
+	for _, f := range findings {
+		if f.Suppressed {
+			if verbose {
+				fmt.Fprintf(os.Stderr, "%s (suppressed: %s)\n", f, f.Reason)
+			}
+			continue
+		}
+		fmt.Fprintln(os.Stderr, f)
+	}
+	return len(run.Active(findings)) == 0
+}
+
+func runVet(patterns []string) bool {
+	cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	return cmd.Run() == nil
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: hwlint [-novet] [-v] [packages]\n\nanalyzers:\n")
+	for _, a := range lint.Analyzers() {
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+	}
+	flag.PrintDefaults()
+}

@@ -26,7 +26,7 @@ type Table struct {
 // Catalog is a thread-safe metadata store.
 type Catalog struct {
 	mu     sync.RWMutex
-	tables map[string]Table
+	tables map[string]Table // guarded by mu
 }
 
 // New returns an empty catalog.

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"hybridwh/internal/bloom"
 	"hybridwh/internal/cluster"
 	"hybridwh/internal/edw"
@@ -440,13 +442,21 @@ func (e *Engine) broadcastRelayRecv(qs, me string, w, n, directSenders int, ht *
 			others = append(others, jenName(j))
 		}
 	}
+	// The relay drainer and the direct-stream receiver run concurrently and
+	// both feed the same hash table, so inserts must be serialized.
+	var htMu sync.Mutex
+	insert := func(r types.Row) error {
+		htMu.Lock()
+		defer htMu.Unlock()
+		return ht.Insert(r)
+	}
 	var bg par.Group
 	bg.Go(func() error {
-		return e.recvRows(me, qs+"relay", n-1, func(r types.Row) error { return ht.Insert(r) })
+		return e.recvRows(me, qs+"relay", n-1, insert)
 	})
 	rb := e.newBatcher(me, qs+"relay", others, metrics.JENShuffleTuples, metrics.JENShuffleBytes, w)
 	err := e.recvRows(me, qs+"dbrows", directSenders, func(r types.Row) error {
-		if err := ht.Insert(r); err != nil {
+		if err := insert(r); err != nil {
 			return err
 		}
 		for _, o := range others {

@@ -28,7 +28,7 @@ import (
 type DB struct {
 	mu     sync.RWMutex
 	nwork  int
-	tables map[string]*Table
+	tables map[string]*Table // guarded by mu
 	rec    *metrics.Recorder
 }
 
@@ -39,10 +39,10 @@ type Table struct {
 	DistCol int // hash-distribution column (the paper's T is distributed on uniqKey)
 
 	mu      sync.RWMutex
-	rows    int64
-	hists   map[int]*Histogram // by column index, int-kinded columns only
-	indexes []*IndexDef
-	parts   []*partition // one per worker
+	rows    int64              // guarded by mu
+	hists   map[int]*Histogram // by column index, int-kinded columns only; guarded by mu
+	indexes []*IndexDef        // guarded by mu
+	parts   []*partition       // one per worker; the slice header is fixed at CreateTable, partitions guard themselves
 }
 
 // IndexDef names a composite index and its key columns (in order).

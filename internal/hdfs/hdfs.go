@@ -82,9 +82,9 @@ type FileInfo struct {
 // dataNode stores block replicas, either in memory or as files under dir.
 type dataNode struct {
 	mu     sync.RWMutex
-	blocks map[BlockID][]byte
-	dir    string // "" = in-memory
-	down   bool
+	blocks map[BlockID][]byte // guarded by mu
+	dir    string             // "" = in-memory
+	down   bool               // guarded by mu
 }
 
 func (n *dataNode) store(id BlockID, data []byte) error {
@@ -133,10 +133,10 @@ type Cluster struct {
 	cfg Config
 
 	mu            sync.RWMutex
-	files         map[string]*FileInfo
-	nextID        BlockID
-	rng           *rand.Rand
-	nextPlacement int // round-robin cursor for primary replica placement
+	files         map[string]*FileInfo // guarded by mu
+	nextID        BlockID              // guarded by mu
+	rng           *rand.Rand           // guarded by mu
+	nextPlacement int                  // round-robin cursor for primary replica placement; guarded by mu
 
 	nodes []*dataNode
 

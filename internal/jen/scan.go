@@ -129,6 +129,7 @@ func (c *Cluster) ScanFilter(spec ScanSpec, yield func(types.Row) error) error {
 		})
 	}
 	readerErr := make(chan error, 1)
+	//lint:ignore gohygiene the closer goroutine's only job is to propagate g.Wait() through readerErr, which the process stage always drains
 	go func() {
 		err := g.Wait()
 		close(rowsCh)

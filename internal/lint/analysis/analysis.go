@@ -1,0 +1,50 @@
+// Package analysis is a dependency-free subset of the
+// golang.org/x/tools/go/analysis API. The build environment pins the module
+// to the standard library, so hwlint carries its own copy of the three types
+// an analyzer needs: Analyzer, Pass and Diagnostic. Analyzers written
+// against this package keep the upstream shape and can migrate to x/tools
+// unchanged if the dependency ever becomes available.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore <name> <reason> suppressions.
+	Name string
+	// Doc is the one-paragraph description printed by `hwlint help`.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) (interface{}, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass is the interface between the driver and one analyzer run over one
+// package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report publishes a diagnostic.
+	Report func(Diagnostic)
+}
+
+// Reportf formats and publishes a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

@@ -1,0 +1,175 @@
+// Package analysistest runs an analyzer over golden packages under a
+// testdata directory and checks its diagnostics against `// want`
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest:
+//
+//	x := bad() // want `regexp` `another regexp`
+//
+// Each diagnostic must match an expectation on its line, and every
+// expectation must be matched by exactly one diagnostic. Testdata packages
+// may import real module packages (hybridwh/internal/par, ...); imports are
+// resolved through internal/lint/load.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"hybridwh/internal/lint/analysis"
+	"hybridwh/internal/lint/load"
+)
+
+// Run checks analyzer a against each named package under dir/src.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	loader := load.New()
+	for _, pkg := range pkgs {
+		runPackage(t, loader, filepath.Join(dir, "src", pkg), a)
+	}
+}
+
+func runPackage(t *testing.T, loader *load.Loader, srcDir string, a *analysis.Analyzer) {
+	t.Helper()
+	entries, err := os.ReadDir(srcDir)
+	if err != nil {
+		t.Fatalf("reading testdata package: %v", err)
+	}
+	fset := loader.Fset()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(srcDir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", e.Name(), err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no Go files in %s", srcDir)
+	}
+
+	info := load.NewInfo()
+	conf := types.Config{
+		Importer: loader,
+		Error: func(err error) {
+			t.Errorf("testdata package %s does not type-check: %v", srcDir, err)
+		},
+	}
+	pkgName := files[0].Name.Name
+	tpkg, _ := conf.Check(pkgName, fset, files, info)
+	if t.Failed() {
+		return
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       tpkg,
+		TypesInfo: info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s failed on %s: %v", a.Name, srcDir, err)
+	}
+
+	checkExpectations(t, fset, files, diags)
+}
+
+// expectation is one `// want` regexp, keyed to a file line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				res, err := parseWant(text)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+				}
+				for _, re := range res {
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", filepath.Base(pos.Filename), pos.Line, d.Message)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool { return wants[i].line < wants[j].line })
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", filepath.Base(w.file), w.line, w.re)
+		}
+	}
+}
+
+// parseWant splits a want comment body into its quoted regexps. Both
+// double-quoted and backquoted forms are accepted.
+func parseWant(text string) ([]*regexp.Regexp, error) {
+	var out []*regexp.Regexp
+	rest := strings.TrimSpace(text)
+	for rest != "" {
+		var raw string
+		switch rest[0] {
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquote in %q", rest)
+			}
+			raw = rest[1 : 1+end]
+			rest = rest[end+2:]
+		case '"':
+			end := strings.IndexByte(rest[1:], '"')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated quote in %q", rest)
+			}
+			raw = rest[1 : 1+end]
+			rest = rest[end+2:]
+		default:
+			return nil, fmt.Errorf("expected quoted regexp, got %q", rest)
+		}
+		re, err := regexp.Compile(raw)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, re)
+		rest = strings.TrimSpace(rest)
+	}
+	return out, nil
+}

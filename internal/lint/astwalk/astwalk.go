@@ -1,0 +1,124 @@
+// Package astwalk holds the traversal and resolution helpers shared by the
+// hwlint analyzers: a stack-carrying Inspect, enclosing-function lookup,
+// and package-qualified object matching.
+package astwalk
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Inspect traverses root in depth-first order, calling fn with each node
+// and the stack of its ancestors (outermost first; n itself is the last
+// element).
+func Inspect(root ast.Node, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		fn(n, append([]ast.Node(nil), stack...))
+		return true
+	})
+}
+
+// EnclosingFuncBody returns the body of the innermost function (declaration
+// or literal) on the stack, or nil.
+func EnclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncLit:
+			return f.Body
+		case *ast.FuncDecl:
+			return f.Body
+		}
+	}
+	return nil
+}
+
+// EnclosingFuncDecl returns the outermost function declaration on the
+// stack, or nil (package-level value expression).
+func EnclosingFuncDecl(stack []ast.Node) *ast.FuncDecl {
+	for i := 0; i < len(stack); i++ {
+		if f, ok := stack[i].(*ast.FuncDecl); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// SelectedObject resolves the object a selector expression denotes: a
+// method, a package-level name, or a struct field.
+func SelectedObject(info *types.Info, sel *ast.SelectorExpr) types.Object {
+	if s, ok := info.Selections[sel]; ok {
+		return s.Obj()
+	}
+	return info.Uses[sel.Sel]
+}
+
+// FromPkg reports whether obj belongs to a package whose import path is
+// pathSuffix or ends with "/"+pathSuffix. Suffix matching keeps analyzers
+// agnostic to the module prefix.
+func FromPkg(obj types.Object, pathSuffix string) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	p := obj.Pkg().Path()
+	return p == pathSuffix || strings.HasSuffix(p, "/"+pathSuffix)
+}
+
+// CalleeObject resolves the object a call's function expression denotes,
+// looking through parentheses.
+func CalleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		return SelectedObject(info, fun)
+	case *ast.Ident:
+		return info.Uses[fun]
+	}
+	return nil
+}
+
+// ReturnsError reports whether an expression's type is, or is a tuple
+// containing, the error interface.
+func ReturnsError(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tup, ok := tv.Type.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isErrorType(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(tv.Type)
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// ImplementsError reports whether t satisfies the error interface.
+func ImplementsError(t types.Type) bool {
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, errIface) || types.Implements(types.NewPointer(t), errIface)
+}
+
+// ExprText renders a (small) expression to source text for lexical
+// comparisons.
+func ExprText(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return ""
+	}
+	return buf.String()
+}

@@ -1,0 +1,149 @@
+// Package errwrap implements the `errwrap` analyzer: when fmt.Errorf
+// includes an error in its format string, the verb must be %w, not %v or
+// %s, so callers can unwrap with errors.Is/errors.As. The analyzer parses
+// the format string (flags, width, precision, * arguments and [n] argument
+// indexes included), pairs each verb with its argument, and flags
+// error-typed arguments rendered with a non-wrapping verb.
+package errwrap
+
+import (
+	"go/ast"
+	"strconv"
+
+	"hybridwh/internal/lint/analysis"
+	"hybridwh/internal/lint/astwalk"
+)
+
+// Analyzer is the errwrap analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc:  "require %w when fmt.Errorf formats an error, so callers can errors.Is/errors.As",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := astwalk.CalleeObject(pass.TypesInfo, call)
+			if callee == nil || callee.Pkg() == nil ||
+				callee.Pkg().Path() != "fmt" || callee.Name() != "Errorf" {
+				return true
+			}
+			checkErrorf(pass, call)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok {
+		return // format string not a literal; nothing to pair verbs with
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	args := call.Args[1:]
+	for _, v := range parseVerbs(format) {
+		if v.argIndex < 0 || v.argIndex >= len(args) {
+			continue
+		}
+		if v.verb != 'v' && v.verb != 's' {
+			continue
+		}
+		arg := args[v.argIndex]
+		tv, ok := pass.TypesInfo.Types[arg]
+		if !ok || tv.Type == nil || !astwalk.ImplementsError(tv.Type) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "error formatted with %%%c; use %%w so callers can errors.Is/errors.As", v.verb)
+	}
+}
+
+// verb pairs one format directive with the index of the argument it
+// consumes.
+type verb struct {
+	verb     rune
+	argIndex int
+}
+
+// parseVerbs walks a Printf-style format string and assigns argument
+// indexes to verbs, consuming one extra argument per '*' and honouring
+// explicit [n] indexes.
+func parseVerbs(format string) []verb {
+	var out []verb
+	arg := 0
+	runes := []rune(format)
+	for i := 0; i < len(runes); i++ {
+		if runes[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(runes) {
+			break
+		}
+		if runes[i] == '%' {
+			continue
+		}
+		// Flags.
+		for i < len(runes) && isFlag(runes[i]) {
+			i++
+		}
+		// Explicit argument index: %[n]v.
+		if i < len(runes) && runes[i] == '[' {
+			j := i + 1
+			num := 0
+			for j < len(runes) && runes[j] >= '0' && runes[j] <= '9' {
+				num = num*10 + int(runes[j]-'0')
+				j++
+			}
+			if j < len(runes) && runes[j] == ']' && num > 0 {
+				arg = num - 1
+				i = j + 1
+			}
+		}
+		// Width.
+		i = skipNumOrStar(runes, i, &arg)
+		// Precision.
+		if i < len(runes) && runes[i] == '.' {
+			i++
+			i = skipNumOrStar(runes, i, &arg)
+		}
+		if i >= len(runes) {
+			break
+		}
+		out = append(out, verb{verb: runes[i], argIndex: arg})
+		arg++
+	}
+	return out
+}
+
+func isFlag(r rune) bool {
+	switch r {
+	case '+', '-', '#', ' ', '0', '\'':
+		return true
+	}
+	return false
+}
+
+// skipNumOrStar advances past a width/precision specifier; a '*' consumes
+// one argument.
+func skipNumOrStar(runes []rune, i int, arg *int) int {
+	if i < len(runes) && runes[i] == '*' {
+		*arg++
+		return i + 1
+	}
+	for i < len(runes) && runes[i] >= '0' && runes[i] <= '9' {
+		i++
+	}
+	return i
+}

@@ -1,0 +1,12 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"hybridwh/internal/lint/analysistest"
+	"hybridwh/internal/lint/errwrap"
+)
+
+func TestErrwrap(t *testing.T) {
+	analysistest.Run(t, "../testdata", errwrap.Analyzer, "errwrap")
+}

@@ -1,0 +1,92 @@
+// Package gohygiene implements the `gohygiene` analyzer: goroutines in the
+// engine must propagate failures, because a worker error that vanishes
+// leaves peers blocked on streams that will never finish. Three shapes are
+// flagged:
+//
+//  1. A bare `go` statement — it bypasses par.Group, so the goroutine's
+//     error (and its completion) is lost. Use par.Group.Go, or suppress
+//     with a written reason when the goroutine's lifecycle is managed some
+//     other way (e.g. a listener loop joined through a WaitGroup).
+//  2. An error-returning call used as a bare statement inside a
+//     par.Group.Go closure — the closure swallows the error instead of
+//     returning it to the group.
+//  3. par.Group.Wait() in statement position — the group's first error is
+//     computed and then dropped.
+package gohygiene
+
+import (
+	"go/ast"
+
+	"hybridwh/internal/lint/analysis"
+	"hybridwh/internal/lint/astwalk"
+)
+
+// Analyzer is the gohygiene analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "gohygiene",
+	Doc:  "flag bare go statements, swallowed errors inside par.Group.Go closures, and discarded par.Group.Wait results",
+	Run:  run,
+}
+
+const parPkg = "internal/par"
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		astwalk.Inspect(file, func(n ast.Node, stack []ast.Node) {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "bare go statement bypasses par.Group error propagation; use par.Group.Go or suppress with a reason")
+			case *ast.ExprStmt:
+				checkStmt(pass, n, stack)
+			}
+		})
+	}
+	return nil, nil
+}
+
+// checkStmt flags discarded Wait results and, inside Group.Go closures,
+// discarded error-returning calls.
+func checkStmt(pass *analysis.Pass, stmt *ast.ExprStmt, stack []ast.Node) {
+	call, ok := stmt.X.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if callee := astwalk.CalleeObject(pass.TypesInfo, call); callee != nil && astwalk.FromPkg(callee, parPkg) {
+		switch callee.Name() {
+		case "Wait":
+			pass.Reportf(stmt.Pos(), "par.Group.Wait result discarded; the group's first error is lost")
+		case "ForEach":
+			pass.Reportf(stmt.Pos(), "par.ForEach result discarded; the first worker error is lost")
+		}
+		return
+	}
+	if !astwalk.ReturnsError(pass.TypesInfo, call) {
+		return
+	}
+	if insideGroupGoClosure(pass, stack) {
+		pass.Reportf(stmt.Pos(), "error result discarded inside par.Group.Go closure; return it so the group can report it")
+	}
+}
+
+// insideGroupGoClosure reports whether the innermost enclosing function
+// literal is an argument to par.Group.Go (or par.ForEach).
+func insideGroupGoClosure(pass *analysis.Pass, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.FuncLit); !ok {
+			continue
+		}
+		if i == 0 {
+			return false
+		}
+		call, ok := stack[i-1].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		callee := astwalk.CalleeObject(pass.TypesInfo, call)
+		if callee == nil || !astwalk.FromPkg(callee, parPkg) {
+			return false
+		}
+		return callee.Name() == "Go" || callee.Name() == "ForEach"
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package gohygiene_test
+
+import (
+	"testing"
+
+	"hybridwh/internal/lint/analysistest"
+	"hybridwh/internal/lint/gohygiene"
+)
+
+func TestGoHygiene(t *testing.T) {
+	analysistest.Run(t, "../testdata", gohygiene.Analyzer, "gohygiene")
+}

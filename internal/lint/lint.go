@@ -1,0 +1,60 @@
+// Package lint wires the hwlint analyzers together: the registry consumed
+// by cmd/hwlint and the per-analyzer package scoping. Scoping lives here —
+// not in the analyzers — so each analyzer stays a pure function of one
+// package and the policy of where it applies is auditable in one place.
+package lint
+
+import (
+	"strings"
+
+	"hybridwh/internal/lint/analysis"
+	"hybridwh/internal/lint/errwrap"
+	"hybridwh/internal/lint/gohygiene"
+	"hybridwh/internal/lint/load"
+	"hybridwh/internal/lint/mutexguard"
+	"hybridwh/internal/lint/nondet"
+	"hybridwh/internal/lint/protocol"
+)
+
+// Analyzers returns every hwlint analyzer, in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		nondet.Analyzer,
+		gohygiene.Analyzer,
+		protocol.Analyzer,
+		errwrap.Analyzer,
+		mutexguard.Analyzer,
+	}
+}
+
+// deterministicPkgs are the packages whose outputs must be bit-for-bit
+// reproducible across runs (EXPERIMENTS.md, benchmarks, the cost model);
+// only they are subject to the nondet analyzer.
+var deterministicPkgs = map[string]bool{
+	"hybridwh/internal/core":        true,
+	"hybridwh/internal/netsim":      true,
+	"hybridwh/internal/datagen":     true,
+	"hybridwh/internal/experiments": true,
+	"hybridwh/internal/costmodel":   true,
+}
+
+// Applies reports whether an analyzer runs on a package.
+func Applies(a *analysis.Analyzer, pkg *load.Package) bool {
+	path := pkg.ImportPath
+	if strings.Contains(path, "/testdata/") {
+		return false
+	}
+	switch a.Name {
+	case "nondet":
+		return deterministicPkgs[path]
+	case "gohygiene":
+		// par is the abstraction bare goroutines should flow through, and
+		// the lint tree never spawns goroutines; everything else under
+		// internal/ must use it.
+		return strings.HasPrefix(path, "hybridwh/internal/") &&
+			path != "hybridwh/internal/par" &&
+			!strings.HasPrefix(path, "hybridwh/internal/lint")
+	default:
+		return true
+	}
+}

@@ -1,0 +1,309 @@
+// Package load turns package patterns into parsed, type-checked packages
+// using only the standard library: `go list -json -deps` supplies the file
+// sets and the import graph, and go/types checks everything from source in
+// dependency order. Standard-library dependencies are checked with
+// IgnoreFuncBodies (declarations only), which keeps a full ./... load under
+// a second; packages named by the caller get full bodies and a complete
+// types.Info so analyzers can resolve every identifier.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded package.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Standard   bool
+	Files      []*ast.File
+	Fset       *token.FileSet
+	Types      *types.Package
+	TypesInfo  *types.Info
+	// TypeErrors collects go/types errors seen while checking this package.
+	// A non-empty list means the tree does not compile and analyzer results
+	// are unreliable.
+	TypeErrors []error
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// Loader loads and memoizes packages. A single Loader must not be used
+// concurrently.
+type Loader struct {
+	// Dir is where `go list` runs; it must be inside the module. Empty
+	// means the current directory.
+	Dir string
+
+	fset    *token.FileSet
+	meta    map[string]*listedPkg
+	order   []string // meta keys in `go list -deps` order (deps first)
+	checked map[string]*Package
+}
+
+// New returns an empty loader.
+func New() *Loader {
+	return &Loader{
+		fset:    token.NewFileSet(),
+		meta:    map[string]*listedPkg{},
+		checked: map[string]*Package{},
+	}
+}
+
+// Fset returns the loader's file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Load resolves patterns (as the go tool does) and returns the matched
+// packages fully type-checked, in `go list` order. Dependencies are checked
+// declarations-only and are not returned.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	if err := l.list(append([]string{"-deps"}, patterns...)); err != nil {
+		return nil, err
+	}
+	// A second, dependency-free listing identifies the roots.
+	roots, err := l.listRoots(patterns)
+	if err != nil {
+		return nil, err
+	}
+	// Check roots in dependency order so every root is fully checked
+	// before another root imports it (a dependency-level check would
+	// otherwise have to be redone with bodies).
+	rootSet := map[string]bool{}
+	for _, r := range roots {
+		rootSet[r] = true
+	}
+	ordered := make([]string, 0, len(roots))
+	for _, path := range l.order {
+		if rootSet[path] {
+			ordered = append(ordered, path)
+			delete(rootSet, path)
+		}
+	}
+	for _, r := range roots {
+		if rootSet[r] {
+			ordered = append(ordered, r)
+		}
+	}
+	byPath := map[string]*Package{}
+	for _, path := range ordered {
+		pkg, err := l.check(path, true)
+		if err != nil {
+			return nil, err
+		}
+		byPath[path] = pkg
+	}
+	// Return in the caller-visible `go list` order.
+	out := make([]*Package, 0, len(roots))
+	for _, path := range roots {
+		if p := byPath[path]; p != nil {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// Import implements types.Importer so a Loader can back ad-hoc type-checks
+// (the analysistest harness). Unknown paths are resolved with an extra
+// `go list -deps` call and checked declarations-only.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, ok := l.meta[path]; !ok {
+		if err := l.list([]string{"-deps", path}); err != nil {
+			return nil, err
+		}
+	}
+	pkg, err := l.check(path, false)
+	if err != nil {
+		return nil, err
+	}
+	return pkg.Types, nil
+}
+
+// list runs `go list -e -json <args>` and merges the results into l.meta.
+func (l *Loader) list(args []string) error {
+	cmdArgs := append([]string{
+		"list", "-e",
+		"-json=ImportPath,Name,Dir,GoFiles,Imports,ImportMap,Standard,Error",
+	}, args...)
+	cmd := exec.Command("go", cmdArgs...)
+	cmd.Dir = l.Dir
+	// CGO_ENABLED=0 selects a pure-Go, self-consistent file set for std
+	// packages (net, os/user), which is required to type-check them from
+	// source without running cgo.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("load: go list %s: %w\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		p := new(listedPkg)
+		if err := dec.Decode(p); err != nil {
+			return fmt.Errorf("load: decoding go list output: %w", err)
+		}
+		if p.Error != nil {
+			return fmt.Errorf("load: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if _, ok := l.meta[p.ImportPath]; !ok {
+			l.meta[p.ImportPath] = p
+			l.order = append(l.order, p.ImportPath)
+		}
+	}
+	return nil
+}
+
+// listRoots returns the import paths matched by patterns (without deps).
+func (l *Loader) listRoots(patterns []string) ([]string, error) {
+	cmd := exec.Command("go", append([]string{"list", "-e"}, patterns...)...)
+	cmd.Dir = l.Dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("load: go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var roots []string
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		if line != "" {
+			roots = append(roots, line)
+		}
+	}
+	return roots, nil
+}
+
+// check type-checks one package (and, transitively, its imports). full
+// selects body-level checking plus a populated TypesInfo.
+func (l *Loader) check(path string, full bool) (*Package, error) {
+	if path == "unsafe" {
+		return &Package{ImportPath: path, Types: types.Unsafe, Standard: true}, nil
+	}
+	if p, ok := l.checked[path]; ok {
+		if full && p.TypesInfo == nil && !p.Standard {
+			// Previously loaded declarations-only as a dependency; recheck
+			// with bodies under a distinct key is not supported — in
+			// practice Load checks roots before anything imports them.
+			return l.recheck(p, path)
+		}
+		return p, nil
+	}
+	lp, ok := l.meta[path]
+	if !ok {
+		// Standard-library vendored imports ("golang.org/x/...") are listed
+		// under the vendor/ prefix.
+		if v, okv := l.meta["vendor/"+path]; okv {
+			lp, ok = v, true
+		}
+	}
+	if !ok {
+		return nil, fmt.Errorf("load: unknown package %q", path)
+	}
+	if lp.Name == "" || len(lp.GoFiles) == 0 {
+		return nil, fmt.Errorf("load: package %q has no Go files", path)
+	}
+
+	var files []*ast.File
+	for _, f := range lp.GoFiles {
+		af, err := parser.ParseFile(l.fset, filepath.Join(lp.Dir, f), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("load: %w", err)
+		}
+		files = append(files, af)
+	}
+
+	pkg := &Package{
+		ImportPath: lp.ImportPath,
+		Name:       lp.Name,
+		Dir:        lp.Dir,
+		Standard:   lp.Standard,
+		Files:      files,
+		Fset:       l.fset,
+	}
+	var info *types.Info
+	if full {
+		info = NewInfo()
+		pkg.TypesInfo = info
+	}
+	conf := types.Config{
+		Importer:         importerFunc(func(p string) (*types.Package, error) { return l.importFor(lp, p) }),
+		IgnoreFuncBodies: !full,
+		Error: func(err error) {
+			pkg.TypeErrors = append(pkg.TypeErrors, err)
+		},
+	}
+	tpkg, _ := conf.Check(lp.ImportPath, l.fset, files, info)
+	pkg.Types = tpkg
+	l.checked[path] = pkg
+	if lp.ImportPath != path {
+		l.checked[lp.ImportPath] = pkg
+	}
+	return pkg, nil
+}
+
+// recheck upgrades a declarations-only package to a full check.
+func (l *Loader) recheck(p *Package, path string) (*Package, error) {
+	delete(l.checked, path)
+	delete(l.checked, p.ImportPath)
+	return l.check(path, true)
+}
+
+// importFor resolves an import path seen in importer, honouring the
+// importer's ImportMap (vendored std dependencies).
+func (l *Loader) importFor(importer *listedPkg, path string) (*types.Package, error) {
+	if mapped, ok := importer.ImportMap[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	dep, err := l.check(path, false)
+	if err != nil {
+		return nil, err
+	}
+	return dep.Types, nil
+}
+
+// NewInfo returns a types.Info with every map analyzers consume allocated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

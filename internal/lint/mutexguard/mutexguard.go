@@ -1,0 +1,156 @@
+// Package mutexguard implements the `mutexguard` analyzer: struct fields
+// annotated with a
+//
+//	// guarded by <mu>
+//
+// comment may only be accessed by functions that visibly hold <mu>. The
+// check is a lexical heuristic, deliberately so — it runs without alias or
+// escape analysis and still catches the common regression, a new method
+// touching shared state without locking:
+//
+//   - an access base.field is allowed when the enclosing top-level function
+//     also calls base.<mu>.Lock() or base.<mu>.RLock() with the same base
+//     expression (object identity for plain identifiers, source text
+//     otherwise);
+//   - functions whose name starts with New/new are exempt (single-goroutine
+//     constructors), as are composite-literal initializations, which never
+//     take the selector form.
+package mutexguard
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"hybridwh/internal/lint/analysis"
+	"hybridwh/internal/lint/astwalk"
+)
+
+// Analyzer is the mutexguard analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "mutexguard",
+	Doc:  "fields annotated `// guarded by <mu>` must only be accessed while that mutex is visibly held",
+	Run:  run,
+}
+
+var guardedRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		astwalk.Inspect(file, func(n ast.Node, stack []ast.Node) {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			obj := astwalk.SelectedObject(pass.TypesInfo, sel)
+			mu, guarded := guards[obj]
+			if !guarded {
+				return
+			}
+			fd := astwalk.EnclosingFuncDecl(stack)
+			if fd == nil || isConstructor(fd) {
+				return
+			}
+			if holdsLock(pass, fd.Body, sel.X, mu) {
+				return
+			}
+			pass.Reportf(sel.Pos(), "%s is guarded by %s, but %s does not lock it on this path", obj.Name(), mu, fd.Name.Name)
+		})
+	}
+	return nil, nil
+}
+
+// collectGuards maps annotated field objects to their mutex field name.
+func collectGuards(pass *analysis.Pass) map[types.Object]string {
+	guards := map[types.Object]string{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardAnnotation(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						guards[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// guardAnnotation extracts the mutex name from a field's doc or trailing
+// comment.
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+func isConstructor(fd *ast.FuncDecl) bool {
+	name := fd.Name.Name
+	return len(name) >= 3 && (name[:3] == "New" || name[:3] == "new")
+}
+
+// holdsLock reports whether body contains base.<mu>.Lock() or
+// base.<mu>.RLock() for the same base as the guarded access.
+func holdsLock(pass *analysis.Pass, body *ast.BlockStmt, base ast.Expr, mu string) bool {
+	baseObj := identObject(pass.TypesInfo, base)
+	baseText := astwalk.ExprText(pass.Fset, base)
+	held := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if held {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		muSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok || muSel.Sel.Name != mu {
+			return true
+		}
+		lockBase := muSel.X
+		if baseObj != nil {
+			if identObject(pass.TypesInfo, lockBase) == baseObj {
+				held = true
+			}
+			return !held
+		}
+		if baseText != "" && astwalk.ExprText(pass.Fset, lockBase) == baseText {
+			held = true
+		}
+		return !held
+	})
+	return held
+}
+
+// identObject returns the object of a plain-identifier expression, else
+// nil.
+func identObject(info *types.Info, e ast.Expr) types.Object {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		return info.ObjectOf(id)
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package mutexguard_test
+
+import (
+	"testing"
+
+	"hybridwh/internal/lint/analysistest"
+	"hybridwh/internal/lint/mutexguard"
+)
+
+func TestMutexGuard(t *testing.T) {
+	analysistest.Run(t, "../testdata", mutexguard.Analyzer, "mutexguard")
+}

@@ -1,0 +1,185 @@
+// Package nondet implements the `nondet` analyzer: it forbids sources of
+// nondeterminism in the packages whose outputs must be bit-for-bit
+// reproducible (seeded datagen, the experiment runner, the cost model, and
+// the engine's wire traffic). Three classes are flagged:
+//
+//  1. time.Now — wall-clock reads make runs unreproducible; thread an
+//     explicit timestamp or a seeded value through configuration instead.
+//  2. The global math/rand (and math/rand/v2) source — top-level functions
+//     like rand.Intn draw from process-wide state; construct a seeded
+//     *rand.Rand with rand.New(rand.NewSource(seed)).
+//  3. Map iteration feeding ordered output — a `for range m` over a map
+//     that appends to an outer slice (with no subsequent sort of that
+//     slice), sends on a channel, or calls a Send method leaks Go's
+//     randomized map order into results and wire traffic. Iterate a sorted
+//     key slice, or sort the collected output.
+package nondet
+
+import (
+	"go/ast"
+	"go/types"
+
+	"hybridwh/internal/lint/analysis"
+	"hybridwh/internal/lint/astwalk"
+)
+
+// Analyzer is the nondet analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "nondet",
+	Doc:  "forbid time.Now, the global math/rand source, and map-order iteration feeding output in deterministic packages",
+	Run:  run,
+}
+
+// seededConstructors are the math/rand names that are deterministic when
+// given an explicit seed and therefore allowed.
+var seededConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		astwalk.Inspect(file, func(n ast.Node, stack []ast.Node) {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkSelector(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n, stack)
+			}
+		})
+	}
+	return nil, nil
+}
+
+// checkSelector flags time.Now and global math/rand functions. Only
+// package-qualified names count: methods on a seeded *rand.Rand also live
+// in math/rand but are deterministic.
+func checkSelector(pass *analysis.Pass, sel *ast.SelectorExpr) {
+	base, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return
+	}
+	if _, isPkg := pass.TypesInfo.Uses[base].(*types.PkgName); !isPkg {
+		return
+	}
+	obj := astwalk.SelectedObject(pass.TypesInfo, sel)
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	switch obj.Pkg().Path() {
+	case "time":
+		if obj.Name() == "Now" {
+			pass.Reportf(sel.Pos(), "time.Now is nondeterministic; thread an explicit timestamp or seed through the config")
+		}
+	case "math/rand", "math/rand/v2":
+		if _, isFunc := obj.(*types.Func); !isFunc {
+			return
+		}
+		if seededConstructors[obj.Name()] {
+			return
+		}
+		pass.Reportf(sel.Pos(), "global math/rand %s draws from the process-wide source; use rand.New(rand.NewSource(seed))", obj.Name())
+	}
+}
+
+// checkMapRange flags `for range m` over a map when the body feeds ordered
+// output.
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt, stack []ast.Node) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	funcBody := astwalk.EnclosingFuncBody(stack[:len(stack)-1])
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(rng.Pos(), "map iteration order feeds a channel send; iterate a sorted key slice instead")
+			return false
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Send" {
+				pass.Reportf(rng.Pos(), "map iteration order feeds %s.Send; iterate a sorted key slice instead", astwalk.ExprText(pass.Fset, sel.X))
+				return false
+			}
+		case *ast.AssignStmt:
+			if obj := appendTarget(pass.TypesInfo, n); obj != nil {
+				// Appending to a slice declared outside the loop is only
+				// deterministic if the slice is sorted afterwards.
+				if obj.Pos() < rng.Pos() && !sortedAfter(pass.TypesInfo, funcBody, rng, obj) {
+					pass.Reportf(rng.Pos(), "map iteration order feeds slice %s, which is never sorted; sort it or iterate sorted keys", obj.Name())
+					return false
+				}
+			}
+		}
+		return true
+	})
+}
+
+// appendTarget returns the object of x in `x = append(x, ...)`, else nil.
+func appendTarget(info *types.Info, assign *ast.AssignStmt) types.Object {
+	if len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return nil
+	}
+	lhs, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return nil
+	}
+	if b, ok := info.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return nil
+	}
+	return info.ObjectOf(lhs)
+}
+
+// sortedAfter reports whether, after the range statement, the enclosing
+// function calls a sort/slices function with obj among its arguments.
+func sortedAfter(info *types.Info, funcBody *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	if funcBody == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		callee := astwalk.CalleeObject(info, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		if p := callee.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			mentions := false
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+					mentions = true
+				}
+				return !mentions
+			})
+			if mentions {
+				found = true
+				break
+			}
+		}
+		return !found
+	})
+	return found
+}

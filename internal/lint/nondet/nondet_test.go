@@ -1,0 +1,12 @@
+package nondet_test
+
+import (
+	"testing"
+
+	"hybridwh/internal/lint/analysistest"
+	"hybridwh/internal/lint/nondet"
+)
+
+func TestNondet(t *testing.T) {
+	analysistest.Run(t, "../testdata", nondet.Analyzer, "nondet")
+}

@@ -1,0 +1,12 @@
+package protocol_test
+
+import (
+	"testing"
+
+	"hybridwh/internal/lint/analysistest"
+	"hybridwh/internal/lint/protocol"
+)
+
+func TestProtocol(t *testing.T) {
+	analysistest.Run(t, "../testdata", protocol.Analyzer, "protocol")
+}

@@ -1,0 +1,151 @@
+// Package run executes analyzers over loaded packages, applies
+// //lint:ignore suppressions, and formats findings. It is the shared core
+// of cmd/hwlint and of the integration tests that prove violations are
+// caught.
+package run
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+
+	"hybridwh/internal/lint/analysis"
+	"hybridwh/internal/lint/load"
+)
+
+// Finding is one diagnostic, positioned and attributed.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+	// Suppressed marks findings matched by a //lint:ignore directive with a
+	// written reason; Reason carries it.
+	Suppressed bool
+	Reason     string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Filter decides whether an analyzer applies to a package.
+type Filter func(a *analysis.Analyzer, pkg *load.Package) bool
+
+// Analyze runs every analyzer over every package it applies to and returns
+// all findings (suppressed ones included, flagged) sorted by position.
+func Analyze(pkgs []*load.Package, analyzers []*analysis.Analyzer, filter Filter) ([]Finding, error) {
+	var out []Finding
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			return nil, fmt.Errorf("run: %s does not type-check: %w", pkg.ImportPath, pkg.TypeErrors[0])
+		}
+		sup := suppressions(pkg)
+		for _, a := range analyzers {
+			if filter != nil && !filter(a, pkg) {
+				continue
+			}
+			var diags []analysis.Diagnostic
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("run: %s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				f := Finding{Analyzer: a.Name, Pos: pos, Message: d.Message}
+				if reason, ok := sup.match(a.Name, pos); ok {
+					f.Suppressed, f.Reason = true, reason
+				}
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// Active returns the findings not silenced by a suppression.
+func Active(findings []Finding) []Finding {
+	var out []Finding
+	for _, f := range findings {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// suppressionIndex maps (file, line) to the //lint:ignore directives written
+// on that line or the line above the flagged statement.
+type suppressionIndex map[string]map[int][]directive
+
+type directive struct {
+	analyzer string
+	reason   string
+}
+
+// suppressions scans a package's comments for
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// directives. A directive with no reason is intentionally inert: every
+// suppression must say why.
+func suppressions(pkg *load.Package) suppressionIndex {
+	idx := suppressionIndex{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore ")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					continue // no reason given: directive does not apply
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				byLine := idx[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]directive{}
+					idx[pos.Filename] = byLine
+				}
+				d := directive{analyzer: fields[0], reason: strings.Join(fields[1:], " ")}
+				byLine[pos.Line] = append(byLine[pos.Line], d)
+			}
+		}
+	}
+	return idx
+}
+
+// match reports whether a finding at pos is covered by a directive on the
+// same line or the preceding line.
+func (idx suppressionIndex) match(analyzer string, pos token.Position) (string, bool) {
+	byLine := idx[pos.Filename]
+	if byLine == nil {
+		return "", false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, d := range byLine[line] {
+			if d.analyzer == analyzer {
+				return d.reason, true
+			}
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,85 @@
+package run_test
+
+import (
+	"strings"
+	"testing"
+
+	"hybridwh/internal/lint/load"
+	"hybridwh/internal/lint/nondet"
+	"hybridwh/internal/lint/run"
+
+	"hybridwh/internal/lint/analysis"
+)
+
+// loadTestdata loads one golden package through the real go list + go/types
+// pipeline. Explicitly named testdata directories are visible to the go
+// tool even though ./... skips them.
+func loadTestdata(t *testing.T, dir string) []*load.Package {
+	t.Helper()
+	loader := load.New()
+	pkgs, err := loader.Load(dir)
+	if err != nil {
+		t.Fatalf("Load(%s): %v", dir, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("Load(%s) = %d packages, want 1", dir, len(pkgs))
+	}
+	return pkgs
+}
+
+// TestSuppressions proves the //lint:ignore contract: a directive with a
+// reason silences the one finding it names; reasonless or misdirected
+// directives are inert.
+func TestSuppressions(t *testing.T) {
+	pkgs := loadTestdata(t, "../testdata/src/suppressed")
+	findings, err := run.Analyze(pkgs, []*analysis.Analyzer{nondet.Analyzer}, nil)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if len(findings) != 5 {
+		t.Fatalf("findings = %d, want 5 (every time.Now)\n%v", len(findings), findings)
+	}
+	active := run.Active(findings)
+	if len(active) != 3 {
+		t.Fatalf("active findings = %d, want 3\n%v", len(active), active)
+	}
+	var suppressedReasons []string
+	for _, f := range findings {
+		if f.Suppressed {
+			suppressedReasons = append(suppressedReasons, f.Reason)
+		}
+	}
+	want := []string{
+		"this fixture demonstrates a reasoned suppression",
+		"same-line directives also apply",
+	}
+	if len(suppressedReasons) != len(want) {
+		t.Fatalf("suppressed = %v, want %v", suppressedReasons, want)
+	}
+	for i, r := range want {
+		if suppressedReasons[i] != r {
+			t.Errorf("suppression reason %d = %q, want %q", i, suppressedReasons[i], r)
+		}
+	}
+}
+
+// TestViolationFailsTheDriver is the acceptance check that a deliberate
+// violation is caught by the same pipeline cmd/hwlint runs: analyzing a
+// package containing time.Now yields active findings, which the driver
+// turns into a non-zero exit.
+func TestViolationFailsTheDriver(t *testing.T) {
+	pkgs := loadTestdata(t, "../testdata/src/nondet")
+	findings, err := run.Analyze(pkgs, []*analysis.Analyzer{nondet.Analyzer}, nil)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	active := run.Active(findings)
+	if len(active) == 0 {
+		t.Fatal("deliberate time.Now violation produced no findings")
+	}
+	for _, f := range active {
+		if !strings.Contains(f.Pos.Filename, "testdata") {
+			t.Errorf("finding outside testdata: %v", f)
+		}
+	}
+}

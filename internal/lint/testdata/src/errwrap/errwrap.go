@@ -1,0 +1,45 @@
+// Package errwrap is golden testdata for the errwrap analyzer.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base")
+
+func badV(err error) error {
+	return fmt.Errorf("loading: %v", err) // want `error formatted with %v; use %w`
+}
+
+func badS(err error) error {
+	return fmt.Errorf("loading: %s", err) // want `error formatted with %s; use %w`
+}
+
+func good(err error) error {
+	return fmt.Errorf("loading: %w", err) // wrapped: allowed
+}
+
+func notAnError(name string) error {
+	return fmt.Errorf("bad name %q: %s", name, name) // strings: allowed
+}
+
+func wrappedPlusString(err error) error {
+	return fmt.Errorf("%w: %s", err, "context") // allowed
+}
+
+func starWidth(err error) error {
+	return fmt.Errorf("pad %*d then %v", 3, 4, err) // want `error formatted with %v; use %w`
+}
+
+func indexed(err error) error {
+	return fmt.Errorf("twice: %[1]v %[1]v", err) // want `error formatted with %v` `error formatted with %v`
+}
+
+type myErr struct{}
+
+func (*myErr) Error() string { return "my" }
+
+func customType(e *myErr) error {
+	return fmt.Errorf("custom: %v", e) // want `error formatted with %v; use %w`
+}

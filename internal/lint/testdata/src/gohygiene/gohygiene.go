@@ -1,0 +1,39 @@
+// Package gohygiene is golden testdata for the gohygiene analyzer.
+package gohygiene
+
+import "hybridwh/internal/par"
+
+func work() error { return nil }
+
+func bare() {
+	go func() {}() // want `bare go statement`
+}
+
+func grouped() error {
+	var g par.Group
+	g.Go(func() error { return work() }) // propagated: allowed
+	return g.Wait()
+}
+
+func swallowed() error {
+	var g par.Group
+	g.Go(func() error {
+		work() // want `error result discarded inside par\.Group\.Go closure`
+		return nil
+	})
+	return g.Wait()
+}
+
+func droppedWait() {
+	var g par.Group
+	g.Go(func() error { return work() })
+	g.Wait() // want `par\.Group\.Wait result discarded`
+}
+
+func droppedForEach() {
+	par.ForEach(4, func(i int) error { return work() }) // want `par\.ForEach result discarded`
+}
+
+func outsideClosure() {
+	work() // dropped error outside a Group.Go closure: not this analyzer's job
+}

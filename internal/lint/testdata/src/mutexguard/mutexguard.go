@@ -1,0 +1,57 @@
+// Package mutexguard is golden testdata for the mutexguard analyzer.
+package mutexguard
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++ // lock held: allowed
+	c.mu.Unlock()
+}
+
+func (c *counter) deferred() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n // lock held: allowed
+}
+
+func (c *counter) racy() int {
+	return c.n // want `n is guarded by mu, but racy does not lock it`
+}
+
+func NewCounter(n int) *counter {
+	c := &counter{}
+	c.n = n // constructor: allowed
+	return c
+}
+
+type registry struct {
+	mu sync.RWMutex
+	// entries maps names to values.
+	// guarded by mu
+	entries map[string]int
+	hits    int // unguarded field: never checked
+}
+
+func (r *registry) get(name string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.entries[name] // read lock held: allowed
+}
+
+func (r *registry) racyPut(name string, v int) {
+	r.entries[name] = v // want `entries is guarded by mu, but racyPut does not lock it`
+	r.hits++
+}
+
+func swap(a, b *counter) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.n++     // a's lock held: allowed
+	b.n = a.n // want `n is guarded by mu, but swap does not lock it`
+}

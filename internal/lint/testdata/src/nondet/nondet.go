@@ -1,0 +1,60 @@
+// Package nondet is golden testdata for the nondet analyzer.
+package nondet
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now is nondeterministic`
+}
+
+func roll() int {
+	return rand.Intn(6) // want `global math/rand Intn`
+}
+
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // seeded constructor: allowed
+	return r.Intn(6)
+}
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order feeds slice out`
+		out = append(out, k)
+	}
+	return out
+}
+
+func sortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m { // sorted afterwards: allowed
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func emit(m map[string]int, ch chan string) {
+	for k := range m { // want `map iteration order feeds a channel send`
+		ch <- k
+	}
+}
+
+func sliceIter(xs []int, ch chan int) {
+	for _, x := range xs { // slices iterate in order: allowed
+		ch <- x
+	}
+}
+
+type wire struct{}
+
+func (wire) Send(string) {}
+
+func transmit(m map[string]int, w wire) {
+	for k := range m { // want `map iteration order feeds w\.Send`
+		w.Send(k)
+	}
+}

@@ -1,0 +1,53 @@
+// Package protocol is golden testdata for the protocol analyzer.
+package protocol
+
+import "hybridwh/internal/netsim"
+
+func ignoredSend(b netsim.Bus) {
+	b.Send("a", "b", netsim.Msg{Type: netsim.MsgControl}) // want `netsim Send error ignored`
+}
+
+func ignoredClose(b netsim.Bus) {
+	b.Close() // want `netsim Close error ignored`
+}
+
+func deferredBusClose(b netsim.Bus) error {
+	defer b.Close() // deferred last-resort cleanup: allowed
+	return b.Send("a", "b", netsim.Msg{Type: netsim.MsgControl})
+}
+
+func rowsNoEOS(b netsim.Bus) error {
+	return b.Send("a", "b", netsim.Msg{Type: netsim.MsgRows}) // want `MsgRows sent with no reachable MsgEOS/MsgError`
+}
+
+func rowsThenEOS(b netsim.Bus) error {
+	if err := b.Send("a", "b", netsim.Msg{Type: netsim.MsgRows}); err != nil { // terminated below: allowed
+		return err
+	}
+	return b.Send("a", "b", netsim.Msg{Type: netsim.MsgEOS})
+}
+
+func rowsThenError(b netsim.Bus) error {
+	if err := b.Send("a", "b", netsim.Msg{Type: netsim.MsgRows}); err != nil { // aborted below: allowed
+		return err
+	}
+	return b.Send("a", "b", netsim.Msg{Type: netsim.MsgError})
+}
+
+// streamer mimics the batcher pattern: flush sends rows, Close ends the
+// stream, so flush alone is fine.
+type streamer struct{ b netsim.Bus }
+
+func (s *streamer) flush() error {
+	return s.b.Send("a", "b", netsim.Msg{Type: netsim.MsgRows}) // sibling Close sends EOS: allowed
+}
+
+func (s *streamer) Close() error {
+	return s.b.Send("a", "b", netsim.Msg{Type: netsim.MsgEOS})
+}
+
+func sendWithDeferredCleanup(b netsim.Bus) error {
+	s := &streamer{b: b}
+	defer s.Close() // deferred Close terminates the stream: allowed
+	return s.b.Send("x", "y", netsim.Msg{Type: netsim.MsgRows})
+}

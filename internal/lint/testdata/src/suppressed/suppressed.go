@@ -1,0 +1,27 @@
+// Package suppressed is golden testdata for the //lint:ignore machinery.
+package suppressed
+
+import "time"
+
+func open() int64 {
+	return time.Now().UnixNano() // unsuppressed: must be reported
+}
+
+func quiet() int64 {
+	//lint:ignore nondet this fixture demonstrates a reasoned suppression
+	return time.Now().UnixNano()
+}
+
+func sameLine() int64 {
+	return time.Now().UnixNano() //lint:ignore nondet same-line directives also apply
+}
+
+func noReason() int64 {
+	//lint:ignore nondet
+	return time.Now().UnixNano() // reasonless directive is inert: must be reported
+}
+
+func wrongAnalyzer() int64 {
+	//lint:ignore errwrap reason aimed at a different analyzer
+	return time.Now().UnixNano() // must still be reported
+}

@@ -17,8 +17,8 @@ import (
 // Recorder accumulates counters. It is safe for concurrent use.
 type Recorder struct {
 	mu      sync.Mutex
-	scalars map[string]int64
-	vectors map[string][]int64
+	scalars map[string]int64   // guarded by mu
+	vectors map[string][]int64 // guarded by mu
 }
 
 // New returns an empty recorder.

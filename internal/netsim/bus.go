@@ -94,10 +94,10 @@ type Bus interface {
 // Counters accounts bytes and messages by link class and per endpoint.
 type Counters struct {
 	mu      sync.Mutex
-	byClass map[cluster.LinkClass]int64
-	msgs    map[cluster.LinkClass]int64
-	sentBy  map[string]int64
-	recvBy  map[string]int64
+	byClass map[cluster.LinkClass]int64 // guarded by mu
+	msgs    map[cluster.LinkClass]int64 // guarded by mu
+	sentBy  map[string]int64            // guarded by mu
+	recvBy  map[string]int64            // guarded by mu
 }
 
 // NewCounters returns zeroed counters.
@@ -161,10 +161,10 @@ func (c *Counters) Reset() {
 // ChanBus is the in-process transport.
 type ChanBus struct {
 	mu       sync.RWMutex
-	inboxes  map[string]chan Envelope
+	inboxes  map[string]chan Envelope // guarded by mu
 	buffer   int
 	counters *Counters
-	closed   bool
+	closed   bool // guarded by mu
 }
 
 // NewChanBus creates a channel bus. buffer is the inbox depth per endpoint

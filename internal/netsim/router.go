@@ -39,6 +39,7 @@ func NewRouter(inbox <-chan Envelope) *Router {
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
+	//lint:ignore gohygiene the dispatch loop runs for the router's lifetime, never fails, and is joined via the done channel in Stop
 	go r.run(inbox)
 	return r
 }

@@ -1,0 +1,174 @@
+package netsim
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"hybridwh/internal/cluster"
+	"hybridwh/internal/par"
+)
+
+// TestSmokeManyToMany drives N senders into M receivers over both transports
+// with interleaved MsgRows/MsgEOS traffic and a deliberately tiny inbox
+// buffer, so senders spend time blocked on backpressure while receivers
+// drain concurrently. It checks two invariants:
+//
+//  1. every payload byte a sender pushes at a receiver arrives (per pair),
+//  2. both transports account identical totals — per link class and per
+//     endpoint — because wireSize is transport-independent.
+//
+// Run it with -race: it is the designated data-race probe for the bus
+// implementations.
+func TestSmokeManyToMany(t *testing.T) {
+	const (
+		senders   = 4
+		receivers = 3
+		batches   = 50 // MsgRows batches per (sender, receiver) pair
+	)
+	// Deterministic payload sizes so both transports move the same bytes.
+	payload := func(s, r, k int) []byte {
+		b := make([]byte, 1+(s*31+r*17+k*7)%97)
+		for i := range b {
+			b[i] = byte(s ^ r ^ k ^ i)
+		}
+		return b
+	}
+	want := make([][]int64, senders) // payload bytes sender s owes receiver r
+	for s := range want {
+		want[s] = make([]int64, receivers)
+		for r := 0; r < receivers; r++ {
+			for k := 0; k < batches; k++ {
+				want[s][r] += int64(len(payload(s, r, k)))
+			}
+		}
+	}
+
+	type accounting struct {
+		byClass map[cluster.LinkClass]int64
+		sentBy  map[string]int64
+		recvBy  map[string]int64
+	}
+	results := map[string]accounting{}
+
+	for name, mk := range busFactories {
+		t.Run(name, func(t *testing.T) {
+			b := mk(2) // tiny buffer: force senders onto the backpressure path
+			defer b.Close()
+
+			inboxes := make([]<-chan Envelope, receivers)
+			for r := 0; r < receivers; r++ {
+				in, err := b.Register(cluster.JENName(r))
+				if err != nil {
+					t.Fatal(err)
+				}
+				inboxes[r] = in
+			}
+			for s := 0; s < senders; s++ {
+				if _, err := b.Register(cluster.DBName(s)); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// got[r][from] accumulates MsgRows payload bytes at receiver r.
+			var mu sync.Mutex
+			got := make([]map[string]int64, receivers)
+
+			var g par.Group
+			for r := 0; r < receivers; r++ {
+				r := r
+				g.Go(func() error {
+					bytesFrom := map[string]int64{}
+					eos := map[string]bool{}
+					for env := range inboxes[r] {
+						switch env.Type {
+						case MsgRows:
+							if eos[env.From] {
+								return fmt.Errorf("receiver %d: rows from %s after its EOS", r, env.From)
+							}
+							bytesFrom[env.From] += int64(len(env.Payload))
+						case MsgEOS:
+							if eos[env.From] {
+								return fmt.Errorf("receiver %d: duplicate EOS from %s", r, env.From)
+							}
+							eos[env.From] = true
+						default:
+							return fmt.Errorf("receiver %d: unexpected %s from %s", r, env.Type, env.From)
+						}
+						if len(eos) == senders {
+							mu.Lock()
+							got[r] = bytesFrom
+							mu.Unlock()
+							return nil
+						}
+					}
+					return fmt.Errorf("receiver %d: inbox closed early", r)
+				})
+			}
+			for s := 0; s < senders; s++ {
+				s := s
+				g.Go(func() error {
+					from := cluster.DBName(s)
+					// Interleave across receivers batch by batch; senders run
+					// concurrently and progress at different rates, so each
+					// EOS lands amid other senders' row traffic.
+					for k := 0; k < batches; k++ {
+						for r := 0; r < receivers; r++ {
+							m := Msg{Type: MsgRows, Stream: "smoke", Payload: payload(s, r, k)}
+							if err := b.Send(from, cluster.JENName(r), m); err != nil {
+								return fmt.Errorf("sender %d: %w", s, err)
+							}
+							if k == batches-1 {
+								eos := Msg{Type: MsgEOS, Stream: "smoke"}
+								if err := b.Send(from, cluster.JENName(r), eos); err != nil {
+									return fmt.Errorf("sender %d eos: %w", s, err)
+								}
+							}
+						}
+					}
+					return nil
+				})
+			}
+			if err := g.Wait(); err != nil {
+				t.Fatal(err)
+			}
+
+			for r := 0; r < receivers; r++ {
+				for s := 0; s < senders; s++ {
+					if n := got[r][cluster.DBName(s)]; n != want[s][r] {
+						t.Errorf("receiver %d got %d bytes from sender %d, want %d", r, n, s, want[s][r])
+					}
+				}
+			}
+
+			c := b.Counters()
+			acct := accounting{
+				byClass: map[cluster.LinkClass]int64{},
+				sentBy:  map[string]int64{},
+				recvBy:  map[string]int64{},
+			}
+			for _, cl := range []cluster.LinkClass{cluster.IntraDB, cluster.IntraHDFS, cluster.Cross} {
+				acct.byClass[cl] = c.Bytes(cl)
+			}
+			for s := 0; s < senders; s++ {
+				acct.sentBy[cluster.DBName(s)] = c.SentBy(cluster.DBName(s))
+			}
+			for r := 0; r < receivers; r++ {
+				acct.recvBy[cluster.JENName(r)] = c.RecvBy(cluster.JENName(r))
+			}
+			if acct.byClass[cluster.IntraDB] != 0 || acct.byClass[cluster.IntraHDFS] != 0 {
+				t.Errorf("db→jen traffic should all be cross-class: %+v", acct.byClass)
+			}
+			results[name] = acct
+		})
+	}
+
+	if len(results) == 2 {
+		chanAcct, tcpAcct := results["chan"], results["tcp"]
+		if fmt.Sprintf("%+v", chanAcct) != fmt.Sprintf("%+v", tcpAcct) {
+			t.Errorf("transports disagree on accounting:\n  chan: %+v\n  tcp:  %+v", chanAcct, tcpAcct)
+		}
+	} else {
+		t.Errorf("expected results from both transports, got %d", len(results))
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 )
 
@@ -19,11 +20,11 @@ import (
 // inbox exerts backpressure through TCP flow control.
 type TCPBus struct {
 	mu        sync.Mutex
-	endpoints map[string]*tcpEndpoint
-	addrs     map[string]string
+	endpoints map[string]*tcpEndpoint // guarded by mu
+	addrs     map[string]string       // guarded by mu
 	counters  *Counters
 	buffer    int
-	closed    bool
+	closed    bool // guarded by mu
 	done      chan struct{}
 	wg        sync.WaitGroup
 }
@@ -34,13 +35,13 @@ type tcpEndpoint struct {
 	inbox chan Envelope
 
 	mu    sync.Mutex
-	conns map[string]*tcpConn // by destination endpoint
+	conns map[string]*tcpConn // by destination endpoint; guarded by mu
 }
 
 type tcpConn struct {
 	mu sync.Mutex
-	w  *bufio.Writer
-	c  net.Conn
+	w  *bufio.Writer // guarded by mu
+	c  net.Conn      // closed without mu to interrupt blocked writes
 }
 
 // NewTCPBus creates a TCP bus on loopback.
@@ -80,6 +81,7 @@ func (b *TCPBus) Register(name string) (<-chan Envelope, error) {
 	b.endpoints[name] = ep
 	b.addrs[name] = ln.Addr().String()
 	b.wg.Add(1)
+	//lint:ignore gohygiene the accept loop runs until the listener closes, reports nothing, and is joined via b.wg in Close
 	go b.acceptLoop(ep)
 	return ep.inbox, nil
 }
@@ -92,6 +94,7 @@ func (b *TCPBus) acceptLoop(ep *tcpEndpoint) {
 			return // listener closed
 		}
 		b.wg.Add(1)
+		//lint:ignore gohygiene reader errors mean connection teardown by design; the goroutine is joined via b.wg in Close
 		go b.readLoop(ep, conn)
 	}
 }
@@ -241,9 +244,15 @@ func (b *TCPBus) Close() error {
 	}
 	b.closed = true
 	close(b.done)
-	eps := make([]*tcpEndpoint, 0, len(b.endpoints))
-	for _, ep := range b.endpoints {
-		eps = append(eps, ep)
+	// Tear endpoints down in name order so shutdown is deterministic.
+	names := make([]string, 0, len(b.endpoints))
+	for name := range b.endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	eps := make([]*tcpEndpoint, 0, len(names))
+	for _, name := range names {
+		eps = append(eps, b.endpoints[name])
 	}
 	b.mu.Unlock()
 

@@ -8,15 +8,37 @@ import "sync"
 // Group runs functions concurrently and reports the first error.
 type Group struct {
 	wg  sync.WaitGroup
+	sem chan struct{}
 	mu  sync.Mutex
-	err error
+	err error // guarded by mu
 }
 
-// Go launches f in a goroutine.
+// SetLimit bounds the number of functions running concurrently to n;
+// further Go calls block until a slot frees up. n <= 0 removes the bound.
+// It must not be called while goroutines launched by Go are active
+// (matching errgroup semantics): unbounded fan-out is easy to reintroduce
+// by accident, so callers configure the limit once, up front.
+func (g *Group) SetLimit(n int) {
+	if g.sem != nil && len(g.sem) != 0 {
+		panic("par: SetLimit called with goroutines active")
+	}
+	if n <= 0 {
+		g.sem = nil
+		return
+	}
+	g.sem = make(chan struct{}, n)
+}
+
+// Go launches f in a goroutine, blocking first if a SetLimit bound is
+// saturated.
 func (g *Group) Go(f func() error) {
+	if g.sem != nil {
+		g.sem <- struct{}{}
+	}
 	g.wg.Add(1)
 	go func() {
 		defer g.wg.Done()
+		defer g.release()
 		if err := f(); err != nil {
 			g.mu.Lock()
 			if g.err == nil {
@@ -25,6 +47,12 @@ func (g *Group) Go(f func() error) {
 			g.mu.Unlock()
 		}
 	}()
+}
+
+func (g *Group) release() {
+	if g.sem != nil {
+		<-g.sem
+	}
 }
 
 // Wait blocks until every launched function returns, then reports the first

@@ -2,6 +2,7 @@ package par
 
 import (
 	"errors"
+	"fmt"
 	"sync/atomic"
 	"testing"
 )
@@ -56,5 +57,115 @@ func TestForEach(t *testing.T) {
 	}
 	if err := ForEach(0, func(int) error { return errors.New("never") }); err != nil {
 		t.Errorf("empty ForEach err = %v", err)
+	}
+}
+
+func TestFirstErrorWins(t *testing.T) {
+	var g Group
+	first, second := errors.New("first"), errors.New("second")
+	g.Go(func() error { return first })
+	if err := g.Wait(); err != first {
+		t.Fatalf("Wait = %v, want first", err)
+	}
+	// A later failure must not displace the error already recorded.
+	g.Go(func() error { return second })
+	if err := g.Wait(); err != first {
+		t.Errorf("Wait after second failure = %v, want first to stick", err)
+	}
+}
+
+func TestFirstErrorWinsUnderContention(t *testing.T) {
+	const n = 64
+	errs := make([]error, n)
+	for i := range errs {
+		errs[i] = fmt.Errorf("worker %d failed", i)
+	}
+	for round := 0; round < 10; round++ {
+		var g Group
+		start := make(chan struct{})
+		for i := 0; i < n; i++ {
+			i := i
+			g.Go(func() error { <-start; return errs[i] })
+		}
+		close(start)
+		err := g.Wait()
+		if err == nil {
+			t.Fatal("Wait = nil, want an error")
+		}
+		found := false
+		for _, e := range errs {
+			if err == e {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("Wait = %v, not one of the submitted errors", err)
+		}
+		// Whatever won the race must be stable across repeated Waits.
+		if again := g.Wait(); again != err {
+			t.Fatalf("second Wait = %v, first was %v", again, err)
+		}
+	}
+}
+
+func TestSetLimit(t *testing.T) {
+	const limit, tasks = 4, 64
+	var g Group
+	g.SetLimit(limit)
+	var running, peak atomic.Int64
+	for i := 0; i < tasks; i++ {
+		g.Go(func() error {
+			cur := running.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			running.Add(-1)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > limit {
+		t.Errorf("observed %d concurrent goroutines, limit is %d", p, limit)
+	}
+}
+
+func TestSetLimitRemoval(t *testing.T) {
+	var g Group
+	g.SetLimit(2)
+	g.SetLimit(0) // no goroutines active, so reconfiguring is fine
+	var n atomic.Int64
+	for i := 0; i < 16; i++ {
+		g.Go(func() error { n.Add(1); return nil })
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 16 {
+		t.Errorf("ran %d of 16", n.Load())
+	}
+}
+
+func TestSetLimitPanicsWhileActive(t *testing.T) {
+	var g Group
+	g.SetLimit(1)
+	block := make(chan struct{})
+	g.Go(func() error { <-block; return nil })
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("SetLimit with active goroutines did not panic")
+			}
+		}()
+		g.SetLimit(2)
+	}()
+	close(block)
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -20,6 +20,7 @@
 package hybridwh
 
 import (
+	"errors"
 	"fmt"
 
 	"hybridwh/internal/catalog"
@@ -185,7 +186,9 @@ func Open(cfg Config) (*Warehouse, error) {
 		BroadcastRelay:   cfg.BroadcastRelay,
 	})
 	if err != nil {
-		bus.Close()
+		if cerr := bus.Close(); cerr != nil {
+			return nil, errors.Join(err, cerr)
+		}
 		return nil, err
 	}
 	return &Warehouse{
