@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt build vet lint test race bench
+.PHONY: check fmt build vet lint test race bench bench-smoke
 
 check: fmt build vet lint test
 
@@ -28,5 +28,16 @@ test:
 race:
 	$(GO) test -race ./internal/netsim/ ./internal/par/ ./internal/jen/ ./internal/core/
 
+# Full sweep at one iteration, then the core scan→filter→shuffle→join
+# micro-benchmark at measurement length, recorded as BENCH_core.json (the
+# batch-vs-row speedup lives under "speedups").
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
+	$(GO) test -run '^$$' -bench BenchmarkScanFilterJoin -benchtime=3x ./internal/core/ \
+		| $(GO) run ./cmd/benchjson -o BENCH_core.json
+	@cat BENCH_core.json
+
+# One-iteration benchmark smoke for CI: proves the benchmarks still compile
+# and run, without measurement-length runtimes.
+bench-smoke:
+	$(GO) test -run '^$$' -bench BenchmarkScanFilterJoin -benchtime=1x ./internal/core/

@@ -1,0 +1,168 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// benchmark record. `make bench` pipes the core micro-benchmarks through it
+// to produce BENCH_core.json, so the perf trajectory of the vectorized hot
+// path is tracked in-repo from PR to PR.
+//
+//	go test -bench BenchmarkScanFilterJoin ./internal/core/ | benchjson -o BENCH_core.json
+//
+// Each benchmark result line ("BenchmarkName-8  3  419695899 ns/op  309748
+// rows/s") becomes one entry with its ns/op and any extra ReportMetric
+// units. Ratio pairs (same benchmark name modulo a trailing "/batch" vs
+// "/row" component) additionally produce a "speedup" entry comparing
+// rows/s, which is how the ≥2× batch-vs-row acceptance bar is recorded.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iterations"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+type report struct {
+	Go        string             `json:"go,omitempty"`
+	Pkg       string             `json:"pkg,omitempty"`
+	CPU       string             `json:"cpu,omitempty"`
+	Results   []result           `json:"results"`
+	Speedups  map[string]float64 `json:"speedups,omitempty"`
+	SpeedupBy string             `json:"speedup_metric,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	metric := flag.String("ratio-metric", "rows/s", "metric used for batch-vs-row speedup entries")
+	flag.Parse()
+
+	rep, err := parse(bufio.NewScanner(os.Stdin), *metric)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner, ratioMetric string) (*report, error) {
+	rep := &report{SpeedupBy: ratioMetric}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"):
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			r, ok := parseResult(line)
+			if ok {
+				rep.Results = append(rep.Results, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rep.Results) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines on stdin")
+	}
+	rep.Speedups = speedups(rep.Results, ratioMetric)
+	return rep, nil
+}
+
+// parseResult decodes one result line: name, iteration count, then
+// value/unit pairs ("419695899 ns/op 309748 rows/s").
+func parseResult(line string) (result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return result{}, false
+	}
+	name := f[0]
+	// Strip the GOMAXPROCS suffix gotest appends ("-8").
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Name: name, Iters: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		if f[i+1] == "ns/op" {
+			r.NsPerOp = v
+		} else {
+			r.Metrics[f[i+1]] = v
+		}
+	}
+	if len(r.Metrics) == 0 {
+		r.Metrics = nil
+	}
+	return r, true
+}
+
+// speedups pairs ".../batch" results with their ".../row" baseline and
+// records the ratio of the given metric (falling back to inverse ns/op).
+func speedups(results []result, metric string) map[string]float64 {
+	get := func(r result, suffix string) (string, bool) {
+		if !strings.HasSuffix(r.Name, "/"+suffix) {
+			return "", false
+		}
+		return strings.TrimSuffix(r.Name, "/"+suffix), true
+	}
+	value := func(r result) float64 {
+		if v, ok := r.Metrics[metric]; ok {
+			return v
+		}
+		if r.NsPerOp > 0 {
+			return 1e9 / r.NsPerOp
+		}
+		return 0
+	}
+	batch := map[string]float64{}
+	row := map[string]float64{}
+	for _, r := range results {
+		if base, ok := get(r, "batch"); ok {
+			batch[base] = value(r)
+		} else if base, ok := get(r, "row"); ok {
+			row[base] = value(r)
+		}
+	}
+	out := map[string]float64{}
+	for base, bv := range batch {
+		if rv, ok := row[base]; ok && rv > 0 {
+			// Two decimals: enough to read "3.57x" off the file.
+			out[base] = float64(int(bv/rv*100+0.5)) / 100
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

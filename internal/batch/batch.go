@@ -1,0 +1,280 @@
+// Package batch implements the columnar row batches that flow between the
+// pipeline stages of both engines: fixed-capacity column vectors over
+// types.Value with a selection vector, reuse pools, and a wire codec that is
+// byte-identical to types.EncodeRows so batch-at-a-time execution leaves the
+// paper's byte counters untouched.
+//
+// A Batch holds up to Cap() physical rows in column-major order. Filters do
+// not move data: they narrow the selection vector, an ascending list of
+// physical row indexes. A nil selection means every physical row is live.
+// Downstream operators iterate the selection (Each) or read columns
+// directly (Col) and index them with the selection.
+package batch
+
+import (
+	"fmt"
+	"sync"
+
+	"hybridwh/internal/types"
+)
+
+// Batch is a fixed-capacity columnar batch of rows.
+type Batch struct {
+	cols [][]types.Value
+	n    int     // physical row count
+	sel  []int32 // ascending physical indexes; nil = all n rows live
+
+	selBuf []int32 // backing storage reused by Filter
+}
+
+// New creates a batch of ncols columns with room for capacity rows.
+func New(ncols, capacity int) *Batch {
+	b := &Batch{}
+	b.configure(ncols, capacity)
+	return b
+}
+
+func (b *Batch) configure(ncols, capacity int) {
+	if cap(b.cols) >= ncols {
+		b.cols = b.cols[:ncols]
+	} else {
+		b.cols = make([][]types.Value, ncols)
+	}
+	for j := range b.cols {
+		if cap(b.cols[j]) < capacity {
+			b.cols[j] = make([]types.Value, 0, capacity)
+		} else {
+			b.cols[j] = b.cols[j][:0]
+		}
+	}
+	b.n = 0
+	b.sel = nil
+}
+
+// NumCols returns the column count.
+func (b *Batch) NumCols() int { return len(b.cols) }
+
+// Cap returns the row capacity (Full reports true at or beyond it).
+func (b *Batch) Cap() int {
+	if len(b.cols) == 0 {
+		return 0
+	}
+	return cap(b.cols[0])
+}
+
+// Size returns the physical row count, ignoring the selection.
+func (b *Batch) Size() int { return b.n }
+
+// Len returns the selected row count.
+func (b *Batch) Len() int {
+	if b.sel == nil {
+		return b.n
+	}
+	return len(b.sel)
+}
+
+// Full reports whether the batch has reached capacity.
+func (b *Batch) Full() bool { return len(b.cols) > 0 && b.n >= cap(b.cols[0]) }
+
+// Reset empties the batch and clears the selection. Capacity is retained.
+func (b *Batch) Reset() {
+	for j := range b.cols {
+		b.cols[j] = b.cols[j][:0]
+	}
+	b.n = 0
+	b.sel = nil
+}
+
+// Col returns column j over the physical rows. Index it with selection
+// entries (or 0..Size()-1 when Sel() is nil).
+func (b *Batch) Col(j int) []types.Value { return b.cols[j] }
+
+// Sel returns the selection vector; nil means all physical rows are live.
+// The returned slice is owned by the batch.
+func (b *Batch) Sel() []int32 { return b.sel }
+
+// SetSel installs a selection vector of ascending physical indexes. The
+// batch takes ownership of sel; nil selects every physical row.
+func (b *Batch) SetSel(sel []int32) { b.sel = sel }
+
+// AppendRow appends a dense row, copying its values.
+func (b *Batch) AppendRow(row types.Row) {
+	for j := range b.cols {
+		b.cols[j] = append(b.cols[j], row[j])
+	}
+	b.n++
+}
+
+// AppendConcat appends the concatenation of two rows (the combined layout a
+// join emits) as one dense row.
+func (b *Batch) AppendConcat(left, right types.Row) {
+	for j := range left {
+		b.cols[j] = append(b.cols[j], left[j])
+	}
+	off := len(left)
+	for j := range right {
+		b.cols[off+j] = append(b.cols[off+j], right[j])
+	}
+	b.n++
+}
+
+// AppendFrom appends physical row i of src, projected through proj (src
+// column indexes, one per destination column). A nil proj copies columns
+// positionally.
+func (b *Batch) AppendFrom(src *Batch, i int, proj []int) {
+	if proj == nil {
+		for j := range b.cols {
+			b.cols[j] = append(b.cols[j], src.cols[j][i])
+		}
+	} else {
+		for j, p := range proj {
+			b.cols[j] = append(b.cols[j], src.cols[p][i])
+		}
+	}
+	b.n++
+}
+
+// AppendColumns appends rows [lo, hi) of a column-major source — one source
+// slice per batch column — without materializing rows. This is the zero-row
+// path from columnar storage chunks into a batch.
+func (b *Batch) AppendColumns(cols [][]types.Value, lo, hi int) {
+	for j := range b.cols {
+		b.cols[j] = append(b.cols[j], cols[j][lo:hi]...)
+	}
+	b.n += hi - lo
+}
+
+// Filter narrows the selection to the live rows for which keep returns
+// true. keep receives physical row indexes in ascending order.
+func (b *Batch) Filter(keep func(i int) bool) {
+	if b.sel == nil {
+		if b.selBuf == nil {
+			// A zero-survivor filter must yield a non-nil (empty) selection;
+			// nil means "all rows live".
+			b.selBuf = make([]int32, 0, b.n)
+		}
+		sel := b.selBuf[:0]
+		for i := 0; i < b.n; i++ {
+			if keep(i) {
+				sel = append(sel, int32(i))
+			}
+		}
+		b.selBuf = sel
+		b.sel = sel
+		return
+	}
+	kept := b.sel[:0]
+	for _, i := range b.sel {
+		if keep(int(i)) {
+			kept = append(kept, i)
+		}
+	}
+	b.sel = kept
+}
+
+// Each calls fn with every selected physical row index, in order.
+func (b *Batch) Each(fn func(i int) error) error {
+	if b.sel == nil {
+		for i := 0; i < b.n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, i := range b.sel {
+		if err := fn(int(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RowAt materializes physical row i into dst (grown as needed) and returns
+// it. The result aliases dst's storage, not the batch.
+func (b *Batch) RowAt(i int, dst types.Row) types.Row {
+	if cap(dst) < len(b.cols) {
+		dst = make(types.Row, len(b.cols))
+	} else {
+		dst = dst[:len(b.cols)]
+	}
+	for j := range b.cols {
+		dst[j] = b.cols[j][i]
+	}
+	return dst
+}
+
+// CloneRow materializes physical row i into freshly allocated storage.
+func (b *Batch) CloneRow(i int) types.Row {
+	return b.RowAt(i, make(types.Row, len(b.cols)))
+}
+
+// Rows materializes every selected row into fresh storage, in selection
+// order.
+func (b *Batch) Rows() []types.Row {
+	out := make([]types.Row, 0, b.Len())
+	_ = b.Each(func(i int) error {
+		out = append(out, b.CloneRow(i))
+		return nil
+	})
+	return out
+}
+
+// Clone deep-copies the batch, including its selection vector.
+func (b *Batch) Clone() *Batch {
+	c := New(len(b.cols), b.n)
+	for j := range b.cols {
+		c.cols[j] = append(c.cols[j], b.cols[j]...)
+	}
+	c.n = b.n
+	if b.sel != nil {
+		c.sel = append([]int32(nil), b.sel...)
+	}
+	return c
+}
+
+// String summarizes the batch for debugging.
+func (b *Batch) String() string {
+	return fmt.Sprintf("batch(%d cols, %d/%d rows)", len(b.cols), b.Len(), b.n)
+}
+
+// Pool recycles batches of one geometry across pipeline stages. It is safe
+// for concurrent use: scan readers on different disks share one pool.
+type Pool struct {
+	ncols, capacity int
+
+	mu   sync.Mutex
+	free []*Batch // guarded by mu
+}
+
+// NewPool creates a pool of ncols × capacity batches.
+func NewPool(ncols, capacity int) *Pool {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Pool{ncols: ncols, capacity: capacity}
+}
+
+// Get returns an empty batch, reusing a returned one when available.
+func (p *Pool) Get() *Batch {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		b.Reset()
+		return b
+	}
+	p.mu.Unlock()
+	return New(p.ncols, p.capacity)
+}
+
+// Put returns a batch to the pool. The caller must not touch it afterwards.
+func (p *Pool) Put(b *Batch) {
+	if b == nil || len(b.cols) != p.ncols {
+		return
+	}
+	p.mu.Lock()
+	p.free = append(p.free, b)
+	p.mu.Unlock()
+}

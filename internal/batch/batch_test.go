@@ -1,0 +1,174 @@
+package batch
+
+import (
+	"testing"
+
+	"hybridwh/internal/types"
+)
+
+func testRows() []types.Row {
+	return []types.Row{
+		{types.Int32(1), types.String("a"), types.Float64(1.5)},
+		{types.Int32(2), types.String(""), types.Float64(-2.5)},
+		{types.Int32(3), types.Null, types.Float64(0)},
+		{types.Int32(4), types.String("dd"), types.Null},
+	}
+}
+
+func fill(b *Batch, rows []types.Row) {
+	for _, r := range rows {
+		b.AppendRow(r)
+	}
+}
+
+func TestAppendAndMaterialize(t *testing.T) {
+	rows := testRows()
+	b := New(3, 8)
+	fill(b, rows)
+	if b.Size() != 4 || b.Len() != 4 || b.NumCols() != 3 {
+		t.Fatalf("size=%d len=%d cols=%d", b.Size(), b.Len(), b.NumCols())
+	}
+	if b.Full() {
+		t.Fatal("not full at 4/8")
+	}
+	got := b.Rows()
+	for i, r := range got {
+		for j := range r {
+			if r[j] != rows[i][j] {
+				t.Fatalf("row %d col %d: got %v want %v", i, j, r[j], rows[i][j])
+			}
+		}
+	}
+}
+
+func TestFullAtCapacity(t *testing.T) {
+	b := New(1, 2)
+	b.AppendRow(types.Row{types.Int64(1)})
+	b.AppendRow(types.Row{types.Int64(2)})
+	if !b.Full() {
+		t.Fatal("expected full at capacity")
+	}
+}
+
+func TestFilterNarrowsSelection(t *testing.T) {
+	b := New(3, 8)
+	fill(b, testRows())
+	b.Filter(func(i int) bool { return b.Col(0)[i].Int()%2 == 0 }) // rows 1, 3
+	if b.Len() != 2 || b.Size() != 4 {
+		t.Fatalf("len=%d size=%d", b.Len(), b.Size())
+	}
+	b.Filter(func(i int) bool { return b.Col(0)[i].Int() == 2 }) // narrows further
+	if b.Len() != 1 {
+		t.Fatalf("len=%d after second filter", b.Len())
+	}
+	rows := b.Rows()
+	if len(rows) != 1 || rows[0][0].Int() != 2 {
+		t.Fatalf("rows=%v", rows)
+	}
+}
+
+func TestEachVisitsSelectionInOrder(t *testing.T) {
+	b := New(3, 8)
+	fill(b, testRows())
+	b.SetSel([]int32{0, 2, 3})
+	var got []int
+	if err := b.Each(func(i int) error { got = append(got, i); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestAppendFromProjection(t *testing.T) {
+	src := New(3, 8)
+	fill(src, testRows())
+	dst := New(2, 8)
+	dst.AppendFrom(src, 1, []int{2, 0}) // (float, int) of row 1
+	row := dst.CloneRow(0)
+	if row[0] != types.Float64(-2.5) || row[1] != types.Int32(2) {
+		t.Fatalf("projected row = %v", row)
+	}
+}
+
+func TestAppendConcat(t *testing.T) {
+	b := New(4, 2)
+	b.AppendConcat(types.Row{types.Int32(1), types.String("x")}, types.Row{types.Int64(2), types.Bool(true)})
+	row := b.CloneRow(0)
+	want := types.Row{types.Int32(1), types.String("x"), types.Int64(2), types.Bool(true)}
+	for j := range want {
+		if row[j] != want[j] {
+			t.Fatalf("col %d: got %v want %v", j, row[j], want[j])
+		}
+	}
+}
+
+func TestResetRetainsCapacity(t *testing.T) {
+	b := New(3, 4)
+	fill(b, testRows())
+	b.Filter(func(int) bool { return false })
+	b.Reset()
+	if b.Size() != 0 || b.Len() != 0 || b.Sel() != nil {
+		t.Fatalf("dirty after reset: %s", b)
+	}
+	fill(b, testRows())
+	if b.Len() != 4 {
+		t.Fatalf("len=%d after refill", b.Len())
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	b := New(3, 4)
+	fill(b, testRows())
+	b.SetSel([]int32{1})
+	c := b.Clone()
+	b.Reset()
+	if c.Len() != 1 || c.CloneRow(1)[0].Int() != 2 {
+		t.Fatalf("clone damaged by reset: %s", c)
+	}
+}
+
+func TestPoolReuse(t *testing.T) {
+	p := NewPool(3, 4)
+	b1 := p.Get()
+	fill(b1, testRows())
+	p.Put(b1)
+	b2 := p.Get()
+	if b2 != b1 {
+		t.Fatal("pool did not reuse the batch")
+	}
+	if b2.Size() != 0 {
+		t.Fatalf("reused batch not reset: %s", b2)
+	}
+	// A foreign-geometry batch is rejected, not pooled.
+	p.Put(New(5, 4))
+	b3 := p.Get()
+	if b3.NumCols() != 3 {
+		t.Fatalf("pool returned foreign batch with %d cols", b3.NumCols())
+	}
+}
+
+// TestFilterToZeroSurvivors guards the nil-selection pitfall: filtering a
+// fresh batch down to nothing must leave an empty selection, not the nil
+// "everything live" state.
+func TestFilterToZeroSurvivors(t *testing.T) {
+	b := New(1, 4)
+	for i := 0; i < 4; i++ {
+		b.AppendRow(types.Row{types.Int32(int32(i))})
+	}
+	b.Filter(func(int) bool { return false })
+	if b.Len() != 0 {
+		t.Fatalf("Len=%d after filtering everything out", b.Len())
+	}
+	n := 0
+	_ = b.Each(func(int) error { n++; return nil })
+	if n != 0 {
+		t.Fatalf("Each visited %d rows", n)
+	}
+}

@@ -1,0 +1,121 @@
+// The batch wire codec encodes straight from the column vectors — no
+// per-row materialization, no intermediate row slices — and produces output
+// byte-identical to types.EncodeRows over the selected rows. That identity
+// is load-bearing: the cost model and Table 1 charge the bytes this codec
+// emits, and they must not move when the engine switches between row and
+// batch execution. codec_test.go asserts the equivalence for every kind and
+// FuzzBatchCodec cross-checks the decoders on arbitrary payloads.
+
+package batch
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hybridwh/internal/types"
+)
+
+// EncodedSize returns the exact wire size of the batch (selected rows only)
+// without materializing the encoding.
+func EncodedSize(b *Batch) int {
+	n := uvarintLen(uint64(b.Len()))
+	rowHdr := uvarintLen(uint64(b.NumCols()))
+	_ = b.Each(func(i int) error {
+		n += rowHdr
+		for j := range b.cols {
+			v := b.cols[j][i]
+			n++ // kind byte
+			switch v.K {
+			case types.KindNull:
+			case types.KindString:
+				n += uvarintLen(uint64(len(v.S))) + len(v.S)
+			default:
+				n += varintLen(v.I)
+			}
+		}
+		return nil
+	})
+	return n
+}
+
+// AppendBatch appends the wire encoding of the batch's selected rows to
+// dst. The output is byte-identical to types.EncodeRows over the same rows.
+func AppendBatch(dst []byte, b *Batch) []byte {
+	dst = binary.AppendUvarint(dst, uint64(b.Len()))
+	ncols := uint64(b.NumCols())
+	_ = b.Each(func(i int) error {
+		dst = binary.AppendUvarint(dst, ncols)
+		for j := range b.cols {
+			dst = types.AppendValue(dst, b.cols[j][i])
+		}
+		return nil
+	})
+	return dst
+}
+
+// EncodeBatch encodes the batch's selected rows into a single exactly-sized
+// buffer.
+func EncodeBatch(b *Batch) []byte {
+	return AppendBatch(make([]byte, 0, EncodedSize(b)), b)
+}
+
+// DecodeBatch decodes a payload produced by EncodeBatch (or
+// types.EncodeRows) into b, replacing its contents. The result is dense (no
+// selection). Rows must share one width: the codec is columnar, so a ragged
+// payload — legal for types.DecodeRows — is rejected here.
+func DecodeBatch(data []byte, b *Batch) error {
+	count, sz := binary.Uvarint(data)
+	if sz <= 0 {
+		return fmt.Errorf("batch: truncated batch count")
+	}
+	if count > uint64(len(data)-sz) {
+		return fmt.Errorf("batch: %d rows exceed %d remaining bytes", count, len(data)-sz)
+	}
+	off := sz
+	b.Reset()
+	for r := uint64(0); r < count; r++ {
+		ncols, sz := binary.Uvarint(data[off:])
+		if sz <= 0 {
+			return fmt.Errorf("batch: row %d: truncated column count", r)
+		}
+		if ncols > uint64(len(data)-off-sz) {
+			return fmt.Errorf("batch: row %d: %d columns exceed remaining bytes", r, ncols)
+		}
+		off += sz
+		if r == 0 {
+			b.configure(int(ncols), int(count))
+		} else if int(ncols) != len(b.cols) {
+			return fmt.Errorf("batch: row %d has %d columns, batch has %d", r, ncols, len(b.cols))
+		}
+		for j := 0; j < int(ncols); j++ {
+			v, used, err := types.DecodeValue(data[off:])
+			if err != nil {
+				return fmt.Errorf("batch: row %d col %d: %w", r, j, err)
+			}
+			b.cols[j] = append(b.cols[j], v)
+			off += used
+		}
+		b.n++
+	}
+	if off != len(data) {
+		return fmt.Errorf("batch: %d trailing bytes", len(data)-off)
+	}
+	return nil
+}
+
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+func varintLen(x int64) int {
+	ux := uint64(x) << 1
+	if x < 0 {
+		ux = ^ux
+	}
+	return uvarintLen(ux)
+}

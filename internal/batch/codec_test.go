@@ -1,0 +1,138 @@
+package batch
+
+import (
+	"bytes"
+	"testing"
+
+	"hybridwh/internal/types"
+)
+
+// allKindRows exercises every types.Kind, including nulls, empty strings
+// and negative payloads.
+func allKindRows() []types.Row {
+	return []types.Row{
+		{types.Null, types.Int32(-1), types.Int64(1 << 40), types.Date(19000), types.TimeOfDay(86399), types.String(""), types.Float64(-3.75), types.Bool(true)},
+		{types.Int32(0), types.Int64(-1 << 40), types.Null, types.TimeOfDay(0), types.Date(0), types.String("héllo|world"), types.Float64(0), types.Bool(false)},
+		{types.String("x"), types.String(""), types.String("yy"), types.Null, types.Null, types.Null, types.Null, types.Null},
+	}
+}
+
+func fromRows(rows []types.Row) *Batch {
+	b := New(len(rows[0]), len(rows))
+	for _, r := range rows {
+		b.AppendRow(r)
+	}
+	return b
+}
+
+// TestEncodeMatchesEncodeRows is the exactness invariant: the batch codec
+// must emit the very bytes types.EncodeRows emits, so byte counters do not
+// move when the engine ships batches.
+func TestEncodeMatchesEncodeRows(t *testing.T) {
+	rows := allKindRows()
+	b := fromRows(rows)
+	got := EncodeBatch(b)
+	want := types.EncodeRows(rows)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("encoding differs:\n got %x\nwant %x", got, want)
+	}
+	if EncodedSize(b) != len(want) {
+		t.Fatalf("EncodedSize=%d, want %d", EncodedSize(b), len(want))
+	}
+}
+
+// TestEncodeSelectedMatchesEncodeRows checks the identity under a selection
+// vector: only selected rows are encoded, exactly as a row-at-a-time sender
+// would have encoded them.
+func TestEncodeSelectedMatchesEncodeRows(t *testing.T) {
+	rows := allKindRows()
+	b := fromRows(rows)
+	b.SetSel([]int32{0, 2})
+	got := EncodeBatch(b)
+	want := types.EncodeRows([]types.Row{rows[0], rows[2]})
+	if !bytes.Equal(got, want) {
+		t.Fatalf("selected encoding differs:\n got %x\nwant %x", got, want)
+	}
+	if EncodedSize(b) != len(want) {
+		t.Fatalf("EncodedSize=%d, want %d", EncodedSize(b), len(want))
+	}
+}
+
+// TestDecodeEquivalence asserts DecodeBatch(EncodeBatch(rows)) ==
+// DecodeRows(EncodeRows(rows)) for all kinds, nulls and empty strings.
+func TestDecodeEquivalence(t *testing.T) {
+	rows := allKindRows()
+	payload := EncodeBatch(fromRows(rows))
+
+	viaRows, err := types.DecodeRows(types.EncodeRows(rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rb Batch
+	if err := DecodeBatch(payload, &rb); err != nil {
+		t.Fatal(err)
+	}
+	viaBatch := rb.Rows()
+	if len(viaBatch) != len(viaRows) {
+		t.Fatalf("row counts differ: %d vs %d", len(viaBatch), len(viaRows))
+	}
+	for i := range viaRows {
+		for j := range viaRows[i] {
+			if viaBatch[i][j] != viaRows[i][j] {
+				t.Fatalf("row %d col %d: batch %v rows %v", i, j, viaBatch[i][j], viaRows[i][j])
+			}
+		}
+	}
+}
+
+func TestDecodeEmpty(t *testing.T) {
+	payload := types.EncodeRows(nil)
+	var b Batch
+	if err := DecodeBatch(payload, &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("len=%d", b.Len())
+	}
+}
+
+func TestDecodeRejectsRagged(t *testing.T) {
+	payload := types.EncodeRows([]types.Row{
+		{types.Int32(1)},
+		{types.Int32(1), types.Int32(2)},
+	})
+	var b Batch
+	if err := DecodeBatch(payload, &b); err == nil {
+		t.Fatal("ragged payload accepted")
+	}
+}
+
+func TestDecodeRejectsCorrupt(t *testing.T) {
+	good := EncodeBatch(fromRows(allKindRows()))
+	for _, bad := range [][]byte{
+		nil,
+		good[:len(good)-1], // truncated value
+		append(good[:0:0], append(append([]byte{}, good...), 0)...),  // trailing byte
+		{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, // absurd count
+	} {
+		var b Batch
+		if err := DecodeBatch(bad, &b); err == nil {
+			t.Fatalf("corrupt payload %x accepted", bad)
+		}
+	}
+}
+
+// TestDecodeReuse decodes twice into the same batch; stale state must not
+// leak.
+func TestDecodeReuse(t *testing.T) {
+	var b Batch
+	if err := DecodeBatch(types.EncodeRows([]types.Row{{types.Int32(1), types.String("a")}}), &b); err != nil {
+		t.Fatal(err)
+	}
+	if err := DecodeBatch(types.EncodeRows([]types.Row{{types.Int64(7)}}), &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.NumCols() != 1 || b.Len() != 1 || b.CloneRow(0)[0] != types.Int64(7) {
+		t.Fatalf("reused decode wrong: %s", &b)
+	}
+}

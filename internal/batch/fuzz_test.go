@@ -1,0 +1,74 @@
+package batch
+
+import (
+	"bytes"
+	"testing"
+
+	"hybridwh/internal/types"
+)
+
+// FuzzBatchCodec cross-checks the columnar decoder against types.DecodeRows
+// on arbitrary payloads, then round-trips whatever decodes. Invariants:
+//
+//  1. DecodeBatch never panics.
+//  2. If DecodeBatch accepts a payload, types.DecodeRows accepts it too and
+//     both produce identical rows.
+//  3. If types.DecodeRows accepts a payload of uniform-width rows,
+//     DecodeBatch accepts it (ragged payloads are the one legal divergence).
+//  4. Re-encoding a decoded batch reproduces the canonical encoding of its
+//     rows.
+func FuzzBatchCodec(f *testing.F) {
+	f.Add(types.EncodeRows(nil))
+	f.Add(types.EncodeRows([]types.Row{
+		{types.Int32(1), types.String("a"), types.Null},
+		{types.Int32(-7), types.String(""), types.Float64(2.5)},
+	}))
+	f.Add(types.EncodeRows([]types.Row{
+		{types.Bool(true), types.Date(19000), types.TimeOfDay(3600), types.Int64(-1)},
+	}))
+	f.Add([]byte{0x02, 0x01, 0x01, 0x02, 0x02, 0x01, 0x04, 0x01, 0x06})
+	f.Add([]byte{0xff, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var b Batch
+		berr := DecodeBatch(data, &b)
+		rows, rerr := types.DecodeRows(data)
+
+		if berr == nil {
+			if rerr != nil {
+				t.Fatalf("DecodeBatch accepted what DecodeRows rejected: %v", rerr)
+			}
+			got := b.Rows()
+			if len(got) != len(rows) {
+				t.Fatalf("row counts differ: %d vs %d", len(got), len(rows))
+			}
+			for i := range rows {
+				if len(got[i]) != len(rows[i]) {
+					t.Fatalf("row %d width differs", i)
+				}
+				for j := range rows[i] {
+					if got[i][j] != rows[i][j] {
+						t.Fatalf("row %d col %d: %v vs %v", i, j, got[i][j], rows[i][j])
+					}
+				}
+			}
+			// Round trip: re-encoding reproduces the canonical bytes.
+			if enc := EncodeBatch(&b); !bytes.Equal(enc, types.EncodeRows(rows)) {
+				t.Fatalf("re-encoding diverges from EncodeRows")
+			}
+			return
+		}
+		if rerr == nil && uniformWidth(rows) {
+			t.Fatalf("DecodeBatch rejected a uniform payload DecodeRows accepted: %v", berr)
+		}
+	})
+}
+
+func uniformWidth(rows []types.Row) bool {
+	for _, r := range rows[1:] {
+		if len(r) != len(rows[0]) {
+			return false
+		}
+	}
+	return true
+}

@@ -168,3 +168,33 @@ func Unmarshal(b []byte) (*Filter, error) {
 	}
 	return f, nil
 }
+
+// AddHashes inserts a batch of key hashes. It is equivalent to calling
+// AddHash for each element; batching amortizes the bounds checks and keeps
+// the bit-array words hot across consecutive keys.
+func (f *Filter) AddHashes(hs []uint64) {
+	for _, h := range hs {
+		for i := 0; i < f.k; i++ {
+			p := f.pos(h, i)
+			f.bits[p>>6] |= 1 << (p & 63)
+		}
+	}
+}
+
+// TestHashes probes a batch of key hashes, appending one bool per hash to
+// dst (reusing its capacity) and returning the extended slice. dst[i] is
+// exactly TestHash(hs[i]).
+func (f *Filter) TestHashes(hs []uint64, dst []bool) []bool {
+	for _, h := range hs {
+		ok := true
+		for i := 0; i < f.k; i++ {
+			p := f.pos(h, i)
+			if f.bits[p>>6]&(1<<(p&63)) == 0 {
+				ok = false
+				break
+			}
+		}
+		dst = append(dst, ok)
+	}
+	return dst
+}

@@ -226,3 +226,35 @@ func BenchmarkTestHash(b *testing.B) {
 		f.TestHash(types.BloomHashKey(int64(i)))
 	}
 }
+
+// TestBatchKernelsMatchScalar checks AddHashes/TestHashes against the
+// scalar AddHash/TestHash on the same hash stream.
+func TestBatchKernelsMatchScalar(t *testing.T) {
+	hs := make([]uint64, 500)
+	for i := range hs {
+		hs[i] = uint64(i) * 0x9e3779b97f4a7c15
+	}
+	scalar := New(1<<12, 3)
+	for _, h := range hs[:250] {
+		scalar.AddHash(h)
+	}
+	batched := New(1<<12, 3)
+	batched.AddHashes(hs[:250])
+	if scalar.FillRatio() != batched.FillRatio() {
+		t.Fatalf("fill ratios differ: %v vs %v", scalar.FillRatio(), batched.FillRatio())
+	}
+	got := batched.TestHashes(hs, make([]bool, 0, len(hs)))
+	if len(got) != len(hs) {
+		t.Fatalf("TestHashes returned %d results, want %d", len(got), len(hs))
+	}
+	for i, h := range hs {
+		if got[i] != scalar.TestHash(h) {
+			t.Fatalf("hash %d: batch=%v scalar=%v", i, got[i], scalar.TestHash(h))
+		}
+	}
+	// Appending to a non-empty dst preserves the prefix.
+	pre := batched.TestHashes(hs[:2], []bool{true})
+	if len(pre) != 3 || pre[0] != true {
+		t.Fatalf("dst prefix not preserved: %v", pre)
+	}
+}

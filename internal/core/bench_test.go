@@ -1,0 +1,46 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"hybridwh/internal/format"
+	"hybridwh/internal/netsim"
+)
+
+// BenchmarkScanFilterJoin measures the scan → filter → shuffle → join →
+// aggregate hot path (the repartition algorithm end to end) in both
+// execution modes: the vectorized default and the Config.RowAtATime
+// baseline, which reverts the JEN repartition pipeline to the seed's
+// row-at-a-time semantics. Both modes move identical tuples and bytes (see
+// TestRowModeMatchesBatchMode), so the delta is pure per-row interface
+// overhead — the quantity this PR removes.
+//
+// "scale=N" sizes the fixture at N× the unit-test base (300 T / 1000 L
+// rows per unit), so scale=100 joins 30k T rows against 100k L rows across
+// 4 DB and 6 JEN workers. rows/s is scanned input rows per second.
+func BenchmarkScanFilterJoin(b *testing.B) {
+	for _, scale := range []int{10, 100} {
+		tN, lN := 300*scale, 1000*scale
+		for _, mode := range []struct {
+			name    string
+			rowMode bool
+		}{{"batch", false}, {"row", true}} {
+			b.Run(fmt.Sprintf("scale=%d/%s", scale, mode.name), func(b *testing.B) {
+				f := buildFixture(b, netsim.NewChanBus(256), 4, 6, tN, lN, format.HWCName)
+				defer f.eng.Close()
+				f.eng.cfg.RowAtATime = mode.rowMode
+				q := exampleQuery(b, f, 300, 400)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := f.eng.Run(q, Repartition); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				rows := float64(tN+lN) * float64(b.N)
+				b.ReportMetric(rows/b.Elapsed().Seconds(), "rows/s")
+			})
+		}
+	}
+}

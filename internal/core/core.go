@@ -102,6 +102,12 @@ type Config struct {
 	// measured the direct scheme faster and kept it; this option is the
 	// ablation).
 	BroadcastRelay bool
+	// RowAtATime reverts the repartition pipeline on the JEN side to the
+	// seed's row-at-a-time execution: per-row scan yields, sends, hash-table
+	// inserts/probes and aggregation. Counters are identical either way; the
+	// flag exists as the measured baseline for the vectorized batch path
+	// (BenchmarkScanFilterJoin).
+	RowAtATime bool
 }
 
 func (c Config) withDefaults(j *jen.Cluster) Config {

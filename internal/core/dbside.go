@@ -1,6 +1,7 @@
 package core
 
 import (
+	"hybridwh/internal/batch"
 	"hybridwh/internal/bloom"
 	"hybridwh/internal/cluster"
 	"hybridwh/internal/edw"
@@ -95,7 +96,7 @@ func (e *Engine) runDBSide(qs string, q *plan.JoinQuery, useBF bool) (*Result, e
 }
 
 // jenIngestProgram is a JEN worker's role in the DB-side join: scan, filter,
-// project, apply BF_DB, and stream the surviving rows to its DB worker.
+// project, apply BF_DB, and stream the surviving batches to its DB worker.
 func (e *Engine) jenIngestProgram(qs string, q *plan.JoinQuery, scanPlan *jen.ScanPlan, w, dbWorker int, useBF bool) error {
 	me := jenName(w)
 	var runErr error
@@ -109,12 +110,12 @@ func (e *Engine) jenIngestProgram(qs string, q *plan.JoinQuery, scanPlan *jen.Sc
 	b := e.newBatcher(me, qs+"ingest", []string{dest}, metrics.HDFSSentTuples, metrics.HDFSSentBytes, w)
 	scanKey := q.HDFSWire[q.HDFSWireKey]
 	if runErr == nil {
-		err := e.jen.ScanFilter(jen.ScanSpec{
+		err := e.jen.ScanFilterBatches(jen.ScanSpec{
 			Plan: scanPlan, Worker: w,
 			Proj: q.HDFSScanProj, Pred: q.HDFSPred, Pruner: q.Pruner(),
 			DBFilter: wrapBloom(bfdb), BloomKeyIdx: scanKey,
-		}, func(r types.Row) error {
-			return b.send(dest, r.Project(q.HDFSWire))
+		}, func(sb *batch.Batch) error {
+			return b.sendBatch(dest, sb, q.HDFSWire)
 		})
 		firstErr(&runErr, err)
 	}
@@ -130,7 +131,9 @@ func (e *Engine) dbJoinProgram(qs string, q *plan.JoinQuery, tbl *edw.Table, ap 
 	me := dbName(i)
 	var runErr error
 
-	// Local T' first.
+	// Local T' first. It is materialized: depending on the strategy it is
+	// inserted locally, reshuffled or broadcast, and the zigzag variant
+	// prunes it with BF_H before any of that.
 	tw, err := e.db.FilterProject(tbl, i, ap, q.DBProj)
 	firstErr(&runErr, err)
 	if err == nil && bfh != nil {
@@ -139,14 +142,15 @@ func (e *Engine) dbJoinProgram(qs string, q *plan.JoinQuery, tbl *edw.Table, ap 
 
 	// Background receivers registered before anything is sent.
 	ht := relop.NewHashTable(q.DBWireKey)
-	var lrows []types.Row
+	var lbatches []*batch.Batch
+	var probeTuples int64
 	var bg par.Group
 
 	switch strategy {
 	case edw.RepartitionBoth, edw.BroadcastDB:
 		// The hash table holds T' rows arriving on the treshuf stream.
 		bg.Go(func() error {
-			return e.recvRows(me, qs+"treshuf", m, func(r types.Row) error { return ht.Insert(r) })
+			return e.recvBatches(me, qs+"treshuf", m, func(b *batch.Batch) error { return ht.InsertBatch(b) })
 		})
 	case edw.BroadcastIngested:
 		// The hash table is the local T' partition; no T reshuffle.
@@ -159,10 +163,10 @@ func (e *Engine) dbJoinProgram(qs string, q *plan.JoinQuery, tbl *edw.Table, ap 
 	}
 	switch strategy {
 	case edw.RepartitionBoth, edw.BroadcastIngested:
-		// HDFS rows arrive reshuffled/broadcast on lreshuf.
+		// HDFS batches arrive reshuffled/broadcast on lreshuf.
 		bg.Go(func() error {
-			rows, err := e.collectRows(me, qs+"lreshuf", m)
-			lrows = rows
+			bs, tuples, err := e.collectBatches(me, qs+"lreshuf", m)
+			lbatches, probeTuples = bs, tuples
 			return err
 		})
 	}
@@ -172,36 +176,28 @@ func (e *Engine) dbJoinProgram(qs string, q *plan.JoinQuery, tbl *edw.Table, ap 
 	case edw.RepartitionBoth:
 		tb := e.newBatcher(me, qs+"treshuf", e.dbNames(), metrics.DBReshuffleTuples, metrics.DBReshuffleBytes, i)
 		if runErr == nil {
-			for _, row := range tw {
-				dest := dbName(cluster.PartitionFor(row[q.DBWireKey].Int(), m))
-				if err := tb.send(dest, row); err != nil {
-					firstErr(&runErr, err)
-					break
-				}
-			}
+			firstErr(&runErr, tb.scatterRows(tw, q.DBWireKey, func(key int64) string {
+				return dbName(cluster.PartitionFor(key, m))
+			}))
 		}
 		firstErr(&runErr, tb.Close())
 	case edw.BroadcastDB:
 		tb := e.newBatcher(me, qs+"treshuf", e.dbNames(), metrics.DBReshuffleTuples, metrics.DBReshuffleBytes, i)
 		if runErr == nil {
-			for _, row := range tw {
-				if err := tb.broadcast(row); err != nil {
-					firstErr(&runErr, err)
-					break
-				}
-			}
+			firstErr(&runErr, tb.broadcastRows(tw))
 		}
 		firstErr(&runErr, tb.Close())
 	}
 
 	// Ingest the HDFS stream from this worker's JEN group, forwarding per
-	// strategy; pipelined — rows are forwarded as they arrive.
+	// strategy; pipelined — batches are forwarded as they arrive.
 	switch strategy {
 	case edw.RepartitionBoth:
 		lb := e.newBatcher(me, qs+"lreshuf", e.dbNames(), metrics.DBIngestTuples, metrics.DBIngestBytes, i)
-		err := e.recvRows(me, qs+"ingest", ingestSenders, func(r types.Row) error {
-			dest := dbName(cluster.PartitionFor(r[q.HDFSWireKey].Int(), m))
-			return lb.send(dest, r)
+		err := e.recvBatches(me, qs+"ingest", ingestSenders, func(b *batch.Batch) error {
+			return lb.scatterBatch(b, nil, q.HDFSWireKey, func(key int64) string {
+				return dbName(cluster.PartitionFor(key, m))
+			})
 		})
 		firstErr(&runErr, err)
 		firstErr(&runErr, lb.Close())
@@ -210,63 +206,60 @@ func (e *Engine) dbJoinProgram(qs string, q *plan.JoinQuery, tbl *edw.Table, ap 
 		// to every worker (the bus and byte counter see every copy).
 		lb := e.newBatcher(me, qs+"lreshuf", e.dbNames(), "", metrics.DBIngestBytes, i)
 		var ingested int64
-		err := e.recvRows(me, qs+"ingest", ingestSenders, func(r types.Row) error {
-			ingested++
-			return lb.broadcast(r)
+		err := e.recvBatches(me, qs+"ingest", ingestSenders, func(b *batch.Batch) error {
+			ingested += int64(b.Len())
+			return lb.broadcastBatch(b, nil)
 		})
 		firstErr(&runErr, err)
 		firstErr(&runErr, lb.Close())
 		e.rec.AddAt(metrics.DBIngestTuples, i, ingested)
 	case edw.BroadcastDB:
-		// No forwarding: buffer the ingested rows locally.
-		rows, err := e.collectRows(me, qs+"ingest", ingestSenders)
-		lrows = rows
+		// No forwarding: buffer the ingested batches locally.
+		bs, tuples, err := e.collectBatches(me, qs+"ingest", ingestSenders)
+		lbatches, probeTuples = bs, tuples
 		firstErr(&runErr, err)
-		e.rec.AddAt(metrics.DBIngestTuples, i, int64(len(rows)))
+		e.rec.AddAt(metrics.DBIngestTuples, i, tuples)
 	}
 
 	firstErr(&runErr, bg.Wait())
 	e.rec.AddAt(metrics.JoinBuildTuples, i, ht.Len())
-	e.rec.AddAt(metrics.JoinProbeTuples, i, int64(len(lrows)))
+	e.rec.AddAt(metrics.JoinProbeTuples, i, probeTuples)
 
-	// Probe: HDFS rows against the T' hash table. Combined layout is HDFS
-	// wire ++ DB wire.
+	// Probe: HDFS batches against the T' hash table. Combined layout is
+	// HDFS wire ++ DB wire; the post-join predicate and partial aggregation
+	// run batch-at-a-time through the combiner.
 	agg := relop.NewHashAgg(q.GroupBy, q.Aggs)
 	if runErr == nil {
-		var output int64
-		for _, lr := range lrows {
-			for _, dbr := range ht.Probe(lr[q.HDFSWireKey].Int()) {
-				combined := lr.Concat(dbr)
-				ok, err := evalPost(q, combined)
-				if err != nil {
-					firstErr(&runErr, err)
-					break
+		cmb := &combiner{e: e, q: q, agg: agg}
+		var scratch types.Row
+		for _, pb := range lbatches {
+			keys := pb.Col(q.HDFSWireKey)
+			err := pb.Each(func(r int) error {
+				bucket := ht.Probe(keys[r].Int())
+				if len(bucket) == 0 {
+					return nil
 				}
-				if !ok {
-					continue
+				scratch = pb.RowAt(r, scratch)
+				for _, dbr := range bucket {
+					if err := cmb.add(scratch, dbr); err != nil {
+						return err
+					}
 				}
-				output++
-				if err := agg.Add(combined); err != nil {
-					firstErr(&runErr, err)
-					break
-				}
-			}
-			if runErr != nil {
+				return nil
+			})
+			if err != nil {
+				firstErr(&runErr, err)
 				break
 			}
 		}
-		e.rec.Add(metrics.JoinOutputTuples, output)
+		firstErr(&runErr, cmb.flush())
+		e.rec.Add(metrics.JoinOutputTuples, cmb.output)
 	}
 
 	// Partial aggregates converge on db/0, which produces the result.
 	pb := e.newBatcher(me, qs+"partial", []string{dbName(0)}, "", "", i)
 	if runErr == nil {
-		for _, pr := range agg.PartialRows() {
-			if err := pb.send(dbName(0), pr); err != nil {
-				firstErr(&runErr, err)
-				break
-			}
-		}
+		firstErr(&runErr, pb.sendRows(dbName(0), agg.PartialRows()))
 	}
 	firstErr(&runErr, pb.Close())
 

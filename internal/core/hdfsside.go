@@ -3,9 +3,11 @@ package core
 import (
 	"sync"
 
+	"hybridwh/internal/batch"
 	"hybridwh/internal/bloom"
 	"hybridwh/internal/cluster"
 	"hybridwh/internal/edw"
+	"hybridwh/internal/expr"
 	"hybridwh/internal/jen"
 	"hybridwh/internal/metrics"
 	"hybridwh/internal/par"
@@ -85,38 +87,54 @@ func (e *Engine) runHDFSSide(qs string, q *plan.JoinQuery, alg Algorithm) (*Resu
 // (zigzag steps 4–5), then route T' rows directly to the JEN workers that
 // will join them (step 6), using the agreed hash function.
 func (e *Engine) dbShipProgram(qs string, q *plan.JoinQuery, tbl *edw.Table, ap edw.AccessPlan, i, n int, zig bool) error {
+	destOf := func(key int64) string { return jenName(cluster.PartitionFor(key, n)) }
+	b := e.newBatcher(dbName(i), qs+"dbrows", e.jenNames(), metrics.DBSentTuples, metrics.DBSentBytes, i)
+
+	if !zig {
+		if e.cfg.RowAtATime {
+			// Seed baseline: materialize T' with the per-row filter/project
+			// and ship it row by row. Same rows, same counters.
+			tw, err := e.db.FilterProject(tbl, i, ap, q.DBProj)
+			var sendErr error
+			if err == nil {
+				sendErr = b.scatterRows(tw, q.DBWireKey, destOf)
+			}
+			firstErr(&sendErr, b.Close())
+			firstErr(&err, sendErr)
+			return err
+		}
+		// No Bloom filter to wait for: T' streams out batch-at-a-time as the
+		// partition scan produces it.
+		err := e.db.FilterProjectBatches(tbl, i, ap, q.DBProj, e.cfg.BatchRows, func(fb *batch.Batch) error {
+			return b.scatterBatch(fb, nil, q.DBWireKey, destOf)
+		})
+		firstErr(&err, b.Close())
+		return err
+	}
+
+	// Zigzag: T' must be materialized — BF_H arrives only after the whole
+	// HDFS scan completes, and it prunes what is shipped (steps 4–5).
 	tw, err := e.db.FilterProject(tbl, i, ap, q.DBProj)
 	if err != nil {
-		// Protocol obligation: JEN workers still expect this worker's EOS.
-		b := e.newBatcher(dbName(i), qs+"dbrows", e.jenNames(), metrics.DBSentTuples, metrics.DBSentBytes, i)
+		// Protocol obligation: JEN workers still expect this worker's EOS,
+		// and the BF_H receive must be drained so nothing blocks.
 		firstErr(&err, b.Close())
-		if zig {
-			// And the BF_H receive must be drained so nothing blocks.
-			if _, berr := e.recvBloom(dbName(i), qs+"bfh", 1); berr != nil {
-				firstErr(&err, berr)
-			}
+		if _, berr := e.recvBloom(dbName(i), qs+"bfh", 1); berr != nil {
+			firstErr(&err, berr)
 		}
 		return err
 	}
-	if zig {
-		bfh, berr := e.recvBloom(dbName(i), qs+"bfh", 1)
-		if berr != nil {
-			firstErr(&err, berr)
-		} else {
-			// The optimizer decides whether T' was worth materializing; in
-			// either case BF_H prunes what is shipped (zigzag step 5).
-			tw, _ = e.db.ApplyBloom(tw, q.DBWireKey, bfh)
-		}
+	bfh, berr := e.recvBloom(dbName(i), qs+"bfh", 1)
+	if berr != nil {
+		firstErr(&err, berr)
+	} else {
+		// The optimizer decides whether T' was worth materializing; in
+		// either case BF_H prunes what is shipped (zigzag step 5).
+		tw, _ = e.db.ApplyBloom(tw, q.DBWireKey, bfh)
 	}
-	b := e.newBatcher(dbName(i), qs+"dbrows", e.jenNames(), metrics.DBSentTuples, metrics.DBSentBytes, i)
 	var sendErr error
 	if err == nil {
-		for _, row := range tw {
-			dest := jenName(cluster.PartitionFor(row[q.DBWireKey].Int(), n))
-			if sendErr = b.send(dest, row); sendErr != nil {
-				break
-			}
-		}
+		sendErr = b.scatterRows(tw, q.DBWireKey, destOf)
 	}
 	firstErr(&sendErr, b.Close())
 	firstErr(&err, sendErr)
@@ -127,9 +145,11 @@ func (e *Engine) dbShipProgram(qs string, q *plan.JoinQuery, tbl *edw.Table, ap 
 // join, implementing the Figure 7 pipeline: receive BF_DB, scan/filter/
 // shuffle while concurrently building the hash table from received rows and
 // buffering database rows in the background, then probe, partially
-// aggregate, and participate in the global aggregation.
+// aggregate, and participate in the global aggregation. The pipeline runs
+// batch-at-a-time unless Config.RowAtATime reverts it to the seed baseline.
 func (e *Engine) jenRepartitionProgram(qs string, q *plan.JoinQuery, scanPlan *jen.ScanPlan, w, n, m int, useBF, zig bool) error {
 	me := jenName(w)
+	rowMode := e.cfg.RowAtATime
 	var runErr error
 
 	// Blocking: wait for the database Bloom filter (zigzag step 2).
@@ -152,15 +172,29 @@ func (e *Engine) jenRepartitionProgram(qs string, q *plan.JoinQuery, scanPlan *j
 	}
 	defer ht.Close()
 	var dbRows []types.Row
+	var dbBatches []*batch.Batch
+	var probeTuples int64
 	var bg par.Group
-	bg.Go(func() error {
-		return e.recvRows(me, qs+"shuffle", n, func(r types.Row) error { return ht.Insert(r) })
-	})
-	bg.Go(func() error {
-		rows, err := e.collectRows(me, qs+"dbrows", m)
-		dbRows = rows
-		return err
-	})
+	if rowMode {
+		bg.Go(func() error {
+			return e.recvRows(me, qs+"shuffle", n, func(r types.Row) error { return ht.Insert(r) })
+		})
+		bg.Go(func() error {
+			rows, err := e.collectRows(me, qs+"dbrows", m)
+			dbRows = rows
+			probeTuples = int64(len(rows))
+			return err
+		})
+	} else {
+		bg.Go(func() error {
+			return e.recvBatches(me, qs+"shuffle", n, func(b *batch.Batch) error { return ht.InsertBatch(b) })
+		})
+		bg.Go(func() error {
+			bs, tuples, err := e.collectBatches(me, qs+"dbrows", m)
+			dbBatches, probeTuples = bs, tuples
+			return err
+		})
+	}
 
 	// Scan + process + send, all pipelined.
 	var bfh *bloom.Filter
@@ -169,16 +203,25 @@ func (e *Engine) jenRepartitionProgram(qs string, q *plan.JoinQuery, scanPlan *j
 	}
 	b := e.newBatcher(me, qs+"shuffle", e.jenNames(), metrics.JENShuffleTuples, metrics.JENShuffleBytes, w)
 	scanKey := q.HDFSWire[q.HDFSWireKey]
+	destOf := func(key int64) string { return jenName(cluster.PartitionFor(key, n)) }
+	spec := jen.ScanSpec{
+		Plan: scanPlan, Worker: w,
+		Proj: q.HDFSScanProj, Pred: q.HDFSPred, Pruner: q.Pruner(),
+		DBFilter: wrapBloom(bfdb), BuildBloom: bfh, BloomKeyIdx: scanKey,
+	}
 	if runErr == nil {
-		err := e.jen.ScanFilter(jen.ScanSpec{
-			Plan: scanPlan, Worker: w,
-			Proj: q.HDFSScanProj, Pred: q.HDFSPred, Pruner: q.Pruner(),
-			DBFilter: wrapBloom(bfdb), BuildBloom: bfh, BloomKeyIdx: scanKey,
-		}, func(r types.Row) error {
-			wire := r.Project(q.HDFSWire)
-			dest := jenName(cluster.PartitionFor(wire[q.HDFSWireKey].Int(), n))
-			return b.send(dest, wire)
-		})
+		var err error
+		if rowMode {
+			err = e.jen.ScanFilter(spec, func(r types.Row) error {
+				wire := r.Project(q.HDFSWire)
+				//lint:ignore rowloop deliberate row-at-a-time baseline (Config.RowAtATime)
+				return b.send(destOf(wire[q.HDFSWireKey].Int()), wire)
+			})
+		} else {
+			err = e.jen.ScanFilterBatches(spec, func(sb *batch.Batch) error {
+				return b.scatterBatch(sb, q.HDFSWire, scanKey, destOf)
+			})
+		}
 		firstErr(&runErr, err)
 	}
 	firstErr(&runErr, b.Close())
@@ -202,12 +245,16 @@ func (e *Engine) jenRepartitionProgram(qs string, q *plan.JoinQuery, scanPlan *j
 	firstErr(&runErr, bg.Wait())
 	firstErr(&runErr, ht.FinishBuild())
 	e.rec.AddAt(metrics.JoinBuildTuples, w, ht.Len())
-	e.rec.AddAt(metrics.JoinProbeTuples, w, int64(len(dbRows)))
+	e.rec.AddAt(metrics.JoinProbeTuples, w, probeTuples)
 
 	// Probe with the database rows; combined layout is HDFS wire ++ DB wire.
 	agg := relop.NewHashAgg(q.GroupBy, q.Aggs)
 	if runErr == nil {
-		firstErr(&runErr, e.probeAndAggregate(ht, dbRows, q, agg, w))
+		if rowMode {
+			firstErr(&runErr, e.probeAndAggregate(ht, dbRows, q, agg, w))
+		} else {
+			firstErr(&runErr, e.probeAndAggregateBatches(ht, dbBatches, q, agg))
+		}
 	}
 
 	return e.finishHDFSAggregation(qs, q, agg, w, n, runErr)
@@ -221,9 +268,49 @@ func (e *Engine) newJoinTable(keyIdx int) (relop.JoinTable, error) {
 	return relop.NewMemJoinTable(keyIdx), nil
 }
 
+// combiner accumulates join matches (build row ++ probe row) into a
+// combined-layout batch; when the batch fills, the post-join predicate runs
+// as a batch filter and the survivors fold into the partial aggregate
+// batch-at-a-time. output counts survivors, exactly as the per-row
+// evalPost/agg.Add path did.
+type combiner struct {
+	e      *Engine
+	q      *plan.JoinQuery
+	agg    *relop.HashAgg
+	out    *batch.Batch
+	output int64
+}
+
+func (c *combiner) add(left, right types.Row) error {
+	if c.out == nil {
+		c.out = batch.New(len(left)+len(right), c.e.cfg.BatchRows)
+	}
+	c.out.AppendConcat(left, right)
+	if c.out.Full() {
+		return c.flush()
+	}
+	return nil
+}
+
+func (c *combiner) flush() error {
+	if c.out == nil || c.out.Size() == 0 {
+		return nil
+	}
+	if err := expr.FilterBatch(c.q.PostJoin, c.out); err != nil {
+		return err
+	}
+	c.output += int64(c.out.Len())
+	if err := c.agg.AddBatch(c.out); err != nil {
+		return err
+	}
+	c.out.Reset()
+	return nil
+}
+
 // probeAndAggregate probes the table of HDFS rows with database rows,
 // applies the post-join predicate and folds survivors into the partial
-// aggregate. Spilled matches surface during Drain.
+// aggregate. Spilled matches surface during Drain. This is the row-at-a-time
+// baseline path (Config.RowAtATime).
 func (e *Engine) probeAndAggregate(ht relop.JoinTable, dbRows []types.Row, q *plan.JoinQuery, agg *relop.HashAgg, slot int) error {
 	var output int64
 	emit := func(hr, dbr types.Row) error {
@@ -250,6 +337,26 @@ func (e *Engine) probeAndAggregate(ht relop.JoinTable, dbRows []types.Row, q *pl
 	return nil
 }
 
+// probeAndAggregateBatches is the batch path of probeAndAggregate: probe
+// batches drive JoinTable.ProbeBatch and matches accumulate through a
+// combiner. Counters are identical to the row path.
+func (e *Engine) probeAndAggregateBatches(ht relop.JoinTable, probes []*batch.Batch, q *plan.JoinQuery, agg *relop.HashAgg) error {
+	cmb := &combiner{e: e, q: q, agg: agg}
+	for _, pb := range probes {
+		if err := ht.ProbeBatch(pb, q.DBWireKey, cmb.add); err != nil {
+			return err
+		}
+	}
+	if err := ht.Drain(cmb.add); err != nil {
+		return err
+	}
+	if err := cmb.flush(); err != nil {
+		return err
+	}
+	e.rec.Add(metrics.JoinOutputTuples, cmb.output)
+	return nil
+}
+
 // finishHDFSAggregation ships this worker's partial aggregate to the
 // designated worker; the designated worker merges all partials and sends the
 // final rows to a single DB node (steps 7–9 of Figures 2–4). It always
@@ -258,12 +365,7 @@ func (e *Engine) finishHDFSAggregation(qs string, q *plan.JoinQuery, agg *relop.
 	desig := e.jen.DesignatedWorker()
 	pb := e.newBatcher(jenName(w), qs+"partial", []string{jenName(desig)}, "", "", w)
 	if runErr == nil {
-		for _, pr := range agg.PartialRows() {
-			if err := pb.send(jenName(desig), pr); err != nil {
-				firstErr(&runErr, err)
-				break
-			}
-		}
+		firstErr(&runErr, pb.sendRows(jenName(desig), agg.PartialRows()))
 	}
 	firstErr(&runErr, pb.Close())
 
@@ -277,12 +379,7 @@ func (e *Engine) finishHDFSAggregation(qs string, q *plan.JoinQuery, agg *relop.
 		e.rec.Add(metrics.AggGroups, int64(len(rows)))
 		fb := e.newBatcher(jenName(w), qs+"final", []string{dbName(0)}, "", "", w)
 		if runErr == nil {
-			for _, r := range rows {
-				if err := fb.send(dbName(0), r); err != nil {
-					firstErr(&runErr, err)
-					break
-				}
-			}
+			firstErr(&runErr, fb.sendRows(dbName(0), rows))
 		}
 		firstErr(&runErr, fb.Close())
 	}
@@ -348,7 +445,6 @@ func (e *Engine) runBroadcast(qs string, q *plan.JoinQuery) (*Result, error) {
 	for i := 0; i < m; i++ {
 		i := i
 		g.Go(func() error {
-			tw, err := e.db.FilterProject(tbl, i, accessPlan, q.DBProj)
 			// Tuples are counted once per row, not once per copy: the
 			// expensive per-row UDF read happens once, and the fan-out to
 			// every JEN worker is cheap replication (bytes are counted per
@@ -358,16 +454,13 @@ func (e *Engine) runBroadcast(qs string, q *plan.JoinQuery) (*Result, error) {
 				dests = []string{jenName(i % n)}
 			}
 			b := e.newBatcher(dbName(i), qs+"dbrows", dests, "", metrics.DBSentBytes, i)
-			if err == nil {
-				for _, row := range tw {
-					if serr := b.broadcast(row); serr != nil {
-						firstErr(&err, serr)
-						break
-					}
-				}
-			}
+			var sent int64
+			err := e.db.FilterProjectBatches(tbl, i, accessPlan, q.DBProj, e.cfg.BatchRows, func(fb *batch.Batch) error {
+				sent += int64(fb.Len())
+				return b.broadcastBatch(fb, nil)
+			})
 			firstErr(&err, b.Close())
-			e.rec.AddAt(metrics.DBSentTuples, i, int64(len(tw)))
+			e.rec.AddAt(metrics.DBSentTuples, i, sent)
 			return err
 		})
 	}
@@ -383,42 +476,51 @@ func (e *Engine) runBroadcast(qs string, q *plan.JoinQuery) (*Result, error) {
 			if relay {
 				firstErr(&runErr, e.broadcastRelayRecv(qs, me, w, n, directSenders[w], ht))
 			} else {
-				firstErr(&runErr, e.recvRows(me, qs+"dbrows", m, func(r types.Row) error {
-					return ht.Insert(r)
+				firstErr(&runErr, e.recvBatches(me, qs+"dbrows", m, func(b *batch.Batch) error {
+					return ht.InsertBatch(b)
 				}))
 			}
 			e.rec.AddAt(metrics.JoinBuildTuples, w, ht.Len())
 
 			// Scan and probe in the pipeline; partial aggregation inline.
+			// Probe rows never leave the scan batch: the wire projection is
+			// materialized into scratch only for rows with a non-empty bucket.
 			agg := relop.NewHashAgg(q.GroupBy, q.Aggs)
-			var probes, output int64
+			cmb := &combiner{e: e, q: q, agg: agg}
+			scanKey := q.HDFSWire[q.HDFSWireKey]
+			var probes int64
+			var wire types.Row
 			if runErr == nil {
-				err := e.jen.ScanFilter(jen.ScanSpec{
+				err := e.jen.ScanFilterBatches(jen.ScanSpec{
 					Plan: scanPlan, Worker: w,
 					Proj: q.HDFSScanProj, Pred: q.HDFSPred, Pruner: q.Pruner(),
-				}, func(r types.Row) error {
-					wire := r.Project(q.HDFSWire)
-					probes++
-					for _, dbr := range ht.Probe(wire[q.HDFSWireKey].Int()) {
-						combined := wire.Concat(dbr)
-						ok, err := evalPost(q, combined)
-						if err != nil {
-							return err
+				}, func(sb *batch.Batch) error {
+					probes += int64(sb.Len())
+					keys := sb.Col(scanKey)
+					return sb.Each(func(i int) error {
+						bucket := ht.Probe(keys[i].Int())
+						if len(bucket) == 0 {
+							return nil
 						}
-						if !ok {
-							continue
+						if cap(wire) < len(q.HDFSWire) {
+							wire = make(types.Row, len(q.HDFSWire))
 						}
-						output++
-						if err := agg.Add(combined); err != nil {
-							return err
+						for j, p := range q.HDFSWire {
+							wire[j] = sb.Col(p)[i]
 						}
-					}
-					return nil
+						for _, dbr := range bucket {
+							if err := cmb.add(wire, dbr); err != nil {
+								return err
+							}
+						}
+						return nil
+					})
 				})
 				firstErr(&runErr, err)
+				firstErr(&runErr, cmb.flush())
 			}
 			e.rec.AddAt(metrics.JoinProbeTuples, w, probes)
-			e.rec.Add(metrics.JoinOutputTuples, output)
+			e.rec.Add(metrics.JoinOutputTuples, cmb.output)
 
 			return e.finishHDFSAggregation(qs, q, agg, w, n, runErr)
 		})
@@ -430,10 +532,10 @@ func (e *Engine) runBroadcast(qs string, q *plan.JoinQuery) (*Result, error) {
 	return &Result{Rows: resultRows}, nil
 }
 
-// broadcastRelayRecv implements the JEN side of the relay scheme: rows from
-// this worker's DB feeders go into the hash table AND onward to every other
-// JEN worker; rows relayed by peers complete the table. Receivers drain the
-// relay stream in the background so relays never deadlock.
+// broadcastRelayRecv implements the JEN side of the relay scheme: batches
+// from this worker's DB feeders go into the hash table AND onward to every
+// other JEN worker; batches relayed by peers complete the table. Receivers
+// drain the relay stream in the background so relays never deadlock.
 func (e *Engine) broadcastRelayRecv(qs, me string, w, n, directSenders int, ht *relop.HashTable) error {
 	var runErr error
 	others := make([]string, 0, n-1)
@@ -445,26 +547,21 @@ func (e *Engine) broadcastRelayRecv(qs, me string, w, n, directSenders int, ht *
 	// The relay drainer and the direct-stream receiver run concurrently and
 	// both feed the same hash table, so inserts must be serialized.
 	var htMu sync.Mutex
-	insert := func(r types.Row) error {
+	insert := func(b *batch.Batch) error {
 		htMu.Lock()
 		defer htMu.Unlock()
-		return ht.Insert(r)
+		return ht.InsertBatch(b)
 	}
 	var bg par.Group
 	bg.Go(func() error {
-		return e.recvRows(me, qs+"relay", n-1, insert)
+		return e.recvBatches(me, qs+"relay", n-1, insert)
 	})
 	rb := e.newBatcher(me, qs+"relay", others, metrics.JENShuffleTuples, metrics.JENShuffleBytes, w)
-	err := e.recvRows(me, qs+"dbrows", directSenders, func(r types.Row) error {
-		if err := insert(r); err != nil {
+	err := e.recvBatches(me, qs+"dbrows", directSenders, func(b *batch.Batch) error {
+		if err := insert(b); err != nil {
 			return err
 		}
-		for _, o := range others {
-			if err := rb.send(o, r); err != nil {
-				return err
-			}
-		}
-		return nil
+		return rb.broadcastBatch(b, nil)
 	})
 	firstErr(&runErr, err)
 	firstErr(&runErr, rb.Close())

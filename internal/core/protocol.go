@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"hybridwh/internal/batch"
 	"hybridwh/internal/bloom"
 	"hybridwh/internal/metrics"
 	"hybridwh/internal/netsim"
@@ -15,15 +16,19 @@ import (
 // coordinator. Per-(sender, receiver) bus ordering guarantees all of a
 // sender's rows precede its EOS.
 
-// batcher accumulates rows per destination and ships them as MsgRows
-// batches, recording tuple and byte counters against the sending worker.
+// batcher accumulates rows per destination in columnar batches and ships
+// them as MsgRows messages, recording tuple and byte counters against the
+// sending worker. The wire encoding (batch.EncodeBatch) is byte-identical
+// to types.EncodeRows over the same rows, and a buffer flushes exactly when
+// it reaches cfg.BatchRows rows, so message boundaries — and therefore the
+// byte counters — match the seed's row-at-a-time batcher bit for bit.
 type batcher struct {
 	e      *Engine
 	from   string
 	stream string
 	size   int
 	dests  []string
-	bufs   map[string][]types.Row
+	bufs   map[string]*batch.Batch
 
 	// Counter names (vector counters, indexed by slot); empty to skip.
 	tupleCounter string
@@ -38,16 +43,28 @@ type batcher struct {
 func (e *Engine) newBatcher(from, stream string, dests []string, tupleCounter, byteCounter string, slot int) *batcher {
 	return &batcher{
 		e: e, from: from, stream: stream, size: e.cfg.BatchRows,
-		dests: dests, bufs: map[string][]types.Row{},
+		dests: dests, bufs: map[string]*batch.Batch{},
 		tupleCounter: tupleCounter, byteCounter: byteCounter, slot: slot,
 	}
 }
 
+// buf returns dest's buffer, creating it with the stream's row width on
+// first use (all rows of one stream share a layout).
+func (b *batcher) buf(dest string, ncols int) *batch.Batch {
+	bb := b.bufs[dest]
+	if bb == nil {
+		bb = batch.New(ncols, b.size)
+		b.bufs[dest] = bb
+	}
+	return bb
+}
+
 // send queues one row for dest, flushing a full batch.
 func (b *batcher) send(dest string, row types.Row) error {
-	b.bufs[dest] = append(b.bufs[dest], row)
+	bb := b.buf(dest, len(row))
+	bb.AppendRow(row)
 	b.tuples++
-	if len(b.bufs[dest]) >= b.size {
+	if bb.Full() {
 		return b.flush(dest)
 	}
 	return nil
@@ -63,13 +80,94 @@ func (b *batcher) broadcast(row types.Row) error {
 	return nil
 }
 
+// sendRows queues a materialized row slice for one destination.
+func (b *batcher) sendRows(dest string, rows []types.Row) error {
+	for _, r := range rows {
+		if err := b.send(dest, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scatterRows routes each row by its key column through destOf.
+func (b *batcher) scatterRows(rows []types.Row, keyIdx int, destOf func(key int64) string) error {
+	for _, r := range rows {
+		if err := b.send(destOf(r[keyIdx].Int()), r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// broadcastRows queues a materialized row slice for every destination.
+func (b *batcher) broadcastRows(rows []types.Row) error {
+	for _, r := range rows {
+		if err := b.broadcast(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sendBatch queues every live row of src for dest, projected through proj
+// (src column indexes; nil copies positionally). src is on loan: its values
+// are copied into the destination buffer.
+func (b *batcher) sendBatch(dest string, src *batch.Batch, proj []int) error {
+	ncols := src.NumCols()
+	if proj != nil {
+		ncols = len(proj)
+	}
+	bb := b.buf(dest, ncols)
+	return src.Each(func(i int) error {
+		bb.AppendFrom(src, i, proj)
+		b.tuples++
+		if bb.Full() {
+			return b.flush(dest)
+		}
+		return nil
+	})
+}
+
+// scatterBatch routes every live row of src by its key column (an index
+// into src's physical layout, read before projection) through destOf,
+// projecting each row through proj into the destination buffer.
+func (b *batcher) scatterBatch(src *batch.Batch, proj []int, keyIdx int, destOf func(key int64) string) error {
+	ncols := src.NumCols()
+	if proj != nil {
+		ncols = len(proj)
+	}
+	keys := src.Col(keyIdx)
+	return src.Each(func(i int) error {
+		dest := destOf(keys[i].Int())
+		bb := b.buf(dest, ncols)
+		bb.AppendFrom(src, i, proj)
+		b.tuples++
+		if bb.Full() {
+			return b.flush(dest)
+		}
+		return nil
+	})
+}
+
+// broadcastBatch queues every live row of src for every destination.
+// Tuples are counted once per copy, exactly as per-row broadcast does.
+func (b *batcher) broadcastBatch(src *batch.Batch, proj []int) error {
+	for _, d := range b.dests {
+		if err := b.sendBatch(d, src, proj); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func (b *batcher) flush(dest string) error {
-	rows := b.bufs[dest]
-	if len(rows) == 0 {
+	bb := b.bufs[dest]
+	if bb == nil || bb.Size() == 0 {
 		return nil
 	}
-	payload := types.EncodeRows(rows)
-	b.bufs[dest] = b.bufs[dest][:0]
+	payload := batch.EncodeBatch(bb)
+	bb.Reset()
 	if b.byteCounter != "" {
 		b.e.rec.AddAt(b.byteCounter, b.slot, int64(len(payload)))
 	}
@@ -77,7 +175,9 @@ func (b *batcher) flush(dest string) error {
 }
 
 // Close flushes every buffer and sends EOS to every destination. It must
-// run even on error paths (usually via defer) so receivers never hang.
+// run even on error paths (usually via defer) so receivers never hang —
+// and a send failure to one destination must not drop the partial buffers
+// of the others, so every flush is attempted.
 func (b *batcher) Close() error {
 	var firstErr error
 	for _, d := range b.dests {
@@ -96,10 +196,12 @@ func (b *batcher) Close() error {
 	return firstErr
 }
 
-// recvRows drains the stream at endpoint `at` until `senders` EOS messages
-// arrive, invoking fn for every row. With senders == 0 it returns
+// recvBatches drains the stream at endpoint `at` until `senders` EOS
+// messages arrive, invoking fn for every decoded batch. The batch passed to
+// fn is on loan — it is reused for the next message, so fn must copy
+// (Clone, InsertBatch, …) anything it keeps. With senders == 0 it returns
 // immediately.
-func (e *Engine) recvRows(at, stream string, senders int, fn func(row types.Row) error) error {
+func (e *Engine) recvBatches(at, stream string, senders int, fn func(b *batch.Batch) error) error {
 	if senders == 0 {
 		return nil
 	}
@@ -115,20 +217,20 @@ func (e *Engine) recvRows(at, stream string, senders int, fn func(row types.Row)
 	defer r.Unroute(netsim.MsgRows, stream)
 	defer r.Unroute(netsim.MsgEOS, stream)
 
+	decoded := batch.New(0, 0)
 	var consumeErr error
 	consume := func(env netsim.Envelope) error {
-		batch, err := types.DecodeRows(env.Payload)
-		if err != nil {
+		if err := batch.DecodeBatch(env.Payload, decoded); err != nil {
 			return fmt.Errorf("core: %s decoding %s from %s: %w", at, stream, env.From, err)
 		}
 		if consumeErr != nil {
 			return nil // already failed; keep draining the protocol
 		}
-		for _, row := range batch {
-			if err := fn(row); err != nil {
-				consumeErr = err
-				return nil
-			}
+		if decoded.Len() == 0 {
+			return nil
+		}
+		if err := fn(decoded); err != nil {
+			consumeErr = err
 		}
 		return nil
 	}
@@ -158,6 +260,16 @@ func (e *Engine) recvRows(at, stream string, senders int, fn func(row types.Row)
 	}
 }
 
+// recvRows is the row-at-a-time adapter over recvBatches: every received
+// row is materialized into fresh storage, so fn may retain it.
+func (e *Engine) recvRows(at, stream string, senders int, fn func(row types.Row) error) error {
+	return e.recvBatches(at, stream, senders, func(b *batch.Batch) error {
+		return b.Each(func(i int) error {
+			return fn(b.CloneRow(i))
+		})
+	})
+}
+
 // collectRows is recvRows into a slice.
 func (e *Engine) collectRows(at, stream string, senders int) ([]types.Row, error) {
 	var out []types.Row
@@ -166,6 +278,19 @@ func (e *Engine) collectRows(at, stream string, senders int) ([]types.Row, error
 		return nil
 	})
 	return out, err
+}
+
+// collectBatches is recvBatches into a slice of cloned batches, returning
+// the total live row count alongside.
+func (e *Engine) collectBatches(at, stream string, senders int) ([]*batch.Batch, int64, error) {
+	var out []*batch.Batch
+	var n int64
+	err := e.recvBatches(at, stream, senders, func(b *batch.Batch) error {
+		out = append(out, b.Clone())
+		n += int64(b.Len())
+		return nil
+	})
+	return out, n, err
 }
 
 // sendBloom ships a marshalled filter to the destinations, counting the

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"hybridwh/internal/batch"
 	"hybridwh/internal/cluster"
 	"hybridwh/internal/edw"
 	"hybridwh/internal/jen"
@@ -187,12 +188,9 @@ func (e *Engine) dbSemiProgram(qs string, q *plan.JoinQuery, tbl *edw.Table, ap 
 	b := e.newBatcher(dbName(i), qs+"dbrows", e.jenNames(), metrics.DBSentTuples, metrics.DBSentBytes, i)
 	var sendErr error
 	if err == nil {
-		for _, row := range tw {
-			dest := jenName(cluster.PartitionFor(row[q.DBWireKey].Int(), n))
-			if sendErr = b.send(dest, row); sendErr != nil {
-				break
-			}
-		}
+		sendErr = b.scatterRows(tw, q.DBWireKey, func(key int64) string {
+			return jenName(cluster.PartitionFor(key, n))
+		})
 	}
 	firstErr(&sendErr, b.Close())
 	firstErr(&err, sendErr)
@@ -209,14 +207,15 @@ func (e *Engine) jenSemiProgram(qs string, q *plan.JoinQuery, scanPlan *jen.Scan
 	firstErr(&runErr, err)
 
 	ht := relop.NewMemJoinTable(q.HDFSWireKey)
-	var dbRows []types.Row
+	var dbBatches []*batch.Batch
+	var probeTuples int64
 	var bg par.Group
 	bg.Go(func() error {
-		return e.recvRows(me, qs+"shuffle", n, func(r types.Row) error { return ht.Insert(r) })
+		return e.recvBatches(me, qs+"shuffle", n, func(b *batch.Batch) error { return ht.InsertBatch(b) })
 	})
 	bg.Go(func() error {
-		rows, err := e.collectRows(me, qs+"dbrows", m)
-		dbRows = rows
+		bs, tuples, err := e.collectBatches(me, qs+"dbrows", m)
+		dbBatches, probeTuples = bs, tuples
 		return err
 	})
 
@@ -224,15 +223,21 @@ func (e *Engine) jenSemiProgram(qs string, q *plan.JoinQuery, scanPlan *jen.Scan
 	b := e.newBatcher(me, qs+"shuffle", e.jenNames(), metrics.JENShuffleTuples, metrics.JENShuffleBytes, w)
 	scanKey := q.HDFSWire[q.HDFSWireKey]
 	if runErr == nil {
-		err := e.jen.ScanFilter(jen.ScanSpec{
+		err := e.jen.ScanFilterBatches(jen.ScanSpec{
 			Plan: scanPlan, Worker: w,
 			Proj: q.HDFSScanProj, Pred: q.HDFSPred, Pruner: q.Pruner(),
 			DBFilter: tKeys, BloomKeyIdx: scanKey,
-		}, func(r types.Row) error {
-			wire := r.Project(q.HDFSWire)
-			localKeys[wire[q.HDFSWireKey].Int()] = struct{}{}
-			dest := jenName(cluster.PartitionFor(wire[q.HDFSWireKey].Int(), n))
-			return b.send(dest, wire)
+		}, func(sb *batch.Batch) error {
+			// The exact-semijoin analogue of BF_H construction: collect the
+			// surviving join keys while the batch streams past.
+			keys := sb.Col(scanKey)
+			_ = sb.Each(func(i int) error {
+				localKeys[keys[i].Int()] = struct{}{}
+				return nil
+			})
+			return b.scatterBatch(sb, q.HDFSWire, scanKey, func(key int64) string {
+				return jenName(cluster.PartitionFor(key, n))
+			})
 		})
 		firstErr(&runErr, err)
 	}
@@ -252,11 +257,11 @@ func (e *Engine) jenSemiProgram(qs string, q *plan.JoinQuery, scanPlan *jen.Scan
 	firstErr(&runErr, bg.Wait())
 	firstErr(&runErr, ht.FinishBuild())
 	e.rec.AddAt(metrics.JoinBuildTuples, w, ht.Len())
-	e.rec.AddAt(metrics.JoinProbeTuples, w, int64(len(dbRows)))
+	e.rec.AddAt(metrics.JoinProbeTuples, w, probeTuples)
 
 	agg := relop.NewHashAgg(q.GroupBy, q.Aggs)
 	if runErr == nil {
-		firstErr(&runErr, e.probeAndAggregate(ht, dbRows, q, agg, w))
+		firstErr(&runErr, e.probeAndAggregateBatches(ht, dbBatches, q, agg))
 	}
 	return e.finishHDFSAggregation(qs, q, agg, w, n, runErr)
 }

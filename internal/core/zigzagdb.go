@@ -1,6 +1,7 @@
 package core
 
 import (
+	"hybridwh/internal/batch"
 	"hybridwh/internal/bloom"
 	"hybridwh/internal/edw"
 	"hybridwh/internal/jen"
@@ -53,11 +54,11 @@ func (e *Engine) runZigzagDB(qs string, q *plan.JoinQuery) (*Result, error) {
 	locals := make([]*bloom.Filter, n)
 	err = par.ForEach(n, func(w int) error {
 		bfh := bloom.New(e.cfg.BloomBits, e.cfg.BloomHashes)
-		err := e.jen.ScanFilter(jen.ScanSpec{
+		err := e.jen.ScanFilterBatches(jen.ScanSpec{
 			Plan: scanPlan, Worker: w,
 			Proj: q.HDFSScanProj, Pred: q.HDFSPred, Pruner: q.Pruner(),
 			DBFilter: wrapBloom(bfdb), BuildBloom: bfh, BloomKeyIdx: scanKey,
-		}, func(types.Row) error { return nil })
+		}, func(*batch.Batch) error { return nil })
 		locals[w] = bfh
 		return err
 	})
@@ -101,12 +102,12 @@ func (e *Engine) runZigzagDB(qs string, q *plan.JoinQuery) (*Result, error) {
 			me := jenName(w)
 			dest := dbName(jenToDB[w])
 			b := e.newBatcher(me, qs+"ingest", []string{dest}, metrics.HDFSSentTuples, metrics.HDFSSentBytes, w)
-			serr := e.jen.ScanFilter(jen.ScanSpec{
+			serr := e.jen.ScanFilterBatches(jen.ScanSpec{
 				Plan: scanPlan, Worker: w,
 				Proj: q.HDFSScanProj, Pred: q.HDFSPred, Pruner: q.Pruner(),
 				DBFilter: wrapBloom(bfdb), BloomKeyIdx: scanKey,
-			}, func(r types.Row) error {
-				return b.send(dest, r.Project(q.HDFSWire))
+			}, func(sb *batch.Batch) error {
+				return b.sendBatch(dest, sb, q.HDFSWire)
 			})
 			firstErr(&serr, b.Close())
 			return serr

@@ -1,0 +1,63 @@
+package edw
+
+import (
+	"hybridwh/internal/batch"
+	"hybridwh/internal/bloom"
+	"hybridwh/internal/metrics"
+	"hybridwh/internal/types"
+)
+
+// Batch-at-a-time variants of the per-worker access primitives. They charge
+// exactly the counters their row-at-a-time counterparts do (DBFilteredRows,
+// DBBloomFiltered, and the scan/index counters inside scanPartition), so an
+// engine may switch between the two paths without moving any Table 1 number.
+
+// FilterProjectBatches streams worker w's filtered, projected partition (T'
+// for that worker) as dense batches of up to batchRows rows. Batches are on
+// loan: each is valid only during its yield call and is reused afterwards.
+func (db *DB) FilterProjectBatches(t *Table, w int, plan AccessPlan, proj []int, batchRows int, yield func(*batch.Batch) error) error {
+	if batchRows <= 0 {
+		batchRows = 1
+	}
+	out := batch.New(len(proj), batchRows)
+	scratch := make(types.Row, len(proj))
+	var kept int64
+	err := db.scanPartition(t, w, plan, func(row types.Row) error {
+		for j, p := range proj {
+			scratch[j] = row[p]
+		}
+		out.AppendRow(scratch)
+		kept++
+		if out.Full() {
+			if err := yield(out); err != nil {
+				return err
+			}
+			out.Reset()
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if out.Size() > 0 {
+		if err := yield(out); err != nil {
+			return err
+		}
+	}
+	db.rec.AddAt(metrics.DBFilteredRows, w, kept)
+	return nil
+}
+
+// ApplyBloomBatch narrows b's selection to the rows whose join key survives
+// the HDFS Bloom filter BF_H (zigzag join step 5), reporting how many rows
+// the filter removed. The DBBloomFiltered accounting matches ApplyBloom.
+func (db *DB) ApplyBloomBatch(b *batch.Batch, keyIdx int, bf *bloom.Filter) int64 {
+	before := b.Len()
+	keys := b.Col(keyIdx)
+	b.Filter(func(i int) bool {
+		return bf.TestHash(types.BloomHashKey(keys[i].Int()))
+	})
+	dropped := int64(before - b.Len())
+	db.rec.Add(metrics.DBBloomFiltered, dropped)
+	return dropped
+}

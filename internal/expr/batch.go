@@ -1,0 +1,293 @@
+package expr
+
+import (
+	"fmt"
+	"sync"
+
+	"hybridwh/internal/batch"
+	"hybridwh/internal/types"
+)
+
+// Vectorized evaluation. FilterBatch and EvalBatchInto run the common
+// expression shapes (comparisons, conjunctions, bare column references,
+// arithmetic, function calls over batch-evaluated argument columns) as
+// columnar kernels over a batch's live rows, and fall back to the
+// row-at-a-time Eval for the rest (OR, NOT). The semantics are exactly
+// Eval's — including NULL comparisons being false and AND short-circuiting
+// — just without one interface dispatch (and, for calls, one argument-slice
+// allocation) per row per tree node.
+
+// FilterBatch narrows b's selection to the live rows satisfying pred. A nil
+// predicate keeps every live row.
+func FilterBatch(pred Expr, b *batch.Batch) error {
+	switch e := pred.(type) {
+	case nil:
+		return nil
+	case *Logic:
+		if e.Op == And {
+			// Successive narrowing: each term only sees survivors of the
+			// previous terms, mirroring Eval's short circuit.
+			for _, t := range e.Terms {
+				if err := FilterBatch(t, b); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	case *Cmp:
+		if ok, err := filterCmp(e, b); ok || err != nil {
+			return err
+		}
+		// General comparison: evaluate both operand columns batch-at-a-time
+		// (Arith and Call have their own kernels), then compare value pairs.
+		// This keeps e.g. the post-join date-difference predicate off the
+		// per-row tree-walk fallback.
+		return filterCmpColumns(e, b)
+	}
+	return filterFallback(pred, b)
+}
+
+// filterCmpColumns narrows b's selection by comparing the batch-evaluated
+// operand columns of an arbitrary comparison.
+func filterCmpColumns(c *Cmp, b *batch.Batch) error {
+	lv, lput, err := evalTemp(c.L, b)
+	if err != nil {
+		return err
+	}
+	defer lput()
+	rv, rput, err := evalTemp(c.R, b)
+	if err != nil {
+		return err
+	}
+	defer rput()
+	j := 0
+	// Filter only rewrites the selection vector, never column storage, so
+	// operand slices aliasing the batch stay valid throughout.
+	b.Filter(func(int) bool {
+		ok := cmpTruth(c.Op, lv[j], rv[j])
+		j++
+		return ok
+	})
+	return nil
+}
+
+// valBufPool recycles the temporary value columns the kernels evaluate
+// operands into. Without it every expression node allocates one column per
+// batch, which turns high-fanout stages (the post-join predicate sees every
+// joined row) into GC churn.
+var valBufPool = sync.Pool{
+	New: func() any { s := make([]types.Value, 0, 256); return &s },
+}
+
+func noRelease() {}
+
+// evalTemp evaluates e over b's live rows into a pooled scratch column.
+// release must be called exactly once when the values are no longer needed;
+// the slice may alias pooled storage or (dense bare columns) the batch
+// itself, so it must not be retained past release or batch mutation.
+func evalTemp(e Expr, b *batch.Batch) (vals []types.Value, release func(), err error) {
+	if c, isCol := e.(*Col); isCol && b.Sel() == nil {
+		if err := checkCol(c, b); err != nil {
+			return nil, noRelease, err
+		}
+		return b.Col(c.Index)[:b.Size()], noRelease, nil
+	}
+	p := valBufPool.Get().(*[]types.Value)
+	out, err := EvalBatchInto(e, b, (*p)[:0])
+	*p = out[:0] // keep any growth for the next borrower
+	if err != nil {
+		valBufPool.Put(p)
+		return nil, noRelease, err
+	}
+	return out, func() { valBufPool.Put(p) }, nil
+}
+
+// filterCmp applies a comparison kernel when both operands are columns or
+// literals; ok reports whether the shape was handled.
+func filterCmp(c *Cmp, b *batch.Batch) (ok bool, err error) {
+	switch l := c.L.(type) {
+	case *Col:
+		if err := checkCol(l, b); err != nil {
+			return true, err
+		}
+		switch r := c.R.(type) {
+		case *Col:
+			if err := checkCol(r, b); err != nil {
+				return true, err
+			}
+			lc, rc := b.Col(l.Index), b.Col(r.Index)
+			b.Filter(func(i int) bool { return cmpTruth(c.Op, lc[i], rc[i]) })
+			return true, nil
+		case *Lit:
+			lc, lit := b.Col(l.Index), r.V
+			b.Filter(func(i int) bool { return cmpTruth(c.Op, lc[i], lit) })
+			return true, nil
+		}
+	case *Lit:
+		if r, isCol := c.R.(*Col); isCol {
+			if err := checkCol(r, b); err != nil {
+				return true, err
+			}
+			rc, lit := b.Col(r.Index), l.V
+			b.Filter(func(i int) bool { return cmpTruth(c.Op, lit, rc[i]) })
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// cmpTruth is Cmp.Eval + Truth for two concrete values: NULL on either side
+// compares false, everything else through types.Compare.
+func cmpTruth(op CmpOp, lv, rv types.Value) bool {
+	if lv.IsNull() || rv.IsNull() {
+		return false
+	}
+	n := types.Compare(lv, rv)
+	switch op {
+	case EQ:
+		return n == 0
+	case NE:
+		return n != 0
+	case LT:
+		return n < 0
+	case LE:
+		return n <= 0
+	case GT:
+		return n > 0
+	case GE:
+		return n >= 0
+	default:
+		return false
+	}
+}
+
+// filterFallback evaluates pred row-at-a-time over a scratch row.
+func filterFallback(pred Expr, b *batch.Batch) error {
+	scratch := make(types.Row, b.NumCols())
+	var evalErr error
+	b.Filter(func(i int) bool {
+		if evalErr != nil {
+			return false
+		}
+		v, err := pred.Eval(b.RowAt(i, scratch))
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		return v.Truth()
+	})
+	return evalErr
+}
+
+// EvalBatchInto evaluates e for every live row of b, appending the results
+// to out in selection order.
+//
+// When out is nil, the returned slice may alias the batch's column storage
+// (the dense bare-column fast path): treat it as read-only and do not
+// retain it past the next mutation of b. Pass a non-nil out to force a
+// copy.
+func EvalBatchInto(e Expr, b *batch.Batch, out []types.Value) ([]types.Value, error) {
+	switch e := e.(type) {
+	case *Col:
+		if err := checkCol(e, b); err != nil {
+			return out, err
+		}
+		col := b.Col(e.Index)
+		if out == nil && b.Sel() == nil {
+			return col[:b.Size()], nil
+		}
+		if out == nil {
+			out = make([]types.Value, 0, b.Len())
+		}
+		err := b.Each(func(i int) error {
+			out = append(out, col[i])
+			return nil
+		})
+		return out, err
+	case *Lit:
+		if out == nil {
+			out = make([]types.Value, 0, b.Len())
+		}
+		err := b.Each(func(int) error {
+			out = append(out, e.V)
+			return nil
+		})
+		return out, err
+	case *Arith:
+		lv, lput, err := evalTemp(e.L, b)
+		if err != nil {
+			return out, err
+		}
+		defer lput()
+		rv, rput, err := evalTemp(e.R, b)
+		if err != nil {
+			return out, err
+		}
+		defer rput()
+		if out == nil {
+			out = make([]types.Value, 0, len(lv))
+		}
+		for k := range lv {
+			v, err := e.combine(lv[k], rv[k])
+			if err != nil {
+				return out, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	case *Call:
+		// Arguments evaluate column-at-a-time; the function applies over a
+		// single reused argument buffer — no per-row slice allocation, no
+		// per-row tree dispatch.
+		args := make([][]types.Value, len(e.Args))
+		for i, a := range e.Args {
+			col, put, err := evalTemp(a, b)
+			if err != nil {
+				return out, err
+			}
+			defer put()
+			args[i] = col
+		}
+		vals := make([]types.Value, len(e.Args))
+		n := b.Len()
+		if out == nil {
+			out = make([]types.Value, 0, n)
+		}
+		for k := 0; k < n; k++ {
+			for i := range args {
+				vals[i] = args[i][k]
+			}
+			v, err := e.Fn.Apply(vals)
+			if err != nil {
+				return out, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	if out == nil {
+		out = make([]types.Value, 0, b.Len())
+	}
+	scratch := make(types.Row, b.NumCols())
+	var evalErr error
+	err := b.Each(func(i int) error {
+		v, err := e.Eval(b.RowAt(i, scratch))
+		if err != nil {
+			evalErr = err
+			return err
+		}
+		out = append(out, v)
+		return nil
+	})
+	if evalErr != nil {
+		return out, evalErr
+	}
+	return out, err
+}
+
+func checkCol(c *Col, b *batch.Batch) error {
+	if c.Index < 0 || c.Index >= b.NumCols() {
+		return fmt.Errorf("column %s index %d out of range (batch has %d)", c.Name, c.Index, b.NumCols())
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package expr
+
+import (
+	"testing"
+
+	"hybridwh/internal/batch"
+	"hybridwh/internal/types"
+)
+
+func batchOf(rows []types.Row) *batch.Batch {
+	b := batch.New(len(rows[0]), len(rows))
+	for _, r := range rows {
+		b.AppendRow(r)
+	}
+	return b
+}
+
+func filterRows() []types.Row {
+	return []types.Row{
+		{types.Int32(1), types.Int32(10), types.String("a")},
+		{types.Int32(2), types.Int32(5), types.String("b")},
+		{types.Int32(3), types.Int32(3), types.String("a")},
+		{types.Null, types.Int32(9), types.String("c")},
+		{types.Int32(5), types.Null, types.String("")},
+	}
+}
+
+// checkAgainstEval compares FilterBatch's survivor set with per-row
+// EvalPred over the same rows: the vectorized path must agree with the
+// scalar path exactly, including NULL handling.
+func checkAgainstEval(t *testing.T, pred Expr, rows []types.Row) {
+	t.Helper()
+	b := batchOf(rows)
+	if err := FilterBatch(pred, b); err != nil {
+		t.Fatalf("FilterBatch(%v): %v", pred, err)
+	}
+	var want []int
+	for i, r := range rows {
+		ok, err := EvalPred(pred, r)
+		if err != nil {
+			t.Fatalf("EvalPred(%v): %v", pred, err)
+		}
+		if ok {
+			want = append(want, i)
+		}
+	}
+	var got []int
+	_ = b.Each(func(i int) error { got = append(got, i); return nil })
+	if len(got) != len(want) {
+		t.Fatalf("pred %v: got rows %v want %v", pred, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pred %v: got rows %v want %v", pred, got, want)
+		}
+	}
+}
+
+func TestFilterBatchMatchesEval(t *testing.T) {
+	rows := filterRows()
+	c0 := NewCol(0, "a", types.KindInt32)
+	c1 := NewCol(1, "b", types.KindInt32)
+	c2 := NewCol(2, "s", types.KindString)
+	preds := []Expr{
+		nil,
+		NewCmp(LT, c0, NewLit(types.Int32(3))), // col < lit kernel
+		NewCmp(GE, NewLit(types.Int32(5)), c1), // lit >= col kernel (flipped)
+		NewCmp(EQ, c2, NewLit(types.String("a"))), // string equality
+		NewCmp(NE, c0, c1),                        // col vs col kernel
+		NewAnd(NewCmp(GT, c0, NewLit(types.Int32(1))), NewCmp(LT, c1, NewLit(types.Int32(9)))),
+		NewOr(NewCmp(EQ, c0, NewLit(types.Int32(1))), NewCmp(EQ, c2, NewLit(types.String("c")))), // fallback
+		NewNot(NewCmp(LE, c0, NewLit(types.Int32(2)))),                                           // fallback
+		NewCmp(GT, NewArith(Add, c0, c1), NewLit(types.Int64(8))),                                // fallback
+		NewCmp(EQ, NewLit(types.Int32(1)), NewLit(types.Int32(1))),                               // lit vs lit fallback
+	}
+	for _, p := range preds {
+		checkAgainstEval(t, p, rows)
+	}
+}
+
+func TestFilterBatchNarrowsExistingSelection(t *testing.T) {
+	rows := filterRows()
+	b := batchOf(rows)
+	b.SetSel([]int32{1, 2, 3})
+	pred := NewCmp(GT, NewCol(1, "b", types.KindInt32), NewLit(types.Int32(4)))
+	if err := FilterBatch(pred, b); err != nil {
+		t.Fatal(err)
+	}
+	var got []int
+	_ = b.Each(func(i int) error { got = append(got, i); return nil })
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("got %v, want [1 3]", got)
+	}
+}
+
+func TestFilterBatchColumnOutOfRange(t *testing.T) {
+	b := batchOf(filterRows())
+	if err := FilterBatch(NewCmp(EQ, NewCol(9, "x", types.KindInt32), NewLit(types.Int32(1))), b); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+}
+
+func TestFilterBatchFallbackError(t *testing.T) {
+	b := batchOf(filterRows())
+	// Division by zero inside the fallback path must surface as an error.
+	pred := NewCmp(GT, NewArith(Div, NewCol(0, "a", types.KindInt32), NewLit(types.Int32(0))), NewLit(types.Int32(1)))
+	if err := FilterBatch(pred, b); err == nil {
+		t.Fatal("expected division error")
+	}
+}
+
+func TestEvalBatchInto(t *testing.T) {
+	rows := filterRows()
+	b := batchOf(rows)
+	b.SetSel([]int32{0, 2, 4})
+	exprs := []Expr{
+		NewCol(2, "s", types.KindString),
+		NewLit(types.Int64(7)),
+		NewArith(Mul, NewCol(0, "a", types.KindInt32), NewLit(types.Int32(2))), // fallback
+	}
+	for _, e := range exprs {
+		got, err := EvalBatchInto(e, b, nil)
+		if err != nil {
+			t.Fatalf("EvalBatchInto(%v): %v", e, err)
+		}
+		var want []types.Value
+		for _, i := range []int{0, 2, 4} {
+			v, err := e.Eval(rows[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, v)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%v: got %d values want %d", e, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v row %d: got %v want %v", e, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestEvalBatchIntoError(t *testing.T) {
+	b := batchOf(filterRows())
+	if _, err := EvalBatchInto(NewCol(7, "x", types.KindInt32), b, nil); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if _, err := EvalBatchInto(NewArith(Div, NewLit(types.Int32(1)), NewLit(types.Int32(0))), b, nil); err == nil {
+		t.Fatal("expected division error")
+	}
+}

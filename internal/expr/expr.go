@@ -314,6 +314,12 @@ func (a *Arith) Eval(row types.Row) (types.Value, error) {
 	if err != nil {
 		return types.Null, err
 	}
+	return a.combine(lv, rv)
+}
+
+// combine applies the operator to two already-evaluated operands; the batch
+// evaluator reuses it column-at-a-time.
+func (a *Arith) combine(lv, rv types.Value) (types.Value, error) {
 	if lv.IsNull() || rv.IsNull() {
 		return types.Null, nil
 	}

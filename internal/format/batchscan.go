@@ -1,0 +1,200 @@
+package format
+
+import (
+	"fmt"
+
+	"hybridwh/internal/batch"
+	"hybridwh/internal/compress"
+	"hybridwh/internal/types"
+)
+
+// Batch-at-a-time scanners. They read the same bytes and charge the same
+// ScanStats as the row-at-a-time ScanHWC/ScanText — RowsRead counts every
+// physical row of an unpruned group, BytesRead every fetched byte — but
+// deliver the rows as columnar batches drawn from a pool.
+//
+// Ownership convention: the scanner Gets an empty batch from pool, fills it
+// and yields it; from that point the batch belongs to the callee, which
+// normally Puts it back once consumed. The pool's capacity is the batch row
+// target.
+//
+// The HWC scanner additionally pre-narrows each batch's selection vector
+// with the pruner's per-column ranges. This is safe for exactness because
+// pruner ranges are extracted from the scan predicate: any deselected row
+// would be rejected by the predicate anyway, and physical counts (RowsRead,
+// the JEN "processed" counter) are charged from Size(), not Len().
+
+// ScanHWCBatches is the batch counterpart of ScanHWC. Decoded column chunks
+// are copied column-wise into pooled batches — rows are never materialized.
+func ScanHWCBatches(src Source, meta *HWCMeta, groups []int, proj []int, pruner *Pruner, footerCharged bool, pool *batch.Pool, yield func(*batch.Batch) error) (ScanStats, error) {
+	var stats ScanStats
+	if footerCharged {
+		stats.BytesRead += meta.FooterBytes
+	}
+	ncols := meta.Schema.Len()
+	if proj == nil {
+		proj = make([]int, ncols)
+		for i := range proj {
+			proj[i] = i
+		}
+	}
+	for _, p := range proj {
+		if p < 0 || p >= ncols {
+			return stats, fmt.Errorf("hwc: projected column %d out of range (%d cols)", p, ncols)
+		}
+	}
+	ranges := projectRanges(pruner, proj, meta.Schema)
+	cols := make([][]types.Value, len(proj))
+	for _, gi := range groups {
+		if gi < 0 || gi >= len(meta.Groups) {
+			return stats, fmt.Errorf("hwc: row group %d out of range (%d groups)", gi, len(meta.Groups))
+		}
+		g := meta.Groups[gi]
+		if pruner.prunes(g.Cols) {
+			continue
+		}
+		for pi, c := range proj {
+			vals, n, err := readChunk(src, meta, g, gi, c)
+			stats.BytesRead += n
+			if err != nil {
+				return stats, err
+			}
+			cols[pi] = vals
+		}
+		for r := 0; r < g.Rows; {
+			b := pool.Get()
+			take := b.Cap()
+			if rem := g.Rows - r; rem < take {
+				take = rem
+			}
+			b.AppendColumns(cols, r, r+take)
+			r += take
+			stats.RowsRead += int64(take)
+			applyRanges(b, ranges)
+			if err := yield(b); err != nil {
+				return stats, err
+			}
+		}
+	}
+	return stats, nil
+}
+
+// readChunk fetches, decompresses and decodes one column chunk, returning
+// the values and the compressed bytes charged.
+func readChunk(src Source, meta *HWCMeta, g GroupMeta, gi, c int) ([]types.Value, int64, error) {
+	cm := g.Cols[c]
+	raw, err := src.ReadAt(cm.Off, cm.Len)
+	if err != nil {
+		return nil, 0, fmt.Errorf("hwc: read chunk g%d c%d: %w", gi, c, err)
+	}
+	if len(raw) != cm.Len {
+		return nil, 0, fmt.Errorf("hwc: short chunk read g%d c%d: %d of %d", gi, c, len(raw), cm.Len)
+	}
+	plain, err := compress.Decode(raw)
+	if err != nil {
+		return nil, int64(cm.Len), fmt.Errorf("hwc: decompress g%d c%d: %w", gi, c, err)
+	}
+	vals, err := decodeChunk(plain, meta.Schema.Cols[c].Kind, g.Rows)
+	if err != nil {
+		return nil, int64(cm.Len), fmt.Errorf("hwc: decode g%d c%d: %w", gi, c, err)
+	}
+	return vals, int64(cm.Len), nil
+}
+
+// batchRange is an IntRange remapped to a batch column position.
+type batchRange struct {
+	pos    int
+	lo, hi int64
+}
+
+// projectRanges remaps the pruner's schema-indexed ranges onto the projected
+// batch layout, dropping ranges on unprojected or non-integer columns.
+func projectRanges(pruner *Pruner, proj []int, schema types.Schema) []batchRange {
+	if pruner == nil {
+		return nil
+	}
+	var out []batchRange
+	for _, r := range pruner.Ranges {
+		if r.Col < 0 || r.Col >= schema.Len() || !intKind(schema.Cols[r.Col].Kind) {
+			continue
+		}
+		for pi, c := range proj {
+			if c == r.Col {
+				out = append(out, batchRange{pos: pi, lo: r.Lo, hi: r.Hi})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// applyRanges narrows b's selection with each projected range constraint.
+func applyRanges(b *batch.Batch, ranges []batchRange) {
+	for _, r := range ranges {
+		col := b.Col(r.pos)
+		b.Filter(func(i int) bool { return col[i].I >= r.lo && col[i].I <= r.hi })
+	}
+}
+
+// ScanTextBatches is the batch counterpart of ScanText: same split
+// semantics, same byte and row accounting, output delivered as pooled
+// batches. Text carries no statistics, so selections start full.
+func ScanTextBatches(src Source, schema types.Schema, start, end int64, proj []int, pool *batch.Pool, yield func(*batch.Batch) error) (stats ScanStats, err error) {
+	size := src.Size()
+	if start < 0 || start > size {
+		return stats, fmt.Errorf("text: scan start %d outside file of %d", start, size)
+	}
+	if end > size {
+		end = size
+	}
+	lr := &lineReader{src: src, pos: start, size: size, limit: end, lineStart: start}
+	defer func() { stats.BytesRead = lr.bytesRead }()
+
+	if start > 0 {
+		if _, _, ok, err := lr.next(); err != nil || !ok {
+			return stats, err
+		}
+	}
+	width := len(proj)
+	if proj == nil {
+		width = schema.Len()
+	}
+	scratch := make(types.Row, width)
+	b := pool.Get()
+	flush := func() error {
+		if b.Size() == 0 {
+			return nil
+		}
+		if err := yield(b); err != nil {
+			return err
+		}
+		b = pool.Get()
+		return nil
+	}
+	for {
+		line, s, ok, err := lr.next()
+		if err != nil {
+			return stats, err
+		}
+		if !ok || s > end {
+			if ferr := flush(); ferr != nil {
+				return stats, ferr
+			}
+			pool.Put(b)
+			return stats, nil
+		}
+		if len(line) == 0 {
+			continue
+		}
+		if err := parseTextLineInto(line, schema, proj, scratch); err != nil {
+			return stats, err
+		}
+		stats.RowsRead++
+		b.AppendRow(scratch)
+		if b.Full() {
+			if err := flush(); err != nil {
+				return stats, err
+			}
+		}
+	}
+}

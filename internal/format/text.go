@@ -187,6 +187,16 @@ func parseTextLine(line []byte, schema types.Schema, proj []int) (types.Row, err
 	} else {
 		row = make(types.Row, len(proj))
 	}
+	if err := parseTextLineInto(line, schema, proj, row); err != nil {
+		return nil, err
+	}
+	return row, nil
+}
+
+// parseTextLineInto parses into a caller-owned row of the projected width,
+// letting batch scanners reuse one scratch row for the whole split.
+func parseTextLineInto(line []byte, schema types.Schema, proj []int, row types.Row) error {
+	ncols := schema.Len()
 	field := 0
 	fieldStart := 0
 	emit := func(fieldIdx int, raw []byte) error {
@@ -217,14 +227,14 @@ func parseTextLine(line []byte, schema types.Schema, proj []int) (types.Row, err
 	for i := 0; i <= len(line); i++ {
 		if i == len(line) || line[i] == textDelim {
 			if err := emit(field, line[fieldStart:i]); err != nil {
-				return nil, err
+				return err
 			}
 			field++
 			fieldStart = i + 1
 		}
 	}
 	if field != ncols {
-		return nil, fmt.Errorf("text: %d fields, schema wants %d: %q", field, ncols, line)
+		return fmt.Errorf("text: %d fields, schema wants %d: %q", field, ncols, line)
 	}
-	return row, nil
+	return nil
 }

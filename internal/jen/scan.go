@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"hybridwh/internal/batch"
 	"hybridwh/internal/bloom"
 	"hybridwh/internal/expr"
 	"hybridwh/internal/format"
@@ -53,12 +54,26 @@ type ScanSpec struct {
 	BloomKeyIdx int
 }
 
-// ScanFilter runs the pipelined scan: one read goroutine per disk feeds
-// decoded row batches to the caller's goroutine, which applies the
-// predicate, the database Bloom filter and projection, populates BF_H, and
-// yields surviving rows. Reading and processing overlap, as in the paper's
+// projWidth returns the projected column count of the spec's output layout.
+func (spec *ScanSpec) projWidth() int {
+	if spec.Proj != nil {
+		return len(spec.Proj)
+	}
+	return spec.Plan.Table.Schema.Len()
+}
+
+// ScanFilterBatches runs the pipelined scan batch-at-a-time: one read
+// goroutine per disk decodes pooled columnar batches and feeds them to the
+// caller's goroutine, which narrows each batch's selection with the
+// predicate and the database key filter, populates BF_H from the survivors,
+// and yields the batch. Reading and processing overlap, as in the paper's
 // worker (reads per disk, one process thread).
-func (c *Cluster) ScanFilter(spec ScanSpec, yield func(types.Row) error) error {
+//
+// Yielded batches are on loan: they are valid only for the duration of the
+// yield call and are returned to the scan's pool afterwards, so consumers
+// must copy anything they keep (shuffle buffers and hash-table inserts
+// already do).
+func (c *Cluster) ScanFilterBatches(spec ScanSpec, yield func(*batch.Batch) error) error {
 	units := spec.Plan.Units[spec.Worker]
 	if len(units) == 0 {
 		return nil
@@ -74,10 +89,8 @@ func (c *Cluster) ScanFilter(spec ScanSpec, yield func(types.Row) error) error {
 		disks = append(disks, d)
 	}
 
-	type batch struct {
-		rows []types.Row
-	}
-	rowsCh := make(chan batch, 4*len(disks))
+	pool := batch.NewPool(spec.projWidth(), c.cfg.BatchRows)
+	batchCh := make(chan *batch.Batch, 4*len(disks))
 	stop := make(chan struct{})
 	var stopOnce sync.Once
 
@@ -89,29 +102,15 @@ func (c *Cluster) ScanFilter(spec ScanSpec, yield func(types.Row) error) error {
 	for _, d := range disks {
 		us := byDisk[d]
 		g.Go(func() error {
-			buf := make([]types.Row, 0, c.cfg.BatchRows)
-			flush := func() bool {
-				if len(buf) == 0 {
-					return true
-				}
-				b := batch{rows: buf}
-				buf = make([]types.Row, 0, c.cfg.BatchRows)
-				select {
-				case rowsCh <- b:
-					return true
-				case <-stop:
-					return false
-				}
-			}
 			for _, u := range us {
-				st, err := c.scanUnit(u, spec, func(r types.Row) error {
-					buf = append(buf, r)
-					if len(buf) >= c.cfg.BatchRows {
-						if !flush() {
-							return errScanStopped
-						}
+				st, err := c.scanUnitBatches(u, spec, pool, func(b *batch.Batch) error {
+					select {
+					case batchCh <- b:
+						return nil
+					case <-stop:
+						pool.Put(b)
+						return errScanStopped
 					}
-					return nil
 				})
 				scanStats.Lock()
 				scanStats.s.Add(st)
@@ -124,7 +123,6 @@ func (c *Cluster) ScanFilter(spec ScanSpec, yield func(types.Row) error) error {
 					return fmt.Errorf("jen: worker %d scan %s: %w", spec.Worker, u.Path, err)
 				}
 			}
-			flush()
 			return nil
 		})
 	}
@@ -132,38 +130,31 @@ func (c *Cluster) ScanFilter(spec ScanSpec, yield func(types.Row) error) error {
 	//lint:ignore gohygiene the closer goroutine's only job is to propagate g.Wait() through readerErr, which the process stage always drains
 	go func() {
 		err := g.Wait()
-		close(rowsCh)
+		close(batchCh)
 		readerErr <- err
 	}()
 
-	// Process stage: runs on the caller's goroutine.
+	// Process stage: runs on the caller's goroutine. The "processed" counter
+	// charges physical rows — what the paper's process thread pulls off the
+	// read queue — so pre-narrowed selections do not change it.
 	var procErr error
 	var processed int64
-	for b := range rowsCh {
+	var hashes []uint64
+	var hits []bool
+	for b := range batchCh {
 		if procErr != nil {
-			continue // drain so readers do not block forever
+			pool.Put(b) // drain so readers do not block forever
+			continue
 		}
-		for _, row := range b.rows {
-			processed++
-			ok, err := expr.EvalPred(spec.Pred, row)
-			if err != nil {
+		processed += int64(b.Size())
+		if err := c.filterBatch(spec, b, &hashes, &hits); err != nil {
+			procErr = err
+		} else if b.Len() > 0 {
+			if err := yield(b); err != nil {
 				procErr = err
-				break
-			}
-			if !ok {
-				continue
-			}
-			if spec.DBFilter != nil && !spec.DBFilter.TestKey(row[spec.BloomKeyIdx].Int()) {
-				continue
-			}
-			if spec.BuildBloom != nil {
-				spec.BuildBloom.AddHash(types.BloomHashKey(row[spec.BloomKeyIdx].Int()))
-			}
-			if err := yield(row); err != nil {
-				procErr = err
-				break
 			}
 		}
+		pool.Put(b)
 		if procErr != nil {
 			stopOnce.Do(func() { close(stop) })
 		}
@@ -180,16 +171,86 @@ func (c *Cluster) ScanFilter(spec ScanSpec, yield func(types.Row) error) error {
 	return rerr
 }
 
+// filterBatch applies the predicate, the database key filter and BF_H
+// construction to one batch, narrowing its selection in place. The Bloom
+// variants run as hash-batch kernels; other KeyFilters go row-at-a-time.
+func (c *Cluster) filterBatch(spec ScanSpec, b *batch.Batch, hashes *[]uint64, hits *[]bool) error {
+	if err := expr.FilterBatch(spec.Pred, b); err != nil {
+		return err
+	}
+	if spec.DBFilter != nil && b.Len() > 0 {
+		keys := b.Col(spec.BloomKeyIdx)
+		if bf, isBloom := spec.DBFilter.(BloomKeyFilter); isBloom {
+			hs := (*hashes)[:0]
+			_ = b.Each(func(i int) error {
+				hs = append(hs, types.BloomHashKey(keys[i].Int()))
+				return nil
+			})
+			*hashes = hs
+			*hits = bf.F.TestHashes(hs, (*hits)[:0])
+			j := 0
+			res := *hits
+			b.Filter(func(int) bool { ok := res[j]; j++; return ok })
+		} else {
+			b.Filter(func(i int) bool { return spec.DBFilter.TestKey(keys[i].Int()) })
+		}
+	}
+	if spec.BuildBloom != nil && b.Len() > 0 {
+		keys := b.Col(spec.BloomKeyIdx)
+		hs := (*hashes)[:0]
+		_ = b.Each(func(i int) error {
+			hs = append(hs, types.BloomHashKey(keys[i].Int()))
+			return nil
+		})
+		*hashes = hs
+		spec.BuildBloom.AddHashes(hs)
+	}
+	return nil
+}
+
+// ScanFilter is the row-at-a-time baseline over the batch scan: the shared
+// readers still decode columnar batches, but everything downstream runs per
+// row — each physical row is materialized, the predicate goes through
+// expr.EvalPred (one interface dispatch per tree node per row), and the key
+// filter and BF_H construction hash one key at a time. This reproduces the
+// seed's per-row pipeline for core.Config.RowAtATime and the
+// BenchmarkScanFilterJoin baseline. Counters are unaffected: the scan and
+// process counters charge physical rows before any filtering, and the
+// surviving row set is identical. Yielded rows are freshly materialized, so
+// callers may retain them (send buffers and hash tables do).
+func (c *Cluster) ScanFilter(spec ScanSpec, yield func(types.Row) error) error {
+	rowSpec := spec
+	rowSpec.Pred, rowSpec.DBFilter, rowSpec.BuildBloom = nil, nil, nil
+	return c.ScanFilterBatches(rowSpec, func(b *batch.Batch) error {
+		return b.Each(func(i int) error {
+			row := b.CloneRow(i)
+			if spec.Pred != nil {
+				ok, err := expr.EvalPred(spec.Pred, row)
+				if err != nil || !ok {
+					return err
+				}
+			}
+			if spec.DBFilter != nil && !spec.DBFilter.TestKey(row[spec.BloomKeyIdx].Int()) {
+				return nil
+			}
+			if spec.BuildBloom != nil {
+				spec.BuildBloom.AddHash(types.BloomHashKey(row[spec.BloomKeyIdx].Int()))
+			}
+			return yield(row)
+		})
+	})
+}
+
 // errScanStopped aborts a reader when the process stage has failed.
 var errScanStopped = fmt.Errorf("jen: scan stopped")
 
-func (c *Cluster) scanUnit(u WorkUnit, spec ScanSpec, yield func(types.Row) error) (format.ScanStats, error) {
+func (c *Cluster) scanUnitBatches(u WorkUnit, spec ScanSpec, pool *batch.Pool, yield func(*batch.Batch) error) (format.ScanStats, error) {
 	atNode := spec.Worker // worker i on DataNode i: local replicas short-circuit
 	src := c.Source(u.Path, atNode)
 	switch {
 	case u.Meta != nil:
-		return format.ScanHWC(src, u.Meta, u.Groups, spec.Proj, spec.Pruner, u.ChargeFooter, yield)
+		return format.ScanHWCBatches(src, u.Meta, u.Groups, spec.Proj, spec.Pruner, u.ChargeFooter, pool, yield)
 	default:
-		return format.ScanText(src, spec.Plan.Table.Schema, u.Start, u.End, spec.Proj, yield)
+		return format.ScanTextBatches(src, spec.Plan.Table.Schema, u.Start, u.End, spec.Proj, pool, yield)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"hybridwh/internal/lint/mutexguard"
 	"hybridwh/internal/lint/nondet"
 	"hybridwh/internal/lint/protocol"
+	"hybridwh/internal/lint/rowloop"
 )
 
 // Analyzers returns every hwlint analyzer, in reporting order.
@@ -24,6 +25,7 @@ func Analyzers() []*analysis.Analyzer {
 		protocol.Analyzer,
 		errwrap.Analyzer,
 		mutexguard.Analyzer,
+		rowloop.Analyzer,
 	}
 }
 
@@ -38,6 +40,15 @@ var deterministicPkgs = map[string]bool{
 	"hybridwh/internal/costmodel":   true,
 }
 
+// batchPlanePkgs are the packages whose data planes ship columnar batches;
+// only they are subject to the rowloop analyzer (the batcher internals are
+// exempted structurally, by receiver, inside the analyzer itself).
+var batchPlanePkgs = map[string]bool{
+	"hybridwh/internal/core": true,
+	"hybridwh/internal/jen":  true,
+	"hybridwh/internal/edw":  true,
+}
+
 // Applies reports whether an analyzer runs on a package.
 func Applies(a *analysis.Analyzer, pkg *load.Package) bool {
 	path := pkg.ImportPath
@@ -47,6 +58,8 @@ func Applies(a *analysis.Analyzer, pkg *load.Package) bool {
 	switch a.Name {
 	case "nondet":
 		return deterministicPkgs[path]
+	case "rowloop":
+		return batchPlanePkgs[path]
 	case "gohygiene":
 		// par is the abstraction bare goroutines should flow through, and
 		// the lint tree never spawns goroutines; everything else under

@@ -1,0 +1,12 @@
+package rowloop_test
+
+import (
+	"testing"
+
+	"hybridwh/internal/lint/analysistest"
+	"hybridwh/internal/lint/rowloop"
+)
+
+func TestRowloop(t *testing.T) {
+	analysistest.Run(t, "../testdata", rowloop.Analyzer, "rowloop")
+}

@@ -1,0 +1,66 @@
+// Package rowloop is golden testdata for the rowloop analyzer.
+package rowloop
+
+import "hybridwh/internal/types"
+
+// shipper mimics the core batcher: per-row entry points plus the
+// slice-granularity API built on top of them.
+type shipper struct{}
+
+func (s *shipper) send(dest string, row types.Row) error { return nil }
+
+func (s *shipper) broadcast(row types.Row) error {
+	for _, d := range []string{"a", "b"} {
+		if err := s.send(d, row); err != nil { // own-receiver internals: allowed
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *shipper) sendRows(dest string, rows []types.Row) error {
+	for _, r := range rows {
+		if err := s.send(dest, r); err != nil { // own-receiver internals: allowed
+			return err
+		}
+	}
+	return nil
+}
+
+func perRowLoop(s *shipper, rows []types.Row) error {
+	for _, r := range rows {
+		if err := s.send("d", r); err != nil { // want `per-row send in a loop or yield callback`
+			return err
+		}
+	}
+	return nil
+}
+
+func perRowCallback(s *shipper, scan func(yield func(row types.Row) error) error) error {
+	return scan(func(row types.Row) error {
+		return s.broadcast(row) // want `per-row broadcast in a loop or yield callback`
+	})
+}
+
+func wholeSlice(s *shipper, rows []types.Row) error {
+	return s.sendRows("d", rows) // slice granularity: allowed
+}
+
+func singleRow(s *shipper, row types.Row) error {
+	return s.send("d", row) // one-off send outside any loop: allowed
+}
+
+// intShipper sends something that is not a row; name alone must not trip
+// the analyzer.
+type intShipper struct{}
+
+func (intShipper) send(v int) error { return nil }
+
+func nonRowSend(s intShipper) error {
+	for i := 0; i < 3; i++ {
+		if err := s.send(i); err != nil { // no types.Row argument: allowed
+			return err
+		}
+	}
+	return nil
+}

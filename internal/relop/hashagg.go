@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"hybridwh/internal/batch"
 	"hybridwh/internal/expr"
 	"hybridwh/internal/types"
 )
@@ -60,26 +61,46 @@ func (a AggSpec) PartialWidth() int {
 // aggregation split (Figures 2–4, steps "partial aggregation" and "final
 // aggregation").
 //
+// Groups live in a hash map keyed by a 64-bit hash of the group values
+// (types.HashValues) with a collision chain per slot; chain entries compare
+// full group values, so hash collisions are correct, merely slower. The
+// per-row encode-to-string group key this replaces showed up as the top
+// aggregation cost: every input row paid one varint encoding and one string
+// allocation before the map lookup.
+//
 // Partial row layout: [groupValues..., state...] where state flattens each
 // aggregate's PartialWidth columns.
 type HashAgg struct {
 	groupBy []expr.Expr
 	aggs    []AggSpec
-	groups  map[string]*aggGroup
+	groups  map[uint64]*aggGroup // hash → collision chain head
+	n       int64
+
+	// Scratch buffers reused across Add/AddBatch calls.
+	keyScratch types.Row
+	inScratch  []types.Value
+	colScratch [][]types.Value
 }
 
 type aggGroup struct {
 	keys  types.Row
 	state []types.Value
+	next  *aggGroup // hash-collision chain
 }
 
 // NewHashAgg creates an aggregator.
 func NewHashAgg(groupBy []expr.Expr, aggs []AggSpec) *HashAgg {
-	return &HashAgg{groupBy: groupBy, aggs: aggs, groups: map[string]*aggGroup{}}
+	return &HashAgg{
+		groupBy:    groupBy,
+		aggs:       aggs,
+		groups:     map[uint64]*aggGroup{},
+		keyScratch: make(types.Row, len(groupBy)),
+		inScratch:  make([]types.Value, len(aggs)),
+	}
 }
 
 // NumGroups returns the current group count.
-func (h *HashAgg) NumGroups() int64 { return int64(len(h.groups)) }
+func (h *HashAgg) NumGroups() int64 { return h.n }
 
 func (h *HashAgg) stateWidth() int {
 	w := 0
@@ -89,60 +110,52 @@ func (h *HashAgg) stateWidth() int {
 	return w
 }
 
-func groupKey(keys types.Row) string {
-	var buf []byte
-	for _, v := range keys {
-		buf = types.AppendValue(buf, v)
+func keysEqual(a, b types.Row) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
 	}
-	return string(buf)
+	return true
 }
 
+// group finds or creates the chain entry for keys. keys may alias scratch
+// storage: it is cloned only when a new group is created.
 func (h *HashAgg) group(keys types.Row) *aggGroup {
-	k := groupKey(keys)
-	g, ok := h.groups[k]
-	if !ok {
-		g = &aggGroup{keys: keys.Clone(), state: make([]types.Value, h.stateWidth())}
-		s := 0
-		for _, a := range h.aggs {
-			switch a.Kind {
-			case AggCount:
-				g.state[s] = types.Int64(0)
-			case AggSum:
-				g.state[s] = types.Int64(0)
-			case AggAvg:
-				g.state[s] = types.Float64(0)
-				g.state[s+1] = types.Int64(0)
-			case AggMin, AggMax:
-				g.state[s] = types.Null
-			}
-			s += a.PartialWidth()
+	hk := types.HashValues(keys)
+	for g := h.groups[hk]; g != nil; g = g.next {
+		if keysEqual(g.keys, keys) {
+			return g
 		}
-		h.groups[k] = g
 	}
+	g := &aggGroup{keys: keys.Clone(), state: make([]types.Value, h.stateWidth())}
+	s := 0
+	for _, a := range h.aggs {
+		switch a.Kind {
+		case AggCount:
+			g.state[s] = types.Int64(0)
+		case AggSum:
+			g.state[s] = types.Int64(0)
+		case AggAvg:
+			g.state[s] = types.Float64(0)
+			g.state[s+1] = types.Int64(0)
+		case AggMin, AggMax:
+			g.state[s] = types.Null
+		}
+		s += a.PartialWidth()
+	}
+	g.next = h.groups[hk]
+	h.groups[hk] = g
+	h.n++
 	return g
 }
 
-// Add folds one input row into the aggregation.
-func (h *HashAgg) Add(row types.Row) error {
-	keys := make(types.Row, len(h.groupBy))
-	for i, e := range h.groupBy {
-		v, err := e.Eval(row)
-		if err != nil {
-			return fmt.Errorf("relop: group-by expr %d: %w", i, err)
-		}
-		keys[i] = v
-	}
-	g := h.group(keys)
+// fold accumulates one row's aggregate inputs (one value per AggSpec; the
+// entry for COUNT(*) is ignored) into a group's state.
+func (h *HashAgg) fold(g *aggGroup, ins []types.Value) {
 	s := 0
-	for _, a := range h.aggs {
-		var in types.Value
-		if a.Input != nil {
-			var err error
-			in, err = a.Input.Eval(row)
-			if err != nil {
-				return fmt.Errorf("relop: aggregate input: %w", err)
-			}
-		}
+	for ai, a := range h.aggs {
+		in := ins[ai]
 		switch a.Kind {
 		case AggCount:
 			if a.Input == nil || !in.IsNull() {
@@ -168,6 +181,84 @@ func (h *HashAgg) Add(row types.Row) error {
 		}
 		s += a.PartialWidth()
 	}
+}
+
+// Add folds one input row into the aggregation.
+func (h *HashAgg) Add(row types.Row) error {
+	keys := h.keyScratch
+	for i, e := range h.groupBy {
+		v, err := e.Eval(row)
+		if err != nil {
+			return fmt.Errorf("relop: group-by expr %d: %w", i, err)
+		}
+		keys[i] = v
+	}
+	ins := h.inScratch
+	for ai, a := range h.aggs {
+		ins[ai] = types.Null
+		if a.Input != nil {
+			var err error
+			ins[ai], err = a.Input.Eval(row)
+			if err != nil {
+				return fmt.Errorf("relop: aggregate input: %w", err)
+			}
+		}
+	}
+	h.fold(h.group(keys), ins)
+	return nil
+}
+
+// AddBatch folds every live row of b into the aggregation. Group-by and
+// aggregate-input expressions are evaluated once per batch as columns; the
+// per-row work is reduced to the hash-map fold.
+func (h *HashAgg) AddBatch(b *batch.Batch) error {
+	n := b.Len()
+	if n == 0 {
+		return nil
+	}
+	nk := len(h.groupBy)
+	want := nk + len(h.aggs)
+	if cap(h.colScratch) < want {
+		h.colScratch = make([][]types.Value, want)
+	}
+	cols := h.colScratch[:want]
+	// The scratch columns must stay non-nil: EvalBatchInto's nil-out mode
+	// may return a slice aliasing the batch's storage, which must not be
+	// retained (or appended into) across calls.
+	for i := range cols {
+		if cols[i] == nil {
+			cols[i] = make([]types.Value, 0, n)
+		}
+	}
+	var err error
+	for i, e := range h.groupBy {
+		if cols[i], err = expr.EvalBatchInto(e, b, cols[i][:0]); err != nil {
+			return fmt.Errorf("relop: group-by expr %d: %w", i, err)
+		}
+	}
+	for ai, a := range h.aggs {
+		cols[nk+ai] = cols[nk+ai][:0]
+		if a.Input == nil {
+			continue
+		}
+		if cols[nk+ai], err = expr.EvalBatchInto(a.Input, b, cols[nk+ai][:0]); err != nil {
+			return fmt.Errorf("relop: aggregate input: %w", err)
+		}
+	}
+	keys := h.keyScratch
+	ins := h.inScratch
+	for r := 0; r < n; r++ {
+		for i := 0; i < nk; i++ {
+			keys[i] = cols[i][r]
+		}
+		for ai := range h.aggs {
+			ins[ai] = types.Null
+			if c := cols[nk+ai]; len(c) > 0 {
+				ins[ai] = c[r]
+			}
+		}
+		h.fold(h.group(keys), ins)
+	}
 	return nil
 }
 
@@ -178,15 +269,24 @@ func addNumeric(acc, in types.Value) types.Value {
 	return types.Int64(acc.Int() + in.Int())
 }
 
+// eachGroup visits every group, in unspecified order.
+func (h *HashAgg) eachGroup(fn func(*aggGroup)) {
+	for _, g := range h.groups {
+		for ; g != nil; g = g.next {
+			fn(g)
+		}
+	}
+}
+
 // PartialRows extracts the partial state for shipping.
 func (h *HashAgg) PartialRows() []types.Row {
-	out := make([]types.Row, 0, len(h.groups))
-	for _, g := range h.groups {
+	out := make([]types.Row, 0, h.n)
+	h.eachGroup(func(g *aggGroup) {
 		row := make(types.Row, 0, len(g.keys)+len(g.state))
 		row = append(row, g.keys...)
 		row = append(row, g.state...)
 		out = append(out, row)
-	}
+	})
 	return out
 }
 
@@ -223,16 +323,27 @@ func (h *HashAgg) MergePartial(row types.Row) error {
 }
 
 // FinalRows extracts the finished groups: [groupValues..., aggOutputs...],
-// sorted by group key for deterministic output.
+// sorted by the encoded group key for deterministic output. The sort key is
+// the same value encoding the old string-keyed map used, so output order is
+// unchanged by the hashed group index.
 func (h *HashAgg) FinalRows() []types.Row {
-	keys := make([]string, 0, len(h.groups))
-	for k := range h.groups {
-		keys = append(keys, k)
+	type keyed struct {
+		k string
+		g *aggGroup
 	}
-	sort.Strings(keys)
-	out := make([]types.Row, 0, len(keys))
-	for _, k := range keys {
-		g := h.groups[k]
+	all := make([]keyed, 0, h.n)
+	var buf []byte
+	h.eachGroup(func(g *aggGroup) {
+		buf = buf[:0]
+		for _, v := range g.keys {
+			buf = types.AppendValue(buf, v)
+		}
+		all = append(all, keyed{k: string(buf), g: g})
+	})
+	sort.Slice(all, func(i, j int) bool { return all[i].k < all[j].k })
+	out := make([]types.Row, 0, len(all))
+	for _, kg := range all {
+		g := kg.g
 		row := make(types.Row, 0, len(g.keys)+len(h.aggs))
 		row = append(row, g.keys...)
 		s := 0

@@ -8,6 +8,7 @@ package relop
 import (
 	"fmt"
 
+	"hybridwh/internal/batch"
 	"hybridwh/internal/expr"
 	"hybridwh/internal/types"
 )
@@ -35,6 +36,31 @@ func (h *HashTable) Insert(row types.Row) error {
 	h.buckets[k] = append(h.buckets[k], row)
 	h.rows++
 	return nil
+}
+
+// InsertBatch adds every live row of b. Rows are materialized out of one
+// bulk value arena, so a batch insert costs two allocations instead of one
+// per row.
+func (h *HashTable) InsertBatch(b *batch.Batch) error {
+	ncols := b.NumCols()
+	if h.keyIdx >= ncols {
+		return fmt.Errorf("relop: join key column %d out of range (batch has %d)", h.keyIdx, ncols)
+	}
+	n := b.Len()
+	if n == 0 {
+		return nil
+	}
+	arena := make([]types.Value, n*ncols)
+	return b.Each(func(i int) error {
+		row := types.Row(arena[:ncols:ncols])
+		arena = arena[ncols:]
+		for j := 0; j < ncols; j++ {
+			row[j] = b.Col(j)[i]
+		}
+		h.buckets[row[h.keyIdx].Int()] = append(h.buckets[row[h.keyIdx].Int()], row)
+		h.rows++
+		return nil
+	})
 }
 
 // Probe returns the rows matching the key (nil if none).

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"hybridwh/internal/batch"
 	"hybridwh/internal/types"
 )
 
@@ -22,6 +23,9 @@ import (
 type JoinTable interface {
 	// Insert adds a build-side row.
 	Insert(row types.Row) error
+	// InsertBatch adds every live row of a batch. The batch is on loan: the
+	// table copies what it keeps.
+	InsertBatch(b *batch.Batch) error
 	// Len reports the inserted row count.
 	Len() int64
 	// FinishBuild seals the build side; Probe may be called after.
@@ -29,6 +33,10 @@ type JoinTable interface {
 	// Probe emits the build rows matching the probe row's key — possibly
 	// deferring spilled matches to Drain.
 	Probe(probeRow types.Row, probeKeyIdx int, emit func(buildRow, probeRow types.Row) error) error
+	// ProbeBatch probes every live row of a batch. The probe row passed to
+	// emit aliases scratch storage valid only for that call; spilled matches
+	// are deferred to Drain, exactly as with Probe.
+	ProbeBatch(b *batch.Batch, probeKeyIdx int, emit func(buildRow, probeRow types.Row) error) error
 	// Drain emits all deferred matches and releases resources.
 	Drain(emit func(buildRow, probeRow types.Row) error) error
 	// Close releases resources without draining (error paths).
@@ -45,6 +53,9 @@ func NewMemJoinTable(keyIdx int) *MemJoinTable {
 
 // Insert implements JoinTable.
 func (m *MemJoinTable) Insert(row types.Row) error { return m.H.Insert(row) }
+
+// InsertBatch implements JoinTable via the arena bulk insert.
+func (m *MemJoinTable) InsertBatch(b *batch.Batch) error { return m.H.InsertBatch(b) }
 
 // Len implements JoinTable.
 func (m *MemJoinTable) Len() int64 { return m.H.Len() }
@@ -63,6 +74,29 @@ func (m *MemJoinTable) Probe(probeRow types.Row, probeKeyIdx int, emit func(buil
 		}
 	}
 	return nil
+}
+
+// ProbeBatch implements JoinTable. The probe row is materialized into reused
+// scratch only when its bucket is non-empty, so misses cost one map lookup.
+func (m *MemJoinTable) ProbeBatch(b *batch.Batch, probeKeyIdx int, emit func(buildRow, probeRow types.Row) error) error {
+	if probeKeyIdx >= b.NumCols() {
+		return fmt.Errorf("relop: probe key column %d out of range", probeKeyIdx)
+	}
+	keys := b.Col(probeKeyIdx)
+	var scratch types.Row
+	return b.Each(func(i int) error {
+		bucket := m.H.Probe(keys[i].Int())
+		if len(bucket) == 0 {
+			return nil
+		}
+		scratch = b.RowAt(i, scratch)
+		for _, br := range bucket {
+			if err := emit(br, scratch); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 }
 
 // Drain implements JoinTable.
@@ -199,6 +233,14 @@ func (s *SpillingHashTable) Insert(row types.Row) error {
 	return s.spillBuild(row)
 }
 
+// InsertBatch implements JoinTable. Rows are cloned row-at-a-time: the
+// in-memory phase retains them, and the budget accounting is per row.
+func (s *SpillingHashTable) InsertBatch(b *batch.Batch) error {
+	return b.Each(func(i int) error {
+		return s.Insert(b.CloneRow(i))
+	})
+}
+
 func (s *SpillingHashTable) spillBuild(row types.Row) error {
 	sf, err := s.file(&s.buildFiles, "build", s.part(row[s.keyIdx].Int()))
 	if err != nil {
@@ -249,6 +291,17 @@ func (s *SpillingHashTable) Probe(probeRow types.Row, probeKeyIdx int, emit func
 	tagged = append(tagged, types.Int32(int32(probeKeyIdx)))
 	tagged = append(tagged, probeRow...)
 	return sf.writeRow(tagged)
+}
+
+// ProbeBatch implements JoinTable. Probe rows are materialized into reused
+// scratch; both the in-memory emit path and the spill path copy what they
+// keep (spill encodes to disk immediately), so reuse is safe.
+func (s *SpillingHashTable) ProbeBatch(b *batch.Batch, probeKeyIdx int, emit func(buildRow, probeRow types.Row) error) error {
+	var scratch types.Row
+	return b.Each(func(i int) error {
+		scratch = b.RowAt(i, scratch)
+		return s.Probe(scratch, probeKeyIdx, emit)
+	})
 }
 
 // Drain implements JoinTable: grace-join each spilled partition.

@@ -56,5 +56,20 @@ func BloomHashKey(k int64) uint64 { return splitmix64(uint64(k) ^ seedBloom) }
 // pseudo-random mapping (e.g. the data generator's key permutation).
 func Mix64(x uint64) uint64 { return splitmix64(x) }
 
+// seedGroup seeds the in-memory grouping hash family (aggregation group
+// keys), independent of the partition and Bloom families.
+const seedGroup uint64 = 0x6a09e667f3bcc909
+
+// HashValues chains the hashes of a multi-column key into one 64-bit hash.
+// It is used for in-memory hash maps only and never crosses the wire, so it
+// may change without affecting counters.
+func HashValues(vs []Value) uint64 {
+	h := seedGroup
+	for _, v := range vs {
+		h = splitmix64(h ^ hashValue(v, seedGroup))
+	}
+	return h
+}
+
 func floatBits(f float64) uint64     { return math.Float64bits(f) }
 func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }

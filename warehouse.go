@@ -82,6 +82,9 @@ type Config struct {
 	// BroadcastRelay switches the broadcast join to the §4.3 relay transfer
 	// scheme (each DB worker ships to one JEN worker, which relays).
 	BroadcastRelay bool
+	// RowAtATime reverts the JEN repartition pipeline to row-at-a-time
+	// execution (the pre-vectorization baseline; counters are identical).
+	RowAtATime bool
 }
 
 func (c Config) withDefaults() Config {
@@ -184,6 +187,7 @@ func Open(cfg Config) (*Warehouse, error) {
 		SpillBudgetBytes: cfg.SpillBudgetBytes,
 		SpillDir:         cfg.SpillDir,
 		BroadcastRelay:   cfg.BroadcastRelay,
+		RowAtATime:       cfg.RowAtATime,
 	})
 	if err != nil {
 		if cerr := bus.Close(); cerr != nil {
