@@ -24,9 +24,11 @@ lint:
 test:
 	$(GO) test ./...
 
-# The concurrency-heavy packages under the race detector.
+# The concurrency-heavy packages under the race detector; the short timeout
+# makes a reintroduced protocol hang (abort/fault-injection tests in core and
+# netsim) fail in minutes instead of the 10-minute default.
 race:
-	$(GO) test -race ./internal/netsim/ ./internal/par/ ./internal/jen/ ./internal/core/
+	$(GO) test -race -timeout=120s ./internal/netsim/ ./internal/par/ ./internal/jen/ ./internal/core/
 
 # Full sweep at one iteration, then the core scan→filter→shuffle→join
 # micro-benchmark at measurement length, recorded as BENCH_core.json (the

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"hybridwh/internal/hdfs"
+	"hybridwh/internal/netsim"
+)
+
+// The distributed abort protocol. A worker program that fails mid-query must
+// not leave its peers counting EOS markers that will never arrive: instead
+// of completing its streams with data + MsgEOS, it broadcasts MsgError on
+// them, and every receive loop treats an incoming MsgError as a terminal,
+// classified error. Teardown is belt-and-braces: the MsgError fails the
+// streams fast, and the per-query context (canceled by par.WithContext when
+// any program errors) unblocks receives on streams the failing worker never
+// reached. The no-failure path is untouched — MsgError is never sent and the
+// extra MsgError route never fires, so counters stay bit-identical.
+
+// ErrRemoteAbort classifies errors produced by an incoming MsgError: a peer
+// worker failed and aborted the stream. The failing worker's own error
+// classification (ErrNoLiveReplica, ErrEndpointDown, cancellation) travels
+// inside the MsgError payload and is re-wrapped on receipt, so errors.Is
+// sees the root cause at every worker and at the facade.
+var ErrRemoteAbort = errors.New("core: stream aborted by remote worker")
+
+// Abort payload: one kind byte classifying the root cause, then the error
+// text. The kind re-attaches the matching sentinel on the receiving side,
+// keeping errors.Is classification intact across the wire.
+const (
+	abortGeneric byte = iota
+	abortEndpointDown
+	abortNoLiveReplica
+	abortCanceled
+	abortDeadline
+)
+
+// encodeAbort builds a MsgError payload from the failing worker's error.
+func encodeAbort(err error) []byte {
+	kind := abortGeneric
+	switch {
+	case errors.Is(err, netsim.ErrEndpointDown):
+		kind = abortEndpointDown
+	case errors.Is(err, hdfs.ErrNoLiveReplica):
+		kind = abortNoLiveReplica
+	case errors.Is(err, context.DeadlineExceeded):
+		kind = abortDeadline
+	case errors.Is(err, context.Canceled):
+		kind = abortCanceled
+	}
+	msg := err.Error()
+	out := make([]byte, 0, 1+len(msg))
+	out = append(out, kind)
+	return append(out, msg...)
+}
+
+// decodeAbort turns a received MsgError envelope into the terminal error the
+// receive loop reports: wrapped in ErrRemoteAbort plus the root-cause
+// sentinel the payload carries.
+func decodeAbort(at, stream string, env netsim.Envelope) error {
+	kind, msg := abortGeneric, ""
+	if len(env.Payload) > 0 {
+		kind, msg = env.Payload[0], string(env.Payload[1:])
+	}
+	var cause error
+	switch kind {
+	case abortEndpointDown:
+		cause = netsim.ErrEndpointDown
+	case abortNoLiveReplica:
+		cause = hdfs.ErrNoLiveReplica
+	case abortDeadline:
+		cause = context.DeadlineExceeded
+	case abortCanceled:
+		cause = context.Canceled
+	}
+	if cause == nil {
+		return fmt.Errorf("core: %s stream %s: %w by %s: %s", at, stream, ErrRemoteAbort, env.From, msg)
+	}
+	return fmt.Errorf("core: %s stream %s: %w by %s: %s: %w", at, stream, ErrRemoteAbort, env.From, msg, cause)
+}
+
+// sendAbort broadcasts MsgError on a stream to every destination — the
+// failing sender's protocol obligation in place of its data + EOS. Send
+// failures are reported but secondary: a dead endpoint cannot abort its
+// streams, and the context teardown covers for it.
+func (e *Engine) sendAbort(from, stream string, cause error, dests []string) error {
+	payload := encodeAbort(cause)
+	var firstE error
+	for _, d := range dests {
+		if err := e.bus.Send(from, d, netsim.Msg{Type: netsim.MsgError, Stream: stream, Payload: payload}); err != nil && firstE == nil {
+			firstE = err
+		}
+	}
+	return firstE
+}
+
+// ctxAbort is what a receive loop returns when the per-query context is
+// canceled under it: the cancellation cause (the first failing program's
+// error, or the caller's Canceled/DeadlineExceeded), located at the waiting
+// endpoint.
+func ctxAbort(ctx context.Context, at, stream string) error {
+	return fmt.Errorf("core: %s recv %s: %w", at, stream, context.Cause(ctx))
+}
+
+// prog is the failure harness of one worker program: a program-scoped
+// context that the program aborts at its first terminal error. Receives
+// inside the program run under prog.ctx, so the moment the program fails —
+// even when its own endpoint is dead and MsgError cannot be broadcast — its
+// collective steps (shuffle receivers, filter fan-ins, aggregation fan-ins)
+// unblock immediately instead of waiting for stream completions that will
+// never come. The program then returns, which cancels the per-query context
+// and tears down its peers. Without this, a worker whose endpoint died could
+// deadlock the whole query: unable to send MsgError, unable to return
+// (blocked in its own receives), and therefore unable to trigger the
+// context teardown that every other blocked worker is waiting for.
+type prog struct {
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+	err    *error // the program's first-error slot; main goroutine only
+}
+
+// newProg derives the program context. Call release when the program ends.
+func newProg(ctx context.Context, runErr *error) *prog {
+	c, cancel := context.WithCancelCause(ctx)
+	return &prog{ctx: c, cancel: cancel, err: runErr}
+}
+
+// fail records err as the program's first error (like firstErr) and aborts
+// the program context. Call only from the program's main goroutine.
+func (p *prog) fail(err error) {
+	if err == nil {
+		return
+	}
+	if *p.err == nil {
+		*p.err = err
+	}
+	p.cancel(*p.err)
+}
+
+// bgFail aborts the program context without touching the first-error slot;
+// for background receiver goroutines, whose errors are collected by their
+// group's Wait on the main goroutine.
+func (p *prog) bgFail(err error) {
+	if err != nil {
+		p.cancel(err)
+	}
+}
+
+// release frees the program context's resources; defer it at program start.
+func (p *prog) release() { p.cancel(nil) }

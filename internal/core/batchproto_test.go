@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"reflect"
 	"testing"
@@ -50,7 +51,7 @@ func wideRow(i int) types.Row {
 func TestBatcherKeepsOtherBuffersOnSendError(t *testing.T) {
 	bus := &recordBus{failDest: "bad"}
 	e := testEngine(bus, 4)
-	b := e.newBatcher("src", "s", []string{"good", "bad"}, "", "", 0)
+	b := e.newBatcher(context.Background(), "src", "s", []string{"good", "bad"}, "", "", 0)
 
 	// Two rows buffer for "good" (below the flush threshold of 4)...
 	for i := 0; i < 2; i++ {
@@ -114,7 +115,7 @@ func TestBatchSendsMatchRowSends(t *testing.T) {
 	dests := []string{"d0", "d1", "d2"}
 
 	rowBus := &recordBus{}
-	rb := testEngine(rowBus, size).newBatcher("src", "s", dests, "", "", 0)
+	rb := testEngine(rowBus, size).newBatcher(context.Background(), "src", "s", dests, "", "", 0)
 	for _, r := range rows {
 		if err := rb.send(destOf(r[0].Int()), r); err != nil {
 			t.Fatal(err)
@@ -126,7 +127,7 @@ func TestBatchSendsMatchRowSends(t *testing.T) {
 
 	// The same rows as two batches, scattered by the same key.
 	batchBus := &recordBus{}
-	bb := testEngine(batchBus, size).newBatcher("src", "s", dests, "", "", 0)
+	bb := testEngine(batchBus, size).newBatcher(context.Background(), "src", "s", dests, "", "", 0)
 	for lo := 0; lo < len(rows); lo += 6 {
 		hi := lo + 6
 		if hi > len(rows) {
@@ -163,7 +164,7 @@ func TestBatchSendsMatchRowSends(t *testing.T) {
 func TestSendBatchHonorsSelectionAndProjection(t *testing.T) {
 	bus := &recordBus{}
 	e := testEngine(bus, 100)
-	b := e.newBatcher("src", "s", []string{"d"}, "", "", 0)
+	b := e.newBatcher(context.Background(), "src", "s", []string{"d"}, "", "", 0)
 	sb := batch.New(3, 8)
 	for i := 0; i < 8; i++ {
 		sb.AppendRow(types.Row{types.Int32(int32(i)), types.String(fmt.Sprintf("s%d", i)), types.Int64(int64(100 + i))})

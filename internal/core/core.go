@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -202,8 +203,20 @@ type Result struct {
 // Run executes the query with the chosen algorithm and returns the result
 // at the database side.
 func (e *Engine) Run(q *plan.JoinQuery, alg Algorithm) (*Result, error) {
+	return e.RunCtx(context.Background(), q, alg)
+}
+
+// RunCtx is Run under a caller-supplied context: canceling ctx (or its
+// deadline expiring) aborts the query — every worker program unwinds, the
+// wire protocol is torn down, and the cancellation cause comes back wrapped
+// in the returned error (errors.Is sees context.Canceled or
+// context.DeadlineExceeded).
+func (e *Engine) RunCtx(ctx context.Context, q *plan.JoinQuery, alg Algorithm) (*Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: query not started: %w", err)
 	}
 	qs := fmt.Sprintf("q%d/", e.qid.Add(1))
 	var (
@@ -212,20 +225,20 @@ func (e *Engine) Run(q *plan.JoinQuery, alg Algorithm) (*Result, error) {
 	)
 	switch alg {
 	case DBSide, DBSideBloom:
-		res, err = e.runDBSide(qs, q, alg == DBSideBloom)
+		res, err = e.runDBSide(ctx, qs, q, alg == DBSideBloom)
 	case Broadcast:
-		res, err = e.runBroadcast(qs, q)
+		res, err = e.runBroadcast(ctx, qs, q)
 	case Repartition, RepartitionBloom, Zigzag:
-		res, err = e.runHDFSSide(qs, q, alg)
+		res, err = e.runHDFSSide(ctx, qs, q, alg)
 	case SemiJoin:
-		res, err = e.runSemiJoin(qs, q)
+		res, err = e.runSemiJoin(ctx, qs, q)
 	case ZigzagDBVariant:
-		res, err = e.runZigzagDB(qs, q)
+		res, err = e.runZigzagDB(ctx, qs, q)
 	default:
 		return nil, fmt.Errorf("core: unknown algorithm %d", alg)
 	}
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: %s query aborted: %w", alg, err)
 	}
 	res.Algorithm = alg
 	res.Schema = q.OutputSchema

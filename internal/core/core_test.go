@@ -25,6 +25,7 @@ import (
 
 type fixture struct {
 	eng   *Engine
+	dfs   *hdfs.Cluster
 	tRows []types.Row
 	lRows []types.Row
 	tSch  types.Schema
@@ -119,7 +120,7 @@ func buildFixture(t testing.TB, bus netsim.Bus, dbWorkers, jenWorkers, tN, lN in
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &fixture{eng: eng, tRows: tRows, lRows: lRows, tSch: tSchema(), lSch: lSchema()}
+	return &fixture{eng: eng, dfs: dfs, tRows: tRows, lRows: lRows, tSch: tSchema(), lSch: lSchema()}
 }
 
 // exampleQuery is the paper's query shape: local predicates both sides,

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"hybridwh/internal/batch"
 	"hybridwh/internal/bloom"
 	"hybridwh/internal/cluster"
@@ -20,7 +22,7 @@ import (
 // the final join strategy (broadcast either side or repartition both), which
 // may reshuffle the ingested HDFS rows again because the database's
 // partitioning function is opaque to JEN (Section 4.3).
-func (e *Engine) runDBSide(qs string, q *plan.JoinQuery, useBF bool) (*Result, error) {
+func (e *Engine) runDBSide(ctx context.Context, qs string, q *plan.JoinQuery, useBF bool) (*Result, error) {
 	n, m := e.jen.Workers(), e.db.Workers()
 	tbl, err := e.db.Table(q.DBTable)
 	if err != nil {
@@ -72,17 +74,17 @@ func (e *Engine) runDBSide(qs string, q *plan.JoinQuery, useBF bool) (*Result, e
 	}
 	strategy := edw.ChooseJoinStrategy(estT, estL, m)
 
-	var g par.Group
+	g, ctx := par.WithContext(ctx)
 	var resultRows []types.Row
 
 	for w := 0; w < n; w++ {
 		w := w
-		g.Go(func() error { return e.jenIngestProgram(qs, q, scanPlan, w, jenToDB[w], useBF) })
+		g.Go(func() error { return e.jenIngestProgram(ctx, qs, q, scanPlan, w, jenToDB[w], useBF) })
 	}
 	for i := 0; i < m; i++ {
 		i := i
 		g.Go(func() error {
-			rows, err := e.dbJoinProgram(qs, q, tbl, accessPlan, strategy, i, m, groupSize[i], nil)
+			rows, err := e.dbJoinProgram(ctx, qs, q, tbl, accessPlan, strategy, i, m, groupSize[i], nil)
 			if i == 0 {
 				resultRows = rows
 			}
@@ -97,17 +99,17 @@ func (e *Engine) runDBSide(qs string, q *plan.JoinQuery, useBF bool) (*Result, e
 
 // jenIngestProgram is a JEN worker's role in the DB-side join: scan, filter,
 // project, apply BF_DB, and stream the surviving batches to its DB worker.
-func (e *Engine) jenIngestProgram(qs string, q *plan.JoinQuery, scanPlan *jen.ScanPlan, w, dbWorker int, useBF bool) error {
+func (e *Engine) jenIngestProgram(ctx context.Context, qs string, q *plan.JoinQuery, scanPlan *jen.ScanPlan, w, dbWorker int, useBF bool) error {
 	me := jenName(w)
 	var runErr error
 	var bfdb *bloom.Filter
 	if useBF {
-		f, err := e.recvBloom(me, qs+"bfdb", 1)
+		f, err := e.recvBloom(ctx, me, qs+"bfdb", 1)
 		firstErr(&runErr, err)
 		bfdb = f
 	}
 	dest := dbName(dbWorker)
-	b := e.newBatcher(me, qs+"ingest", []string{dest}, metrics.HDFSSentTuples, metrics.HDFSSentBytes, w)
+	b := e.newBatcher(ctx, me, qs+"ingest", []string{dest}, metrics.HDFSSentTuples, metrics.HDFSSentBytes, w)
 	scanKey := q.HDFSWire[q.HDFSWireKey]
 	if runErr == nil {
 		err := e.jen.ScanFilterBatches(jen.ScanSpec{
@@ -119,7 +121,7 @@ func (e *Engine) jenIngestProgram(qs string, q *plan.JoinQuery, scanPlan *jen.Sc
 		})
 		firstErr(&runErr, err)
 	}
-	firstErr(&runErr, b.Close())
+	firstErr(&runErr, b.CloseWith(runErr))
 	return runErr
 }
 
@@ -127,20 +129,25 @@ func (e *Engine) jenIngestProgram(qs string, q *plan.JoinQuery, scanPlan *jen.Sc
 // completes the wire protocol (EOS to every peer) before reporting errors.
 // bfh, when set, further prunes the local T' (the dismissed DB-side zigzag
 // variant); the plain DB-side joins pass nil.
-func (e *Engine) dbJoinProgram(qs string, q *plan.JoinQuery, tbl *edw.Table, ap edw.AccessPlan, strategy edw.JoinStrategy, i, m, ingestSenders int, bfh *bloom.Filter) ([]types.Row, error) {
+func (e *Engine) dbJoinProgram(ctx context.Context, qs string, q *plan.JoinQuery, tbl *edw.Table, ap edw.AccessPlan, strategy edw.JoinStrategy, i, m, ingestSenders int, bfh *bloom.Filter) ([]types.Row, error) {
 	me := dbName(i)
 	var runErr error
+	pr := newProg(ctx, &runErr)
+	defer pr.release()
+	ctx = pr.ctx
 
 	// Local T' first. It is materialized: depending on the strategy it is
 	// inserted locally, reshuffled or broadcast, and the zigzag variant
 	// prunes it with BF_H before any of that.
 	tw, err := e.db.FilterProject(tbl, i, ap, q.DBProj)
-	firstErr(&runErr, err)
+	pr.fail(err)
 	if err == nil && bfh != nil {
 		tw, _ = e.db.ApplyBloom(tw, q.DBWireKey, bfh)
 	}
 
-	// Background receivers registered before anything is sent.
+	// Background receivers registered before anything is sent. Their errors
+	// abort the program context (bgFail), so a failed receiver also unblocks
+	// its sibling and the ingest loop below.
 	ht := relop.NewHashTable(q.DBWireKey)
 	var lbatches []*batch.Batch
 	var probeTuples int64
@@ -150,13 +157,15 @@ func (e *Engine) dbJoinProgram(qs string, q *plan.JoinQuery, tbl *edw.Table, ap 
 	case edw.RepartitionBoth, edw.BroadcastDB:
 		// The hash table holds T' rows arriving on the treshuf stream.
 		bg.Go(func() error {
-			return e.recvBatches(me, qs+"treshuf", m, func(b *batch.Batch) error { return ht.InsertBatch(b) })
+			err := e.recvBatches(ctx, me, qs+"treshuf", m, func(b *batch.Batch) error { return ht.InsertBatch(b) })
+			pr.bgFail(err)
+			return err
 		})
 	case edw.BroadcastIngested:
 		// The hash table is the local T' partition; no T reshuffle.
 		for _, r := range tw {
 			if err := ht.Insert(r); err != nil {
-				firstErr(&runErr, err)
+				pr.fail(err)
 				break
 			}
 		}
@@ -165,8 +174,9 @@ func (e *Engine) dbJoinProgram(qs string, q *plan.JoinQuery, tbl *edw.Table, ap 
 	case edw.RepartitionBoth, edw.BroadcastIngested:
 		// HDFS batches arrive reshuffled/broadcast on lreshuf.
 		bg.Go(func() error {
-			bs, tuples, err := e.collectBatches(me, qs+"lreshuf", m)
+			bs, tuples, err := e.collectBatches(ctx, me, qs+"lreshuf", m)
 			lbatches, probeTuples = bs, tuples
+			pr.bgFail(err)
 			return err
 		})
 	}
@@ -174,54 +184,54 @@ func (e *Engine) dbJoinProgram(qs string, q *plan.JoinQuery, tbl *edw.Table, ap 
 	// Ship T' per strategy.
 	switch strategy {
 	case edw.RepartitionBoth:
-		tb := e.newBatcher(me, qs+"treshuf", e.dbNames(), metrics.DBReshuffleTuples, metrics.DBReshuffleBytes, i)
+		tb := e.newBatcher(ctx, me, qs+"treshuf", e.dbNames(), metrics.DBReshuffleTuples, metrics.DBReshuffleBytes, i)
 		if runErr == nil {
-			firstErr(&runErr, tb.scatterRows(tw, q.DBWireKey, func(key int64) string {
+			pr.fail(tb.scatterRows(tw, q.DBWireKey, func(key int64) string {
 				return dbName(cluster.PartitionFor(key, m))
 			}))
 		}
-		firstErr(&runErr, tb.Close())
+		pr.fail(tb.CloseWith(runErr))
 	case edw.BroadcastDB:
-		tb := e.newBatcher(me, qs+"treshuf", e.dbNames(), metrics.DBReshuffleTuples, metrics.DBReshuffleBytes, i)
+		tb := e.newBatcher(ctx, me, qs+"treshuf", e.dbNames(), metrics.DBReshuffleTuples, metrics.DBReshuffleBytes, i)
 		if runErr == nil {
-			firstErr(&runErr, tb.broadcastRows(tw))
+			pr.fail(tb.broadcastRows(tw))
 		}
-		firstErr(&runErr, tb.Close())
+		pr.fail(tb.CloseWith(runErr))
 	}
 
 	// Ingest the HDFS stream from this worker's JEN group, forwarding per
 	// strategy; pipelined — batches are forwarded as they arrive.
 	switch strategy {
 	case edw.RepartitionBoth:
-		lb := e.newBatcher(me, qs+"lreshuf", e.dbNames(), metrics.DBIngestTuples, metrics.DBIngestBytes, i)
-		err := e.recvBatches(me, qs+"ingest", ingestSenders, func(b *batch.Batch) error {
+		lb := e.newBatcher(ctx, me, qs+"lreshuf", e.dbNames(), metrics.DBIngestTuples, metrics.DBIngestBytes, i)
+		err := e.recvBatches(ctx, me, qs+"ingest", ingestSenders, func(b *batch.Batch) error {
 			return lb.scatterBatch(b, nil, q.HDFSWireKey, func(key int64) string {
 				return dbName(cluster.PartitionFor(key, m))
 			})
 		})
-		firstErr(&runErr, err)
-		firstErr(&runErr, lb.Close())
+		pr.fail(err)
+		pr.fail(lb.CloseWith(runErr))
 	case edw.BroadcastIngested:
 		// Each ingested row is counted once even though it is replicated
 		// to every worker (the bus and byte counter see every copy).
-		lb := e.newBatcher(me, qs+"lreshuf", e.dbNames(), "", metrics.DBIngestBytes, i)
+		lb := e.newBatcher(ctx, me, qs+"lreshuf", e.dbNames(), "", metrics.DBIngestBytes, i)
 		var ingested int64
-		err := e.recvBatches(me, qs+"ingest", ingestSenders, func(b *batch.Batch) error {
+		err := e.recvBatches(ctx, me, qs+"ingest", ingestSenders, func(b *batch.Batch) error {
 			ingested += int64(b.Len())
 			return lb.broadcastBatch(b, nil)
 		})
-		firstErr(&runErr, err)
-		firstErr(&runErr, lb.Close())
+		pr.fail(err)
+		pr.fail(lb.CloseWith(runErr))
 		e.rec.AddAt(metrics.DBIngestTuples, i, ingested)
 	case edw.BroadcastDB:
 		// No forwarding: buffer the ingested batches locally.
-		bs, tuples, err := e.collectBatches(me, qs+"ingest", ingestSenders)
+		bs, tuples, err := e.collectBatches(ctx, me, qs+"ingest", ingestSenders)
 		lbatches, probeTuples = bs, tuples
-		firstErr(&runErr, err)
+		pr.fail(err)
 		e.rec.AddAt(metrics.DBIngestTuples, i, tuples)
 	}
 
-	firstErr(&runErr, bg.Wait())
+	pr.fail(bg.Wait())
 	e.rec.AddAt(metrics.JoinBuildTuples, i, ht.Len())
 	e.rec.AddAt(metrics.JoinProbeTuples, i, probeTuples)
 
@@ -248,29 +258,29 @@ func (e *Engine) dbJoinProgram(qs string, q *plan.JoinQuery, tbl *edw.Table, ap 
 				return nil
 			})
 			if err != nil {
-				firstErr(&runErr, err)
+				pr.fail(err)
 				break
 			}
 		}
-		firstErr(&runErr, cmb.flush())
+		pr.fail(cmb.flush())
 		e.rec.Add(metrics.JoinOutputTuples, cmb.output)
 	}
 
 	// Partial aggregates converge on db/0, which produces the result.
-	pb := e.newBatcher(me, qs+"partial", []string{dbName(0)}, "", "", i)
+	pb := e.newBatcher(ctx, me, qs+"partial", []string{dbName(0)}, "", "", i)
 	if runErr == nil {
-		firstErr(&runErr, pb.sendRows(dbName(0), agg.PartialRows()))
+		pr.fail(pb.sendRows(dbName(0), agg.PartialRows()))
 	}
-	firstErr(&runErr, pb.Close())
+	pr.fail(pb.CloseWith(runErr))
 
 	if i != 0 {
 		return nil, runErr
 	}
 	final := relop.NewHashAgg(q.GroupBy, q.Aggs)
-	err = e.recvRows(me, qs+"partial", m, func(r types.Row) error {
+	err = e.recvRows(ctx, me, qs+"partial", m, func(r types.Row) error {
 		return final.MergePartial(r)
 	})
-	firstErr(&runErr, err)
+	pr.fail(err)
 	rows := final.FinalRows()
 	e.rec.Add(metrics.AggGroups, int64(len(rows)))
 	return rows, runErr

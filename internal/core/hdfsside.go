@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 
 	"hybridwh/internal/batch"
@@ -29,7 +30,7 @@ func firstErr(dst *error, err error) {
 // runHDFSSide executes the repartition join (± Bloom filter) and the zigzag
 // join: the final join happens on the HDFS side, with both systems routing
 // rows by the agreed hash function (Figures 3 and 4).
-func (e *Engine) runHDFSSide(qs string, q *plan.JoinQuery, alg Algorithm) (*Result, error) {
+func (e *Engine) runHDFSSide(ctx context.Context, qs string, q *plan.JoinQuery, alg Algorithm) (*Result, error) {
 	useBF := alg == RepartitionBloom || alg == Zigzag
 	zig := alg == Zigzag
 	n, m := e.jen.Workers(), e.db.Workers()
@@ -57,24 +58,24 @@ func (e *Engine) runHDFSSide(qs string, q *plan.JoinQuery, alg Algorithm) (*Resu
 		}
 	}
 
-	var g par.Group
+	g, ctx := par.WithContext(ctx)
 	var resultRows []types.Row
 
 	// The designated JEN worker returns the final aggregate to one DB node
 	// (step 9 of Figure 4).
 	g.Go(func() error {
-		rows, err := e.collectRows(dbName(0), qs+"final", 1)
+		rows, err := e.collectRows(ctx, dbName(0), qs+"final", 1)
 		resultRows = rows
 		return err
 	})
 
 	for i := 0; i < m; i++ {
 		i := i
-		g.Go(func() error { return e.dbShipProgram(qs, q, tbl, accessPlan, i, n, zig) })
+		g.Go(func() error { return e.dbShipProgram(ctx, qs, q, tbl, accessPlan, i, n, zig) })
 	}
 	for w := 0; w < n; w++ {
 		w := w
-		g.Go(func() error { return e.jenRepartitionProgram(qs, q, scanPlan, w, n, m, useBF, zig) })
+		g.Go(func() error { return e.jenRepartitionProgram(ctx, qs, q, scanPlan, w, n, m, useBF, zig) })
 	}
 	if err := g.Wait(); err != nil {
 		return nil, err
@@ -86,59 +87,62 @@ func (e *Engine) runHDFSSide(qs string, q *plan.JoinQuery, alg Algorithm) (*Resu
 // filter and project T locally, optionally wait for BF_H and apply it
 // (zigzag steps 4–5), then route T' rows directly to the JEN workers that
 // will join them (step 6), using the agreed hash function.
-func (e *Engine) dbShipProgram(qs string, q *plan.JoinQuery, tbl *edw.Table, ap edw.AccessPlan, i, n int, zig bool) error {
+func (e *Engine) dbShipProgram(ctx context.Context, qs string, q *plan.JoinQuery, tbl *edw.Table, ap edw.AccessPlan, i, n int, zig bool) error {
+	var runErr error
+	pr := newProg(ctx, &runErr)
+	defer pr.release()
+	ctx = pr.ctx
 	destOf := func(key int64) string { return jenName(cluster.PartitionFor(key, n)) }
-	b := e.newBatcher(dbName(i), qs+"dbrows", e.jenNames(), metrics.DBSentTuples, metrics.DBSentBytes, i)
+	b := e.newBatcher(ctx, dbName(i), qs+"dbrows", e.jenNames(), metrics.DBSentTuples, metrics.DBSentBytes, i)
 
 	if !zig {
 		if e.cfg.RowAtATime {
 			// Seed baseline: materialize T' with the per-row filter/project
 			// and ship it row by row. Same rows, same counters.
 			tw, err := e.db.FilterProject(tbl, i, ap, q.DBProj)
-			var sendErr error
-			if err == nil {
-				sendErr = b.scatterRows(tw, q.DBWireKey, destOf)
+			pr.fail(err)
+			if runErr == nil {
+				pr.fail(b.scatterRows(tw, q.DBWireKey, destOf))
 			}
-			firstErr(&sendErr, b.Close())
-			firstErr(&err, sendErr)
-			return err
+		} else {
+			// No Bloom filter to wait for: T' streams out batch-at-a-time as
+			// the partition scan produces it.
+			pr.fail(e.db.FilterProjectBatches(tbl, i, ap, q.DBProj, e.cfg.BatchRows, func(fb *batch.Batch) error {
+				return b.scatterBatch(fb, nil, q.DBWireKey, destOf)
+			}))
 		}
-		// No Bloom filter to wait for: T' streams out batch-at-a-time as the
-		// partition scan produces it.
-		err := e.db.FilterProjectBatches(tbl, i, ap, q.DBProj, e.cfg.BatchRows, func(fb *batch.Batch) error {
-			return b.scatterBatch(fb, nil, q.DBWireKey, destOf)
-		})
-		firstErr(&err, b.Close())
-		return err
+		pr.fail(b.CloseWith(runErr))
+		return runErr
 	}
 
 	// Zigzag: T' must be materialized — BF_H arrives only after the whole
 	// HDFS scan completes, and it prunes what is shipped (steps 4–5).
 	tw, err := e.db.FilterProject(tbl, i, ap, q.DBProj)
 	if err != nil {
-		// Protocol obligation: JEN workers still expect this worker's EOS,
-		// and the BF_H receive must be drained so nothing blocks.
-		firstErr(&err, b.Close())
-		if _, berr := e.recvBloom(dbName(i), qs+"bfh", 1); berr != nil {
-			firstErr(&err, berr)
+		// Protocol obligation: JEN workers expecting this worker's stream
+		// must learn of the failure, and the BF_H receive must be drained —
+		// under the aborted program context, so it cannot block even when
+		// the filter will never arrive.
+		pr.fail(err)
+		pr.fail(b.CloseWith(runErr))
+		if _, berr := e.recvBloom(ctx, dbName(i), qs+"bfh", 1); berr != nil {
+			pr.fail(berr)
 		}
-		return err
+		return runErr
 	}
-	bfh, berr := e.recvBloom(dbName(i), qs+"bfh", 1)
+	bfh, berr := e.recvBloom(ctx, dbName(i), qs+"bfh", 1)
 	if berr != nil {
-		firstErr(&err, berr)
+		pr.fail(berr)
 	} else {
 		// The optimizer decides whether T' was worth materializing; in
 		// either case BF_H prunes what is shipped (zigzag step 5).
 		tw, _ = e.db.ApplyBloom(tw, q.DBWireKey, bfh)
 	}
-	var sendErr error
-	if err == nil {
-		sendErr = b.scatterRows(tw, q.DBWireKey, destOf)
+	if runErr == nil {
+		pr.fail(b.scatterRows(tw, q.DBWireKey, destOf))
 	}
-	firstErr(&sendErr, b.Close())
-	firstErr(&err, sendErr)
-	return err
+	pr.fail(b.CloseWith(runErr))
+	return runErr
 }
 
 // jenRepartitionProgram is one JEN worker's side of the repartition/zigzag
@@ -147,16 +151,19 @@ func (e *Engine) dbShipProgram(qs string, q *plan.JoinQuery, tbl *edw.Table, ap 
 // buffering database rows in the background, then probe, partially
 // aggregate, and participate in the global aggregation. The pipeline runs
 // batch-at-a-time unless Config.RowAtATime reverts it to the seed baseline.
-func (e *Engine) jenRepartitionProgram(qs string, q *plan.JoinQuery, scanPlan *jen.ScanPlan, w, n, m int, useBF, zig bool) error {
+func (e *Engine) jenRepartitionProgram(ctx context.Context, qs string, q *plan.JoinQuery, scanPlan *jen.ScanPlan, w, n, m int, useBF, zig bool) error {
 	me := jenName(w)
 	rowMode := e.cfg.RowAtATime
 	var runErr error
+	pr := newProg(ctx, &runErr)
+	defer pr.release()
+	ctx = pr.ctx
 
 	// Blocking: wait for the database Bloom filter (zigzag step 2).
 	var bfdb *bloom.Filter
 	if useBF {
-		f, err := e.recvBloom(me, qs+"bfdb", 1)
-		firstErr(&runErr, err)
+		f, err := e.recvBloom(ctx, me, qs+"bfdb", 1)
+		pr.fail(err)
 		bfdb = f
 	}
 
@@ -167,31 +174,40 @@ func (e *Engine) jenRepartitionProgram(qs string, q *plan.JoinQuery, scanPlan *j
 	// instead of growing without bound.
 	ht, err := e.newJoinTable(q.HDFSWireKey)
 	if err != nil {
-		firstErr(&runErr, err)
+		pr.fail(err)
 		ht = relop.NewMemJoinTable(q.HDFSWireKey)
 	}
 	defer ht.Close()
 	var dbRows []types.Row
 	var dbBatches []*batch.Batch
 	var probeTuples int64
+	// Receiver errors abort the program context (bgFail): if one receiver
+	// hits an incoming MsgError, its sibling and the rest of the program must
+	// not keep waiting for streams a dead peer will never finish.
 	var bg par.Group
 	if rowMode {
 		bg.Go(func() error {
-			return e.recvRows(me, qs+"shuffle", n, func(r types.Row) error { return ht.Insert(r) })
+			err := e.recvRows(ctx, me, qs+"shuffle", n, func(r types.Row) error { return ht.Insert(r) })
+			pr.bgFail(err)
+			return err
 		})
 		bg.Go(func() error {
-			rows, err := e.collectRows(me, qs+"dbrows", m)
+			rows, err := e.collectRows(ctx, me, qs+"dbrows", m)
 			dbRows = rows
 			probeTuples = int64(len(rows))
+			pr.bgFail(err)
 			return err
 		})
 	} else {
 		bg.Go(func() error {
-			return e.recvBatches(me, qs+"shuffle", n, func(b *batch.Batch) error { return ht.InsertBatch(b) })
+			err := e.recvBatches(ctx, me, qs+"shuffle", n, func(b *batch.Batch) error { return ht.InsertBatch(b) })
+			pr.bgFail(err)
+			return err
 		})
 		bg.Go(func() error {
-			bs, tuples, err := e.collectBatches(me, qs+"dbrows", m)
+			bs, tuples, err := e.collectBatches(ctx, me, qs+"dbrows", m)
 			dbBatches, probeTuples = bs, tuples
+			pr.bgFail(err)
 			return err
 		})
 	}
@@ -201,7 +217,7 @@ func (e *Engine) jenRepartitionProgram(qs string, q *plan.JoinQuery, scanPlan *j
 	if zig {
 		bfh = bloom.New(e.cfg.BloomBits, e.cfg.BloomHashes)
 	}
-	b := e.newBatcher(me, qs+"shuffle", e.jenNames(), metrics.JENShuffleTuples, metrics.JENShuffleBytes, w)
+	b := e.newBatcher(ctx, me, qs+"shuffle", e.jenNames(), metrics.JENShuffleTuples, metrics.JENShuffleBytes, w)
 	scanKey := q.HDFSWire[q.HDFSWireKey]
 	destOf := func(key int64) string { return jenName(cluster.PartitionFor(key, n)) }
 	spec := jen.ScanSpec{
@@ -222,28 +238,31 @@ func (e *Engine) jenRepartitionProgram(qs string, q *plan.JoinQuery, scanPlan *j
 				return b.scatterBatch(sb, q.HDFSWire, scanKey, destOf)
 			})
 		}
-		firstErr(&runErr, err)
+		pr.fail(err)
 	}
-	firstErr(&runErr, b.Close())
+	pr.fail(b.CloseWith(runErr))
 
 	// Zigzag steps 3b–4: local BF_H to the designated worker; the
 	// designated worker unions them and broadcasts BF_H to the database.
+	// The (possibly partial) filter is sent even on the error path so the
+	// fan-in completes; the query's failure travels via MsgError and the
+	// context.
 	desig := e.jen.DesignatedWorker()
 	if zig {
-		firstErr(&runErr, e.sendBloom(me, qs+"bfhlocal", bfh, []string{jenName(desig)}))
+		pr.fail(e.sendBloom(me, qs+"bfhlocal", bfh, []string{jenName(desig)}))
 		if w == desig {
-			global, err := e.recvBloom(me, qs+"bfhlocal", n)
-			firstErr(&runErr, err)
+			global, err := e.recvBloom(ctx, me, qs+"bfhlocal", n)
+			pr.fail(err)
 			if global == nil {
 				global = bloom.New(e.cfg.BloomBits, e.cfg.BloomHashes)
 			}
-			firstErr(&runErr, e.sendBloom(me, qs+"bfh", global, e.dbNames()))
+			pr.fail(e.sendBloom(me, qs+"bfh", global, e.dbNames()))
 		}
 	}
 
 	// Wait for the hash table and the buffered database rows.
-	firstErr(&runErr, bg.Wait())
-	firstErr(&runErr, ht.FinishBuild())
+	pr.fail(bg.Wait())
+	pr.fail(ht.FinishBuild())
 	e.rec.AddAt(metrics.JoinBuildTuples, w, ht.Len())
 	e.rec.AddAt(metrics.JoinProbeTuples, w, probeTuples)
 
@@ -251,13 +270,13 @@ func (e *Engine) jenRepartitionProgram(qs string, q *plan.JoinQuery, scanPlan *j
 	agg := relop.NewHashAgg(q.GroupBy, q.Aggs)
 	if runErr == nil {
 		if rowMode {
-			firstErr(&runErr, e.probeAndAggregate(ht, dbRows, q, agg, w))
+			pr.fail(e.probeAndAggregate(ht, dbRows, q, agg, w))
 		} else {
-			firstErr(&runErr, e.probeAndAggregateBatches(ht, dbBatches, q, agg))
+			pr.fail(e.probeAndAggregateBatches(ht, dbBatches, q, agg))
 		}
 	}
 
-	return e.finishHDFSAggregation(qs, q, agg, w, n, runErr)
+	return e.finishHDFSAggregation(ctx, qs, q, agg, w, n, runErr)
 }
 
 // newJoinTable builds the HDFS-side join table per the spill configuration.
@@ -361,27 +380,34 @@ func (e *Engine) probeAndAggregateBatches(ht relop.JoinTable, probes []*batch.Ba
 // designated worker; the designated worker merges all partials and sends the
 // final rows to a single DB node (steps 7–9 of Figures 2–4). It always
 // completes the protocol, then reports runErr.
-func (e *Engine) finishHDFSAggregation(qs string, q *plan.JoinQuery, agg *relop.HashAgg, w, n int, runErr error) error {
+func (e *Engine) finishHDFSAggregation(ctx context.Context, qs string, q *plan.JoinQuery, agg *relop.HashAgg, w, n int, runErr error) error {
+	// A worker that arrives here already failing must not block in the
+	// aggregation fan-in waiting for partials that will never come: the
+	// program context is aborted up front, so the receives below fail fast
+	// while MsgError and the per-query teardown reach the peers.
+	pr := newProg(ctx, &runErr)
+	defer pr.release()
+	ctx = pr.ctx
+	pr.fail(runErr)
 	desig := e.jen.DesignatedWorker()
-	pb := e.newBatcher(jenName(w), qs+"partial", []string{jenName(desig)}, "", "", w)
+	pb := e.newBatcher(ctx, jenName(w), qs+"partial", []string{jenName(desig)}, "", "", w)
 	if runErr == nil {
-		firstErr(&runErr, pb.sendRows(jenName(desig), agg.PartialRows()))
+		pr.fail(pb.sendRows(jenName(desig), agg.PartialRows()))
 	}
-	firstErr(&runErr, pb.Close())
+	pr.fail(pb.CloseWith(runErr))
 
 	if w == desig {
 		final := relop.NewHashAgg(q.GroupBy, q.Aggs)
-		err := e.recvRows(jenName(w), qs+"partial", n, func(r types.Row) error {
+		pr.fail(e.recvRows(ctx, jenName(w), qs+"partial", n, func(r types.Row) error {
 			return final.MergePartial(r)
-		})
-		firstErr(&runErr, err)
+		}))
 		rows := final.FinalRows()
 		e.rec.Add(metrics.AggGroups, int64(len(rows)))
-		fb := e.newBatcher(jenName(w), qs+"final", []string{dbName(0)}, "", "", w)
+		fb := e.newBatcher(ctx, jenName(w), qs+"final", []string{dbName(0)}, "", "", w)
 		if runErr == nil {
-			firstErr(&runErr, fb.sendRows(dbName(0), rows))
+			pr.fail(fb.sendRows(dbName(0), rows))
 		}
-		firstErr(&runErr, fb.Close())
+		pr.fail(fb.CloseWith(runErr))
 	}
 	return runErr
 }
@@ -413,7 +439,7 @@ func colSet(e2 interface{ Cols([]int) []int }) []int {
 // Two transfer schemes exist (Section 4.3): the default ships every DB
 // worker's rows directly to all JEN workers; with Config.BroadcastRelay each
 // DB worker ships to exactly one JEN worker, which relays to the rest.
-func (e *Engine) runBroadcast(qs string, q *plan.JoinQuery) (*Result, error) {
+func (e *Engine) runBroadcast(ctx context.Context, qs string, q *plan.JoinQuery) (*Result, error) {
 	n, m := e.jen.Workers(), e.db.Workers()
 	relay := e.cfg.BroadcastRelay
 	tbl, err := e.db.Table(q.DBTable)
@@ -434,10 +460,10 @@ func (e *Engine) runBroadcast(qs string, q *plan.JoinQuery) (*Result, error) {
 		directSenders[i%n]++
 	}
 
-	var g par.Group
+	g, ctx := par.WithContext(ctx)
 	var resultRows []types.Row
 	g.Go(func() error {
-		rows, err := e.collectRows(dbName(0), qs+"final", 1)
+		rows, err := e.collectRows(ctx, dbName(0), qs+"final", 1)
 		resultRows = rows
 		return err
 	})
@@ -453,13 +479,13 @@ func (e *Engine) runBroadcast(qs string, q *plan.JoinQuery) (*Result, error) {
 			if relay {
 				dests = []string{jenName(i % n)}
 			}
-			b := e.newBatcher(dbName(i), qs+"dbrows", dests, "", metrics.DBSentBytes, i)
+			b := e.newBatcher(ctx, dbName(i), qs+"dbrows", dests, "", metrics.DBSentBytes, i)
 			var sent int64
 			err := e.db.FilterProjectBatches(tbl, i, accessPlan, q.DBProj, e.cfg.BatchRows, func(fb *batch.Batch) error {
 				sent += int64(fb.Len())
 				return b.broadcastBatch(fb, nil)
 			})
-			firstErr(&err, b.Close())
+			firstErr(&err, b.CloseWith(err))
 			e.rec.AddAt(metrics.DBSentTuples, i, sent)
 			return err
 		})
@@ -474,9 +500,9 @@ func (e *Engine) runBroadcast(qs string, q *plan.JoinQuery) (*Result, error) {
 			// need the whole filtered database table.
 			ht := relop.NewHashTable(q.DBWireKey)
 			if relay {
-				firstErr(&runErr, e.broadcastRelayRecv(qs, me, w, n, directSenders[w], ht))
+				firstErr(&runErr, e.broadcastRelayRecv(ctx, qs, me, w, n, directSenders[w], ht))
 			} else {
-				firstErr(&runErr, e.recvBatches(me, qs+"dbrows", m, func(b *batch.Batch) error {
+				firstErr(&runErr, e.recvBatches(ctx, me, qs+"dbrows", m, func(b *batch.Batch) error {
 					return ht.InsertBatch(b)
 				}))
 			}
@@ -522,7 +548,7 @@ func (e *Engine) runBroadcast(qs string, q *plan.JoinQuery) (*Result, error) {
 			e.rec.AddAt(metrics.JoinProbeTuples, w, probes)
 			e.rec.Add(metrics.JoinOutputTuples, cmb.output)
 
-			return e.finishHDFSAggregation(qs, q, agg, w, n, runErr)
+			return e.finishHDFSAggregation(ctx, qs, q, agg, w, n, runErr)
 		})
 	}
 
@@ -536,8 +562,11 @@ func (e *Engine) runBroadcast(qs string, q *plan.JoinQuery) (*Result, error) {
 // from this worker's DB feeders go into the hash table AND onward to every
 // other JEN worker; batches relayed by peers complete the table. Receivers
 // drain the relay stream in the background so relays never deadlock.
-func (e *Engine) broadcastRelayRecv(qs, me string, w, n, directSenders int, ht *relop.HashTable) error {
+func (e *Engine) broadcastRelayRecv(ctx context.Context, qs, me string, w, n, directSenders int, ht *relop.HashTable) error {
 	var runErr error
+	pr := newProg(ctx, &runErr)
+	defer pr.release()
+	ctx = pr.ctx
 	others := make([]string, 0, n-1)
 	for j := 0; j < n; j++ {
 		if j != w {
@@ -554,18 +583,19 @@ func (e *Engine) broadcastRelayRecv(qs, me string, w, n, directSenders int, ht *
 	}
 	var bg par.Group
 	bg.Go(func() error {
-		return e.recvBatches(me, qs+"relay", n-1, insert)
+		err := e.recvBatches(ctx, me, qs+"relay", n-1, insert)
+		pr.bgFail(err)
+		return err
 	})
-	rb := e.newBatcher(me, qs+"relay", others, metrics.JENShuffleTuples, metrics.JENShuffleBytes, w)
-	err := e.recvBatches(me, qs+"dbrows", directSenders, func(b *batch.Batch) error {
+	rb := e.newBatcher(ctx, me, qs+"relay", others, metrics.JENShuffleTuples, metrics.JENShuffleBytes, w)
+	pr.fail(e.recvBatches(ctx, me, qs+"dbrows", directSenders, func(b *batch.Batch) error {
 		if err := insert(b); err != nil {
 			return err
 		}
 		return rb.broadcastBatch(b, nil)
-	})
-	firstErr(&runErr, err)
-	firstErr(&runErr, rb.Close())
-	firstErr(&runErr, bg.Wait())
+	}))
+	pr.fail(rb.CloseWith(runErr))
+	pr.fail(bg.Wait())
 	return runErr
 }
 

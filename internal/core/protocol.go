@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"hybridwh/internal/batch"
@@ -14,7 +15,11 @@ import (
 // by a per-query stream name; each sender ends its stream to each receiver
 // with one EOS message, so receivers know completion without any global
 // coordinator. Per-(sender, receiver) bus ordering guarantees all of a
-// sender's rows precede its EOS.
+// sender's rows precede its EOS. A sender that fails mid-query terminates
+// its streams with MsgError instead (batcher.CloseWith, Engine.sendAbort);
+// receivers treat an incoming MsgError as a terminal classified error, and
+// the per-query context unblocks any receive the abort never reached (see
+// abort.go).
 
 // batcher accumulates rows per destination in columnar batches and ships
 // them as MsgRows messages, recording tuple and byte counters against the
@@ -24,6 +29,7 @@ import (
 // byte counters — match the seed's row-at-a-time batcher bit for bit.
 type batcher struct {
 	e      *Engine
+	ctx    context.Context
 	from   string
 	stream string
 	size   int
@@ -39,10 +45,12 @@ type batcher struct {
 }
 
 // newBatcher creates a batcher. dests is the full set of endpoints this
-// sender may target; EOS goes to all of them on Close.
-func (e *Engine) newBatcher(from, stream string, dests []string, tupleCounter, byteCounter string, slot int) *batcher {
+// sender may target; EOS goes to all of them on Close. The query context
+// is checked at every flush, so a canceled query stops shipping batches
+// instead of streaming its table to completion.
+func (e *Engine) newBatcher(ctx context.Context, from, stream string, dests []string, tupleCounter, byteCounter string, slot int) *batcher {
 	return &batcher{
-		e: e, from: from, stream: stream, size: e.cfg.BatchRows,
+		e: e, ctx: ctx, from: from, stream: stream, size: e.cfg.BatchRows,
 		dests: dests, bufs: map[string]*batch.Batch{},
 		tupleCounter: tupleCounter, byteCounter: byteCounter, slot: slot,
 	}
@@ -166,6 +174,11 @@ func (b *batcher) flush(dest string) error {
 	if bb == nil || bb.Size() == 0 {
 		return nil
 	}
+	if b.ctx != nil {
+		if err := b.ctx.Err(); err != nil {
+			return fmt.Errorf("core: %s send %s: %w", b.from, b.stream, context.Cause(b.ctx))
+		}
+	}
 	payload := batch.EncodeBatch(bb)
 	bb.Reset()
 	if b.byteCounter != "" {
@@ -196,12 +209,36 @@ func (b *batcher) Close() error {
 	return firstErr
 }
 
+// CloseWith completes the stream one way or the other: with runErr == nil it
+// is Close (flush everything, EOS everywhere); with a failure it drops the
+// buffered rows and broadcasts MsgError carrying runErr's classification, so
+// every receiver fails fast instead of counting an EOS that will never come.
+// The tuple counter still records what was actually shipped.
+func (b *batcher) CloseWith(runErr error) error {
+	if runErr == nil {
+		return b.Close()
+	}
+	err := b.e.sendAbort(b.from, b.stream, runErr, b.dests)
+	if b.tupleCounter != "" {
+		b.e.rec.AddAt(b.tupleCounter, b.slot, b.tuples)
+	}
+	return err
+}
+
 // recvBatches drains the stream at endpoint `at` until `senders` EOS
 // messages arrive, invoking fn for every decoded batch. The batch passed to
 // fn is on loan — it is reused for the next message, so fn must copy
 // (Clone, InsertBatch, …) anything it keeps. With senders == 0 it returns
 // immediately.
-func (e *Engine) recvBatches(at, stream string, senders int, fn func(b *batch.Batch) error) error {
+//
+// Failure semantics: a decode failure or an fn error is recorded (first
+// error wins) and the loop keeps draining until every EOS arrives, so
+// senders are never left blocked on this receiver's backpressure. An
+// incoming MsgError is terminal — a peer aborted the stream — and so is
+// cancellation of the per-query context; both return immediately, relying
+// on the abort teardown (router Unroute release + context cancellation) to
+// unblock the remaining senders.
+func (e *Engine) recvBatches(ctx context.Context, at, stream string, senders int, fn func(b *batch.Batch) error) error {
 	if senders == 0 {
 		return nil
 	}
@@ -214,46 +251,52 @@ func (e *Engine) recvBatches(at, stream string, senders int, fn func(b *batch.Ba
 	if err != nil {
 		return err
 	}
+	abort, err := r.Route(netsim.MsgError, stream)
+	if err != nil {
+		return err
+	}
 	defer r.Unroute(netsim.MsgRows, stream)
 	defer r.Unroute(netsim.MsgEOS, stream)
+	defer r.Unroute(netsim.MsgError, stream)
 
 	decoded := batch.New(0, 0)
 	var consumeErr error
-	consume := func(env netsim.Envelope) error {
-		if err := batch.DecodeBatch(env.Payload, decoded); err != nil {
-			return fmt.Errorf("core: %s decoding %s from %s: %w", at, stream, env.From, err)
-		}
+	consume := func(env netsim.Envelope) {
 		if consumeErr != nil {
-			return nil // already failed; keep draining the protocol
+			return // already failed; keep draining the protocol
+		}
+		if err := batch.DecodeBatch(env.Payload, decoded); err != nil {
+			consumeErr = fmt.Errorf("core: %s decoding %s from %s: %w", at, stream, env.From, err)
+			return
 		}
 		if decoded.Len() == 0 {
-			return nil
+			return
 		}
 		if err := fn(decoded); err != nil {
 			consumeErr = err
 		}
-		return nil
 	}
 
-	remaining := senders
-	for remaining > 0 {
+	for remaining := senders; remaining > 0; {
 		select {
 		case env := <-rows:
-			if err := consume(env); err != nil {
-				return err
-			}
+			consume(env)
 		case <-eos:
 			remaining--
+		case env := <-abort:
+			return decodeAbort(at, stream, env)
+		case <-ctx.Done():
+			return ctxAbort(ctx, at, stream)
 		}
 	}
 	// Bus ordering: each sender's rows precede its EOS, and the router
 	// dispatches sequentially, so by the final EOS every row is buffered.
+	// Leftover frames go through the same consume as the main loop —
+	// decode-checked, first error wins.
 	for {
 		select {
 		case env := <-rows:
-			if err := consume(env); err != nil {
-				return err
-			}
+			consume(env)
 		default:
 			return consumeErr
 		}
@@ -262,8 +305,8 @@ func (e *Engine) recvBatches(at, stream string, senders int, fn func(b *batch.Ba
 
 // recvRows is the row-at-a-time adapter over recvBatches: every received
 // row is materialized into fresh storage, so fn may retain it.
-func (e *Engine) recvRows(at, stream string, senders int, fn func(row types.Row) error) error {
-	return e.recvBatches(at, stream, senders, func(b *batch.Batch) error {
+func (e *Engine) recvRows(ctx context.Context, at, stream string, senders int, fn func(row types.Row) error) error {
+	return e.recvBatches(ctx, at, stream, senders, func(b *batch.Batch) error {
 		return b.Each(func(i int) error {
 			return fn(b.CloneRow(i))
 		})
@@ -271,9 +314,9 @@ func (e *Engine) recvRows(at, stream string, senders int, fn func(row types.Row)
 }
 
 // collectRows is recvRows into a slice.
-func (e *Engine) collectRows(at, stream string, senders int) ([]types.Row, error) {
+func (e *Engine) collectRows(ctx context.Context, at, stream string, senders int) ([]types.Row, error) {
 	var out []types.Row
-	err := e.recvRows(at, stream, senders, func(r types.Row) error {
+	err := e.recvRows(ctx, at, stream, senders, func(r types.Row) error {
 		out = append(out, r)
 		return nil
 	})
@@ -282,10 +325,10 @@ func (e *Engine) collectRows(at, stream string, senders int) ([]types.Row, error
 
 // collectBatches is recvBatches into a slice of cloned batches, returning
 // the total live row count alongside.
-func (e *Engine) collectBatches(at, stream string, senders int) ([]*batch.Batch, int64, error) {
+func (e *Engine) collectBatches(ctx context.Context, at, stream string, senders int) ([]*batch.Batch, int64, error) {
 	var out []*batch.Batch
 	var n int64
-	err := e.recvBatches(at, stream, senders, func(b *batch.Batch) error {
+	err := e.recvBatches(ctx, at, stream, senders, func(b *batch.Batch) error {
 		out = append(out, b.Clone())
 		n += int64(b.Len())
 		return nil
@@ -307,26 +350,48 @@ func (e *Engine) sendBloom(from, stream string, bf *bloom.Filter, dests []string
 }
 
 // recvBloom receives `parts` filters at an endpoint and returns their
-// union (parts == 1 is a plain receive).
-func (e *Engine) recvBloom(at, stream string, parts int) (*bloom.Filter, error) {
+// union (parts == 1 is a plain receive). Like recvBatches, a bad part is
+// recorded and the loop keeps collecting the remaining parts so senders are
+// never stranded; an incoming MsgError or context cancellation is terminal.
+func (e *Engine) recvBloom(ctx context.Context, at, stream string, parts int) (*bloom.Filter, error) {
 	r := e.routers[at]
 	ch, err := r.Route(netsim.MsgBloom, stream)
 	if err != nil {
 		return nil, err
 	}
+	abort, err := r.Route(netsim.MsgError, stream)
+	if err != nil {
+		r.Unroute(netsim.MsgBloom, stream)
+		return nil, err
+	}
 	defer r.Unroute(netsim.MsgBloom, stream)
+	defer r.Unroute(netsim.MsgError, stream)
 	var out *bloom.Filter
+	var consumeErr error
 	for i := 0; i < parts; i++ {
-		env := <-ch
-		bf, err := bloom.Unmarshal(env.Payload)
-		if err != nil {
-			return nil, fmt.Errorf("core: %s bloom %s from %s: %w", at, stream, env.From, err)
+		select {
+		case env := <-ch:
+			if consumeErr != nil {
+				continue // already failed; keep draining the protocol
+			}
+			bf, err := bloom.Unmarshal(env.Payload)
+			if err != nil {
+				consumeErr = fmt.Errorf("core: %s bloom %s from %s: %w", at, stream, env.From, err)
+				continue
+			}
+			if out == nil {
+				out = bf
+			} else if err := out.Union(bf); err != nil {
+				consumeErr = err
+			}
+		case env := <-abort:
+			return nil, decodeAbort(at, stream, env)
+		case <-ctx.Done():
+			return nil, ctxAbort(ctx, at, stream)
 		}
-		if out == nil {
-			out = bf
-		} else if err := out.Union(bf); err != nil {
-			return nil, err
-		}
+	}
+	if consumeErr != nil {
+		return nil, consumeErr
 	}
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sort"
@@ -98,31 +99,53 @@ func (e *Engine) sendKeySet(from, stream string, s keySet, dests []string) error
 	return nil
 }
 
-// recvKeySets receives and unions `parts` key sets.
-func (e *Engine) recvKeySets(at, stream string, parts int) (keySet, error) {
+// recvKeySets receives and unions `parts` key sets. Failure semantics match
+// recvBloom: a bad part is recorded and the fan-in keeps draining; MsgError
+// and context cancellation are terminal.
+func (e *Engine) recvKeySets(ctx context.Context, at, stream string, parts int) (keySet, error) {
 	r := e.routers[at]
 	ch, err := r.Route(netsim.MsgControl, stream)
 	if err != nil {
 		return nil, err
 	}
+	abort, err := r.Route(netsim.MsgError, stream)
+	if err != nil {
+		r.Unroute(netsim.MsgControl, stream)
+		return nil, err
+	}
 	defer r.Unroute(netsim.MsgControl, stream)
+	defer r.Unroute(netsim.MsgError, stream)
 	out := keySet{}
+	var consumeErr error
 	for i := 0; i < parts; i++ {
-		env := <-ch
-		s, err := unmarshalKeySet(env.Payload)
-		if err != nil {
-			return nil, fmt.Errorf("core: %s key set %s from %s: %w", at, stream, env.From, err)
+		select {
+		case env := <-ch:
+			if consumeErr != nil {
+				continue // already failed; keep draining the protocol
+			}
+			s, err := unmarshalKeySet(env.Payload)
+			if err != nil {
+				consumeErr = fmt.Errorf("core: %s key set %s from %s: %w", at, stream, env.From, err)
+				continue
+			}
+			for k := range s {
+				out[k] = struct{}{}
+			}
+		case env := <-abort:
+			return nil, decodeAbort(at, stream, env)
+		case <-ctx.Done():
+			return nil, ctxAbort(ctx, at, stream)
 		}
-		for k := range s {
-			out[k] = struct{}{}
-		}
+	}
+	if consumeErr != nil {
+		return nil, consumeErr
 	}
 	return out, nil
 }
 
 // runSemiJoin executes the exact semijoin: the zigzag dataflow with key
 // sets in place of Bloom filters.
-func (e *Engine) runSemiJoin(qs string, q *plan.JoinQuery) (*Result, error) {
+func (e *Engine) runSemiJoin(ctx context.Context, qs string, q *plan.JoinQuery) (*Result, error) {
 	n, m := e.jen.Workers(), e.db.Workers()
 	tbl, err := e.db.Table(q.DBTable)
 	if err != nil {
@@ -148,21 +171,21 @@ func (e *Engine) runSemiJoin(qs string, q *plan.JoinQuery) (*Result, error) {
 		return nil, err
 	}
 
-	var g par.Group
+	g, ctx := par.WithContext(ctx)
 	var resultRows []types.Row
 	g.Go(func() error {
-		rows, err := e.collectRows(dbName(0), qs+"final", 1)
+		rows, err := e.collectRows(ctx, dbName(0), qs+"final", 1)
 		resultRows = rows
 		return err
 	})
 
 	for i := 0; i < m; i++ {
 		i := i
-		g.Go(func() error { return e.dbSemiProgram(qs, q, tbl, accessPlan, i, n) })
+		g.Go(func() error { return e.dbSemiProgram(ctx, qs, q, tbl, accessPlan, i, n) })
 	}
 	for w := 0; w < n; w++ {
 		w := w
-		g.Go(func() error { return e.jenSemiProgram(qs, q, scanPlan, w, n, m) })
+		g.Go(func() error { return e.jenSemiProgram(ctx, qs, q, scanPlan, w, n, m) })
 	}
 	if err := g.Wait(); err != nil {
 		return nil, err
@@ -172,11 +195,16 @@ func (e *Engine) runSemiJoin(qs string, q *plan.JoinQuery) (*Result, error) {
 
 // dbSemiProgram mirrors dbShipProgram with an exact L'-key set instead of
 // BF_H.
-func (e *Engine) dbSemiProgram(qs string, q *plan.JoinQuery, tbl *edw.Table, ap edw.AccessPlan, i, n int) error {
+func (e *Engine) dbSemiProgram(ctx context.Context, qs string, q *plan.JoinQuery, tbl *edw.Table, ap edw.AccessPlan, i, n int) error {
+	var runErr error
+	pr := newProg(ctx, &runErr)
+	defer pr.release()
+	ctx = pr.ctx
 	tw, err := e.db.FilterProject(tbl, i, ap, q.DBProj)
-	lKeys, kerr := e.recvKeySets(dbName(i), qs+"lkeys", 1)
-	firstErr(&err, kerr)
-	if err == nil {
+	pr.fail(err)
+	lKeys, kerr := e.recvKeySets(ctx, dbName(i), qs+"lkeys", 1)
+	pr.fail(kerr)
+	if runErr == nil {
 		kept := tw[:0:0]
 		for _, row := range tw {
 			if lKeys.TestKey(row[q.DBWireKey].Int()) {
@@ -185,42 +213,46 @@ func (e *Engine) dbSemiProgram(qs string, q *plan.JoinQuery, tbl *edw.Table, ap 
 		}
 		tw = kept
 	}
-	b := e.newBatcher(dbName(i), qs+"dbrows", e.jenNames(), metrics.DBSentTuples, metrics.DBSentBytes, i)
-	var sendErr error
-	if err == nil {
-		sendErr = b.scatterRows(tw, q.DBWireKey, func(key int64) string {
+	b := e.newBatcher(ctx, dbName(i), qs+"dbrows", e.jenNames(), metrics.DBSentTuples, metrics.DBSentBytes, i)
+	if runErr == nil {
+		pr.fail(b.scatterRows(tw, q.DBWireKey, func(key int64) string {
 			return jenName(cluster.PartitionFor(key, n))
-		})
+		}))
 	}
-	firstErr(&sendErr, b.Close())
-	firstErr(&err, sendErr)
-	return err
+	pr.fail(b.CloseWith(runErr))
+	return runErr
 }
 
 // jenSemiProgram mirrors jenRepartitionProgram in zigzag mode with exact
 // key sets.
-func (e *Engine) jenSemiProgram(qs string, q *plan.JoinQuery, scanPlan *jen.ScanPlan, w, n, m int) error {
+func (e *Engine) jenSemiProgram(ctx context.Context, qs string, q *plan.JoinQuery, scanPlan *jen.ScanPlan, w, n, m int) error {
 	me := jenName(w)
 	var runErr error
+	pr := newProg(ctx, &runErr)
+	defer pr.release()
+	ctx = pr.ctx
 
-	tKeys, err := e.recvKeySets(me, qs+"tkeys", 1)
-	firstErr(&runErr, err)
+	tKeys, err := e.recvKeySets(ctx, me, qs+"tkeys", 1)
+	pr.fail(err)
 
 	ht := relop.NewMemJoinTable(q.HDFSWireKey)
 	var dbBatches []*batch.Batch
 	var probeTuples int64
 	var bg par.Group
 	bg.Go(func() error {
-		return e.recvBatches(me, qs+"shuffle", n, func(b *batch.Batch) error { return ht.InsertBatch(b) })
+		err := e.recvBatches(ctx, me, qs+"shuffle", n, func(b *batch.Batch) error { return ht.InsertBatch(b) })
+		pr.bgFail(err)
+		return err
 	})
 	bg.Go(func() error {
-		bs, tuples, err := e.collectBatches(me, qs+"dbrows", m)
+		bs, tuples, err := e.collectBatches(ctx, me, qs+"dbrows", m)
 		dbBatches, probeTuples = bs, tuples
+		pr.bgFail(err)
 		return err
 	})
 
 	localKeys := keySet{}
-	b := e.newBatcher(me, qs+"shuffle", e.jenNames(), metrics.JENShuffleTuples, metrics.JENShuffleBytes, w)
+	b := e.newBatcher(ctx, me, qs+"shuffle", e.jenNames(), metrics.JENShuffleTuples, metrics.JENShuffleBytes, w)
 	scanKey := q.HDFSWire[q.HDFSWireKey]
 	if runErr == nil {
 		err := e.jen.ScanFilterBatches(jen.ScanSpec{
@@ -239,29 +271,31 @@ func (e *Engine) jenSemiProgram(qs string, q *plan.JoinQuery, scanPlan *jen.Scan
 				return jenName(cluster.PartitionFor(key, n))
 			})
 		})
-		firstErr(&runErr, err)
+		pr.fail(err)
 	}
-	firstErr(&runErr, b.Close())
+	pr.fail(b.CloseWith(runErr))
 
+	// The (possibly partial) key set still completes the fan-in on the error
+	// path; the failure itself travels via MsgError and the context.
 	desig := e.jen.DesignatedWorker()
-	firstErr(&runErr, e.sendKeySet(me, qs+"lkeyslocal", localKeys, []string{jenName(desig)}))
+	pr.fail(e.sendKeySet(me, qs+"lkeyslocal", localKeys, []string{jenName(desig)}))
 	if w == desig {
-		global, err := e.recvKeySets(me, qs+"lkeyslocal", n)
-		firstErr(&runErr, err)
+		global, err := e.recvKeySets(ctx, me, qs+"lkeyslocal", n)
+		pr.fail(err)
 		if global == nil {
 			global = keySet{}
 		}
-		firstErr(&runErr, e.sendKeySet(me, qs+"lkeys", global, e.dbNames()))
+		pr.fail(e.sendKeySet(me, qs+"lkeys", global, e.dbNames()))
 	}
 
-	firstErr(&runErr, bg.Wait())
-	firstErr(&runErr, ht.FinishBuild())
+	pr.fail(bg.Wait())
+	pr.fail(ht.FinishBuild())
 	e.rec.AddAt(metrics.JoinBuildTuples, w, ht.Len())
 	e.rec.AddAt(metrics.JoinProbeTuples, w, probeTuples)
 
 	agg := relop.NewHashAgg(q.GroupBy, q.Aggs)
 	if runErr == nil {
-		firstErr(&runErr, e.probeAndAggregateBatches(ht, dbBatches, q, agg))
+		pr.fail(e.probeAndAggregateBatches(ht, dbBatches, q, agg))
 	}
-	return e.finishHDFSAggregation(qs, q, agg, w, n, runErr)
+	return e.finishHDFSAggregation(ctx, qs, q, agg, w, n, runErr)
 }

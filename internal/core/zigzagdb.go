@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"hybridwh/internal/batch"
 	"hybridwh/internal/bloom"
 	"hybridwh/internal/edw"
@@ -29,7 +31,7 @@ const ZigzagDBVariant Algorithm = 101
 //  4. JEN scan #2: local predicates + BF_DB again; surviving rows ship to
 //     the DB workers (grouped transfer), which reshuffle and join exactly as
 //     the DB-side join does.
-func (e *Engine) runZigzagDB(qs string, q *plan.JoinQuery) (*Result, error) {
+func (e *Engine) runZigzagDB(ctx context.Context, qs string, q *plan.JoinQuery) (*Result, error) {
 	n, m := e.jen.Workers(), e.db.Workers()
 	tbl, err := e.db.Table(q.DBTable)
 	if err != nil {
@@ -93,7 +95,7 @@ func (e *Engine) runZigzagDB(qs string, q *plan.JoinQuery) (*Result, error) {
 	}
 	strategy := edw.ChooseJoinStrategy(estT, estL, m)
 
-	var g par.Group
+	g, ctx := par.WithContext(ctx)
 	var resultRows []types.Row
 	for w := 0; w < n; w++ {
 		w := w
@@ -101,7 +103,7 @@ func (e *Engine) runZigzagDB(qs string, q *plan.JoinQuery) (*Result, error) {
 			// Scan #2: same filters; ship survivors to the group DB worker.
 			me := jenName(w)
 			dest := dbName(jenToDB[w])
-			b := e.newBatcher(me, qs+"ingest", []string{dest}, metrics.HDFSSentTuples, metrics.HDFSSentBytes, w)
+			b := e.newBatcher(ctx, me, qs+"ingest", []string{dest}, metrics.HDFSSentTuples, metrics.HDFSSentBytes, w)
 			serr := e.jen.ScanFilterBatches(jen.ScanSpec{
 				Plan: scanPlan, Worker: w,
 				Proj: q.HDFSScanProj, Pred: q.HDFSPred, Pruner: q.Pruner(),
@@ -109,14 +111,14 @@ func (e *Engine) runZigzagDB(qs string, q *plan.JoinQuery) (*Result, error) {
 			}, func(sb *batch.Batch) error {
 				return b.sendBatch(dest, sb, q.HDFSWire)
 			})
-			firstErr(&serr, b.Close())
+			firstErr(&serr, b.CloseWith(serr))
 			return serr
 		})
 	}
 	for i := 0; i < m; i++ {
 		i := i
 		g.Go(func() error {
-			rows, err := e.dbJoinProgram(qs, q, tbl, accessPlan, strategy, i, m, groupSize[i], bfh)
+			rows, err := e.dbJoinProgram(ctx, qs, q, tbl, accessPlan, strategy, i, m, groupSize[i], bfh)
 			if i == 0 {
 				resultRows = rows
 			}

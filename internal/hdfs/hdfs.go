@@ -11,6 +11,7 @@
 package hdfs
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
@@ -19,6 +20,12 @@ import (
 	"sync"
 	"sync/atomic"
 )
+
+// ErrNoLiveReplica classifies reads of a block whose every replica is on a
+// down (or mid-scan-failed) DataNode. Scans surface it wrapped, so callers
+// can distinguish a cluster-health failure from a decode or protocol error
+// with errors.Is.
+var ErrNoLiveReplica = errors.New("hdfs: no live replica")
 
 // Config sizes the simulated cluster. The defaults mirror the paper's
 // cluster at 1/1000 data scale: 30 DataNodes, 4 data disks each,
@@ -81,10 +88,11 @@ type FileInfo struct {
 
 // dataNode stores block replicas, either in memory or as files under dir.
 type dataNode struct {
-	mu     sync.RWMutex
-	blocks map[BlockID][]byte // guarded by mu
-	dir    string             // "" = in-memory
-	down   bool               // guarded by mu
+	mu        sync.RWMutex
+	blocks    map[BlockID][]byte // guarded by mu
+	dir       string             // "" = in-memory
+	down      bool               // guarded by mu
+	failAfter int64              // >0: block reads to serve before dying mid-scan; guarded by mu
 }
 
 func (n *dataNode) store(id BlockID, data []byte) error {
@@ -101,8 +109,20 @@ func (n *dataNode) store(id BlockID, data []byte) error {
 }
 
 func (n *dataNode) load(id BlockID) ([]byte, bool) {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
+	// Write lock: serving a read may trip the injected failure countdown.
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.down {
+		return nil, false
+	}
+	if n.failAfter > 0 {
+		n.failAfter--
+		if n.failAfter == 0 {
+			// This node dies *during* the scan: the current read is the
+			// last one it serves.
+			n.down = true
+		}
+	}
 	if n.dir == "" {
 		data, ok := n.blocks[id]
 		return data, ok
@@ -200,6 +220,26 @@ func (c *Cluster) nodeUp(i int) bool {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	return !n.down
+}
+
+// FailNodeAfterReads arms a mid-scan failure: the node serves `reads` more
+// block reads and then goes down, exactly as if the DataNode process died
+// while a scan was streaming its blocks. In-flight readers fail over to a
+// live replica (ReadBlock retries) or report ErrNoLiveReplica when none is
+// left. reads <= 0 takes the node down immediately (same as SetNodeDown).
+func (c *Cluster) FailNodeAfterReads(node int, reads int64) error {
+	if node < 0 || node >= len(c.nodes) {
+		return fmt.Errorf("hdfs: no such node %d", node)
+	}
+	n := c.nodes[node]
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if reads <= 0 {
+		n.down = true
+		return nil
+	}
+	n.failAfter = reads
+	return nil
 }
 
 // FileWriter streams a file into the cluster, cutting blocks as it goes.
@@ -409,31 +449,30 @@ func (c *Cluster) ReadBlock(b BlockInfo, atNode int) ([]byte, error) {
 }
 
 func (c *Cluster) readBlock(b BlockInfo, atNode int) (data []byte, local bool, err error) {
-	// Prefer the local replica (short-circuit read), else any live one.
-	var chosen *Replica
-	for i := range b.Replicas {
-		if b.Replicas[i].Node == atNode && c.nodeUp(b.Replicas[i].Node) {
-			chosen = &b.Replicas[i]
-			local = true
-			break
+	// Prefer the local replica (short-circuit read), else any live one. A
+	// replica whose node went down between selection and load — the mid-scan
+	// failure case — fails over to the next live replica, like an HDFS
+	// client retrying the block's other locations.
+	order := make([]Replica, 0, len(b.Replicas))
+	for _, r := range b.Replicas {
+		if r.Node == atNode {
+			order = append(order, r)
 		}
 	}
-	if chosen == nil {
-		for i := range b.Replicas {
-			if c.nodeUp(b.Replicas[i].Node) {
-				chosen = &b.Replicas[i]
-				break
-			}
+	for _, r := range b.Replicas {
+		if r.Node != atNode {
+			order = append(order, r)
 		}
 	}
-	if chosen == nil {
-		return nil, false, fmt.Errorf("hdfs: block %d has no live replica", b.ID)
+	for _, r := range order {
+		if !c.nodeUp(r.Node) {
+			continue
+		}
+		if data, ok := c.nodes[r.Node].load(b.ID); ok {
+			return data, r.Node == atNode, nil
+		}
 	}
-	data, ok := c.nodes[chosen.Node].load(b.ID)
-	if !ok {
-		return nil, false, fmt.Errorf("hdfs: block %d missing on node %d", b.ID, chosen.Node)
-	}
-	return data, local, nil
+	return nil, false, fmt.Errorf("hdfs: block %d: %w", b.ID, ErrNoLiveReplica)
 }
 
 func blockAt(blocks []BlockInfo, off int64) *BlockInfo {

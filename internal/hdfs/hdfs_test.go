@@ -2,6 +2,7 @@ package hdfs
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
@@ -165,6 +166,72 @@ func TestNodeFailureReadsFailOver(t *testing.T) {
 	}
 	if err := c.SetNodeDown(99, true); err == nil {
 		t.Error("SetNodeDown(99): want error")
+	}
+}
+
+func TestFailNodeAfterReadsMidScan(t *testing.T) {
+	c := smallCluster(t, 4, 100) // replication 2
+	if err := c.WriteFile("/f", make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := c.Stat("/f")
+	b := info.Blocks[0]
+	primary := b.Replicas[0].Node
+	if err := c.FailNodeAfterReads(primary, 1); err != nil {
+		t.Fatal(err)
+	}
+	// The armed node serves exactly one more read (the local short-circuit
+	// read), then dies mid-scan.
+	if _, err := c.ReadBlock(b, primary); err != nil {
+		t.Fatalf("read before the countdown expires: %v", err)
+	}
+	if c.LocalReadBytes() != 100 {
+		t.Errorf("local=%d; the last served read was local", c.LocalReadBytes())
+	}
+	// The next read fails over to the surviving replica, like an HDFS client
+	// retrying the block's other locations.
+	if _, err := c.ReadBlock(b, primary); err != nil {
+		t.Fatalf("failover read after mid-scan death: %v", err)
+	}
+	if c.RemoteReadBytes() != 100 {
+		t.Errorf("remote=%d; failover read comes from the other node", c.RemoteReadBytes())
+	}
+	// With the second replica's node also gone the block is unreadable, and
+	// the error is classified.
+	if err := c.SetNodeDown(b.Replicas[1].Node, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReadBlock(b, primary); !errors.Is(err, ErrNoLiveReplica) {
+		t.Fatalf("read with no live replica: err = %v, want ErrNoLiveReplica", err)
+	}
+	if err := c.FailNodeAfterReads(99, 1); err == nil {
+		t.Error("FailNodeAfterReads(99): want error")
+	}
+}
+
+func TestFailNodeAfterReadsNoReplication(t *testing.T) {
+	c := New(Config{DataNodes: 3, DisksPerNode: 2, BlockSize: 100, Replication: 1, Seed: 8})
+	if err := c.WriteFile("/f", make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := c.Stat("/f")
+	b := info.Blocks[0]
+	if err := c.FailNodeAfterReads(b.Replicas[0].Node, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReadBlock(b, -1); err != nil {
+		t.Fatalf("final served read: %v", err)
+	}
+	if _, err := c.ReadBlock(b, -1); !errors.Is(err, ErrNoLiveReplica) {
+		t.Fatalf("unreplicated block after node death: err = %v, want ErrNoLiveReplica", err)
+	}
+	// reads <= 0 is an immediate SetNodeDown.
+	other := (b.Replicas[0].Node + 1) % 3
+	if err := c.FailNodeAfterReads(other, 0); err != nil {
+		t.Fatal(err)
+	}
+	if c.nodeUp(other) {
+		t.Error("FailNodeAfterReads(_, 0) did not take the node down")
 	}
 }
 

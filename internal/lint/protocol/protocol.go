@@ -11,6 +11,10 @@
 //     neither the function itself, nor another method on the same receiver
 //     type (the batcher pattern: flush sends rows, Close sends EOS), nor a
 //     deferred Close in the function terminates the stream.
+//  4. A receive loop that Routes MsgRows without Routing MsgError in the
+//     same function: such a loop counts EOS markers a failed sender will
+//     never produce, so a mid-query abort deadlocks it instead of
+//     surfacing as an error.
 package protocol
 
 import (
@@ -31,10 +35,12 @@ const netsimPkg = "internal/netsim"
 
 // funcFacts summarises one function's protocol behaviour.
 type funcFacts struct {
-	decl       *ast.FuncDecl
-	rowsSends  []ast.Node // netsim Send calls whose args mention MsgRows
-	sendsEnd   bool       // a Send call mentions MsgEOS or MsgError
-	deferClose bool       // a deferred call to a method named Close
+	decl        *ast.FuncDecl
+	rowsSends   []ast.Node // netsim Send calls whose args mention MsgRows
+	sendsEnd    bool       // a Send call mentions MsgEOS or MsgError
+	deferClose  bool       // a deferred call to a method named Close
+	rowsRoutes  []ast.Node // netsim Route calls whose args mention MsgRows
+	routesError bool       // a Route call mentions MsgError
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
@@ -78,6 +84,17 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			pass.Reportf(send.Pos(), "MsgRows sent with no reachable MsgEOS/MsgError in %s, its receiver's methods, or a deferred Close; receivers counting EOS will hang", funcName(facts.decl))
 		}
 	}
+
+	// Rule 4: routing is set up where the receive loop lives, so the
+	// MsgError route must appear in the same function as the MsgRows route.
+	for _, facts := range all {
+		if len(facts.rowsRoutes) == 0 || facts.routesError {
+			continue
+		}
+		for _, rt := range facts.rowsRoutes {
+			pass.Reportf(rt.Pos(), "MsgRows routed without MsgError in %s; an aborted sender's MsgError would go unhandled and the loop would wait for EOS forever", funcName(facts.decl))
+		}
+	}
 	return nil, nil
 }
 
@@ -114,6 +131,7 @@ func gather(pass *analysis.Pass, fd *ast.FuncDecl) *funcFacts {
 			}
 		case *ast.CallExpr:
 			recordSend(pass, n, facts)
+			recordRoute(pass, n, facts)
 		}
 		return true
 	})
@@ -151,6 +169,33 @@ func recordSend(pass *analysis.Pass, call *ast.CallExpr, facts *funcFacts) {
 	}
 	if end {
 		facts.sendsEnd = true
+	}
+}
+
+// recordRoute notes which protocol message constants a Router.Route call
+// subscribes to.
+func recordRoute(pass *analysis.Pass, call *ast.CallExpr, facts *funcFacts) {
+	if !isNetsimMethod(pass, call, "Route") {
+		return
+	}
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil || !astwalk.FromPkg(obj, netsimPkg) {
+				return true
+			}
+			switch obj.Name() {
+			case "MsgRows":
+				facts.rowsRoutes = append(facts.rowsRoutes, call)
+			case "MsgError":
+				facts.routesError = true
+			}
+			return true
+		})
 	}
 }
 

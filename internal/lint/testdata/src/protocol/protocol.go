@@ -51,3 +51,38 @@ func sendWithDeferredCleanup(b netsim.Bus) error {
 	defer s.Close() // deferred Close terminates the stream: allowed
 	return s.b.Send("x", "y", netsim.Msg{Type: netsim.MsgRows})
 }
+
+func routeRowsNoError(r *netsim.Router) error {
+	rows, err := r.Route(netsim.MsgRows, "s") // want `MsgRows routed without MsgError`
+	if err != nil {
+		return err
+	}
+	eos, err := r.Route(netsim.MsgEOS, "s")
+	if err != nil {
+		return err
+	}
+	_, _ = rows, eos
+	return nil
+}
+
+func routeRowsWithError(r *netsim.Router) error {
+	rows, err := r.Route(netsim.MsgRows, "s") // MsgError routed below: allowed
+	if err != nil {
+		return err
+	}
+	abort, err := r.Route(netsim.MsgError, "s")
+	if err != nil {
+		return err
+	}
+	_, _ = rows, abort
+	return nil
+}
+
+func routeBloomOnly(r *netsim.Router) error {
+	ch, err := r.Route(netsim.MsgBloom, "s") // not a row stream: allowed
+	if err != nil {
+		return err
+	}
+	_ = ch
+	return nil
+}

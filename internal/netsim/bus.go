@@ -165,6 +165,7 @@ type ChanBus struct {
 	buffer   int
 	counters *Counters
 	closed   bool // guarded by mu
+	faults   faultState
 }
 
 // NewChanBus creates a channel bus. buffer is the inbox depth per endpoint
@@ -203,9 +204,17 @@ func (b *ChanBus) Send(from, to string, m Msg) error {
 	if !okTo {
 		return fmt.Errorf("netsim: unknown receiver %q", to)
 	}
+	if err := b.faults.onSend(from, to); err != nil {
+		return err
+	}
 	b.counters.record(from, to, m.wireSize())
 	dst <- Envelope{From: from, Msg: m}
 	return nil
+}
+
+// KillEndpointAfter implements FaultInjector.
+func (b *ChanBus) KillEndpointAfter(endpoint string, sends int64) {
+	b.faults.killAfter(endpoint, sends)
 }
 
 // Counters implements Bus.

@@ -1,0 +1,84 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrEndpointDown classifies sends that fail because an endpoint was killed
+// by injected fault (KillEndpointAfter). It stands in for a worker process
+// crash: once an endpoint is down, every send from it or to it fails.
+var ErrEndpointDown = errors.New("netsim: endpoint down (injected fault)")
+
+// FaultInjector is implemented by transports that support killing endpoints
+// mid-query. Tests use it to crash a chosen worker after its stream has
+// started flowing, exercising the distributed abort protocol.
+type FaultInjector interface {
+	// KillEndpointAfter arranges for endpoint to die after `msgs` more
+	// successful messages touch it — sent by it or addressed to it — so even
+	// a worker that mostly receives can be killed mid-query (0 kills it
+	// immediately). Subsequent sends from or to the endpoint fail with
+	// ErrEndpointDown.
+	KillEndpointAfter(endpoint string, msgs int64)
+}
+
+// faultState tracks injected endpoint failures. It is embedded in both
+// transports so ChanBus and TCPBus share identical failure semantics.
+type faultState struct {
+	mu        sync.Mutex
+	countdown map[string]int64 // sends remaining before death; guarded by mu
+	down      map[string]bool  // guarded by mu
+}
+
+// killAfter arms the countdown for an endpoint.
+func (f *faultState) killAfter(endpoint string, msgs int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.countdown == nil {
+		f.countdown = map[string]int64{}
+		f.down = map[string]bool{}
+	}
+	if msgs <= 0 {
+		f.down[endpoint] = true
+		return
+	}
+	f.countdown[endpoint] = msgs
+}
+
+// onSend gates one send attempt. It must run before any byte accounting so
+// failed sends never move the counters.
+func (f *faultState) onSend(from, to string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.down == nil {
+		return nil
+	}
+	if f.down[from] {
+		return fmt.Errorf("netsim: send from %q: %w", from, ErrEndpointDown)
+	}
+	if f.down[to] {
+		return fmt.Errorf("netsim: send to %q: %w", to, ErrEndpointDown)
+	}
+	// Count this message against any armed countdown — the sender's and the
+	// receiver's; the message that reaches zero still goes through, the
+	// endpoint dies right after it.
+	tick := func(endpoint string) {
+		n, armed := f.countdown[endpoint]
+		if !armed {
+			return
+		}
+		n--
+		if n <= 0 {
+			delete(f.countdown, endpoint)
+			f.down[endpoint] = true
+		} else {
+			f.countdown[endpoint] = n
+		}
+	}
+	tick(from)
+	if to != from {
+		tick(to)
+	}
+	return nil
+}

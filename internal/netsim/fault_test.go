@@ -1,0 +1,103 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// drain receives n envelopes from an inbox, failing on a stall — TCPBus
+// delivery is asynchronous, so counter checks must wait for it.
+func drain(t *testing.T, ch <-chan Envelope, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		select {
+		case <-ch:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("envelope %d of %d never delivered", i+1, n)
+		}
+	}
+}
+
+// TestKillEndpointAfterCountsBothDirections pins the countdown semantics:
+// messages sent by the armed endpoint AND messages addressed to it both
+// count, the Nth message still goes through, and from then on every send
+// touching the endpoint fails with ErrEndpointDown — with no byte ever
+// accounted for a failed send.
+func TestKillEndpointAfterCountsBothDirections(t *testing.T) {
+	buses := []struct {
+		name string
+		bus  Bus
+	}{
+		{"chan", NewChanBus(16)},
+		{"tcp", NewTCPBus(16)},
+	}
+	for _, tc := range buses {
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.bus
+			inA, err := b.Register("db/0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			inB, err := b.Register("jen/0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.(FaultInjector).KillEndpointAfter("jen/0", 3)
+
+			m := Msg{Type: MsgControl, Stream: "s", Payload: []byte("x")}
+			// 1: to the endpoint, 2: from it, 3: to it — the third still
+			// succeeds, then the endpoint is down.
+			if err := b.Send("db/0", "jen/0", m); err != nil {
+				t.Fatalf("msg 1: %v", err)
+			}
+			if err := b.Send("jen/0", "db/0", m); err != nil {
+				t.Fatalf("msg 2: %v", err)
+			}
+			if err := b.Send("db/0", "jen/0", m); err != nil {
+				t.Fatalf("msg 3 (the fatal one) must still be delivered: %v", err)
+			}
+			if err := b.Send("db/0", "jen/0", m); !errors.Is(err, ErrEndpointDown) {
+				t.Fatalf("send to dead endpoint: err = %v", err)
+			}
+			if err := b.Send("jen/0", "db/0", m); !errors.Is(err, ErrEndpointDown) {
+				t.Fatalf("send from dead endpoint: err = %v", err)
+			}
+
+			drain(t, inB, 2)
+			drain(t, inA, 1)
+			// Only the three successful messages moved the counters.
+			wantEach := m.wireSize()
+			if got := b.Counters().SentBy("db/0"); got != 2*wantEach {
+				t.Errorf("SentBy(db/0) = %d, want %d", got, 2*wantEach)
+			}
+			if got := b.Counters().SentBy("jen/0"); got != wantEach {
+				t.Errorf("SentBy(jen/0) = %d, want %d", got, wantEach)
+			}
+			if err := b.Close(); err != nil {
+				t.Errorf("close: %v", err)
+			}
+		})
+	}
+}
+
+func TestKillEndpointImmediately(t *testing.T) {
+	b := NewChanBus(16)
+	if _, err := b.Register("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Register("z"); err != nil {
+		t.Fatal(err)
+	}
+	b.KillEndpointAfter("z", 0)
+	if err := b.Send("a", "z", Msg{Type: MsgControl}); !errors.Is(err, ErrEndpointDown) {
+		t.Fatalf("send to immediately-killed endpoint: err = %v", err)
+	}
+	// Unrelated endpoints are unaffected.
+	if err := b.Send("a", "a", Msg{Type: MsgControl}); err != nil {
+		t.Fatalf("self-send between live endpoints: %v", err)
+	}
+	if err := b.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+}

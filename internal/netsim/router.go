@@ -12,13 +12,25 @@ import (
 //
 // Messages that arrive before their route is registered are buffered, so
 // subscription order never races message arrival.
+//
+// A receiver that unsubscribes (Unroute) while a delivery is blocked on its
+// full route channel must not wedge the dispatch loop: each route carries a
+// `gone` signal that Unroute closes, and a blocked delivery falls back to
+// the pending buffer. Without this, one aborted receiver would stall its
+// endpoint's whole inbox and deadlock every sender behind the backpressure —
+// the failure mode the query-abort protocol exists to prevent.
 type Router struct {
 	mu      sync.Mutex
-	routes  map[routeKey]chan Envelope
+	routes  map[routeKey]*route
 	pending map[routeKey][]Envelope
 	stopped bool
 	stop    chan struct{}
 	done    chan struct{}
+}
+
+type route struct {
+	ch   chan Envelope
+	gone chan struct{} // closed by Unroute
 }
 
 type routeKey struct {
@@ -34,7 +46,7 @@ const routeBuffer = 256
 // goroutine (usually when the engine shuts down).
 func NewRouter(inbox <-chan Envelope) *Router {
 	r := &Router{
-		routes:  map[routeKey]chan Envelope{},
+		routes:  map[routeKey]*route{},
 		pending: map[routeKey][]Envelope{},
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
@@ -62,16 +74,24 @@ func (r *Router) run(inbox <-chan Envelope) {
 func (r *Router) dispatch(env Envelope) {
 	k := routeKey{t: env.Type, stream: env.Stream}
 	r.mu.Lock()
-	ch, ok := r.routes[k]
+	rt, ok := r.routes[k]
 	if !ok {
 		r.pending[k] = append(r.pending[k], env)
 		r.mu.Unlock()
 		return
 	}
 	r.mu.Unlock()
-	// Deliver outside the lock; the route channel applies backpressure.
+	// Deliver outside the lock; the route channel applies backpressure. If
+	// the receiver unroutes mid-delivery the message falls back to pending,
+	// keeping the dispatch loop live for the endpoint's other streams.
 	select {
-	case ch <- env:
+	case rt.ch <- env:
+	case <-rt.gone:
+		r.mu.Lock()
+		if !r.stopped {
+			r.pending[k] = append(r.pending[k], env)
+		}
+		r.mu.Unlock()
 	case <-r.stop:
 	}
 }
@@ -89,7 +109,7 @@ func (r *Router) Route(t MsgType, stream string) (<-chan Envelope, error) {
 		return nil, fmt.Errorf("netsim: route %v/%q already registered", t, stream)
 	}
 	ch := make(chan Envelope, routeBuffer)
-	r.routes[k] = ch
+	r.routes[k] = &route{ch: ch, gone: make(chan struct{})}
 	for _, env := range r.pending[k] {
 		ch <- env // pending fits: routeBuffer >> realistic pre-subscription backlog
 	}
@@ -98,11 +118,16 @@ func (r *Router) Route(t MsgType, stream string) (<-chan Envelope, error) {
 }
 
 // Unroute removes a subscription (between queries, so stream names can be
-// reused safely).
+// reused safely). Any delivery blocked on the route's full channel is
+// released to the pending buffer, so an aborting receiver never stalls the
+// endpoint's dispatch loop.
 func (r *Router) Unroute(t MsgType, stream string) {
 	k := routeKey{t: t, stream: stream}
 	r.mu.Lock()
-	delete(r.routes, k)
+	if rt, ok := r.routes[k]; ok {
+		close(rt.gone)
+		delete(r.routes, k)
+	}
 	r.mu.Unlock()
 }
 

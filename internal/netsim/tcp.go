@@ -27,6 +27,7 @@ type TCPBus struct {
 	closed    bool // guarded by mu
 	done      chan struct{}
 	wg        sync.WaitGroup
+	faults    faultState
 }
 
 type tcpEndpoint struct {
@@ -175,6 +176,9 @@ func (b *TCPBus) Send(from, to string, m Msg) error {
 	if !okTo {
 		return fmt.Errorf("netsim: unknown receiver %q", to)
 	}
+	if err := b.faults.onSend(from, to); err != nil {
+		return err
+	}
 
 	src.mu.Lock()
 	tc, ok := src.conns[to]
@@ -229,6 +233,11 @@ func writeFrame(w *bufio.Writer, from string, m Msg) error {
 	}
 	_, err := w.Write(m.Payload)
 	return err
+}
+
+// KillEndpointAfter implements FaultInjector.
+func (b *TCPBus) KillEndpointAfter(endpoint string, sends int64) {
+	b.faults.killAfter(endpoint, sends)
 }
 
 // Counters implements Bus.

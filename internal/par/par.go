@@ -1,16 +1,31 @@
 // Package par provides the tiny parallel-execution helpers the engines use
 // to fan worker programs out across goroutines: an error-collecting group
-// (errgroup without the dependency) and a parallel for-each over worker ids.
+// (errgroup without the dependency, with optional context cancellation) and
+// a parallel for-each over worker ids.
 package par
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // Group runs functions concurrently and reports the first error.
 type Group struct {
-	wg  sync.WaitGroup
-	sem chan struct{}
-	mu  sync.Mutex
-	err error // guarded by mu
+	wg     sync.WaitGroup
+	sem    chan struct{}
+	cancel context.CancelCauseFunc
+	mu     sync.Mutex
+	err    error // guarded by mu
+}
+
+// WithContext returns a Group bound to a child of ctx. The first function to
+// fail cancels the child context with its error as the cause, so sibling
+// programs blocked on channel receives can observe the failure and unwind
+// (the distributed-abort teardown path). Wait cancels the context before
+// returning in every case, releasing its resources.
+func WithContext(ctx context.Context) (*Group, context.Context) {
+	ctx, cancel := context.WithCancelCause(ctx)
+	return &Group{cancel: cancel}, ctx
 }
 
 // SetLimit bounds the number of functions running concurrently to n;
@@ -41,10 +56,14 @@ func (g *Group) Go(f func() error) {
 		defer g.release()
 		if err := f(); err != nil {
 			g.mu.Lock()
-			if g.err == nil {
+			first := g.err == nil
+			if first {
 				g.err = err
 			}
 			g.mu.Unlock()
+			if first && g.cancel != nil {
+				g.cancel(err)
+			}
 		}
 	}()
 }
@@ -56,12 +75,17 @@ func (g *Group) release() {
 }
 
 // Wait blocks until every launched function returns, then reports the first
-// error observed.
+// error observed. For a WithContext group the context is canceled before
+// Wait returns, whether or not an error occurred.
 func (g *Group) Wait() error {
 	g.wg.Wait()
 	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.err
+	err := g.err
+	g.mu.Unlock()
+	if g.cancel != nil {
+		g.cancel(err)
+	}
+	return err
 }
 
 // ForEach runs f(i) for i in [0, n) concurrently and returns the first error.

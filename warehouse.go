@@ -20,8 +20,10 @@
 package hybridwh
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"hybridwh/internal/catalog"
 	"hybridwh/internal/core"
@@ -85,6 +87,11 @@ type Config struct {
 	// RowAtATime reverts the JEN repartition pipeline to row-at-a-time
 	// execution (the pre-vectorization baseline; counters are identical).
 	RowAtATime bool
+	// QueryTimeout bounds each query's wall-clock time. When it expires the
+	// query aborts across both clusters and Query returns an error wrapping
+	// context.DeadlineExceeded. Zero means no deadline; QueryCtx offers
+	// per-call control.
+	QueryTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -315,11 +322,19 @@ type Result struct {
 
 // Query parses and executes a two-table hybrid join query.
 func (w *Warehouse) Query(sql string, opts ...Option) (*Result, error) {
+	return w.QueryCtx(context.Background(), sql, opts...)
+}
+
+// QueryCtx is Query under a caller-supplied context: canceling ctx aborts
+// the query across both clusters, and the returned error wraps the
+// cancellation cause (errors.Is matches context.Canceled or
+// context.DeadlineExceeded).
+func (w *Warehouse) QueryCtx(ctx context.Context, sql string, opts ...Option) (*Result, error) {
 	jq, err := w.Plan(sql)
 	if err != nil {
 		return nil, err
 	}
-	return w.RunPlan(jq, opts...)
+	return w.RunPlanCtx(ctx, jq, opts...)
 }
 
 // Plan parses a query into its executable decomposition without running it.
@@ -347,9 +362,20 @@ func (w *Warehouse) Plan(sql string) (*plan.JoinQuery, error) {
 
 // RunPlan executes a planned query.
 func (w *Warehouse) RunPlan(jq *plan.JoinQuery, opts ...Option) (*Result, error) {
+	return w.RunPlanCtx(context.Background(), jq, opts...)
+}
+
+// RunPlanCtx executes a planned query under ctx; Config.QueryTimeout, when
+// set, is layered on as a deadline.
+func (w *Warehouse) RunPlanCtx(ctx context.Context, jq *plan.JoinQuery, opts ...Option) (*Result, error) {
 	var o queryOpts
 	for _, opt := range opts {
 		opt(&o)
+	}
+	if w.cfg.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, w.cfg.QueryTimeout)
+		defer cancel()
 	}
 	if o.cardHint > 0 {
 		jq.HDFSCardHint = o.cardHint
@@ -367,7 +393,7 @@ func (w *Warehouse) RunPlan(jq *plan.JoinQuery, opts ...Option) (*Result, error)
 		w.bus.Counters().Reset()
 		w.dfs.ResetReadCounters()
 	}
-	res, err := w.eng.Run(jq, alg)
+	res, err := w.eng.RunCtx(ctx, jq, alg)
 	if err != nil {
 		return nil, err
 	}
