@@ -39,7 +39,11 @@ bench:
 		| $(GO) run ./cmd/benchjson -o BENCH_core.json
 	@cat BENCH_core.json
 
-# One-iteration benchmark smoke for CI: proves the benchmarks still compile
-# and run, without measurement-length runtimes.
+# Benchmark smoke for CI: proves the benchmarks still compile and run, and
+# gates rows/s against the committed BENCH_core.json — any benchmark falling
+# below 85% of its recorded throughput fails the target. Measured at a higher
+# -benchtime than the recording run: a single iteration of the small scale
+# finishes in ~10 ms and jitters past the tolerance.
 bench-smoke:
-	$(GO) test -run '^$$' -bench BenchmarkScanFilterJoin -benchtime=1x ./internal/core/
+	$(GO) test -run '^$$' -bench BenchmarkScanFilterJoin -benchtime=10x ./internal/core/ \
+		| $(GO) run ./cmd/benchjson -compare BENCH_core.json -tolerance 0.85 > /dev/null

@@ -10,6 +10,15 @@
 // units. Ratio pairs (same benchmark name modulo a trailing "/batch" vs
 // "/row" component) additionally produce a "speedup" entry comparing
 // rows/s, which is how the ≥2× batch-vs-row acceptance bar is recorded.
+//
+// With -compare the parsed results are additionally checked against a
+// previously recorded report: every benchmark present in both must keep its
+// ratio metric at or above tolerance × the recorded value, or the command
+// exits nonzero. `make bench-smoke` uses this as the CI regression gate
+// against the committed BENCH_core.json:
+//
+//	go test -bench BenchmarkScanFilterJoin ./internal/core/ \
+//		| benchjson -compare BENCH_core.json -tolerance 0.85
 package main
 
 import (
@@ -41,12 +50,20 @@ type report struct {
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	metric := flag.String("ratio-metric", "rows/s", "metric used for batch-vs-row speedup entries")
+	compare := flag.String("compare", "", "baseline report to compare against; exits nonzero on regression")
+	tolerance := flag.Float64("tolerance", 0.85, "minimum new/baseline ratio of the ratio metric allowed by -compare")
 	flag.Parse()
 
 	rep, err := parse(bufio.NewScanner(os.Stdin), *metric)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	if *compare != "" {
+		if err := compareBaseline(rep, *compare, *tolerance, *metric); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -62,6 +79,60 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// metricValue extracts a result's ratio metric, falling back to op/s.
+func metricValue(r result, metric string) float64 {
+	if v, ok := r.Metrics[metric]; ok {
+		return v
+	}
+	if r.NsPerOp > 0 {
+		return 1e9 / r.NsPerOp
+	}
+	return 0
+}
+
+// compareBaseline checks every benchmark present in both the new report and
+// the baseline file: its ratio metric must be at least tolerance × the
+// recorded value. Benchmarks only on one side are ignored (new benchmarks
+// appear, retired ones disappear); all regressions are reported, not just the
+// first.
+func compareBaseline(rep *report, path string, tolerance float64, metric string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base report
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	old := make(map[string]float64, len(base.Results))
+	for _, r := range base.Results {
+		old[r.Name] = metricValue(r, metric)
+	}
+	var failures []string
+	compared := 0
+	for _, r := range rep.Results {
+		ov, ok := old[r.Name]
+		if !ok || ov <= 0 {
+			continue
+		}
+		compared++
+		nv := metricValue(r, metric)
+		if nv < tolerance*ov {
+			failures = append(failures,
+				fmt.Sprintf("%s: %s %.0f < %.2f × baseline %.0f", r.Name, metric, nv, tolerance, ov))
+		} else {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %s %.0f vs baseline %.0f (ok)\n", r.Name, metric, nv, ov)
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("no common benchmarks between stdin and %s", path)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("regression vs %s:\n  %s", path, strings.Join(failures, "\n  "))
+	}
+	return nil
 }
 
 func parse(sc *bufio.Scanner, ratioMetric string) (*report, error) {

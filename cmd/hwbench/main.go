@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"hybridwh/internal/experiments"
+	"hybridwh/internal/prof"
 )
 
 func main() {
@@ -30,8 +31,17 @@ func main() {
 		check     = flag.Bool("check", false, "verify result shapes against the paper's claims")
 		list      = flag.Bool("list", false, "list experiment ids and exit")
 		csvDir    = flag.String("csv", "", "also write one <id>.csv per experiment into this directory")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -90,6 +100,7 @@ func main() {
 		fmt.Printf("  (wall time %.1fs)\n\n", time.Since(start).Seconds())
 	}
 	if failures > 0 {
+		stopProf() // the run itself completed; keep its profile
 		fmt.Fprintf(os.Stderr, "%d shape violations\n", failures)
 		os.Exit(1)
 	}

@@ -17,6 +17,7 @@ import (
 	"hybridwh/internal/core"
 	"hybridwh/internal/datagen"
 	"hybridwh/internal/format"
+	"hybridwh/internal/prof"
 )
 
 func main() {
@@ -31,8 +32,16 @@ func main() {
 		fmtName = flag.String("format", format.HWCName, "HDFS format: text | hwc")
 		explain = flag.Bool("explain", false, "print the plan and exit without running")
 		workers = flag.Int("workers", 30, "workers on each side")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf = flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	w, err := hybridwh.Open(hybridwh.Config{
 		DBWorkers: *workers, JENWorkers: *workers,

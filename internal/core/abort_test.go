@@ -84,48 +84,54 @@ func TestInjectedFailuresAbortEveryAlgorithm(t *testing.T) {
 		{name: "fail-db-worker", kill: cluster.DBName(1), want: netsim.ErrEndpointDown},
 		{name: "caller-cancel", cancelAfter: 6, want: context.Canceled},
 	}
-	for _, tr := range transports {
-		for _, alg := range []Algorithm{DBSide, Broadcast, Repartition, Zigzag} {
-			for _, sc := range scenarios {
-				t.Run(fmt.Sprintf("%s/%s/%s", tr.name, alg, sc.name), func(t *testing.T) {
-					baseline := runtime.NumGoroutine()
-					ctx, cancel := context.WithTimeout(context.Background(), abortTestDeadline)
-					defer cancel()
+	// threads > 1 re-runs the whole matrix with morsel workers live: an abort
+	// must also drain the concurrent process goroutines and the parallel
+	// probe, not just the single-threaded pipeline.
+	for _, threads := range []int{1, 3} {
+		for _, tr := range transports {
+			for _, alg := range []Algorithm{DBSide, Broadcast, Repartition, Zigzag} {
+				for _, sc := range scenarios {
+					t.Run(fmt.Sprintf("threads=%d/%s/%s/%s", threads, tr.name, alg, sc.name), func(t *testing.T) {
+						baseline := runtime.NumGoroutine()
+						ctx, cancel := context.WithTimeout(context.Background(), abortTestDeadline)
+						defer cancel()
 
-					bus := tr.newBus()
-					if sc.cancelAfter > 0 {
-						qctx, qcancel := context.WithCancel(ctx)
-						ctx = qctx
-						w := &cancelAfterBus{Bus: bus, cancel: qcancel}
-						w.remaining.Store(sc.cancelAfter)
-						bus = w
-					}
-					f := buildFixture(t, bus, 2, 3, 600, 1500, format.HWCName)
-					if sc.kill != "" {
-						// A handful of messages in either direction puts the
-						// endpoint mid-stream for every algorithm (Bloom
-						// exchange, shuffle, or result return).
-						f.eng.Bus().(netsim.FaultInjector).KillEndpointAfter(sc.kill, 4)
-					}
+						bus := tr.newBus()
+						if sc.cancelAfter > 0 {
+							qctx, qcancel := context.WithCancel(ctx)
+							ctx = qctx
+							w := &cancelAfterBus{Bus: bus, cancel: qcancel}
+							w.remaining.Store(sc.cancelAfter)
+							bus = w
+						}
+						f := buildFixture(t, bus, 2, 3, 600, 1500, format.HWCName)
+						f.eng.cfg.WorkerThreads = threads
+						if sc.kill != "" {
+							// A handful of messages in either direction puts the
+							// endpoint mid-stream for every algorithm (Bloom
+							// exchange, shuffle, or result return).
+							f.eng.Bus().(netsim.FaultInjector).KillEndpointAfter(sc.kill, 4)
+						}
 
-					q := exampleQuery(t, f, 300, 400)
-					start := time.Now()
-					_, err := f.eng.RunCtx(ctx, q, alg)
-					elapsed := time.Since(start)
-					if err == nil {
-						t.Fatalf("%s: query succeeded despite injected failure", sc.name)
-					}
-					if !errors.Is(err, sc.want) {
-						t.Fatalf("%s: err = %v, want errors.Is %v", sc.name, err, sc.want)
-					}
-					if elapsed >= abortTestDeadline {
-						t.Fatalf("%s: abort took %v; protocol stalled until the deadline", sc.name, elapsed)
-					}
-					if err := f.eng.Close(); err != nil {
-						t.Logf("engine close after abort: %v", err)
-					}
-					checkNoGoroutineLeak(t, baseline)
-				})
+						q := exampleQuery(t, f, 300, 400)
+						start := time.Now()
+						_, err := f.eng.RunCtx(ctx, q, alg)
+						elapsed := time.Since(start)
+						if err == nil {
+							t.Fatalf("%s: query succeeded despite injected failure", sc.name)
+						}
+						if !errors.Is(err, sc.want) {
+							t.Fatalf("%s: err = %v, want errors.Is %v", sc.name, err, sc.want)
+						}
+						if elapsed >= abortTestDeadline {
+							t.Fatalf("%s: abort took %v; protocol stalled until the deadline", sc.name, elapsed)
+						}
+						if err := f.eng.Close(); err != nil {
+							t.Logf("engine close after abort: %v", err)
+						}
+						checkNoGoroutineLeak(t, baseline)
+					})
+				}
 			}
 		}
 	}

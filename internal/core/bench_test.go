@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"hybridwh/internal/format"
@@ -19,17 +20,28 @@ import (
 // "scale=N" sizes the fixture at N× the unit-test base (300 T / 1000 L
 // rows per unit), so scale=100 joins 30k T rows against 100k L rows across
 // 4 DB and 6 JEN workers. rows/s is scanned input rows per second.
+//
+// "batch" pins Config.WorkerThreads to 1 (the deterministic single-threaded
+// pipeline); "batch-mt" raises it to GOMAXPROCS, measuring the morsel
+// scan/shuffle and partition-parallel probe. On a single-CPU host the two
+// coincide (modulo goroutine overhead).
 func BenchmarkScanFilterJoin(b *testing.B) {
 	for _, scale := range []int{10, 100} {
 		tN, lN := 300*scale, 1000*scale
 		for _, mode := range []struct {
 			name    string
 			rowMode bool
-		}{{"batch", false}, {"row", true}} {
+			threads int
+		}{
+			{"batch", false, 1},
+			{"batch-mt", false, runtime.GOMAXPROCS(0)},
+			{"row", true, 1},
+		} {
 			b.Run(fmt.Sprintf("scale=%d/%s", scale, mode.name), func(b *testing.B) {
 				f := buildFixture(b, netsim.NewChanBus(256), 4, 6, tN, lN, format.HWCName)
 				defer f.eng.Close()
 				f.eng.cfg.RowAtATime = mode.rowMode
+				f.eng.cfg.WorkerThreads = mode.threads
 				q := exampleQuery(b, f, 300, 400)
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {

@@ -13,6 +13,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync/atomic"
 
 	"hybridwh/internal/cluster"
@@ -109,6 +110,26 @@ type Config struct {
 	// flag exists as the measured baseline for the vectorized batch path
 	// (BenchmarkScanFilterJoin).
 	RowAtATime bool
+	// WorkerThreads is the intra-worker parallelism degree: how many morsel
+	// goroutines each JEN worker runs for its scan→filter→shuffle/build
+	// stage and its probe stage (the paper's multi-threaded JEN worker,
+	// Figure 7). Defaults to runtime.GOMAXPROCS(0). 1 reproduces the
+	// single-threaded pipeline bit-identically, counters included; higher
+	// degrees keep every deterministic counter (totals, message and byte
+	// counts) and the query result identical, while the per-thread split
+	// (metrics.JENMorselTuples/JoinProbeSplit .max) depends on scheduling.
+	// Row-at-a-time mode and the spilling join ignore it and stay
+	// single-threaded.
+	WorkerThreads int
+	// WireCompression frame-compresses every MsgRows payload with
+	// internal/compress before it reaches the bus, trading CPU for
+	// inter-cluster bandwidth (most visible on netsim.TCPBus links). Byte
+	// counters record the compressed sizes. Both ends of the bus must agree
+	// on the setting; the engine applies it symmetrically. A frame's
+	// compressed size depends on the row order inside it, so combined with
+	// WorkerThreads > 1 the byte counters leave the deterministic contract
+	// (tuple and message counts stay exact).
+	WireCompression bool
 }
 
 func (c Config) withDefaults(j *jen.Cluster) Config {
@@ -120,6 +141,9 @@ func (c Config) withDefaults(j *jen.Cluster) Config {
 	}
 	if c.BatchRows <= 0 {
 		c.BatchRows = j.BatchRows()
+	}
+	if c.WorkerThreads <= 0 {
+		c.WorkerThreads = runtime.GOMAXPROCS(0)
 	}
 	return c
 }

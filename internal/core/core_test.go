@@ -116,7 +116,10 @@ func buildFixture(t testing.TB, bus netsim.Bus, dbWorkers, jenWorkers, tN, lN in
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng, err := New(db, jc, bus, rec, Config{BloomBits: 1 << 14, BloomHashes: 2, BatchRows: 64})
+	// WorkerThreads pinned to 1: the fixture's tests assert bit-identical
+	// counter snapshots, which only the single-threaded pipeline guarantees
+	// on every host. Parallel tests raise it explicitly (parallel_test.go).
+	eng, err := New(db, jc, bus, rec, Config{BloomBits: 1 << 14, BloomHashes: 2, BatchRows: 64, WorkerThreads: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

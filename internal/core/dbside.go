@@ -116,6 +116,7 @@ func (e *Engine) jenIngestProgram(ctx context.Context, qs string, q *plan.JoinQu
 			Plan: scanPlan, Worker: w,
 			Proj: q.HDFSScanProj, Pred: q.HDFSPred, Pruner: q.Pruner(),
 			DBFilter: wrapBloom(bfdb), BloomKeyIdx: scanKey,
+			Threads: e.cfg.WorkerThreads,
 		}, func(sb *batch.Batch) error {
 			return b.sendBatch(dest, sb, q.HDFSWire)
 		})

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 
 	"hybridwh/internal/batch"
 	"hybridwh/internal/bloom"
@@ -107,7 +108,7 @@ func (e *Engine) dbShipProgram(ctx context.Context, qs string, q *plan.JoinQuery
 		} else {
 			// No Bloom filter to wait for: T' streams out batch-at-a-time as
 			// the partition scan produces it.
-			pr.fail(e.db.FilterProjectBatches(tbl, i, ap, q.DBProj, e.cfg.BatchRows, func(fb *batch.Batch) error {
+			pr.fail(e.db.FilterProjectBatches(tbl, i, ap, q.DBProj, e.cfg.BatchRows, e.cfg.WorkerThreads, func(fb *batch.Batch) error {
 				return b.scatterBatch(fb, nil, q.DBWireKey, destOf)
 			}))
 		}
@@ -224,6 +225,10 @@ func (e *Engine) jenRepartitionProgram(ctx context.Context, qs string, q *plan.J
 		Plan: scanPlan, Worker: w,
 		Proj: q.HDFSScanProj, Pred: q.HDFSPred, Pruner: q.Pruner(),
 		DBFilter: wrapBloom(bfdb), BuildBloom: bfh, BloomKeyIdx: scanKey,
+		// Morsel workers filter, bloom-probe and shuffle concurrently; the
+		// shared batcher keeps message counts deterministic (row mode forces
+		// the single-threaded seed pipeline inside ScanFilter).
+		Threads: e.cfg.WorkerThreads,
 	}
 	if runErr == nil {
 		var err error
@@ -272,7 +277,7 @@ func (e *Engine) jenRepartitionProgram(ctx context.Context, qs string, q *plan.J
 		if rowMode {
 			pr.fail(e.probeAndAggregate(ht, dbRows, q, agg, w))
 		} else {
-			pr.fail(e.probeAndAggregateBatches(ht, dbBatches, q, agg))
+			pr.fail(e.probeAndAggregateBatches(ht, dbBatches, q, agg, e.cfg.WorkerThreads))
 		}
 	}
 
@@ -358,8 +363,14 @@ func (e *Engine) probeAndAggregate(ht relop.JoinTable, dbRows []types.Row, q *pl
 
 // probeAndAggregateBatches is the batch path of probeAndAggregate: probe
 // batches drive JoinTable.ProbeBatch and matches accumulate through a
-// combiner. Counters are identical to the row path.
-func (e *Engine) probeAndAggregateBatches(ht relop.JoinTable, probes []*batch.Batch, q *plan.JoinQuery, agg *relop.HashAgg) error {
+// combiner. Counters are identical to the row path. With threads > 1 and a
+// purely in-memory table the probe fans out across goroutines; the spilling
+// table stays sequential (its partition files are not safe for concurrent
+// probing).
+func (e *Engine) probeAndAggregateBatches(ht relop.JoinTable, probes []*batch.Batch, q *plan.JoinQuery, agg *relop.HashAgg, threads int) error {
+	if mem, isMem := ht.(*relop.MemJoinTable); isMem && threads > 1 && len(probes) > 1 {
+		return e.probeAndAggregateParallel(mem, probes, q, agg, threads)
+	}
 	cmb := &combiner{e: e, q: q, agg: agg}
 	for _, pb := range probes {
 		if err := ht.ProbeBatch(pb, q.DBWireKey, cmb.add); err != nil {
@@ -373,6 +384,60 @@ func (e *Engine) probeAndAggregateBatches(ht relop.JoinTable, probes []*batch.Ba
 		return err
 	}
 	e.rec.Add(metrics.JoinOutputTuples, cmb.output)
+	return nil
+}
+
+// probeAndAggregateParallel fans the probe batches out over `threads`
+// goroutines against the sealed in-memory table (the probe stage of the
+// paper's multi-threaded JEN worker). Each goroutine folds its matches into a
+// private combiner and partial aggregate — no locks on the hot path — and the
+// privates merge into agg afterwards via MergePartial. Join output and group
+// totals are independent of how batches land on threads; only the per-thread
+// split (metrics.JoinProbeSplit) depends on scheduling.
+func (e *Engine) probeAndAggregateParallel(mem *relop.MemJoinTable, probes []*batch.Batch, q *plan.JoinQuery, agg *relop.HashAgg, threads int) error {
+	// Seal the flat table before any concurrent probe (idempotent — the
+	// caller's FinishBuild already did this on the normal path).
+	if err := mem.FinishBuild(); err != nil {
+		return err
+	}
+	if threads > len(probes) {
+		threads = len(probes)
+	}
+	cmbs := make([]*combiner, threads)
+	var next atomic.Int64
+	var g par.Group
+	for t := 0; t < threads; t++ {
+		t := t
+		cmbs[t] = &combiner{e: e, q: q, agg: relop.NewHashAgg(q.GroupBy, q.Aggs)}
+		g.Go(func() error {
+			var rows int64
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(probes) {
+					break
+				}
+				rows += int64(probes[i].Len())
+				if err := mem.ProbeBatch(probes[i], q.DBWireKey, cmbs[t].add); err != nil {
+					return err
+				}
+			}
+			e.rec.AddAt(metrics.JoinProbeSplit, t, rows)
+			return cmbs[t].flush()
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return err
+	}
+	var output int64
+	for _, cmb := range cmbs {
+		output += cmb.output
+		for _, partial := range cmb.agg.PartialRows() {
+			if err := agg.MergePartial(partial); err != nil {
+				return err
+			}
+		}
+	}
+	e.rec.Add(metrics.JoinOutputTuples, output)
 	return nil
 }
 
@@ -481,7 +546,7 @@ func (e *Engine) runBroadcast(ctx context.Context, qs string, q *plan.JoinQuery)
 			}
 			b := e.newBatcher(ctx, dbName(i), qs+"dbrows", dests, "", metrics.DBSentBytes, i)
 			var sent int64
-			err := e.db.FilterProjectBatches(tbl, i, accessPlan, q.DBProj, e.cfg.BatchRows, func(fb *batch.Batch) error {
+			err := e.db.FilterProjectBatches(tbl, i, accessPlan, q.DBProj, e.cfg.BatchRows, e.cfg.WorkerThreads, func(fb *batch.Batch) error {
 				sent += int64(fb.Len())
 				return b.broadcastBatch(fb, nil)
 			})
@@ -511,18 +576,23 @@ func (e *Engine) runBroadcast(ctx context.Context, qs string, q *plan.JoinQuery)
 			// Scan and probe in the pipeline; partial aggregation inline.
 			// Probe rows never leave the scan batch: the wire projection is
 			// materialized into scratch only for rows with a non-empty bucket.
+			// Morsel workers probe the sealed table lock-free and serialize
+			// only on the combiner; totals are independent of the interleaving.
 			agg := relop.NewHashAgg(q.GroupBy, q.Aggs)
 			cmb := &combiner{e: e, q: q, agg: agg}
+			var cmbMu sync.Mutex
 			scanKey := q.HDFSWire[q.HDFSWireKey]
-			var probes int64
-			var wire types.Row
+			var probes atomic.Int64
 			if runErr == nil {
+				ht.Build() // seal before concurrent probes
 				err := e.jen.ScanFilterBatches(jen.ScanSpec{
 					Plan: scanPlan, Worker: w,
 					Proj: q.HDFSScanProj, Pred: q.HDFSPred, Pruner: q.Pruner(),
+					Threads: e.cfg.WorkerThreads,
 				}, func(sb *batch.Batch) error {
-					probes += int64(sb.Len())
+					probes.Add(int64(sb.Len()))
 					keys := sb.Col(scanKey)
+					var wire types.Row
 					return sb.Each(func(i int) error {
 						bucket := ht.Probe(keys[i].Int())
 						if len(bucket) == 0 {
@@ -534,6 +604,8 @@ func (e *Engine) runBroadcast(ctx context.Context, qs string, q *plan.JoinQuery)
 						for j, p := range q.HDFSWire {
 							wire[j] = sb.Col(p)[i]
 						}
+						cmbMu.Lock()
+						defer cmbMu.Unlock()
 						for _, dbr := range bucket {
 							if err := cmb.add(wire, dbr); err != nil {
 								return err
@@ -545,7 +617,7 @@ func (e *Engine) runBroadcast(ctx context.Context, qs string, q *plan.JoinQuery)
 				firstErr(&runErr, err)
 				firstErr(&runErr, cmb.flush())
 			}
-			e.rec.AddAt(metrics.JoinProbeTuples, w, probes)
+			e.rec.AddAt(metrics.JoinProbeTuples, w, probes.Load())
 			e.rec.Add(metrics.JoinOutputTuples, cmb.output)
 
 			return e.finishHDFSAggregation(ctx, qs, q, agg, w, n, runErr)

@@ -3,9 +3,11 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"hybridwh/internal/batch"
 	"hybridwh/internal/bloom"
+	"hybridwh/internal/compress"
 	"hybridwh/internal/metrics"
 	"hybridwh/internal/netsim"
 	"hybridwh/internal/types"
@@ -27,6 +29,13 @@ import (
 // to types.EncodeRows over the same rows, and a buffer flushes exactly when
 // it reaches cfg.BatchRows rows, so message boundaries — and therefore the
 // byte counters — match the seed's row-at-a-time batcher bit for bit.
+//
+// A batcher is safe for concurrent use: morsel workers (Config.WorkerThreads
+// > 1) feed one shared batcher per stream under its mutex. Sharing — rather
+// than one batcher per thread — is what keeps the message counts
+// deterministic: a destination's buffer still flushes exactly when it
+// reaches cfg.BatchRows rows, so per-destination message and byte totals
+// depend only on the row totals, not on which thread appended which row.
 type batcher struct {
 	e      *Engine
 	ctx    context.Context
@@ -34,14 +43,16 @@ type batcher struct {
 	stream string
 	size   int
 	dests  []string
-	bufs   map[string]*batch.Batch
+
+	mu   sync.Mutex
+	bufs map[string]*batch.Batch // guarded by mu
 
 	// Counter names (vector counters, indexed by slot); empty to skip.
 	tupleCounter string
 	byteCounter  string
 	slot         int
 
-	tuples int64
+	tuples int64 // guarded by mu
 }
 
 // newBatcher creates a batcher. dests is the full set of endpoints this
@@ -56,9 +67,9 @@ func (e *Engine) newBatcher(ctx context.Context, from, stream string, dests []st
 	}
 }
 
-// buf returns dest's buffer, creating it with the stream's row width on
-// first use (all rows of one stream share a layout).
-func (b *batcher) buf(dest string, ncols int) *batch.Batch {
+// bufLocked returns dest's buffer, creating it with the stream's row width
+// on first use (all rows of one stream share a layout). Callers hold mu.
+func (b *batcher) bufLocked(dest string, ncols int) *batch.Batch {
 	bb := b.bufs[dest]
 	if bb == nil {
 		bb = batch.New(ncols, b.size)
@@ -67,21 +78,30 @@ func (b *batcher) buf(dest string, ncols int) *batch.Batch {
 	return bb
 }
 
-// send queues one row for dest, flushing a full batch.
-func (b *batcher) send(dest string, row types.Row) error {
-	bb := b.buf(dest, len(row))
+// sendLocked queues one row for dest, flushing a full batch. Callers hold mu.
+func (b *batcher) sendLocked(dest string, row types.Row) error {
+	bb := b.bufLocked(dest, len(row))
 	bb.AppendRow(row)
 	b.tuples++
 	if bb.Full() {
-		return b.flush(dest)
+		return b.flushLocked(dest)
 	}
 	return nil
 }
 
+// send queues one row for dest, flushing a full batch.
+func (b *batcher) send(dest string, row types.Row) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sendLocked(dest, row)
+}
+
 // broadcast queues one row for every destination.
 func (b *batcher) broadcast(row types.Row) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	for _, d := range b.dests {
-		if err := b.send(d, row); err != nil {
+		if err := b.sendLocked(d, row); err != nil {
 			return err
 		}
 	}
@@ -90,8 +110,10 @@ func (b *batcher) broadcast(row types.Row) error {
 
 // sendRows queues a materialized row slice for one destination.
 func (b *batcher) sendRows(dest string, rows []types.Row) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	for _, r := range rows {
-		if err := b.send(dest, r); err != nil {
+		if err := b.sendLocked(dest, r); err != nil {
 			return err
 		}
 	}
@@ -100,8 +122,10 @@ func (b *batcher) sendRows(dest string, rows []types.Row) error {
 
 // scatterRows routes each row by its key column through destOf.
 func (b *batcher) scatterRows(rows []types.Row, keyIdx int, destOf func(key int64) string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	for _, r := range rows {
-		if err := b.send(destOf(r[keyIdx].Int()), r); err != nil {
+		if err := b.sendLocked(destOf(r[keyIdx].Int()), r); err != nil {
 			return err
 		}
 	}
@@ -110,31 +134,42 @@ func (b *batcher) scatterRows(rows []types.Row, keyIdx int, destOf func(key int6
 
 // broadcastRows queues a materialized row slice for every destination.
 func (b *batcher) broadcastRows(rows []types.Row) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	for _, r := range rows {
-		if err := b.broadcast(r); err != nil {
-			return err
+		for _, d := range b.dests {
+			if err := b.sendLocked(d, r); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
+}
+
+// sendBatchLocked queues every live row of src for dest. Callers hold mu.
+func (b *batcher) sendBatchLocked(dest string, src *batch.Batch, proj []int) error {
+	ncols := src.NumCols()
+	if proj != nil {
+		ncols = len(proj)
+	}
+	bb := b.bufLocked(dest, ncols)
+	return src.Each(func(i int) error {
+		bb.AppendFrom(src, i, proj)
+		b.tuples++
+		if bb.Full() {
+			return b.flushLocked(dest)
+		}
+		return nil
+	})
 }
 
 // sendBatch queues every live row of src for dest, projected through proj
 // (src column indexes; nil copies positionally). src is on loan: its values
 // are copied into the destination buffer.
 func (b *batcher) sendBatch(dest string, src *batch.Batch, proj []int) error {
-	ncols := src.NumCols()
-	if proj != nil {
-		ncols = len(proj)
-	}
-	bb := b.buf(dest, ncols)
-	return src.Each(func(i int) error {
-		bb.AppendFrom(src, i, proj)
-		b.tuples++
-		if bb.Full() {
-			return b.flush(dest)
-		}
-		return nil
-	})
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sendBatchLocked(dest, src, proj)
 }
 
 // scatterBatch routes every live row of src by its key column (an index
@@ -146,13 +181,15 @@ func (b *batcher) scatterBatch(src *batch.Batch, proj []int, keyIdx int, destOf 
 		ncols = len(proj)
 	}
 	keys := src.Col(keyIdx)
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	return src.Each(func(i int) error {
 		dest := destOf(keys[i].Int())
-		bb := b.buf(dest, ncols)
+		bb := b.bufLocked(dest, ncols)
 		bb.AppendFrom(src, i, proj)
 		b.tuples++
 		if bb.Full() {
-			return b.flush(dest)
+			return b.flushLocked(dest)
 		}
 		return nil
 	})
@@ -161,15 +198,19 @@ func (b *batcher) scatterBatch(src *batch.Batch, proj []int, keyIdx int, destOf 
 // broadcastBatch queues every live row of src for every destination.
 // Tuples are counted once per copy, exactly as per-row broadcast does.
 func (b *batcher) broadcastBatch(src *batch.Batch, proj []int) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	for _, d := range b.dests {
-		if err := b.sendBatch(d, src, proj); err != nil {
+		if err := b.sendBatchLocked(d, src, proj); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (b *batcher) flush(dest string) error {
+// flushLocked ships dest's buffered rows as one framed message. Callers
+// hold mu.
+func (b *batcher) flushLocked(dest string) error {
 	bb := b.bufs[dest]
 	if bb == nil || bb.Size() == 0 {
 		return nil
@@ -181,6 +222,11 @@ func (b *batcher) flush(dest string) error {
 	}
 	payload := batch.EncodeBatch(bb)
 	bb.Reset()
+	if b.e.cfg.WireCompression {
+		// Frame compression (Config.WireCompression): the byte counters see
+		// the compressed size — what actually crosses the interconnect.
+		payload = compress.Encode(payload)
+	}
 	if b.byteCounter != "" {
 		b.e.rec.AddAt(b.byteCounter, b.slot, int64(len(payload)))
 	}
@@ -190,11 +236,15 @@ func (b *batcher) flush(dest string) error {
 // Close flushes every buffer and sends EOS to every destination. It must
 // run even on error paths (usually via defer) so receivers never hang —
 // and a send failure to one destination must not drop the partial buffers
-// of the others, so every flush is attempted.
+// of the others, so every flush is attempted. It runs after the feeding
+// workers have joined, so the lock is uncontended; holding it keeps the
+// guard invariant unconditional.
 func (b *batcher) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	var firstErr error
 	for _, d := range b.dests {
-		if err := b.flush(d); err != nil && firstErr == nil {
+		if err := b.flushLocked(d); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -220,7 +270,10 @@ func (b *batcher) CloseWith(runErr error) error {
 	}
 	err := b.e.sendAbort(b.from, b.stream, runErr, b.dests)
 	if b.tupleCounter != "" {
-		b.e.rec.AddAt(b.tupleCounter, b.slot, b.tuples)
+		b.mu.Lock()
+		tuples := b.tuples
+		b.mu.Unlock()
+		b.e.rec.AddAt(b.tupleCounter, b.slot, tuples)
 	}
 	return err
 }
@@ -265,7 +318,16 @@ func (e *Engine) recvBatches(ctx context.Context, at, stream string, senders int
 		if consumeErr != nil {
 			return // already failed; keep draining the protocol
 		}
-		if err := batch.DecodeBatch(env.Payload, decoded); err != nil {
+		payload := env.Payload
+		if e.cfg.WireCompression {
+			raw, err := compress.Decode(payload)
+			if err != nil {
+				consumeErr = fmt.Errorf("core: %s decompressing %s from %s: %w", at, stream, env.From, err)
+				return
+			}
+			payload = raw
+		}
+		if err := batch.DecodeBatch(payload, decoded); err != nil {
 			consumeErr = fmt.Errorf("core: %s decoding %s from %s: %w", at, stream, env.From, err)
 			return
 		}

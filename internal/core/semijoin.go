@@ -295,7 +295,7 @@ func (e *Engine) jenSemiProgram(ctx context.Context, qs string, q *plan.JoinQuer
 
 	agg := relop.NewHashAgg(q.GroupBy, q.Aggs)
 	if runErr == nil {
-		pr.fail(e.probeAndAggregateBatches(ht, dbBatches, q, agg))
+		pr.fail(e.probeAndAggregateBatches(ht, dbBatches, q, agg, e.cfg.WorkerThreads))
 	}
 	return e.finishHDFSAggregation(ctx, qs, q, agg, w, n, runErr)
 }

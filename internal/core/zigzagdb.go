@@ -60,6 +60,7 @@ func (e *Engine) runZigzagDB(ctx context.Context, qs string, q *plan.JoinQuery) 
 			Plan: scanPlan, Worker: w,
 			Proj: q.HDFSScanProj, Pred: q.HDFSPred, Pruner: q.Pruner(),
 			DBFilter: wrapBloom(bfdb), BuildBloom: bfh, BloomKeyIdx: scanKey,
+			Threads: e.cfg.WorkerThreads,
 		}, func(*batch.Batch) error { return nil })
 		locals[w] = bfh
 		return err
@@ -108,6 +109,7 @@ func (e *Engine) runZigzagDB(ctx context.Context, qs string, q *plan.JoinQuery) 
 				Plan: scanPlan, Worker: w,
 				Proj: q.HDFSScanProj, Pred: q.HDFSPred, Pruner: q.Pruner(),
 				DBFilter: wrapBloom(bfdb), BloomKeyIdx: scanKey,
+				Threads: e.cfg.WorkerThreads,
 			}, func(sb *batch.Batch) error {
 				return b.sendBatch(dest, sb, q.HDFSWire)
 			})

@@ -25,6 +25,9 @@ func FilterBatch(pred Expr, b *batch.Batch) error {
 		return nil
 	case *Logic:
 		if e.Op == And {
+			if ok, err := filterSharedCmpAnd(e, b); ok || err != nil {
+				return err
+			}
 			// Successive narrowing: each term only sees survivors of the
 			// previous terms, mirroring Eval's short circuit.
 			for _, t := range e.Terms {
@@ -45,6 +48,54 @@ func FilterBatch(pred Expr, b *batch.Batch) error {
 		return filterCmpColumns(e, b)
 	}
 	return filterFallback(pred, b)
+}
+
+// filterSharedCmpAnd fuses an AND whose terms all compare the *same* operand
+// subtree (pointer-equal Expr, the DAG shape plan builders produce for range
+// predicates like lo <= days(t)-days(l) <= hi) against literals. The shared
+// operand is evaluated once for the whole batch instead of once per term —
+// on the post-join path that halves the expression work per joined row. ok
+// reports whether the shape was handled. Semantics match the successive-
+// narrowing path: the operand is pure, and literal sides cannot fail, so
+// evaluating once and testing all bounds per row is Eval's short circuit.
+func filterSharedCmpAnd(e *Logic, b *batch.Batch) (ok bool, err error) {
+	if len(e.Terms) < 2 {
+		return false, nil
+	}
+	first, isCmp := e.Terms[0].(*Cmp)
+	if !isCmp {
+		return false, nil
+	}
+	lits := make([]types.Value, len(e.Terms))
+	ops := make([]CmpOp, len(e.Terms))
+	for i, t := range e.Terms {
+		c, isCmp := t.(*Cmp)
+		if !isCmp || c.L != first.L {
+			return false, nil
+		}
+		lit, isLit := c.R.(*Lit)
+		if !isLit {
+			return false, nil
+		}
+		lits[i], ops[i] = lit.V, c.Op
+	}
+	lv, lput, err := evalTemp(first.L, b)
+	if err != nil {
+		return true, err
+	}
+	defer lput()
+	j := 0
+	b.Filter(func(int) bool {
+		v := lv[j]
+		j++
+		for i := range ops {
+			if !cmpTruth(ops[i], v, lits[i]) {
+				return false
+			}
+		}
+		return true
+	})
+	return true, nil
 }
 
 // filterCmpColumns narrows b's selection by comparing the batch-evaluated
@@ -142,7 +193,19 @@ func cmpTruth(op CmpOp, lv, rv types.Value) bool {
 	if lv.IsNull() || rv.IsNull() {
 		return false
 	}
-	n := types.Compare(lv, rv)
+	var n int
+	if lv.K == rv.K && lv.K != types.KindString && lv.K != types.KindFloat64 {
+		// Same-kind integer compare (the fused range filter's case): skip
+		// the general kind analysis.
+		switch {
+		case lv.I < rv.I:
+			n = -1
+		case lv.I > rv.I:
+			n = 1
+		}
+	} else {
+		n = types.Compare(lv, rv)
+	}
 	switch op {
 	case EQ:
 		return n == 0
@@ -228,7 +291,24 @@ func EvalBatchInto(e Expr, b *batch.Batch, out []types.Value) ([]types.Value, er
 			out = make([]types.Value, 0, len(lv))
 		}
 		for k := range lv {
-			v, err := e.combine(lv[k], rv[k])
+			l, r := lv[k], rv[k]
+			// Plain int64 arithmetic (e.g. the days() difference) without
+			// the general kind dispatch; Div falls through for its zero
+			// check, and Date operands for their kind-preserving result.
+			if l.K == types.KindInt64 && r.K == types.KindInt64 && e.Op != Div {
+				var o int64
+				switch e.Op {
+				case Add:
+					o = l.I + r.I
+				case Sub:
+					o = l.I - r.I
+				case Mul:
+					o = l.I * r.I
+				}
+				out = append(out, types.Int64(o))
+				continue
+			}
+			v, err := e.combine(l, r)
 			if err != nil {
 				return out, err
 			}
@@ -247,6 +327,12 @@ func EvalBatchInto(e Expr, b *batch.Batch, out []types.Value) ([]types.Value, er
 			}
 			defer put()
 			args[i] = col
+		}
+		if e.Fn.Batch != nil {
+			if out == nil {
+				out = make([]types.Value, 0, b.Len())
+			}
+			return e.Fn.Batch(args, out)
 		}
 		vals := make([]types.Value, len(e.Args))
 		n := b.Len()

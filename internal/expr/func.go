@@ -17,6 +17,12 @@ type Func struct {
 	Arity  int
 	Result types.Kind
 	Apply  func(args []types.Value) (types.Value, error)
+	// Batch, when set, is the vectorized form: args holds one evaluated
+	// column per argument, and the function appends one result per row to
+	// out. It must agree with Apply value-for-value — the batch kernels in
+	// internal/expr use it to skip the per-row argument copy and indirect
+	// call on hot paths (the post-join predicate sees every joined row).
+	Batch func(args [][]types.Value, out []types.Value) ([]types.Value, error)
 }
 
 // Registry maps function names (case-insensitive) to implementations.
@@ -117,6 +123,19 @@ func builtins() []*Func {
 				}
 				return types.Int64(a[0].I), nil
 			},
+			Batch: func(args [][]types.Value, out []types.Value) ([]types.Value, error) {
+				for _, v := range args[0] {
+					switch v.K {
+					case types.KindNull:
+						out = append(out, types.Null)
+					case types.KindDate:
+						out = append(out, types.Int64(v.I))
+					default:
+						return out, fmt.Errorf("days: want date, got %s", v.K)
+					}
+				}
+				return out, nil
+			},
 		},
 		{
 			// region(ip) — maps a dotted-quad IP to a coarse US region by
@@ -170,6 +189,38 @@ func builtins() []*Func {
 					return types.Null, fmt.Errorf("extract_group: malformed %q", s)
 				}
 				return types.Int64(n), nil
+			},
+			Batch: func(args [][]types.Value, out []types.Value) ([]types.Value, error) {
+				for _, v := range args[0] {
+					if v.K != types.KindString {
+						return out, fmt.Errorf("extract_group: want string, got %s", v.K)
+					}
+					s := v.S
+					i := strings.IndexByte(s, '-')
+					if i < 0 {
+						return out, fmt.Errorf("extract_group: malformed %q", s)
+					}
+					// Inline digit parse: the group id is a short decimal run
+					// right after the dash.
+					var n int64
+					j := i + 1
+					for ; j < len(s) && s[j] >= '0' && s[j] <= '9'; j++ {
+						n = n*10 + int64(s[j]-'0')
+					}
+					if j-i-1 > 18 {
+						// Possible overflow: defer to the scalar parser so
+						// batch and row agree on the boundary cases.
+						p, err := strconv.ParseInt(s[i+1:j], 10, 64)
+						if err != nil {
+							return out, fmt.Errorf("extract_group: malformed %q", s)
+						}
+						n = p
+					} else if j == i+1 {
+						return out, fmt.Errorf("extract_group: malformed %q", s)
+					}
+					out = append(out, types.Int64(n))
+				}
+				return out, nil
 			},
 		},
 		{

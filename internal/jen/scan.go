@@ -49,9 +49,18 @@ type ScanSpec struct {
 	DBFilter KeyFilter
 	// BuildBloom, when set, is populated with the BloomKey of every
 	// surviving row (BF_H construction during the scan — zigzag step 3b).
+	// With Threads > 1 each process goroutine fills a private filter of the
+	// same geometry; the privates are OR-ed into BuildBloom at the end, so
+	// the final filter is independent of batch interleaving.
 	BuildBloom *bloom.Filter
 	// BloomKeyIdx is the join-key column in the projected layout.
 	BloomKeyIdx int
+	// Threads is the number of process goroutines consuming scanned batches
+	// (the morsel workers of the paper's Figure 7 multi-threaded JEN
+	// worker). 0 or 1 runs the process stage on the caller's goroutine,
+	// byte-for-byte the sequential pipeline. With Threads > 1, yield is
+	// called concurrently and must be safe for concurrent use.
+	Threads int
 }
 
 // projWidth returns the projected column count of the spec's output layout.
@@ -134,36 +143,73 @@ func (c *Cluster) ScanFilterBatches(spec ScanSpec, yield func(*batch.Batch) erro
 		readerErr <- err
 	}()
 
-	// Process stage: runs on the caller's goroutine. The "processed" counter
-	// charges physical rows — what the paper's process thread pulls off the
-	// read queue — so pre-narrowed selections do not change it.
-	var procErr error
-	var processed int64
-	var hashes []uint64
-	var hits []bool
-	for b := range batchCh {
-		if procErr != nil {
-			pool.Put(b) // drain so readers do not block forever
-			continue
+	// Process stage. The "processed" counter charges physical rows — what
+	// the paper's process thread pulls off the read queue — so pre-narrowed
+	// selections do not change it. One morsel worker per spec.Threads; each
+	// filters, bloom-probes and yields independently, always draining the
+	// channel after a failure so readers never block forever.
+	threads := spec.Threads
+	if threads < 1 {
+		threads = 1
+	}
+	locals := make([]*bloom.Filter, threads)
+	work := func(t int) error {
+		tspec := spec
+		if spec.BuildBloom != nil && threads > 1 {
+			tspec.BuildBloom = bloom.New(spec.BuildBloom.MBits(), spec.BuildBloom.K())
+			locals[t] = tspec.BuildBloom
 		}
-		processed += int64(b.Size())
-		if err := c.filterBatch(spec, b, &hashes, &hits); err != nil {
-			procErr = err
-		} else if b.Len() > 0 {
-			if err := yield(b); err != nil {
+		var procErr error
+		var processed int64
+		var hashes []uint64
+		var hits []bool
+		for b := range batchCh {
+			if procErr != nil {
+				pool.Put(b) // drain so readers do not block forever
+				continue
+			}
+			processed += int64(b.Size())
+			if err := c.filterBatch(tspec, b, &hashes, &hits); err != nil {
 				procErr = err
+			} else if b.Len() > 0 {
+				if err := yield(b); err != nil {
+					procErr = err
+				}
+			}
+			pool.Put(b)
+			if procErr != nil {
+				stopOnce.Do(func() { close(stop) })
 			}
 		}
-		pool.Put(b)
-		if procErr != nil {
-			stopOnce.Do(func() { close(stop) })
+		c.rec.AddAt(metrics.JENProcessTuples, spec.Worker, processed)
+		c.rec.AddAt(metrics.JENMorselTuples, t, processed)
+		return procErr
+	}
+	var procErr error
+	if threads == 1 {
+		procErr = work(0)
+	} else {
+		var pg par.Group
+		for t := 0; t < threads; t++ {
+			t := t
+			pg.Go(func() error { return work(t) })
+		}
+		procErr = pg.Wait()
+		if spec.BuildBloom != nil && procErr == nil {
+			// Bitwise OR is commutative, so the merged filter does not
+			// depend on which thread processed which batch.
+			for _, l := range locals {
+				if err := spec.BuildBloom.Union(l); err != nil {
+					procErr = err
+					break
+				}
+			}
 		}
 	}
 	rerr := <-readerErr
 
 	c.rec.AddAt(metrics.JENScanBytes, spec.Worker, scanStats.s.BytesRead)
 	c.rec.AddAt(metrics.JENScanRows, spec.Worker, scanStats.s.RowsRead)
-	c.rec.AddAt(metrics.JENProcessTuples, spec.Worker, processed)
 
 	if procErr != nil {
 		return procErr
@@ -221,6 +267,7 @@ func (c *Cluster) filterBatch(spec ScanSpec, b *batch.Batch, hashes *[]uint64, h
 func (c *Cluster) ScanFilter(spec ScanSpec, yield func(types.Row) error) error {
 	rowSpec := spec
 	rowSpec.Pred, rowSpec.DBFilter, rowSpec.BuildBloom = nil, nil, nil
+	rowSpec.Threads = 1 // the seed pipeline is strictly single-threaded
 	return c.ScanFilterBatches(rowSpec, func(b *batch.Batch) error {
 		return b.Each(func(i int) error {
 			row := b.CloneRow(i)

@@ -10,6 +10,7 @@ import (
 	"hybridwh/internal/lint/analysis"
 	"hybridwh/internal/lint/errwrap"
 	"hybridwh/internal/lint/gohygiene"
+	"hybridwh/internal/lint/hotalloc"
 	"hybridwh/internal/lint/load"
 	"hybridwh/internal/lint/mutexguard"
 	"hybridwh/internal/lint/nondet"
@@ -26,6 +27,7 @@ func Analyzers() []*analysis.Analyzer {
 		errwrap.Analyzer,
 		mutexguard.Analyzer,
 		rowloop.Analyzer,
+		hotalloc.Analyzer,
 	}
 }
 
@@ -49,6 +51,15 @@ var batchPlanePkgs = map[string]bool{
 	"hybridwh/internal/edw":  true,
 }
 
+// hotPathPkgs are the packages holding the batch join hot paths (the flat
+// hash table and the engines driving it); only they are subject to the
+// hotalloc analyzer.
+var hotPathPkgs = map[string]bool{
+	"hybridwh/internal/relop": true,
+	"hybridwh/internal/core":  true,
+	"hybridwh/internal/jen":   true,
+}
+
 // Applies reports whether an analyzer runs on a package.
 func Applies(a *analysis.Analyzer, pkg *load.Package) bool {
 	path := pkg.ImportPath
@@ -60,6 +71,8 @@ func Applies(a *analysis.Analyzer, pkg *load.Package) bool {
 		return deterministicPkgs[path]
 	case "rowloop":
 		return batchPlanePkgs[path]
+	case "hotalloc":
+		return hotPathPkgs[path]
 	case "gohygiene":
 		// par is the abstraction bare goroutines should flow through, and
 		// the lint tree never spawns goroutines; everything else under

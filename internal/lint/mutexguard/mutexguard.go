@@ -14,13 +14,17 @@
 //     otherwise);
 //   - functions whose name starts with New/new are exempt (single-goroutine
 //     constructors), as are composite-literal initializations, which never
-//     take the selector form.
+//     take the selector form;
+//   - functions whose name ends in Locked are exempt: the suffix is the
+//     repo's convention for "caller holds the mutex", and every call site of
+//     such a helper sits inside a function the analyzer does check.
 package mutexguard
 
 import (
 	"go/ast"
 	"go/types"
 	"regexp"
+	"strings"
 
 	"hybridwh/internal/lint/analysis"
 	"hybridwh/internal/lint/astwalk"
@@ -52,7 +56,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 				return
 			}
 			fd := astwalk.EnclosingFuncDecl(stack)
-			if fd == nil || isConstructor(fd) {
+			if fd == nil || isConstructor(fd) || isLockedHelper(fd) {
 				return
 			}
 			if holdsLock(pass, fd.Body, sel.X, mu) {
@@ -107,6 +111,12 @@ func guardAnnotation(field *ast.Field) string {
 func isConstructor(fd *ast.FuncDecl) bool {
 	name := fd.Name.Name
 	return len(name) >= 3 && (name[:3] == "New" || name[:3] == "new")
+}
+
+// isLockedHelper reports whether the function declares, by the Locked name
+// suffix, that its callers hold the mutex.
+func isLockedHelper(fd *ast.FuncDecl) bool {
+	return strings.HasSuffix(fd.Name.Name, "Locked")
 }
 
 // holdsLock reports whether body contains base.<mu>.Lock() or

@@ -1,0 +1,77 @@
+// Package hotalloc is golden testdata for the hotalloc analyzer.
+package hotalloc
+
+// rows mimics a columnar batch: Each drives a per-row callback.
+type rows struct{ keys []int64 }
+
+func (r *rows) each(fn func(i int) error) error {
+	for i := range r.keys {
+		if err := fn(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mapTable is the regression the analyzer exists to catch: the old
+// map-of-buckets hash table, rebuilt inside a batch hot path.
+type mapTable struct{ buckets map[int64][]int64 }
+
+func (t *mapTable) InsertBatch(r *rows) error {
+	if t.buckets == nil {
+		t.buckets = make(map[int64][]int64) // want `map constructed in InsertBatch, reachable from InsertBatch`
+	}
+	return r.each(func(i int) error {
+		k := r.keys[i]
+		t.buckets[k] = append(t.buckets[k], k) // want `per-row append into a map bucket in InsertBatch`
+		return nil
+	})
+}
+
+// ProbeBatch reaches the map through a helper: reachability, not lexical
+// position, decides what is hot.
+func (t *mapTable) ProbeBatch(r *rows) error {
+	return r.each(func(i int) error {
+		return t.probeOne(r.keys[i])
+	})
+}
+
+func (t *mapTable) probeOne(k int64) error {
+	seen := map[int64]bool{} // want `map constructed in probeOne, reachable from ProbeBatch`
+	seen[k] = true
+	_ = t.buckets[k]
+	return nil
+}
+
+// flatTable is the sanctioned layout: amortized slice staging in the hot
+// path must not be flagged.
+type flatTable struct {
+	keys  []int64
+	rows  []int64
+	index map[int64]int32
+}
+
+func (t *flatTable) InsertBatch(r *rows) error {
+	return r.each(func(i int) error {
+		t.keys = append(t.keys, r.keys[i]) // amortized slice staging: allowed
+		t.rows = append(t.rows, r.keys[i])
+		return nil
+	})
+}
+
+// buildIndex is cold — nothing named InsertBatch/ProbeBatch reaches it, so
+// its map is fine (build-once lookup structures live outside the per-batch
+// path).
+func (t *flatTable) buildIndex() {
+	t.index = make(map[int64]int32, len(t.keys))
+	for i, k := range t.keys {
+		t.index[k] = int32(i)
+	}
+}
+
+// Insert is per-row API, not a batch hot path root; the analyzer keys on
+// the InsertBatch/ProbeBatch names only.
+func (t *flatTable) Insert(k int64) {
+	scratch := map[int64]bool{} // not reachable from a batch root: allowed
+	scratch[k] = true
+}

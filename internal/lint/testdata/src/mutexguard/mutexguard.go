@@ -24,6 +24,19 @@ func (c *counter) racy() int {
 	return c.n // want `n is guarded by mu, but racy does not lock it`
 }
 
+// incLocked is the caller-holds-the-lock convention: the Locked suffix
+// exempts it, and its callers are still checked.
+func (c *counter) incLocked() {
+	c.n++ // Locked-suffix helper: allowed
+}
+
+func (c *counter) incTwice() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.incLocked()
+	c.incLocked()
+}
+
 func NewCounter(n int) *counter {
 	c := &counter{}
 	c.n = n // constructor: allowed

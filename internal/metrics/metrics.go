@@ -184,4 +184,12 @@ const (
 	// JEN worker pipeline accounting (for the cost model's overlap rules).
 	JENProcessTuples = "jen.process.tuples" // vector: rows through the process thread
 	JENRecvTuples    = "jen.recv.tuples"    // vector: shuffled rows received
+
+	// Intra-worker parallelism accounting. Slots index the morsel/probe
+	// thread, not the worker: the sum equals the corresponding per-worker
+	// totals, while the max exposes thread-level skew. With more than one
+	// thread the per-slot split (and so the .max) depends on scheduling —
+	// diagnostic only, not part of the deterministic counter contract.
+	JENMorselTuples = "jen.morsel.tuples" // vector: rows processed per morsel thread
+	JoinProbeSplit  = "join.probe.split"  // vector: probe rows handled per probe thread
 )

@@ -1,0 +1,48 @@
+// Package prof wires the standard pprof profilers into the command-line
+// tools (-cpuprofile / -memprofile on hwbench and hwquery), so hot-path work
+// like the morsel pipeline can be profiled end to end without a test harness.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins the profiles selected by the (possibly empty) file paths and
+// returns a stop function that finishes them; call it exactly once, after
+// the measured work (defer is the usual shape). The CPU profile streams for
+// the lifetime of the run; the heap profile is a single allocation snapshot
+// taken at stop, after a GC, so it reflects live memory at end of run.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: start cpu profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // report live allocations, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "prof: write heap profile:", err)
+			}
+		}
+	}, nil
+}

@@ -60,8 +60,12 @@ func (m *MemJoinTable) InsertBatch(b *batch.Batch) error { return m.H.InsertBatc
 // Len implements JoinTable.
 func (m *MemJoinTable) Len() int64 { return m.H.Len() }
 
-// FinishBuild implements JoinTable.
-func (m *MemJoinTable) FinishBuild() error { return nil }
+// FinishBuild implements JoinTable: it seals the flat table so subsequent
+// probes (possibly from several goroutines) never mutate it.
+func (m *MemJoinTable) FinishBuild() error {
+	m.H.Build()
+	return nil
+}
 
 // Probe implements JoinTable.
 func (m *MemJoinTable) Probe(probeRow types.Row, probeKeyIdx int, emit func(buildRow, probeRow types.Row) error) error {
@@ -77,7 +81,7 @@ func (m *MemJoinTable) Probe(probeRow types.Row, probeKeyIdx int, emit func(buil
 }
 
 // ProbeBatch implements JoinTable. The probe row is materialized into reused
-// scratch only when its bucket is non-empty, so misses cost one map lookup.
+// scratch only when its bucket is non-empty, so misses cost one table probe.
 func (m *MemJoinTable) ProbeBatch(b *batch.Batch, probeKeyIdx int, emit func(buildRow, probeRow types.Row) error) error {
 	if probeKeyIdx >= b.NumCols() {
 		return fmt.Errorf("relop: probe key column %d out of range", probeKeyIdx)
@@ -220,12 +224,8 @@ func (s *SpillingHashTable) Insert(row types.Row) error {
 		// Budget exceeded: dump the in-memory table to partitions and
 		// switch to spill mode.
 		s.spilling = true
-		for _, bucket := range s.mem.buckets {
-			for _, r := range bucket {
-				if err := s.spillBuild(r); err != nil {
-					return err
-				}
-			}
+		if err := s.mem.EachRow(s.spillBuild); err != nil {
+			return err
 		}
 		s.mem = NewHashTable(s.keyIdx)
 		s.memBytes = 0
@@ -259,6 +259,7 @@ func (s *SpillingHashTable) Spilled() bool { return s.spilling }
 // FinishBuild implements JoinTable.
 func (s *SpillingHashTable) FinishBuild() error {
 	s.sealed = true
+	s.mem.Build()
 	return nil
 }
 

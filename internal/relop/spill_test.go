@@ -5,6 +5,7 @@ import (
 	"sort"
 	"testing"
 
+	"hybridwh/internal/batch"
 	"hybridwh/internal/types"
 )
 
@@ -73,6 +74,70 @@ func TestSpillingMatchesInMemory(t *testing.T) {
 	}
 	if len(got) != len(want) {
 		t.Fatalf("spilled join: %d matches, in-memory %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("match %d: %q != %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSpillingBatchesUnderMemoryPressure drives the spill path the way the
+// engines do — batch inserts and batch probes — with a budget small enough
+// that the partitioned in-memory table is dumped mid-build, and checks the
+// grace join against the in-memory reference.
+func TestSpillingBatchesUnderMemoryPressure(t *testing.T) {
+	build := mkRows(3000, 200, "b")
+	probe := mkRows(800, 400, "p")
+	toBatches := func(rows []types.Row) []*batch.Batch {
+		var bs []*batch.Batch
+		for lo := 0; lo < len(rows); lo += 64 {
+			hi := lo + 64
+			if hi > len(rows) {
+				hi = len(rows)
+			}
+			b := batch.New(len(rows[0]), hi-lo)
+			for _, r := range rows[lo:hi] {
+				b.AppendRow(r)
+			}
+			bs = append(bs, b)
+		}
+		return bs
+	}
+
+	want := joinAll(t, NewMemJoinTable(0), build, probe, 0)
+
+	sp, err := NewSpillingHashTable(0, 8192, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range toBatches(build) {
+		if err := sp.InsertBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sp.FinishBuild(); err != nil {
+		t.Fatal(err)
+	}
+	if !sp.Spilled() {
+		t.Fatal("expected batch inserts to overflow the budget")
+	}
+	var got []string
+	emit := func(b, p types.Row) error {
+		got = append(got, fmt.Sprintf("%s|%s", b.String(), p.String()))
+		return nil
+	}
+	for _, pb := range toBatches(probe) {
+		if err := sp.ProbeBatch(pb, 0, emit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sp.Drain(emit); err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(got)
+	if len(got) != len(want) {
+		t.Fatalf("spilled batch join: %d matches, in-memory %d", len(got), len(want))
 	}
 	for i := range want {
 		if got[i] != want[i] {
