@@ -28,14 +28,15 @@ test:
 # makes a reintroduced protocol hang (abort/fault-injection tests in core and
 # netsim) fail in minutes instead of the 10-minute default.
 race:
-	$(GO) test -race -timeout=120s ./internal/netsim/ ./internal/par/ ./internal/jen/ ./internal/core/
+	$(GO) test -race -timeout=120s ./internal/netsim/ ./internal/par/ ./internal/jen/ ./internal/core/ ./internal/skew/
 
 # Full sweep at one iteration, then the core scan→filter→shuffle→join
-# micro-benchmark at measurement length, recorded as BENCH_core.json (the
-# batch-vs-row speedup lives under "speedups").
+# micro-benchmark plus the skewed-shuffle benchmark at measurement length,
+# recorded as BENCH_core.json (the batch-vs-row speedup lives under
+# "speedups").
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
-	$(GO) test -run '^$$' -bench BenchmarkScanFilterJoin -benchtime=3x ./internal/core/ \
+	$(GO) test -run '^$$' -bench 'BenchmarkScanFilterJoin|BenchmarkSkewedJoin' -benchtime=3x ./internal/core/ \
 		| $(GO) run ./cmd/benchjson -o BENCH_core.json
 	@cat BENCH_core.json
 
@@ -45,5 +46,5 @@ bench:
 # -benchtime than the recording run: a single iteration of the small scale
 # finishes in ~10 ms and jitters past the tolerance.
 bench-smoke:
-	$(GO) test -run '^$$' -bench BenchmarkScanFilterJoin -benchtime=10x ./internal/core/ \
+	$(GO) test -run '^$$' -bench 'BenchmarkScanFilterJoin|BenchmarkSkewedJoin' -benchtime=10x ./internal/core/ \
 		| $(GO) run ./cmd/benchjson -compare BENCH_core.json -tolerance 0.85 > /dev/null

@@ -28,6 +28,8 @@ func main() {
 		dbWorkers = flag.Int("db-workers", 30, "database workers")
 		jenWorkrs = flag.Int("jen-workers", 30, "JEN workers (one per DataNode)")
 		seed      = flag.Int64("seed", 1, "random seed")
+		zipf      = flag.Float64("zipf", 0, "Zipf exponent s for L's foreign keys (0 = uniform, else s > 1)")
+		skew      = flag.Float64("skew", 0, "skew-resilient shuffle hot-key threshold (0 = off)")
 		check     = flag.Bool("check", false, "verify result shapes against the paper's claims")
 		list      = flag.Bool("list", false, "list experiment ids and exit")
 		csvDir    = flag.String("csv", "", "also write one <id>.csv per experiment into this directory")
@@ -66,6 +68,7 @@ func main() {
 
 	cfg := experiments.RunConfig{
 		Scale: *scale, DBWorkers: *dbWorkers, JENWorkers: *jenWorkrs, Seed: *seed,
+		ZipfS: *zipf, SkewThreshold: *skew,
 	}
 	failures := 0
 	for _, e := range exps {

@@ -23,6 +23,7 @@ func main() {
 		scale   = flag.Float64("scale", 100000, "data scale divisor vs the paper")
 		fmtName = flag.String("format", format.HWCName, "L file format: text | hwc")
 		seed    = flag.Int64("seed", 1, "random seed")
+		zipf    = flag.Float64("zipf", 0, "Zipf exponent s for L's foreign keys (0 = uniform, else s > 1)")
 	)
 	flag.Parse()
 
@@ -31,6 +32,7 @@ func main() {
 		LRows: int64(15e9 / *scale),
 		Keys:  int64(16e6 / *scale),
 		Seed:  *seed,
+		ZipfS: *zipf,
 	}.WithDefaults()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {

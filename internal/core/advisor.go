@@ -12,6 +12,17 @@ type AdviceStats struct {
 	SigmaL float64 // estimated σ_L
 	// AvgTWireBytes estimates the shipped width of a T' row (default 16).
 	AvgTWireBytes int
+	// HotKeyShare is the estimated fraction of L' held by its single most
+	// frequent join key (0 = unknown/uniform). With a plain hash
+	// repartition, that whole fraction lands on one worker.
+	HotKeyShare float64
+	// SkewHandled reports that the engine's skew-resilient shuffle is
+	// enabled (Config.SkewThreshold > 0), which neutralizes HotKeyShare for
+	// the shuffle-based algorithms.
+	SkewHandled bool
+	// JENWorkers is the HDFS-side worker count (0 = unknown; skew reasoning
+	// is skipped).
+	JENWorkers int
 }
 
 // Advice is the advisor's decision with its rationale.
@@ -29,6 +40,15 @@ const (
 	// predicate selectivity on the HDFS table is very selective
 	// (σL ≤ 0.01)".
 	dbSideMaxSigmaL = 0.01
+	// skewBroadcastShare: when one join key holds more than this share of
+	// L' and the skew-resilient shuffle is off, a hash repartition
+	// concentrates that share on a single worker — the straggler erases the
+	// parallel speedup, so broadcasting T' (no L shuffle at all) wins even
+	// for a T' well past the uniform-case threshold.
+	skewBroadcastShare = 0.2
+	// skewBroadcastMaxBytes caps how large a T' the skew escape hatch will
+	// still broadcast (replication to every worker is not free either).
+	skewBroadcastMaxBytes = 8 * broadcastMaxBytes
 )
 
 // Advise picks a join algorithm for a hybrid query, implementing the
@@ -58,6 +78,21 @@ func Advise(s AdviceStats, scale float64) Advice {
 			Algorithm: DBSideBloom,
 			Reason: fmt.Sprintf("σ_L ≈ %.4f is highly selective; shipping the small L' into the database wins",
 				s.SigmaL),
+		}
+	}
+	// The shuffle-based algorithms (repartition, zigzag) assume the agreed
+	// hash spreads L' evenly. A dominant join key breaks that: the hot key's
+	// home worker receives HotKeyShare of the shuffle and everything waits
+	// for it. If the engine's hybrid skew shuffle is off, fall back to
+	// broadcast — T' replication costs the same on every worker, so the hot
+	// key probes in parallel wherever its L rows already sit.
+	if !s.SkewHandled && s.JENWorkers > 1 && s.HotKeyShare > skewBroadcastShare &&
+		s.HotKeyShare > 2/float64(s.JENWorkers) &&
+		tPrimeBytes > 0 && tPrimeBytes <= skewBroadcastMaxBytes {
+		return Advice{
+			Algorithm: Broadcast,
+			Reason: fmt.Sprintf("hottest join key holds ≈%.0f%% of L' and the skew-resilient shuffle is off: a hash repartition would bottleneck on one worker, so broadcast T' (≈%.1f MB) instead",
+				s.HotKeyShare*100, tPrimeBytes/(1<<20)),
 		}
 	}
 	return Advice{

@@ -55,3 +55,58 @@ func TestAdviseMatchesPaperRegions(t *testing.T) {
 		t.Errorf("zero stats: got %v", a.Algorithm)
 	}
 }
+
+// TestAdviseSkewFlipsAlgorithm: the same workload that normally gets the
+// zigzag join flips to broadcast when one join key dominates L' and the
+// skew-resilient shuffle is off — and flips back once the engine handles
+// the skew itself.
+func TestAdviseSkewFlipsAlgorithm(t *testing.T) {
+	// T' ≈ 128 MB: too big for the uniform-case broadcast threshold (25 MB)
+	// but within the skew escape hatch's 200 MB ceiling; σL keeps the
+	// DB-side join out.
+	base := AdviceStats{
+		TRows: 1_600_000_000, LRows: 15_000_000_000,
+		SigmaT: 0.005, SigmaL: 0.2, JENWorkers: 30,
+	}
+	if a := Advise(base, 1); a.Algorithm != Zigzag {
+		t.Fatalf("uniform baseline: got %v (%s)", a.Algorithm, a.Reason)
+	}
+
+	skewed := base
+	skewed.HotKeyShare = 0.5
+	a := Advise(skewed, 1)
+	if a.Algorithm != Broadcast {
+		t.Errorf("unhandled skew: got %v (%s), want Broadcast", a.Algorithm, a.Reason)
+	}
+	if !strings.Contains(a.Reason, "skew") {
+		t.Errorf("reason should explain the skew escape: %q", a.Reason)
+	}
+
+	// The engine's hybrid shuffle neutralizes the hot key: back to zigzag.
+	handled := skewed
+	handled.SkewHandled = true
+	if a := Advise(handled, 1); a.Algorithm != Zigzag {
+		t.Errorf("handled skew: got %v (%s), want Zigzag", a.Algorithm, a.Reason)
+	}
+
+	// Mild skew (below the share threshold) never flips.
+	mild := base
+	mild.HotKeyShare = 0.05
+	if a := Advise(mild, 1); a.Algorithm != Zigzag {
+		t.Errorf("mild skew: got %v", a.Algorithm)
+	}
+
+	// Unknown worker count: skew reasoning is skipped.
+	unknown := skewed
+	unknown.JENWorkers = 0
+	if a := Advise(unknown, 1); a.Algorithm != Zigzag {
+		t.Errorf("unknown topology: got %v", a.Algorithm)
+	}
+
+	// A T' too wide to replicate stays with the shuffle even under skew.
+	huge := skewed
+	huge.SigmaT = 0.1
+	if a := Advise(huge, 1); a.Algorithm != Zigzag {
+		t.Errorf("huge T' under skew: got %v", a.Algorithm)
+	}
+}

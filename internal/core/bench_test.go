@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/rand"
 	"runtime"
 	"testing"
 
@@ -46,6 +47,52 @@ func BenchmarkScanFilterJoin(b *testing.B) {
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					if _, err := f.eng.Run(q, Repartition); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				rows := float64(tN+lN) * float64(b.N)
+				b.ReportMetric(rows/b.Elapsed().Seconds(), "rows/s")
+			})
+		}
+	}
+}
+
+// BenchmarkSkewedJoin measures the repartition(BF) join over a uniform
+// (zipf=0) and a Zipf(s=1.1) L-key distribution, with the skew-resilient
+// shuffle off (skew=0) and on (skew=0.05). The interesting cells: on
+// uniform keys the hybrid shuffle's only cost is its deferred-shuffle
+// bookkeeping (sketch build, empty hot set), while on Zipf keys it trades
+// that overhead for a balanced receive side. rows/s is scanned input rows
+// per second.
+func BenchmarkSkewedJoin(b *testing.B) {
+	const tN, lN = 3000, 10000
+	for _, zipfS := range []float64{0, 1.1} {
+		zipfS := zipfS
+		// One Zipf source per fixture build (rand.NewZipf wraps the
+		// fixture's own rng), so each sub-benchmark draws an identical key
+		// stream.
+		newKeyGen := func() func(*rand.Rand) int {
+			if zipfS <= 1 {
+				return func(rng *rand.Rand) int { return rng.Intn(300) }
+			}
+			var z *rand.Zipf
+			return func(rng *rand.Rand) int {
+				if z == nil {
+					z = rand.NewZipf(rng, zipfS, 1, 299)
+				}
+				return int(z.Uint64())
+			}
+		}
+		for _, threshold := range []float64{0, 0.05} {
+			b.Run(fmt.Sprintf("zipf=%v/skew=%v", zipfS, threshold), func(b *testing.B) {
+				f := buildSkewFixtureKeys(b, netsim.NewChanBus(256), 4, 6, tN, lN,
+					skewTestConfig(threshold), newKeyGen())
+				defer f.eng.Close()
+				q := exampleQuery(b, f, 300, 400)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := f.eng.Run(q, RepartitionBloom); err != nil {
 						b.Fatal(err)
 					}
 				}

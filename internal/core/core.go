@@ -121,6 +121,29 @@ type Config struct {
 	// Row-at-a-time mode and the spilling join ignore it and stay
 	// single-threaded.
 	WorkerThreads int
+	// SkewThreshold enables skew-resilient shuffling for the repartition
+	// and zigzag joins: any join key holding at least this share of a
+	// worker-set's surviving HDFS rows (as measured by a streaming
+	// heavy-hitter sketch built during the scan) is treated as hot — its L'
+	// rows scatter round-robin across all JEN workers instead of hashing to
+	// one, and its T' rows are replicated to every JEN worker, keeping the
+	// join exact (see internal/skew). 0 disables the machinery entirely and
+	// the shuffle is bit-identical to the plain agreed-hash partitioner.
+	// Sensible values are 1/(2·JENWorkers) .. 0.2. The skew path defers the
+	// shuffle until the scan completes (the hot set must be agreed first),
+	// trading scan/shuffle overlap for balance; row-at-a-time mode ignores
+	// it. At WorkerThreads=1 every counter stays deterministic; with more
+	// threads the round-robin placement of hot rows depends on scan
+	// interleaving, so per-destination shuffle splits (the .max counters)
+	// become diagnostic while totals and results stay exact.
+	SkewThreshold float64
+	// SkewSketchKeys is the heavy-hitter sketch capacity (counters per
+	// thread). The sketch is exact — and the hot set independent of thread
+	// count and merge order — while each thread sees fewer than twice this
+	// many distinct surviving keys; beyond that the Misra-Gries error bound
+	// (≤ rows/capacity) still guarantees every key above SkewThreshold is
+	// caught, with possible borderline extras. Defaults to 256.
+	SkewSketchKeys int
 	// WireCompression frame-compresses every MsgRows payload with
 	// internal/compress before it reaches the bus, trading CPU for
 	// inter-cluster bandwidth (most visible on netsim.TCPBus links). Byte
@@ -144,6 +167,9 @@ func (c Config) withDefaults(j *jen.Cluster) Config {
 	}
 	if c.WorkerThreads <= 0 {
 		c.WorkerThreads = runtime.GOMAXPROCS(0)
+	}
+	if c.SkewSketchKeys <= 0 {
+		c.SkewSketchKeys = 256
 	}
 	return c
 }

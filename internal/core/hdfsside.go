@@ -15,6 +15,7 @@ import (
 	"hybridwh/internal/par"
 	"hybridwh/internal/plan"
 	"hybridwh/internal/relop"
+	"hybridwh/internal/skew"
 	"hybridwh/internal/types"
 )
 
@@ -105,6 +106,17 @@ func (e *Engine) dbShipProgram(ctx context.Context, qs string, q *plan.JoinQuery
 			if runErr == nil {
 				pr.fail(b.scatterRows(tw, q.DBWireKey, destOf))
 			}
+		} else if e.skewOn() {
+			// Hybrid routing needs the agreed hot set, which exists only
+			// after the whole HDFS scan: materialize T', wait for the set,
+			// then ship with hot rows replicated to every JEN worker.
+			tw, err := e.db.FilterProject(tbl, i, ap, q.DBProj)
+			pr.fail(err)
+			hot, herr := e.recvHotSet(ctx, dbName(i), qs+"hotset")
+			pr.fail(herr)
+			if runErr == nil {
+				pr.fail(b.scatterRowsHybrid(tw, q.DBWireKey, hot, destOf))
+			}
 		} else {
 			// No Bloom filter to wait for: T' streams out batch-at-a-time as
 			// the partition scan produces it.
@@ -129,6 +141,11 @@ func (e *Engine) dbShipProgram(ctx context.Context, qs string, q *plan.JoinQuery
 		if _, berr := e.recvBloom(ctx, dbName(i), qs+"bfh", 1); berr != nil {
 			pr.fail(berr)
 		}
+		if e.skewOn() {
+			if _, herr := e.recvHotSet(ctx, dbName(i), qs+"hotset"); herr != nil {
+				pr.fail(herr)
+			}
+		}
 		return runErr
 	}
 	bfh, berr := e.recvBloom(ctx, dbName(i), qs+"bfh", 1)
@@ -139,7 +156,13 @@ func (e *Engine) dbShipProgram(ctx context.Context, qs string, q *plan.JoinQuery
 		// either case BF_H prunes what is shipped (zigzag step 5).
 		tw, _ = e.db.ApplyBloom(tw, q.DBWireKey, bfh)
 	}
-	if runErr == nil {
+	if e.skewOn() {
+		hot, herr := e.recvHotSet(ctx, dbName(i), qs+"hotset")
+		pr.fail(herr)
+		if runErr == nil {
+			pr.fail(b.scatterRowsHybrid(tw, q.DBWireKey, hot, destOf))
+		}
+	} else if runErr == nil {
 		pr.fail(b.scatterRows(tw, q.DBWireKey, destOf))
 	}
 	pr.fail(b.CloseWith(runErr))
@@ -188,7 +211,12 @@ func (e *Engine) jenRepartitionProgram(ctx context.Context, qs string, q *plan.J
 	var bg par.Group
 	if rowMode {
 		bg.Go(func() error {
-			err := e.recvRows(ctx, me, qs+"shuffle", n, func(r types.Row) error { return ht.Insert(r) })
+			var recv int64
+			err := e.recvRows(ctx, me, qs+"shuffle", n, func(r types.Row) error {
+				recv++
+				return ht.Insert(r)
+			})
+			e.rec.AddAt(metrics.JENRecvTuples, w, recv)
 			pr.bgFail(err)
 			return err
 		})
@@ -201,7 +229,12 @@ func (e *Engine) jenRepartitionProgram(ctx context.Context, qs string, q *plan.J
 		})
 	} else {
 		bg.Go(func() error {
-			err := e.recvBatches(ctx, me, qs+"shuffle", n, func(b *batch.Batch) error { return ht.InsertBatch(b) })
+			var recv int64
+			err := e.recvBatches(ctx, me, qs+"shuffle", n, func(b *batch.Batch) error {
+				recv += int64(b.Len())
+				return ht.InsertBatch(b)
+			})
+			e.rec.AddAt(metrics.JENRecvTuples, w, recv)
 			pr.bgFail(err)
 			return err
 		})
@@ -230,6 +263,9 @@ func (e *Engine) jenRepartitionProgram(ctx context.Context, qs string, q *plan.J
 		// the single-threaded seed pipeline inside ScanFilter).
 		Threads: e.cfg.WorkerThreads,
 	}
+	skewOn := e.skewOn()
+	var sk *skew.Sketch
+	var buffered []*batch.Batch
 	if runErr == nil {
 		var err error
 		if rowMode {
@@ -238,12 +274,56 @@ func (e *Engine) jenRepartitionProgram(ctx context.Context, qs string, q *plan.J
 				//lint:ignore rowloop deliberate row-at-a-time baseline (Config.RowAtATime)
 				return b.send(destOf(wire[q.HDFSWireKey].Int()), wire)
 			})
+		} else if skewOn {
+			// Skew path: the shuffle is deferred — the hot set does not
+			// exist until every worker's scan completes — so the scan builds
+			// the heavy-hitter sketch and buffers wire-projected batches
+			// locally instead of scattering them.
+			sk = skew.NewSketch(e.cfg.SkewSketchKeys)
+			spec.BuildSketch = sk
+			var bufMu sync.Mutex // guards buffered (morsel workers yield concurrently)
+			err = e.jen.ScanFilterBatches(spec, func(sb *batch.Batch) error {
+				wb := batch.New(len(q.HDFSWire), sb.Len())
+				perr := sb.Each(func(i int) error {
+					wb.AppendFrom(sb, i, q.HDFSWire)
+					return nil
+				})
+				bufMu.Lock()
+				buffered = append(buffered, wb)
+				bufMu.Unlock()
+				return perr
+			})
 		} else {
 			err = e.jen.ScanFilterBatches(spec, func(sb *batch.Batch) error {
 				return b.scatterBatch(sb, q.HDFSWire, scanKey, destOf)
 			})
 		}
 		pr.fail(err)
+	}
+	if skewOn {
+		// Agree on the hot set, then shuffle from the buffers: cold keys to
+		// their hash home (identical to the plain partitioner), hot keys
+		// round-robin from a per-sender offset so no worker receives a hot
+		// key's full volume.
+		hot, herr := e.agreeHotSet(ctx, qs, me, w, n, sk)
+		pr.fail(herr)
+		if runErr == nil {
+			p := skew.NewPartitioner(n, hot, w)
+			var hotTuples int64
+			route := func(key int64) string {
+				if p.IsHot(key) {
+					hotTuples++
+				}
+				return jenName(p.Route(key))
+			}
+			for _, wb := range buffered {
+				if err := b.scatterBatch(wb, nil, q.HDFSWireKey, route); err != nil {
+					pr.fail(err)
+					break
+				}
+			}
+			e.rec.AddAt(metrics.JENShuffleHotTuples, w, hotTuples)
+		}
 	}
 	pr.fail(b.CloseWith(runErr))
 

@@ -10,6 +10,7 @@ import (
 	"hybridwh/internal/compress"
 	"hybridwh/internal/metrics"
 	"hybridwh/internal/netsim"
+	"hybridwh/internal/skew"
 	"hybridwh/internal/types"
 )
 
@@ -126,6 +127,31 @@ func (b *batcher) scatterRows(rows []types.Row, keyIdx int, destOf func(key int6
 	defer b.mu.Unlock()
 	for _, r := range rows {
 		if err := b.sendLocked(destOf(r[keyIdx].Int()), r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scatterRowsHybrid routes cold rows by destOf and replicates hot rows to
+// every destination — the small side of the hybrid skew treatment: a hot
+// T' row must be present wherever its scattered L' partners landed.
+// Tuples count once per copy, exactly as broadcast does, so the counters
+// reflect what actually crossed the interconnect.
+func (b *batcher) scatterRowsHybrid(rows []types.Row, keyIdx int, hot *skew.HotSet, destOf func(key int64) string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, r := range rows {
+		k := r[keyIdx].Int()
+		if hot.Contains(k) {
+			for _, d := range b.dests {
+				if err := b.sendLocked(d, r); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if err := b.sendLocked(destOf(k), r); err != nil {
 			return err
 		}
 	}

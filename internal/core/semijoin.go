@@ -240,7 +240,12 @@ func (e *Engine) jenSemiProgram(ctx context.Context, qs string, q *plan.JoinQuer
 	var probeTuples int64
 	var bg par.Group
 	bg.Go(func() error {
-		err := e.recvBatches(ctx, me, qs+"shuffle", n, func(b *batch.Batch) error { return ht.InsertBatch(b) })
+		var recv int64
+		err := e.recvBatches(ctx, me, qs+"shuffle", n, func(b *batch.Batch) error {
+			recv += int64(b.Len())
+			return ht.InsertBatch(b)
+		})
+		e.rec.AddAt(metrics.JENRecvTuples, w, recv)
 		pr.bgFail(err)
 		return err
 	})

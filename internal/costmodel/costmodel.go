@@ -99,6 +99,17 @@ type Params struct {
 	Scale float64
 	// Format is the HDFS table format (format.TextName or format.HWCName).
 	Format string
+	// JENWorkers enables the shuffle-skew straggler term (0 = legacy
+	// balanced-repartition assumption, term skipped).
+	JENWorkers int
+	// HotKeyShare is the fraction of the shuffle held by the hottest join
+	// key. With a plain hash partitioner that whole share lands on one
+	// worker; the model floors the receive-side build time at
+	// max(1/JENWorkers, HotKeyShare) of the total shuffled tuples.
+	HotKeyShare float64
+	// SkewHandled reports the engine's hybrid skew shuffle was on, which
+	// spreads the hot keys and restores the 1/JENWorkers share.
+	SkewHandled bool
 }
 
 // Phase is one component of the estimate.
@@ -171,6 +182,17 @@ func (m *Model) Estimate(alg string, rec *metrics.Recorder, bus *netsim.Counters
 	tShuffleNet := in.max(metrics.JENShuffleBytes) / r.IntraHDFSBps
 	tShuffleCPU := in.max(metrics.JENShuffleTuples) / r.JENSerializeTps
 	tJENBuild := in.max(metrics.JoinBuildTuples) / r.JENBuildTps
+	// Straggler floor: a hash repartition sends each key to one worker, so
+	// the busiest receiver holds at least max(1/n, hottest-key share) of the
+	// shuffle. The measured max already reflects skew the run actually hit;
+	// this analytic term keeps pre-run (estimate-only) costs honest too.
+	if p.JENWorkers > 0 {
+		share := 1 / float64(p.JENWorkers)
+		if !p.SkewHandled && p.HotKeyShare > share {
+			share = p.HotKeyShare
+		}
+		tJENBuild = maxf(tJENBuild, in.sum(metrics.JENShuffleTuples)*share/r.JENBuildTps)
+	}
 	tJENProbe := in.max(metrics.JoinProbeTuples) / r.JENProbeTps
 	tDBPrep := in.max(metrics.DBIndexRows)/r.DBIndexTps + in.max(metrics.DBScanRows)/r.DBFilterTps
 	tDBSendCPU := in.max(metrics.DBSentTuples) / r.DBSendTps

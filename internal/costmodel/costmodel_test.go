@@ -61,6 +61,48 @@ func TestZigzagBeatsRepartitionVariants(t *testing.T) {
 	}
 }
 
+// TestSkewStragglerTerm: with the topology known, the model floors the
+// receive-side build at max(1/n, hottest-key share) of the total shuffle —
+// so an unhandled hot key inflates the repartition estimate, the hybrid
+// shuffle restores it, and uniform data is unaffected by declaring n.
+func TestSkewStragglerTerm(t *testing.T) {
+	m := New(DefaultRates())
+	est := func(p Params) float64 {
+		b, err := m.Estimate("repartition", repartitionCounters(5_854_000, 165_000), netsim.NewCounters(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b.Total
+	}
+	base := Params{Scale: 1000, Format: format.HWCName}
+	legacy := est(base)
+
+	uniform := base
+	uniform.JENWorkers = 30
+	if got := est(uniform); got != legacy {
+		t.Errorf("declaring n on balanced counters changed the estimate: %.1f vs %.1f", got, legacy)
+	}
+
+	skewed := uniform
+	skewed.HotKeyShare = 0.5
+	if got := est(skewed); got <= legacy {
+		t.Errorf("unhandled 50%% hot key did not raise the estimate: %.1f vs %.1f", got, legacy)
+	}
+
+	handled := skewed
+	handled.SkewHandled = true
+	if got := est(handled); got != legacy {
+		t.Errorf("hybrid shuffle should restore the balanced estimate: %.1f vs %.1f", got, legacy)
+	}
+
+	// Legacy callers (JENWorkers = 0) skip the term even with a hot share.
+	old := base
+	old.HotKeyShare = 0.5
+	if got := est(old); got != legacy {
+		t.Errorf("JENWorkers=0 must skip the straggler term: %.1f vs %.1f", got, legacy)
+	}
+}
+
 func TestTextFormatMasksBloomSavings(t *testing.T) {
 	m := New(DefaultRates())
 	textParams := Params{Scale: 1000, Format: format.TextName}

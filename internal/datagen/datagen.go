@@ -43,6 +43,13 @@ type Data struct {
 	DateDays int
 	// Groups is the number of distinct group-by values.
 	Groups int
+	// ZipfS skews L's foreign-key distribution: 0 keeps the paper's uniform
+	// draw, s > 1 draws join keys Zipf(s)-distributed over [0, Keys) so a
+	// handful of keys dominate the log table — the adversarial workload for
+	// the skew-resilient shuffle. Values in (0, 1] are rejected (the
+	// stdlib generator requires s > 1). T's keys stay uniform either way:
+	// the paper's skew lives in the log's foreign keys.
+	ZipfS float64
 }
 
 // WithDefaults fills zero fields with 1/1000-scale paper values.
@@ -270,8 +277,16 @@ func (d Data) GenL(emit func(types.Row) error) error {
 	d = d.WithDefaults()
 	rng := rand.New(rand.NewSource(d.Seed*2 + 2))
 	p := newPerm(d.Keys, d.Seed)
+	nextKey := func() int64 { return rng.Int63n(d.Keys) }
+	if d.ZipfS != 0 {
+		if d.ZipfS <= 1 {
+			return fmt.Errorf("datagen: ZipfS must be 0 (uniform) or > 1, got %v", d.ZipfS)
+		}
+		z := rand.NewZipf(rng, d.ZipfS, 1, uint64(d.Keys-1))
+		nextKey = func() int64 { return int64(z.Uint64()) }
+	}
 	for i := int64(0); i < d.LRows; i++ {
-		jk := rng.Int63n(d.Keys)
+		jk := nextKey()
 		row := types.Row{
 			types.Int32(int32(jk)),
 			types.Int32(int32(p.pos(jk))),

@@ -254,6 +254,75 @@ func TestGenErrorsPropagate(t *testing.T) {
 
 var errSentinel = errors.New("boom")
 
+// TestZipfSkewsL: ZipfS > 1 concentrates L's foreign keys on a hot head
+// while T's distribution is untouched, ZipfS = 0 stays uniform, and the
+// unsupported (0, 1] range is rejected.
+func TestZipfSkewsL(t *testing.T) {
+	count := func(d Data) (share float64, rows int64) {
+		counts := map[int64]int64{}
+		if err := d.GenL(func(r types.Row) error {
+			counts[r[0].Int()]++
+			rows++
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		var hottest int64
+		for _, c := range counts {
+			if c > hottest {
+				hottest = c
+			}
+		}
+		return float64(hottest) / float64(rows), rows
+	}
+
+	uniform := Data{TRows: 1_000, LRows: 50_000, Keys: 1_000, Seed: 11, DateDays: 30, Groups: 10}
+	skewed := uniform
+	skewed.ZipfS = 1.5
+
+	uShare, uRows := count(uniform)
+	zShare, zRows := count(skewed)
+	if uRows != zRows {
+		t.Fatalf("row counts differ: %d vs %d", uRows, zRows)
+	}
+	if uShare > 0.01 {
+		t.Errorf("uniform hottest-key share = %.4f, want ≈ 1/Keys", uShare)
+	}
+	if zShare < 10*uShare {
+		t.Errorf("Zipf(1.5) hottest-key share = %.4f, want ≫ uniform's %.4f", zShare, uShare)
+	}
+
+	// T's generator ignores ZipfS: identical rows either way.
+	var a, b []string
+	if err := uniform.GenT(func(r types.Row) error { a = append(a, r.String()); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := skewed.GenT(func(r types.Row) error { b = append(b, r.String()); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("T row %d changed under ZipfS", i)
+		}
+	}
+
+	// Zipf keys stay inside the key domain.
+	if err := skewed.GenL(func(r types.Row) error {
+		if k := r[0].Int(); k < 0 || k >= skewed.Keys {
+			t.Fatalf("key %d outside [0, %d)", k, skewed.Keys)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := uniform
+	bad.ZipfS = 0.5
+	if err := bad.GenL(func(types.Row) error { return nil }); err == nil {
+		t.Error("ZipfS = 0.5: want error")
+	}
+}
+
 func TestSolveNearest(t *testing.T) {
 	data := smallData()
 	// Feasible point: passes through unchanged.

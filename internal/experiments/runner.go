@@ -20,6 +20,12 @@ type RunConfig struct {
 	DBWorkers  int     // default 30 (the paper's topology)
 	JENWorkers int     // default 30
 	Seed       int64
+	// ZipfS skews L's foreign keys (datagen.Data.ZipfS): 0 = the paper's
+	// uniform draw, s > 1 = Zipf(s) heavy hitters.
+	ZipfS float64
+	// SkewThreshold passes through to the engine's skew-resilient shuffle
+	// (core.Config.SkewThreshold); 0 = off.
+	SkewThreshold float64
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -44,6 +50,7 @@ func (c RunConfig) data() datagen.Data {
 		Seed:     c.Seed + 7,
 		DateDays: 30,
 		Groups:   1000,
+		ZipfS:    c.ZipfS,
 	}
 }
 
@@ -78,11 +85,12 @@ func Run(exp Experiment, cfg RunConfig) (*Report, error) {
 
 	for _, f := range formats {
 		w, err := hybridwh.Open(hybridwh.Config{
-			DBWorkers:  cfg.DBWorkers,
-			JENWorkers: cfg.JENWorkers,
-			Scale:      cfg.Scale,
-			Format:     f,
-			Seed:       cfg.Seed,
+			DBWorkers:     cfg.DBWorkers,
+			JENWorkers:    cfg.JENWorkers,
+			Scale:         cfg.Scale,
+			Format:        f,
+			Seed:          cfg.Seed,
+			SkewThreshold: cfg.SkewThreshold,
 		})
 		if err != nil {
 			return nil, err

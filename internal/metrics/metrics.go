@@ -88,6 +88,28 @@ func (r *Recorder) Max(name string) int64 {
 	return m
 }
 
+// BalanceRatio returns max/mean over a vector counter's slots — the
+// load-balance diagnostic for a parallel phase: 1.0 is perfectly even, and
+// with a skewed shuffle the ratio approaches the worker count. Returns 0 if
+// the counter is absent or all-zero. Workers that received nothing must
+// still have touched their slot (AddAt with 0) to count toward the mean.
+func (r *Recorder) BalanceRatio(name string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	vec := r.vectors[name]
+	var sum, max int64
+	for _, x := range vec {
+		sum += x
+		if x > max {
+			max = x
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return float64(max) * float64(len(vec)) / float64(sum)
+}
+
 // Snapshot returns all counters flattened: vectors appear both as their sum
 // ("name") and their max ("name.max").
 func (r *Recorder) Snapshot() map[string]int64 {
@@ -184,6 +206,13 @@ const (
 	// JEN worker pipeline accounting (for the cost model's overlap rules).
 	JENProcessTuples = "jen.process.tuples" // vector: rows through the process thread
 	JENRecvTuples    = "jen.recv.tuples"    // vector: shuffled rows received
+
+	// Skew handling (core.Config.SkewThreshold). Hot tuples are counted at
+	// the sender; the receive-side balance is BalanceRatio(JENRecvTuples).
+	JENShuffleHotTuples = "jen.shuffle.hot"   // vector: hot-key tuples scattered per sending JEN worker
+	SkewHotKeys         = "skew.hot.keys"     // scalar: agreed hot-set size
+	SkewHotPermille     = "skew.hot.permille" // scalar: hottest key's share of surviving HDFS rows, ×1000
+	SkewBytes           = "skew.bytes"        // scalar: sketch and hot-set bytes moved
 
 	// Intra-worker parallelism accounting. Slots index the morsel/probe
 	// thread, not the worker: the sum equals the corresponding per-worker

@@ -229,6 +229,27 @@ func (h *HashTable) Probe(key int64) []types.Row {
 // Len returns the number of inserted rows.
 func (h *HashTable) Len() int64 { return h.rows }
 
+// MaxBucket returns the row count of the table's largest key group — the
+// build-side footprint of the single most frequent join key (0 when empty).
+// Skew diagnostics read it per worker: a plain hash repartition parks a hot
+// key's entire group on one worker, while the hybrid skew shuffle scatters
+// the group so every worker's MaxBucket stays near the mean. Builds the
+// table if it is not sealed yet.
+func (h *HashTable) MaxBucket() int64 {
+	if !h.built {
+		h.Build()
+	}
+	var most int32
+	for i := range h.parts {
+		for _, s := range h.parts[i].slots {
+			if s.cnt > most {
+				most = s.cnt
+			}
+		}
+	}
+	return int64(most)
+}
+
 // EachRow visits every inserted row (partition by partition, in insertion
 // order within a partition). The spill path uses it to dump the in-memory
 // phase to disk when the budget overflows.

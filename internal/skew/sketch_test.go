@@ -1,0 +1,249 @@
+package skew
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"hybridwh/internal/cluster"
+)
+
+// zipfStream builds a deterministic skewed key stream: key k appears
+// roughly proportional to 1/(k+1).
+func zipfStream(seed int64, n, keys int) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 1.2, 1, uint64(keys-1))
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(z.Uint64())
+	}
+	return out
+}
+
+func sketchOf(stream []int64, capacity int) *Sketch {
+	s := NewSketch(capacity)
+	for _, k := range stream {
+		s.Add(k)
+	}
+	return s
+}
+
+func TestSketchExactWhenUnderCapacity(t *testing.T) {
+	stream := zipfStream(1, 5000, 64)
+	s := sketchOf(stream, 200) // 64 distinct < 2*200: never prunes
+	if s.ErrBound() != 0 {
+		t.Fatalf("ErrBound = %d, want 0 (no prune)", s.ErrBound())
+	}
+	truth := map[int64]int64{}
+	for _, k := range stream {
+		truth[k]++
+	}
+	for k, want := range truth {
+		lo, hi := s.Count(k)
+		if lo != want || hi != want {
+			t.Fatalf("Count(%d) = [%d,%d], want exactly %d", k, lo, hi, want)
+		}
+	}
+	if s.Total() != int64(len(stream)) {
+		t.Fatalf("Total = %d, want %d", s.Total(), len(stream))
+	}
+}
+
+func TestSketchErrorBoundUnderPruning(t *testing.T) {
+	stream := zipfStream(2, 20000, 5000)
+	const capacity = 32
+	s := sketchOf(stream, capacity)
+	if s.Len() > 2*capacity {
+		t.Fatalf("Len = %d, want ≤ %d", s.Len(), 2*capacity)
+	}
+	if s.ErrBound() > s.Total()/(capacity+1) {
+		t.Fatalf("ErrBound %d exceeds Total/(cap+1) = %d", s.ErrBound(), s.Total()/(capacity+1))
+	}
+	truth := map[int64]int64{}
+	for _, k := range stream {
+		truth[k]++
+	}
+	for k, want := range truth {
+		lo, hi := s.Count(k)
+		if lo > want || hi < want {
+			t.Fatalf("Count(%d) = [%d,%d] does not bracket true %d", k, lo, hi, want)
+		}
+	}
+	// The hottest key of a s=1.2 Zipf stream far exceeds the error bound, so
+	// it must be detected.
+	var hottest int64
+	for k, c := range truth {
+		if c > truth[hottest] {
+			hottest = k
+		}
+	}
+	found := false
+	for _, k := range s.Hot(float64(truth[hottest]) / float64(len(stream)) / 2) {
+		if k == hottest {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("hottest key %d (count %d) not in Hot()", hottest, truth[hottest])
+	}
+}
+
+// TestSketchMergeOrderIndependent is the property test: splitting one
+// stream across any number of threads, in any chunking, and merging in any
+// order yields the same summary — byte-identical via the canonical Marshal
+// encoding — provided per-shard sketches stay under capacity (the exact
+// regime the JEN scan runs in: capacity defaults far above the hot-key
+// count).
+func TestSketchMergeOrderIndependent(t *testing.T) {
+	stream := zipfStream(3, 8000, 128)
+	const capacity = 512 // > distinct keys: every shard sketch is exact
+
+	want := sketchOf(stream, capacity).Marshal()
+
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		shards := 1 + rng.Intn(8) // thread counts 1..8
+		parts := make([]*Sketch, shards)
+		for i := range parts {
+			parts[i] = NewSketch(capacity)
+		}
+		for _, k := range stream {
+			parts[rng.Intn(shards)].Add(k) // arbitrary split, not round-robin
+		}
+		rng.Shuffle(shards, func(i, j int) { parts[i], parts[j] = parts[j], parts[i] })
+		merged := NewSketch(capacity)
+		for _, p := range parts {
+			merged.Merge(p)
+		}
+		if got := merged.Marshal(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (%d shards): merged sketch differs from single-stream sketch", trial, shards)
+		}
+	}
+}
+
+func TestSketchMergeSumsBounds(t *testing.T) {
+	a := sketchOf(zipfStream(5, 10000, 4000), 16)
+	b := sketchOf(zipfStream(6, 10000, 4000), 16)
+	wantTotal := a.Total() + b.Total()
+	wantErr := a.ErrBound() + b.ErrBound()
+	m := NewSketch(16)
+	m.Merge(a)
+	m.Merge(b)
+	if m.Total() != wantTotal || m.ErrBound() != wantErr {
+		t.Fatalf("merge: total=%d err=%d, want %d/%d", m.Total(), m.ErrBound(), wantTotal, wantErr)
+	}
+}
+
+func TestSketchMarshalRoundTrip(t *testing.T) {
+	for _, capacity := range []int{8, 100} {
+		s := sketchOf(zipfStream(7, 3000, 500), capacity)
+		s.AddN(-42, 17) // negative keys survive the wire
+		got, err := UnmarshalSketch(s.Marshal())
+		if err != nil {
+			t.Fatalf("cap %d: %v", capacity, err)
+		}
+		if !reflect.DeepEqual(got, s) {
+			t.Fatalf("cap %d: round trip mismatch:\n got %+v\nwant %+v", capacity, got, s)
+		}
+	}
+	if _, err := UnmarshalSketch([]byte{0x80}); err == nil {
+		t.Fatal("truncated payload: want error")
+	}
+}
+
+func TestHotSortedAndThresholded(t *testing.T) {
+	s := NewSketch(100)
+	s.AddN(9, 50)
+	s.AddN(-3, 40)
+	s.AddN(1, 10)
+	got := s.Hot(0.2)
+	if !reflect.DeepEqual(got, []int64{-3, 9}) {
+		t.Fatalf("Hot(0.2) = %v, want [-3 9]", got)
+	}
+	if s.Hot(0) != nil || NewSketch(4).Hot(0.5) != nil {
+		t.Fatal("Hot must return nil for zero share or empty sketch")
+	}
+	if sh := s.HottestShare(); sh != 0.5 {
+		t.Fatalf("HottestShare = %v, want 0.5", sh)
+	}
+}
+
+func TestHotSetRoundTrip(t *testing.T) {
+	h := NewHotSet([]int64{42, -7, 42, 0, 1 << 40})
+	got, err := UnmarshalHotSet(h.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Keys(), []int64{-7, 0, 42, 1 << 40}) {
+		t.Fatalf("Keys = %v", got.Keys())
+	}
+	if !got.Contains(-7) || got.Contains(5) {
+		t.Fatal("Contains wrong")
+	}
+	var nilSet *HotSet
+	if nilSet.Contains(1) || nilSet.Len() != 0 || nilSet.Keys() != nil {
+		t.Fatal("nil HotSet must behave as empty")
+	}
+	empty, err := UnmarshalHotSet(NewHotSet(nil).Marshal())
+	if err != nil || empty.Len() != 0 {
+		t.Fatalf("empty round trip: %v len=%d", err, empty.Len())
+	}
+}
+
+func TestPartitionerColdMatchesPlainHash(t *testing.T) {
+	p := NewPartitioner(6, NewHotSet([]int64{99}), 0)
+	for k := int64(-500); k < 500; k++ {
+		if k == 99 {
+			continue
+		}
+		if got, want := p.Route(k), cluster.PartitionFor(k, 6); got != want {
+			t.Fatalf("cold key %d routed to %d, want hash home %d", k, got, want)
+		}
+		if p.IsHot(k) {
+			t.Fatalf("key %d reported hot", k)
+		}
+	}
+	// nil hot set: pure hash partitioner.
+	q := NewPartitioner(6, nil, 3)
+	for k := int64(0); k < 100; k++ {
+		if q.Route(k) != cluster.PartitionFor(k, 6) {
+			t.Fatal("nil hot set must reproduce the plain partitioner")
+		}
+	}
+}
+
+func TestPartitionerHotRoundRobin(t *testing.T) {
+	const n = 5
+	hot := NewHotSet([]int64{7})
+	p := NewPartitioner(n, hot, 2)
+	counts := make([]int, n)
+	first := p.Route(7)
+	if want := (cluster.PartitionFor(7, n) + 2) % n; first != want {
+		t.Fatalf("first hot route = %d, want salted start %d", first, want)
+	}
+	counts[first]++
+	prev := first
+	for i := 1; i < 1000; i++ {
+		d := p.Route(7)
+		if d != (prev+1)%n {
+			t.Fatalf("row %d: hot key jumped %d → %d, want round-robin", i, prev, d)
+		}
+		counts[d]++
+		prev = d
+	}
+	for i, c := range counts {
+		if c != 200 {
+			t.Fatalf("worker %d got %d hot rows, want exactly 200", i, c)
+		}
+	}
+	// Determinism: a fresh partitioner with the same salt replays the route.
+	q := NewPartitioner(n, hot, 2)
+	if q.Route(7) != first {
+		t.Fatal("same salt must replay the same route")
+	}
+	// A different salt starts elsewhere so senders interleave.
+	r := NewPartitioner(n, hot, 3)
+	if r.Route(7) == first {
+		t.Fatal("different salt should start at a different worker")
+	}
+}

@@ -59,3 +59,51 @@ func (w *Warehouse) EstimateSigmaL(jq *plan.JoinQuery, sampleRows int) (float64,
 	}
 	return float64(passed) / float64(scanned), nil
 }
+
+// EstimateHotKeyShare estimates the share of L' held by its single most
+// frequent join key, by counting key frequencies over a bounded sample of
+// rows that pass the HDFS predicate on one JEN worker. The advisor uses it
+// to detect shuffle-hostile skew before committing to a hash repartition; 0
+// means the sample saw no qualifying rows.
+func (w *Warehouse) EstimateHotKeyShare(jq *plan.JoinQuery, sampleRows int) (float64, error) {
+	if sampleRows <= 0 {
+		sampleRows = sampleRowsDefault
+	}
+	scanPlan, err := w.jenc.PlanScan(jq.HDFSTable)
+	if err != nil {
+		return 0, err
+	}
+	keyIdx := jq.HDFSWire[jq.HDFSWireKey]
+	counts := map[int64]int64{}
+	var scanned, passed int64
+	err = w.jenc.ScanFilter(jen.ScanSpec{
+		Plan: scanPlan, Worker: 0, Proj: jq.HDFSScanProj,
+	}, func(r types.Row) error {
+		scanned++
+		ok, err := expr.EvalPred(jq.HDFSPred, r)
+		if err != nil {
+			return err
+		}
+		if ok {
+			passed++
+			counts[r[keyIdx].Int()]++
+		}
+		if scanned >= int64(sampleRows) {
+			return errEnoughSample
+		}
+		return nil
+	})
+	if err != nil && !errors.Is(err, errEnoughSample) {
+		return 0, err
+	}
+	if passed == 0 {
+		return 0, nil
+	}
+	var hottest int64
+	for _, c := range counts {
+		if c > hottest {
+			hottest = c
+		}
+	}
+	return float64(hottest) / float64(passed), nil
+}

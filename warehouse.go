@@ -87,6 +87,14 @@ type Config struct {
 	// RowAtATime reverts the JEN repartition pipeline to row-at-a-time
 	// execution (the pre-vectorization baseline; counters are identical).
 	RowAtATime bool
+	// SkewThreshold enables the skew-resilient shuffle: join keys holding at
+	// least this share of the surviving HDFS scan get hybrid treatment
+	// (their L rows scattered round-robin, the matching T' rows replicated).
+	// 0 disables it with bit-identical plain-repartition behaviour. See
+	// core.Config.SkewThreshold.
+	SkewThreshold float64
+	// SkewSketchKeys sizes the per-worker heavy-hitter sketch (default 256).
+	SkewSketchKeys int
 	// QueryTimeout bounds each query's wall-clock time. When it expires the
 	// query aborts across both clusters and Query returns an error wrapping
 	// context.DeadlineExceeded. Zero means no deadline; QueryCtx offers
@@ -195,6 +203,8 @@ func Open(cfg Config) (*Warehouse, error) {
 		SpillDir:         cfg.SpillDir,
 		BroadcastRelay:   cfg.BroadcastRelay,
 		RowAtATime:       cfg.RowAtATime,
+		SkewThreshold:    cfg.SkewThreshold,
+		SkewSketchKeys:   cfg.SkewSketchKeys,
 	})
 	if err != nil {
 		if cerr := bus.Close(); cerr != nil {
@@ -316,6 +326,10 @@ type Result struct {
 	DBJoinStrategy string
 	// EstimatedTime is the calibrated paper-scale execution estimate.
 	EstimatedTime costmodel.Breakdown
+	// ShuffleBalance is the max/mean ratio of per-worker received shuffle
+	// tuples (1.0 = perfectly balanced; 0 when the algorithm did not
+	// shuffle). The skew-resilient shuffle exists to pull this toward 1.
+	ShuffleBalance float64
 	// Counters snapshots the run's measured metrics.
 	Counters map[string]int64
 }
@@ -398,8 +412,11 @@ func (w *Warehouse) RunPlanCtx(ctx context.Context, jq *plan.JoinQuery, opts ...
 		return nil, err
 	}
 	est, err := w.model.Estimate(alg.String(), w.rec, w.bus.Counters(), costmodel.Params{
-		Scale:  w.cfg.Scale,
-		Format: w.cfg.Format,
+		Scale:       w.cfg.Scale,
+		Format:      w.cfg.Format,
+		JENWorkers:  w.cfg.JENWorkers,
+		HotKeyShare: float64(w.rec.Get(metrics.SkewHotPermille)) / 1000,
+		SkewHandled: w.cfg.SkewThreshold > 0,
 	})
 	if err != nil {
 		return nil, err
@@ -411,13 +428,26 @@ func (w *Warehouse) RunPlanCtx(ctx context.Context, jq *plan.JoinQuery, opts ...
 		Advice:         advice,
 		DBJoinStrategy: res.DBJoinStrategy.String(),
 		EstimatedTime:  est,
+		ShuffleBalance: w.rec.BalanceRatio(metrics.JENRecvTuples),
 		Counters:       res.Metrics,
 	}, nil
 }
 
 // advise runs the Section 5.5 decision logic on available statistics.
 func (w *Warehouse) advise(jq *plan.JoinQuery, o queryOpts) core.Advice {
-	stats := core.AdviceStats{SigmaT: 1, SigmaL: o.sigmaL}
+	stats := core.AdviceStats{
+		SigmaT:      1,
+		SigmaL:      o.sigmaL,
+		JENWorkers:  w.cfg.JENWorkers,
+		SkewHandled: w.cfg.SkewThreshold > 0,
+	}
+	if !stats.SkewHandled {
+		// The hybrid shuffle would neutralize skew, so only sample for it
+		// when it is off and the hot-key share can sway the decision.
+		if est, err := w.EstimateHotKeyShare(jq, 0); err == nil {
+			stats.HotKeyShare = est
+		}
+	}
 	if tbl, err := w.db.Table(jq.DBTable); err == nil {
 		stats.TRows = tbl.Rows()
 		need := append([]int(nil), jq.DBProj...)

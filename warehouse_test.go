@@ -8,6 +8,7 @@ import (
 	"hybridwh/internal/core"
 	"hybridwh/internal/datagen"
 	"hybridwh/internal/format"
+	"hybridwh/internal/metrics"
 	"hybridwh/internal/types"
 )
 
@@ -101,6 +102,80 @@ func TestEndToEndSQLAllAlgorithmsAgree(t *testing.T) {
 				t.Errorf("%v row %d: %s != %s", alg, j, got[j], want[j])
 			}
 		}
+	}
+}
+
+// TestSkewShuffleEndToEnd drives the whole public path: Zipf-skewed L, the
+// skew-resilient shuffle toggled via Config, identical rows either way, a
+// better ShuffleBalance with it on, and the sampling estimator spotting the
+// hot key the advisor would act on.
+func TestSkewShuffleEndToEnd(t *testing.T) {
+	data := smallData()
+	data.ZipfS = 1.3 // hottest key holds roughly a quarter of L
+
+	run := func(threshold float64) *Result {
+		w, err := Open(Config{
+			DBWorkers: 3, JENWorkers: 4, BlockSize: 64 << 10,
+			SkewThreshold: threshold,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+		if err := w.LoadPaperData(data); err != nil {
+			t.Fatal(err)
+		}
+		// A wide SL' so the Zipf head survives the L predicate.
+		wl, err := datagen.Solve(w.Data(), datagen.Selectivities{SigmaT: 0.1, SigmaL: 0.4, ST: 0.5, SL: 0.8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if threshold == 0 {
+			// While the plain warehouse is open, check the sampler sees the
+			// skew that motivates the whole subsystem.
+			jq, err := w.Plan(PaperQuerySQL(wl))
+			if err != nil {
+				t.Fatal(err)
+			}
+			share, err := w.EstimateHotKeyShare(jq, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if share < 0.1 {
+				t.Errorf("EstimateHotKeyShare = %.3f; Zipf(1.3) head should dominate", share)
+			}
+		}
+		res, err := w.Query(PaperQuerySQL(wl),
+			WithAlgorithm(core.RepartitionBloom), WithCardHint(ExpectedLPrimeRows(wl)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			t.Fatal("empty result")
+		}
+		return res
+	}
+
+	plain := run(0)
+	skew := run(0.05)
+
+	if len(plain.Rows) != len(skew.Rows) {
+		t.Fatalf("row counts differ: %d plain vs %d skew", len(plain.Rows), len(skew.Rows))
+	}
+	for i := range plain.Rows {
+		if plain.Rows[i].String() != skew.Rows[i].String() {
+			t.Errorf("row %d: %s != %s", i, plain.Rows[i], skew.Rows[i])
+		}
+	}
+	if skew.Counters[metrics.SkewHotKeys] == 0 {
+		t.Error("no hot keys agreed despite Zipf data")
+	}
+	if plain.ShuffleBalance <= 1.2 {
+		t.Errorf("plain ShuffleBalance = %.2f; Zipf fixture not skewed enough", plain.ShuffleBalance)
+	}
+	if skew.ShuffleBalance >= plain.ShuffleBalance {
+		t.Errorf("ShuffleBalance did not improve: %.2f plain vs %.2f skew",
+			plain.ShuffleBalance, skew.ShuffleBalance)
 	}
 }
 
