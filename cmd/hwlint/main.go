@@ -1,7 +1,6 @@
 // Command hwlint is the project's static-analysis driver: a multichecker
 // running the custom analyzers in internal/lint alongside the stock `go
-// vet` passes. It exits non-zero when any analyzer reports an unsuppressed
-// finding or vet fails.
+// vet` passes.
 //
 // Usage:
 //
@@ -13,9 +12,26 @@
 //	//lint:ignore <analyzer> <reason>
 //
 // A directive without a reason is ignored: every suppression must say why.
+//
+// Exit codes distinguish verdicts from breakage so CI can tell "the tree
+// has findings" apart from "the linter itself is broken":
+//
+//	0  clean
+//	1  unsuppressed findings, or go vet failed
+//	2  the driver could not run: packages failed to load or type-check, or
+//	   an analyzer returned an error
+//
+// With -json, the findings (suppressed ones included, flagged) are also
+// written to stdout as a JSON array of
+//
+//	{"file":…, "line":…, "col":…, "analyzer":…, "message":…,
+//	 "suppressed":…, "reason":…}
+//
+// objects — the machine-readable artifact CI uploads on every run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,9 +42,16 @@ import (
 	"hybridwh/internal/lint/run"
 )
 
+const (
+	exitClean    = 0
+	exitFindings = 1
+	exitCrash    = 2
+)
+
 func main() {
 	novet := flag.Bool("novet", false, "skip the stock go vet passes")
 	verbose := flag.Bool("v", false, "also list suppressed findings with their reasons")
+	jsonOut := flag.Bool("json", false, "write all findings to stdout as JSON")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -37,27 +60,47 @@ func main() {
 		patterns = []string{"./..."}
 	}
 
-	exit := 0
-	if !lintPackages(patterns, *verbose) {
-		exit = 1
+	exit := exitClean
+	switch lintPackages(patterns, *verbose, *jsonOut) {
+	case exitCrash:
+		os.Exit(exitCrash)
+	case exitFindings:
+		exit = exitFindings
 	}
 	if !*novet && !runVet(patterns) {
-		exit = 1
+		exit = exitFindings
 	}
 	os.Exit(exit)
 }
 
-func lintPackages(patterns []string, verbose bool) bool {
+// jsonFinding is the wire shape of one finding in -json output.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+func lintPackages(patterns []string, verbose, jsonOut bool) int {
 	loader := load.New()
 	pkgs, err := loader.Load(patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hwlint:", err)
-		return false
+		return exitCrash
 	}
 	findings, err := run.Analyze(pkgs, lint.Analyzers(), lint.Applies)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hwlint:", err)
-		return false
+		return exitCrash
+	}
+	if jsonOut {
+		if err := writeJSON(os.Stdout, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "hwlint:", err)
+			return exitCrash
+		}
 	}
 	for _, f := range findings {
 		if f.Suppressed {
@@ -68,7 +111,30 @@ func lintPackages(patterns []string, verbose bool) bool {
 		}
 		fmt.Fprintln(os.Stderr, f)
 	}
-	return len(run.Active(findings)) == 0
+	if len(run.Active(findings)) > 0 {
+		return exitFindings
+	}
+	return exitClean
+}
+
+// writeJSON renders findings as a JSON array. An empty run still emits []
+// so the artifact is always parseable.
+func writeJSON(w *os.File, findings []run.Finding) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			File:       f.Pos.Filename,
+			Line:       f.Pos.Line,
+			Col:        f.Pos.Column,
+			Analyzer:   f.Analyzer,
+			Message:    f.Message,
+			Suppressed: f.Suppressed,
+			Reason:     f.Reason,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 func runVet(patterns []string) bool {
@@ -79,7 +145,7 @@ func runVet(patterns []string) bool {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: hwlint [-novet] [-v] [packages]\n\nanalyzers:\n")
+	fmt.Fprintf(os.Stderr, "usage: hwlint [-novet] [-v] [-json] [packages]\n\nanalyzers:\n")
 	for _, a := range lint.Analyzers() {
 		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 	}

@@ -144,13 +144,14 @@ func (c *Cluster) ScanFilterBatches(spec ScanSpec, yield func(*batch.Batch) erro
 			return nil
 		})
 	}
-	readerErr := make(chan error, 1)
-	//lint:ignore gohygiene the closer goroutine's only job is to propagate g.Wait() through readerErr, which the process stage always drains
-	go func() {
+	// The closer joins the readers and seals the channel; its own Wait below
+	// hands the reader error back without an unabortable channel receive.
+	var closer par.Group
+	closer.Go(func() error {
 		err := g.Wait()
 		close(batchCh)
-		readerErr <- err
-	}()
+		return err
+	})
 
 	// Process stage. The "processed" counter charges physical rows — what
 	// the paper's process thread pulls off the read queue — so pre-narrowed
@@ -227,7 +228,7 @@ func (c *Cluster) ScanFilterBatches(spec ScanSpec, yield func(*batch.Batch) erro
 			}
 		}
 	}
-	rerr := <-readerErr
+	rerr := closer.Wait()
 
 	c.rec.AddAt(metrics.JENScanBytes, spec.Worker, scanStats.s.BytesRead)
 	c.rec.AddAt(metrics.JENScanRows, spec.Worker, scanStats.s.RowsRead)

@@ -1,0 +1,41 @@
+package analysistest_test
+
+import (
+	"go/ast"
+	"testing"
+
+	"hybridwh/internal/lint/analysis"
+	"hybridwh/internal/lint/analysistest"
+)
+
+// crossFileCalls flags every call to a function named "flagMe", wherever
+// the declaration lives. It only produces the right diagnostics if the
+// harness loads and type-checks every file of the fixture package together:
+// with single-file loading, the call in one file would not resolve against
+// the declaration in the other and the package would not type-check at all.
+var crossFileCalls = &analysis.Analyzer{
+	Name: "crossfilecalls",
+	Doc:  "regression probe: analysistest must load multi-file fixture packages as one unit",
+	Run: func(pass *analysis.Pass) (interface{}, error) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "flagMe" {
+					pass.Reportf(call.Pos(), "call to flagMe")
+				}
+				return true
+			})
+		}
+		return nil, nil
+	},
+}
+
+// TestMultiFilePackage pins the multi-file contract: the fixture declares
+// flagMe in one file and calls it from another, with want expectations in
+// both files.
+func TestMultiFilePackage(t *testing.T) {
+	analysistest.Run(t, "../testdata", crossFileCalls, "multifile")
+}

@@ -1,0 +1,274 @@
+// Package callgraph builds the static call graph of one package: nodes are
+// declared functions, methods and function literals; edges are static call
+// sites plus the two goroutine spawn shapes the repo uses (`go f(...)` and
+// par.Group.Go/par.ForEach). Analyzers combine it with per-function CFGs to
+// reason across call boundaries — "is this receive reachable from a context-
+// carrying entry point", "which locks does this callee acquire".
+//
+// The graph is per-package (the hwlint driver analyzes one package at a
+// time); calls into other packages resolve to body-less external nodes.
+// Function values passed around as data are approximated conservatively: a
+// literal nested in a function body gets an edge from its enclosing
+// function, so anything the literal does is considered reachable wherever
+// the enclosing function is.
+package callgraph
+
+import (
+	"go/ast"
+	"go/types"
+
+	"hybridwh/internal/lint/analysis"
+	"hybridwh/internal/lint/astwalk"
+	"hybridwh/internal/lint/cfg"
+)
+
+const parPkg = "internal/par"
+
+// Node is one function: a declaration (Decl set), a literal (Lit set), or
+// an external function from another package (only Func set).
+type Node struct {
+	Func *types.Func   // nil for literals
+	Decl *ast.FuncDecl // nil for literals and externals
+	Lit  *ast.FuncLit  // nil for declarations and externals
+	Out  []Edge
+}
+
+// Body returns the function's body, or nil for externals.
+func (n *Node) Body() *ast.BlockStmt {
+	switch {
+	case n.Decl != nil:
+		return n.Decl.Body
+	case n.Lit != nil:
+		return n.Lit.Body
+	}
+	return nil
+}
+
+// Name renders the node for diagnostics.
+func (n *Node) Name() string {
+	switch {
+	case n.Func != nil && n.Func.Type().(*types.Signature).Recv() != nil:
+		recv := n.Func.Type().(*types.Signature).Recv().Type()
+		return shortType(recv) + "." + n.Func.Name()
+	case n.Func != nil:
+		return n.Func.Name()
+	default:
+		return "func literal"
+	}
+}
+
+func shortType(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+// Edge is one call or spawn site.
+type Edge struct {
+	Site   ast.Node
+	Callee *Node
+	// Spawn marks goroutine launches: a `go` statement, or a function value
+	// handed to par.Group.Go / par.ForEach.
+	Spawn bool
+}
+
+// Graph is the package's call graph.
+type Graph struct {
+	Nodes  []*Node
+	byFunc map[*types.Func]*Node
+	byLit  map[*ast.FuncLit]*Node
+}
+
+// NodeFor returns the node of a resolved function, or nil.
+func (g *Graph) NodeFor(fn *types.Func) *Node { return g.byFunc[fn] }
+
+// LitNode returns the node of a function literal, or nil.
+func (g *Graph) LitNode(lit *ast.FuncLit) *Node { return g.byLit[lit] }
+
+// Build constructs the call graph of the pass's package.
+func Build(pass *analysis.Pass) *Graph {
+	g := &Graph{byFunc: map[*types.Func]*Node{}, byLit: map[*ast.FuncLit]*Node{}}
+	// Declare nodes first so forward references resolve.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				n := &Node{Func: fn, Decl: fd}
+				g.Nodes = append(g.Nodes, n)
+				g.byFunc[fn] = n
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			g.walk(pass, g.byFunc[fn], fd.Body)
+		}
+	}
+	return g
+}
+
+// walk records the edges of one function body, recursing into nested
+// literals (each becomes its own node with its own edges).
+func (g *Graph) walk(pass *analysis.Pass, from *Node, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			lit := &Node{Lit: n}
+			g.Nodes = append(g.Nodes, lit)
+			g.byLit[n] = lit
+			spawn := g.isSpawnSite(pass, body, n)
+			from.Out = append(from.Out, Edge{Site: n, Callee: lit, Spawn: spawn})
+			g.walk(pass, lit, n.Body)
+			return false // the literal's own walk covers its body
+		case *ast.GoStmt:
+			// The spawned callee: mark the static target (if any) as spawned.
+			if callee := g.external(pass, n.Call); callee != nil {
+				from.Out = append(from.Out, Edge{Site: n, Callee: callee, Spawn: true})
+			}
+			// Argument expressions still walk normally (literals handled by
+			// the FuncLit case, which consults isSpawnSite).
+			return true
+		case *ast.CallExpr:
+			if callee := g.external(pass, n); callee != nil {
+				from.Out = append(from.Out, Edge{Site: n, Callee: callee, Spawn: false})
+			}
+			// A declared function handed to par.Group.Go/ForEach by name is a
+			// spawn of that function.
+			if isParSpawnCall(pass, n) {
+				for _, arg := range n.Args {
+					if obj := identFunc(pass, arg); obj != nil {
+						if callee := g.nodeOf(obj); callee != nil {
+							from.Out = append(from.Out, Edge{Site: n, Callee: callee, Spawn: true})
+						}
+					}
+				}
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// nodeOf returns (creating if needed) the node of a resolved function.
+func (g *Graph) nodeOf(fn *types.Func) *Node {
+	if n, ok := g.byFunc[fn]; ok {
+		return n
+	}
+	n := &Node{Func: fn} // external or body-less: no Decl
+	g.Nodes = append(g.Nodes, n)
+	g.byFunc[fn] = n
+	return n
+}
+
+// external resolves a call's static callee to a node, or nil for dynamic
+// calls (function values, interface methods resolve to the interface method
+// object, which is body-less but still identifies the callee).
+func (g *Graph) external(pass *analysis.Pass, call *ast.CallExpr) *Node {
+	obj := astwalk.CalleeObject(pass.TypesInfo, call)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	return g.nodeOf(fn)
+}
+
+// isSpawnSite reports whether lit is launched as a goroutine: the function
+// of a `go` statement, or an argument to par.Group.Go / par.ForEach. The
+// check is lexical over the enclosing body (the literal's parent chain).
+func (g *Graph) isSpawnSite(pass *analysis.Pass, body *ast.BlockStmt, lit *ast.FuncLit) bool {
+	spawn := false
+	astwalk.Inspect(body, func(n ast.Node, stack []ast.Node) {
+		if n != ast.Node(lit) || spawn {
+			return
+		}
+		for i := len(stack) - 2; i >= 0; i-- {
+			switch p := stack[i].(type) {
+			case *ast.GoStmt:
+				spawn = true
+				return
+			case *ast.CallExpr:
+				if ul, ok := ast.Unparen(p.Fun).(*ast.FuncLit); ok && ul == lit {
+					continue // immediately invoked (go func(){}()): keep climbing
+				}
+				if isParSpawnCall(pass, p) {
+					spawn = true
+				}
+				return
+			case *ast.FuncLit:
+				return // nested literal boundary
+			}
+		}
+	})
+	return spawn
+}
+
+// isParSpawnCall reports whether call invokes par.Group.Go or par.ForEach.
+func isParSpawnCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	obj := astwalk.CalleeObject(pass.TypesInfo, call)
+	if obj == nil || !astwalk.FromPkg(obj, parPkg) {
+		return false
+	}
+	return obj.Name() == "Go" || obj.Name() == "ForEach"
+}
+
+// identFunc resolves a plain identifier or selector argument to a declared
+// function, or nil.
+func identFunc(pass *analysis.Pass, e ast.Expr) *types.Func {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if fn, ok := pass.TypesInfo.Uses[e].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := astwalk.SelectedObject(pass.TypesInfo, e).(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// Reachable returns every node reachable from roots along call and spawn
+// edges (roots included).
+func (g *Graph) Reachable(roots []*Node) map[*Node]bool {
+	seen := map[*Node]bool{}
+	stack := append([]*Node(nil), roots...)
+	for _, r := range roots {
+		seen[r] = true
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range n.Out {
+			if !seen[e.Callee] {
+				seen[e.Callee] = true
+				stack = append(stack, e.Callee)
+			}
+		}
+	}
+	return seen
+}
+
+// CFG builds (memoized by the caller if needed) the control-flow graph of a
+// node's body, or nil for body-less nodes.
+func (n *Node) CFG() *cfg.Graph {
+	body := n.Body()
+	if body == nil {
+		return nil
+	}
+	return cfg.New(body)
+}

@@ -1,0 +1,158 @@
+package callgraph_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/types"
+	"testing"
+
+	"hybridwh/internal/lint/analysis"
+	"hybridwh/internal/lint/callgraph"
+	"hybridwh/internal/lint/load"
+)
+
+const src = `package p
+
+import "hybridwh/internal/par"
+
+func root() {
+	helper()
+	go spawned()
+	var g par.Group
+	g.Go(func() error {
+		inClosure()
+		return nil
+	})
+	g.Go(named)
+	_ = g.Wait()
+}
+
+func helper()    { leaf() }
+func leaf()      {}
+func spawned()   {}
+func inClosure() {}
+func named() error { return nil }
+
+func island() { leaf() }
+`
+
+func buildGraph(t *testing.T) (*callgraph.Graph, *analysis.Pass) {
+	t.Helper()
+	loader := load.New()
+	fset := loader.Fset()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := load.NewInfo()
+	conf := types.Config{Importer: loader}
+	pkg, err := conf.Check("p", fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatalf("type-check: %v", err)
+	}
+	pass := &analysis.Pass{
+		Fset:      fset,
+		Files:     []*ast.File{file},
+		Pkg:       pkg,
+		TypesInfo: info,
+	}
+	return callgraph.Build(pass), pass
+}
+
+func nodeNamed(t *testing.T, g *callgraph.Graph, name string) *callgraph.Node {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Func != nil && n.Func.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("no node named %q", name)
+	return nil
+}
+
+func TestStaticCallEdges(t *testing.T) {
+	g, _ := buildGraph(t)
+	root := nodeNamed(t, g, "root")
+	reach := g.Reachable([]*callgraph.Node{root})
+	for _, want := range []string{"helper", "leaf", "spawned", "inClosure", "named"} {
+		if !reach[nodeNamed(t, g, want)] {
+			t.Errorf("%s should be reachable from root", want)
+		}
+	}
+	if reach[nodeNamed(t, g, "island")] {
+		t.Error("island must not be reachable from root")
+	}
+}
+
+func TestSpawnEdges(t *testing.T) {
+	g, _ := buildGraph(t)
+	root := nodeNamed(t, g, "root")
+	spawnTargets := map[string]bool{}
+	litSpawns := 0
+	for _, e := range root.Out {
+		if !e.Spawn {
+			continue
+		}
+		if e.Callee.Func != nil {
+			spawnTargets[e.Callee.Func.Name()] = true
+		} else if e.Callee.Lit != nil {
+			litSpawns++
+		}
+	}
+	if !spawnTargets["spawned"] {
+		t.Error("go spawned() must produce a spawn edge")
+	}
+	if !spawnTargets["named"] {
+		t.Error("g.Go(named) must produce a spawn edge to named")
+	}
+	if litSpawns != 1 {
+		t.Errorf("got %d literal spawn edges, want 1 (the g.Go closure)", litSpawns)
+	}
+}
+
+func TestLiteralBodiesGetOwnNodes(t *testing.T) {
+	g, _ := buildGraph(t)
+	// The closure passed to g.Go must carry the inClosure edge itself, not
+	// attribute it to root directly.
+	for _, e := range nodeNamed(t, g, "root").Out {
+		if e.Callee.Func != nil && e.Callee.Func.Name() == "inClosure" {
+			t.Fatal("inClosure must be called from the literal's node, not root's")
+		}
+	}
+	var lit *callgraph.Node
+	for _, n := range g.Nodes {
+		if n.Lit != nil {
+			lit = n
+			break
+		}
+	}
+	if lit == nil {
+		t.Fatal("no literal node built")
+	}
+	found := false
+	for _, e := range lit.Out {
+		if e.Callee.Func != nil && e.Callee.Func.Name() == "inClosure" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("the literal node must call inClosure")
+	}
+}
+
+func TestExternalCalleesAreBodyless(t *testing.T) {
+	g, _ := buildGraph(t)
+	root := nodeNamed(t, g, "root")
+	sawExternal := false
+	for _, e := range root.Out {
+		if e.Callee.Func != nil && e.Callee.Func.Pkg() != nil && e.Callee.Func.Pkg().Name() == "par" {
+			sawExternal = true
+			if e.Callee.Body() != nil {
+				t.Error("external par node must be body-less")
+			}
+		}
+	}
+	if !sawExternal {
+		t.Error("calls into par must resolve to external nodes")
+	}
+}

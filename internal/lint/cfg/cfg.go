@@ -1,0 +1,431 @@
+// Package cfg builds per-function control-flow graphs from go/ast, the
+// substrate of the flow-sensitive hwlint analyzers (lockorder, poolsafe,
+// ctxflow). The graph is intentionally small: basic blocks hold statements
+// and control expressions in execution order, edges are successor links, and
+// a synthetic Exit block joins every return and the fall-off-the-end path.
+// Deferred calls are collected separately — they run at function exit, so
+// analyzers consult Defers when deciding what holds at Exit.
+//
+// Nested function literals are boundaries: a literal's body is not woven
+// into the enclosing graph (its execution time is unknown) — build a
+// separate graph per literal and use Inspect, which stops at literals, to
+// scan block nodes.
+package cfg
+
+import "go/ast"
+
+// Block is one basic block: statements and control expressions that execute
+// in order with no internal branching. Control expressions (an if or loop
+// condition, a switch tag, case expressions, a select comm statement) appear
+// as nodes in the block that evaluates them.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	Entry *Block
+	// Exit is synthetic: every return statement and the fall-off-the-end
+	// path lead to it. A block with no path to Exit ends in an infinite
+	// loop (or is unreachable).
+	Exit   *Block
+	Blocks []*Block
+	// Defers collects every defer statement in the body, in source order.
+	// Deferred calls run at Exit on every path that registered them; the
+	// builder also records each defer as a node at its registration point.
+	Defers []*ast.DeferStmt
+}
+
+// New builds the graph of one function body. body must be non-nil.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{
+		g:      &Graph{},
+		labels: map[string]*Block{},
+	}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	b.cur = b.g.Entry
+	b.stmts(body.List)
+	if b.cur != nil {
+		b.edge(b.cur, b.g.Exit)
+	}
+	return b.g
+}
+
+// target is one enclosing breakable/continuable construct.
+type target struct {
+	label string
+	brk   *Block
+	cont  *Block // nil for switch/select
+}
+
+type builder struct {
+	g       *Graph
+	cur     *Block // nil after a terminating statement (return/branch)
+	targets []*target
+	// labels maps label names to their entry blocks (created on first
+	// reference, so forward gotos resolve).
+	labels map[string]*Block
+	// pendingLabel names the label attached to the next loop/switch/select.
+	pendingLabel string
+	// fall is the next case's body during switch lowering (the
+	// fallthrough target).
+	fall *Block
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// add records a node in the current block, reviving an unreachable block if
+// a terminator preceded (the node is kept, with no predecessors).
+func (b *builder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *builder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// labelBlock returns the entry block of a label, creating it on demand.
+func (b *builder) labelBlock(name string) *Block {
+	blk, ok := b.labels[name]
+	if !ok {
+		blk = b.newBlock()
+		b.labels[name] = blk
+	}
+	return blk
+}
+
+// findTarget resolves a break/continue target; empty label means innermost.
+func (b *builder) findTarget(label string, cont bool) *Block {
+	for i := len(b.targets) - 1; i >= 0; i-- {
+		t := b.targets[i]
+		if cont && t.cont == nil {
+			continue // break-only construct (switch/select)
+		}
+		if label == "" || t.label == label {
+			if cont {
+				return t.cont
+			}
+			return t.brk
+		}
+	}
+	return nil
+}
+
+// takeLabel consumes the pending label for a loop/switch/select statement.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		if b.cur != nil {
+			b.edge(b.cur, lb)
+		}
+		b.cur = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.cur
+		then := b.newBlock()
+		b.edge(cond, then)
+		b.cur = then
+		b.stmt(s.Body)
+		thenEnd := b.cur
+		var elseEnd *Block
+		hasElse := s.Else != nil
+		if hasElse {
+			els := b.newBlock()
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			elseEnd = b.cur
+		}
+		join := b.newBlock()
+		if !hasElse {
+			b.edge(cond, join)
+		}
+		if thenEnd != nil {
+			b.edge(thenEnd, join)
+		}
+		if elseEnd != nil {
+			b.edge(elseEnd, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		if b.cur != nil {
+			b.edge(b.cur, head)
+		}
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+		}
+		body := b.newBlock()
+		b.edge(head, body)
+		post := b.newBlock()
+		after := b.newBlock()
+		if s.Cond != nil {
+			b.edge(head, after)
+		}
+		b.targets = append(b.targets, &target{label: label, brk: after, cont: post})
+		b.cur = body
+		b.stmt(s.Body)
+		if b.cur != nil {
+			b.edge(b.cur, post)
+		}
+		b.targets = b.targets[:len(b.targets)-1]
+		b.cur = post
+		if s.Post != nil {
+			b.stmt(s.Post)
+		}
+		if b.cur != nil {
+			b.edge(b.cur, head)
+		}
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		if b.cur != nil {
+			b.edge(b.cur, head)
+		}
+		// The range statement itself is the head's node: it evaluates X once
+		// and assigns Key/Value each iteration.
+		head.Nodes = append(head.Nodes, s)
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(head, body)
+		b.edge(head, after)
+		b.targets = append(b.targets, &target{label: label, brk: after, cont: head})
+		b.cur = body
+		b.stmt(s.Body)
+		if b.cur != nil {
+			b.edge(b.cur, head)
+		}
+		b.targets = b.targets[:len(b.targets)-1]
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(label, s.Body, func(c *ast.CaseClause) []ast.Node {
+			out := make([]ast.Node, 0, len(c.List))
+			for _, e := range c.List {
+				out = append(out, e)
+			}
+			return out
+		})
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchBody(label, s.Body, func(c *ast.CaseClause) []ast.Node {
+			out := make([]ast.Node, 0, len(c.List))
+			for _, e := range c.List {
+				out = append(out, e)
+			}
+			return out
+		})
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.cur
+		if head == nil {
+			head = b.newBlock()
+			b.cur = head
+		}
+		after := b.newBlock()
+		b.targets = append(b.targets, &target{label: label, brk: after})
+		for _, c := range s.Body.List {
+			comm := c.(*ast.CommClause)
+			blk := b.newBlock()
+			b.edge(head, blk)
+			if comm.Comm != nil { // nil for default
+				blk.Nodes = append(blk.Nodes, comm.Comm)
+			}
+			b.cur = blk
+			b.stmts(comm.Body)
+			if b.cur != nil {
+				b.edge(b.cur, after)
+			}
+		}
+		b.targets = b.targets[:len(b.targets)-1]
+		// A select with no cases blocks forever; after is then unreachable,
+		// which the edge-less block already expresses.
+		b.cur = after
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.g.Exit)
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		b.add(s)
+		switch s.Tok.String() {
+		case "break":
+			if t := b.findTarget(labelName(s), false); t != nil {
+				b.edge(b.cur, t)
+			}
+		case "continue":
+			if t := b.findTarget(labelName(s), true); t != nil {
+				b.edge(b.cur, t)
+			}
+		case "goto":
+			if s.Label != nil {
+				b.edge(b.cur, b.labelBlock(s.Label.Name))
+			}
+		case "fallthrough":
+			if b.fall != nil {
+				b.edge(b.cur, b.fall)
+			}
+		}
+		b.cur = nil
+
+	case *ast.DeferStmt:
+		b.g.Defers = append(b.g.Defers, s)
+		b.add(s)
+
+	default:
+		// Straight-line statements: expressions, assignments, declarations,
+		// sends, inc/dec, go statements, empty statements.
+		b.add(s)
+	}
+}
+
+// switchBody lowers the shared shape of switch and type-switch: every case
+// body is entered from the head block, fallthrough chains to the next case,
+// and a missing default adds a head→after edge.
+func (b *builder) switchBody(label string, body *ast.BlockStmt, caseNodes func(*ast.CaseClause) []ast.Node) {
+	head := b.cur
+	if head == nil {
+		head = b.newBlock()
+		b.cur = head
+	}
+	after := b.newBlock()
+	b.targets = append(b.targets, &target{label: label, brk: after})
+
+	clauses := make([]*ast.CaseClause, 0, len(body.List))
+	for _, c := range body.List {
+		clauses = append(clauses, c.(*ast.CaseClause))
+	}
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		blocks[i] = b.newBlock()
+		b.edge(head, blocks[i])
+		if len(c.List) == 0 {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	savedFall := b.fall
+	for i, c := range clauses {
+		if i+1 < len(blocks) {
+			b.fall = blocks[i+1]
+		} else {
+			b.fall = nil
+		}
+		blk := blocks[i]
+		blk.Nodes = append(blk.Nodes, caseNodes(c)...)
+		b.cur = blk
+		b.stmts(c.Body)
+		if b.cur != nil {
+			b.edge(b.cur, after)
+		}
+	}
+	b.fall = savedFall
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = after
+}
+
+func labelName(s *ast.BranchStmt) string {
+	if s.Label == nil {
+		return ""
+	}
+	return s.Label.Name
+}
+
+// Inspect walks n depth-first without descending into nested function
+// literals: a literal's body belongs to its own graph, so block-node scans
+// must not attribute its operations to the enclosing function.
+func Inspect(n ast.Node, fn func(ast.Node) bool) {
+	root := n
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return true
+		}
+		if _, ok := m.(*ast.FuncLit); ok && m != root {
+			return false
+		}
+		return fn(m)
+	})
+}
+
+// MayReach reports whether to is reachable from from along successor edges.
+// from == to reports true (the empty path).
+func MayReach(from, to *Block) bool {
+	if from == to {
+		return true
+	}
+	seen := map[*Block]bool{from: true}
+	stack := []*Block{from}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs {
+			if s == to {
+				return true
+			}
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}

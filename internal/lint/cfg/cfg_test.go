@@ -1,0 +1,247 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// build parses a function body (the src is wrapped in a package and func)
+// and returns its graph plus the fileset for locating nodes.
+func build(t *testing.T, body string) (*Graph, *token.FileSet) {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return New(fd.Body), fset
+}
+
+// blockWith returns the block containing a node whose source text contains
+// marker (searching node subtrees, not descending into literals).
+func blockWith(t *testing.T, g *Graph, fset *token.FileSet, src, marker string) *Block {
+	t.Helper()
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			found := false
+			Inspect(n, func(m ast.Node) bool {
+				start := fset.Position(m.Pos()).Offset
+				end := fset.Position(m.End()).Offset
+				if start >= 0 && end <= len(src) && strings.Contains(src[start:end], marker) {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				return b
+			}
+		}
+	}
+	t.Fatalf("no block contains %q", marker)
+	return nil
+}
+
+// fullSrc reconstructs the wrapped source the same way build does.
+func fullSrc(body string) string {
+	return "package p\n\nfunc f() {\n" + body + "\n}\n"
+}
+
+func TestStraightLine(t *testing.T) {
+	g, _ := build(t, "x := 1\ny := x\n_ = y")
+	if len(g.Entry.Nodes) != 3 {
+		t.Fatalf("entry holds %d nodes, want 3", len(g.Entry.Nodes))
+	}
+	if !MayReach(g.Entry, g.Exit) {
+		t.Fatal("entry must reach exit")
+	}
+}
+
+func TestIfElseJoins(t *testing.T) {
+	body := "x := 0\nif x > 0 {\n\tx = 1\n} else {\n\tx = 2\n}\nx = 3"
+	g, fset := build(t, body)
+	src := fullSrc(body)
+	then := blockWith(t, g, fset, src, "x = 1")
+	els := blockWith(t, g, fset, src, "x = 2")
+	join := blockWith(t, g, fset, src, "x = 3")
+	if !MayReach(then, join) || !MayReach(els, join) {
+		t.Fatal("both branches must reach the join")
+	}
+	if MayReach(then, els) || MayReach(els, then) {
+		t.Fatal("branches must not reach each other")
+	}
+}
+
+func TestReturnCutsPath(t *testing.T) {
+	body := "x := 0\nif x > 0 {\n\treturn\n}\nx = 2"
+	g, fset := build(t, body)
+	src := fullSrc(body)
+	ret := blockWith(t, g, fset, src, "return")
+	after := blockWith(t, g, fset, src, "x = 2")
+	if MayReach(ret, after) {
+		t.Fatal("code after return must not be reachable from the return block")
+	}
+	if !MayReach(ret, g.Exit) {
+		t.Fatal("return must reach exit")
+	}
+	if !MayReach(g.Entry, after) {
+		t.Fatal("the else path must reach the tail")
+	}
+}
+
+func TestForLoopBackEdgeAndBreak(t *testing.T) {
+	body := "s := 0\nfor i := 0; i < 10; i++ {\n\tif i == 5 {\n\t\tbreak\n\t}\n\ts += i\n}\ns++"
+	g, fset := build(t, body)
+	src := fullSrc(body)
+	bodyBlk := blockWith(t, g, fset, src, "s += i")
+	after := blockWith(t, g, fset, src, "s++")
+	if !MayReach(bodyBlk, bodyBlk) {
+		t.Fatal("loop body must reach itself via the back edge")
+	}
+	if !MayReach(bodyBlk, after) {
+		t.Fatal("loop body must reach the after block")
+	}
+	brk := blockWith(t, g, fset, src, "break")
+	if !MayReach(brk, after) {
+		t.Fatal("break must reach the after block")
+	}
+	if MayReach(brk, bodyBlk) {
+		t.Fatal("break must not re-enter the loop body")
+	}
+}
+
+func TestInfiniteLoopDoesNotReachExit(t *testing.T) {
+	body := "x := 0\nfor {\n\tx++\n}"
+	g, fset := build(t, body)
+	src := fullSrc(body)
+	loop := blockWith(t, g, fset, src, "x++")
+	if MayReach(loop, g.Exit) {
+		t.Fatal("a condition-less loop without break must not reach exit")
+	}
+}
+
+func TestRangeLoop(t *testing.T) {
+	body := "s := 0\nfor _, v := range []int{1, 2} {\n\ts += v\n}\ns++"
+	g, fset := build(t, body)
+	src := fullSrc(body)
+	bodyBlk := blockWith(t, g, fset, src, "s += v")
+	after := blockWith(t, g, fset, src, "s++")
+	if !MayReach(bodyBlk, bodyBlk) {
+		t.Fatal("range body must reach itself via the back edge")
+	}
+	if !MayReach(bodyBlk, after) {
+		t.Fatal("range body must reach the after block")
+	}
+	head := blockWith(t, g, fset, src, "range")
+	if !MayReach(g.Entry, head) || !MayReach(head, after) {
+		t.Fatal("entry → head → after must hold (zero-iteration path)")
+	}
+}
+
+func TestSwitchNoDefaultSkips(t *testing.T) {
+	body := "x := 0\nswitch x {\ncase 1:\n\tx = 10\ncase 2:\n\tx = 20\n}\nx = 30"
+	g, fset := build(t, body)
+	src := fullSrc(body)
+	c1 := blockWith(t, g, fset, src, "x = 10")
+	c2 := blockWith(t, g, fset, src, "x = 20")
+	after := blockWith(t, g, fset, src, "x = 30")
+	if !MayReach(c1, after) || !MayReach(c2, after) {
+		t.Fatal("case bodies must reach the after block")
+	}
+	if MayReach(c1, c2) {
+		t.Fatal("cases must not fall through without a fallthrough statement")
+	}
+	// No default: entry must reach after without passing any case body.
+	if !MayReach(g.Entry, after) {
+		t.Fatal("missing default must add a skip edge")
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	body := "x := 0\nswitch x {\ncase 1:\n\tx = 10\n\tfallthrough\ncase 2:\n\tx = 20\n}"
+	g, fset := build(t, body)
+	src := fullSrc(body)
+	c1 := blockWith(t, g, fset, src, "x = 10")
+	c2 := blockWith(t, g, fset, src, "x = 20")
+	if !MayReach(c1, c2) {
+		t.Fatal("fallthrough must chain case 1 to case 2")
+	}
+}
+
+func TestSelectArms(t *testing.T) {
+	body := "ch := make(chan int)\ndone := make(chan int)\nvar got int\nselect {\ncase v := <-ch:\n\tgot = v\ncase <-done:\n\tgot = -1\n}\n_ = got"
+	g, fset := build(t, body)
+	src := fullSrc(body)
+	arm1 := blockWith(t, g, fset, src, "got = v")
+	arm2 := blockWith(t, g, fset, src, "got = -1")
+	after := blockWith(t, g, fset, src, "_ = got")
+	if !MayReach(arm1, after) || !MayReach(arm2, after) {
+		t.Fatal("both select arms must reach the after block")
+	}
+	if MayReach(arm1, arm2) || MayReach(arm2, arm1) {
+		t.Fatal("select arms must be exclusive")
+	}
+}
+
+func TestDefersCollected(t *testing.T) {
+	body := "defer println(1)\nif true {\n\tdefer println(2)\n}"
+	g, _ := build(t, body)
+	if len(g.Defers) != 2 {
+		t.Fatalf("collected %d defers, want 2", len(g.Defers))
+	}
+}
+
+func TestGotoForward(t *testing.T) {
+	body := "x := 0\nif x > 0 {\n\tgoto done\n}\nx = 1\ndone:\n\tx = 2"
+	g, fset := build(t, body)
+	src := fullSrc(body)
+	gt := blockWith(t, g, fset, src, "goto done")
+	skipped := blockWith(t, g, fset, src, "x = 1")
+	lbl := blockWith(t, g, fset, src, "x = 2")
+	if !MayReach(gt, lbl) {
+		t.Fatal("goto must reach its label")
+	}
+	if MayReach(gt, skipped) {
+		t.Fatal("goto must not reach the skipped statement")
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	body := "s := 0\nouter:\nfor i := 0; i < 3; i++ {\n\tfor j := 0; j < 3; j++ {\n\t\tif j == 1 {\n\t\t\tbreak outer\n\t\t}\n\t\ts++\n\t}\n}\ns = 9"
+	g, fset := build(t, body)
+	src := fullSrc(body)
+	brk := blockWith(t, g, fset, src, "break outer")
+	inner := blockWith(t, g, fset, src, "s++")
+	after := blockWith(t, g, fset, src, "s = 9")
+	if !MayReach(brk, after) {
+		t.Fatal("labeled break must reach the statement after the outer loop")
+	}
+	if MayReach(brk, inner) {
+		t.Fatal("labeled break must not re-enter the inner loop")
+	}
+}
+
+func TestInspectSkipsFuncLits(t *testing.T) {
+	body := "f := func() { panic(1) }\nf()"
+	g, _ := build(t, body)
+	sawPanic := false
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			Inspect(n, func(m ast.Node) bool {
+				if c, ok := m.(*ast.CallExpr); ok {
+					if id, ok := c.Fun.(*ast.Ident); ok && id.Name == "panic" {
+						sawPanic = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	if sawPanic {
+		t.Fatal("Inspect must not descend into nested function literals")
+	}
+}

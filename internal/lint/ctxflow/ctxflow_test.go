@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"hybridwh/internal/lint/analysistest"
+	"hybridwh/internal/lint/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, "../testdata", ctxflow.Analyzer, "ctxflow")
+}

@@ -8,17 +8,23 @@ import (
 	"strings"
 
 	"hybridwh/internal/lint/analysis"
+	"hybridwh/internal/lint/ctxflow"
 	"hybridwh/internal/lint/errwrap"
 	"hybridwh/internal/lint/gohygiene"
 	"hybridwh/internal/lint/hotalloc"
 	"hybridwh/internal/lint/load"
+	"hybridwh/internal/lint/lockorder"
+	"hybridwh/internal/lint/msgswitch"
 	"hybridwh/internal/lint/mutexguard"
 	"hybridwh/internal/lint/nondet"
+	"hybridwh/internal/lint/poolsafe"
 	"hybridwh/internal/lint/protocol"
 	"hybridwh/internal/lint/rowloop"
 )
 
-// Analyzers returns every hwlint analyzer, in reporting order.
+// Analyzers returns every hwlint analyzer, in reporting order. The first
+// seven are syntactic/lexical; the last four (PR 6) are flow-sensitive,
+// built on internal/lint/cfg and internal/lint/callgraph.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		nondet.Analyzer,
@@ -28,6 +34,10 @@ func Analyzers() []*analysis.Analyzer {
 		mutexguard.Analyzer,
 		rowloop.Analyzer,
 		hotalloc.Analyzer,
+		ctxflow.Analyzer,
+		lockorder.Analyzer,
+		poolsafe.Analyzer,
+		msgswitch.Analyzer,
 	}
 }
 
@@ -60,6 +70,16 @@ var hotPathPkgs = map[string]bool{
 	"hybridwh/internal/jen":   true,
 }
 
+// poolPlanePkgs are the packages that draw batches from internal/batch
+// pools; only they are subject to the poolsafe analyzer.
+var poolPlanePkgs = map[string]bool{
+	"hybridwh/internal/format": true,
+	"hybridwh/internal/jen":    true,
+	"hybridwh/internal/core":   true,
+	"hybridwh/internal/relop":  true,
+	"hybridwh/internal/edw":    true,
+}
+
 // Applies reports whether an analyzer runs on a package.
 func Applies(a *analysis.Analyzer, pkg *load.Package) bool {
 	path := pkg.ImportPath
@@ -73,12 +93,20 @@ func Applies(a *analysis.Analyzer, pkg *load.Package) bool {
 		return batchPlanePkgs[path]
 	case "hotalloc":
 		return hotPathPkgs[path]
+	case "poolsafe":
+		return poolPlanePkgs[path]
 	case "gohygiene":
 		// par is the abstraction bare goroutines should flow through, and
 		// the lint tree never spawns goroutines; everything else under
 		// internal/ must use it.
 		return strings.HasPrefix(path, "hybridwh/internal/") &&
 			path != "hybridwh/internal/par" &&
+			!strings.HasPrefix(path, "hybridwh/internal/lint")
+	case "ctxflow":
+		// par's semaphore receives are the blocking primitive itself, and the
+		// lint tree is single-threaded; everything else — engines, wire, I/O,
+		// the cmd trees with long-running loops — must stay abortable.
+		return path != "hybridwh/internal/par" &&
 			!strings.HasPrefix(path, "hybridwh/internal/lint")
 	default:
 		return true

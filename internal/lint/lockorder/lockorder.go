@@ -1,0 +1,343 @@
+// Package lockorder implements the `lockorder` analyzer: flow-sensitive
+// lock/unlock pairing and a package-global lock-acquisition order.
+//
+// Lock identity is the declared mutex object (the `mu` field of a struct
+// type, or a package/local variable) — a lock *class*, not an instance; all
+// values of the same field are one lock, which is the granularity deadlocks
+// care about. Two checks:
+//
+//  1. Pairing. A forward may-held dataflow over the function's CFG: if some
+//     path reaches the function exit still holding a lock that no lexical
+//     `defer Unlock` covers, the early-return path leaked the lock. This is
+//     the classic `mu.Lock(); if err { return err }; mu.Unlock()` bug.
+//
+//  2. Ordering. Every Lock acquired while another lock is held contributes
+//     an edge held→acquired to the package's acquisition graph — including
+//     locks acquired transitively by in-package callees (spawn edges are
+//     excluded: a spawned goroutine starts with an empty lock set). An edge
+//     whose reverse is also present is a potential ABBA deadlock and both
+//     sites are reported.
+//
+// The analysis is deliberately may- (union at joins): a false "still held"
+// on a branchy function is a readability smell worth restructuring; use
+// `//lint:ignore lockorder <reason>` where the pairing is provably sound.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"hybridwh/internal/lint/analysis"
+	"hybridwh/internal/lint/astwalk"
+	"hybridwh/internal/lint/callgraph"
+	"hybridwh/internal/lint/cfg"
+)
+
+// Analyzer is the lockorder analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "detect lock-order inversions across the package and locks still held on some path to return",
+	Run:  run,
+}
+
+// lockOp is one Lock/Unlock call site.
+type lockOp struct {
+	obj     types.Object // the mutex's declared object (lock class)
+	acquire bool
+	site    ast.Node
+}
+
+// orderEdge records "to acquired while from was held" at site.
+type orderEdge struct {
+	from, to types.Object
+	site     ast.Node
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	g := callgraph.Build(pass)
+
+	// acquires*(n): every lock class n or its non-spawn in-package callees
+	// may acquire. Fixpoint over the call graph (cycles converge because the
+	// sets only grow).
+	direct := map[*callgraph.Node]map[types.Object]bool{}
+	for _, n := range g.Nodes {
+		direct[n] = directAcquires(pass, n)
+	}
+	trans := map[*callgraph.Node]map[types.Object]bool{}
+	for _, n := range g.Nodes {
+		set := map[types.Object]bool{}
+		for o := range direct[n] {
+			set[o] = true
+		}
+		trans[n] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes {
+			for _, e := range n.Out {
+				if e.Spawn {
+					continue
+				}
+				for o := range trans[e.Callee] {
+					if !trans[n][o] {
+						trans[n][o] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	var edges []orderEdge
+	for _, n := range g.Nodes {
+		if n.Body() == nil {
+			continue
+		}
+		edges = append(edges, analyzeBody(pass, g, trans, n)...)
+	}
+	reportInversions(pass, edges)
+	return nil, nil
+}
+
+// directAcquires collects the lock classes a body Lock()s, ignoring nested
+// literals (they are their own nodes).
+func directAcquires(pass *analysis.Pass, n *callgraph.Node) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	body := n.Body()
+	if body == nil {
+		return out
+	}
+	cfg.Inspect(body, func(m ast.Node) bool {
+		if op, ok := asLockOp(pass, m); ok && op.acquire {
+			out[op.obj] = true
+		}
+		return true
+	})
+	return out
+}
+
+// analyzeBody runs the may-held dataflow over one function, reporting locks
+// held at exit and returning the ordering edges its sites contribute.
+func analyzeBody(pass *analysis.Pass, g *callgraph.Graph, trans map[*callgraph.Node]map[types.Object]bool, n *callgraph.Node) []orderEdge {
+	graph := cfg.New(n.Body())
+
+	// Deferred unlocks cover every path to exit.
+	deferred := map[types.Object]bool{}
+	for _, d := range graph.Defers {
+		if op, ok := asLockOp(pass, d.Call); ok && !op.acquire {
+			deferred[op.obj] = true
+		}
+	}
+
+	in := map[*cfg.Block]map[types.Object]bool{}
+	out := map[*cfg.Block]map[types.Object]bool{}
+	for _, b := range graph.Blocks {
+		in[b] = map[types.Object]bool{}
+		out[b] = map[types.Object]bool{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range graph.Blocks {
+			for _, p := range b.Preds {
+				for o := range out[p] {
+					if !in[b][o] {
+						in[b][o] = true
+						changed = true
+					}
+				}
+			}
+			next := transfer(pass, b, in[b], nil, nil, nil)
+			for o := range next {
+				if !out[b][o] {
+					out[b][o] = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Final pass with stable in-sets: collect ordering edges and first
+	// acquisition sites.
+	var edges []orderEdge
+	firstLock := map[types.Object]ast.Node{}
+	for _, b := range graph.Blocks {
+		transfer(pass, b, in[b], &edges, firstLock, func(call *ast.CallExpr, held map[types.Object]bool) {
+			callee := calleeNode(pass, g, call)
+			if callee == nil {
+				return
+			}
+			for h := range held {
+				for acq := range trans[callee] {
+					if acq != h {
+						edges = append(edges, orderEdge{from: h, to: acq, site: call})
+					}
+				}
+			}
+		})
+	}
+
+	// Locks may-held at exit without a deferred unlock leaked on some path.
+	leaked := map[types.Object]bool{}
+	for o := range in[graph.Exit] {
+		if !deferred[o] {
+			leaked[o] = true
+		}
+	}
+	for o := range leaked {
+		site := firstLock[o]
+		if site == nil {
+			continue // acquired by a callee or before this function: not ours to pair
+		}
+		pass.Reportf(site.Pos(), "%s may still be held on a path to return (early return between Lock and Unlock?); defer the unlock or unlock on every path", lockName(pass, o))
+	}
+	return edges
+}
+
+// transfer applies one block's lock operations to a copy of held. When
+// collecting (edges non-nil) it also records ordering edges, first Lock
+// sites, and hands every in-package call to onCall with the held set at
+// that point.
+func transfer(pass *analysis.Pass, b *cfg.Block, held map[types.Object]bool, edges *[]orderEdge, firstLock map[types.Object]ast.Node, onCall func(*ast.CallExpr, map[types.Object]bool)) map[types.Object]bool {
+	cur := map[types.Object]bool{}
+	for o := range held {
+		cur[o] = true
+	}
+	for _, node := range b.Nodes {
+		if _, isDefer := node.(*ast.DeferStmt); isDefer {
+			continue // runs at exit, not here
+		}
+		cfg.Inspect(node, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if op, ok := asLockOp(pass, call); ok {
+				if op.acquire {
+					if edges != nil {
+						if firstLock[op.obj] == nil {
+							firstLock[op.obj] = call
+						}
+						for h := range cur {
+							if h != op.obj {
+								*edges = append(*edges, orderEdge{from: h, to: op.obj, site: call})
+							}
+						}
+					}
+					cur[op.obj] = true
+				} else {
+					delete(cur, op.obj)
+				}
+				return true
+			}
+			if onCall != nil && len(cur) > 0 {
+				onCall(call, cur)
+			}
+			return true
+		})
+	}
+	return cur
+}
+
+// asLockOp recognizes m as a Lock/RLock/Unlock/RUnlock call on a sync mutex
+// and returns the lock's declared object.
+func asLockOp(pass *analysis.Pass, m ast.Node) (lockOp, bool) {
+	call, ok := m.(*ast.CallExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	var acquire bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		acquire = false
+	default:
+		return lockOp{}, false
+	}
+	callee := astwalk.CalleeObject(pass.TypesInfo, call)
+	if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync" {
+		return lockOp{}, false
+	}
+	obj := mutexObject(pass, sel.X)
+	if obj == nil {
+		return lockOp{}, false
+	}
+	return lockOp{obj: obj, acquire: acquire, site: call}, true
+}
+
+// mutexObject resolves the mutex expression to its declared object: the
+// field of `x.mu.Lock()`, or the variable of `mu.Lock()` / embedded
+// `s.Lock()`.
+func mutexObject(pass *analysis.Pass, x ast.Expr) types.Object {
+	switch e := ast.Unparen(x).(type) {
+	case *ast.SelectorExpr:
+		return astwalk.SelectedObject(pass.TypesInfo, e)
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[e]
+	}
+	return nil
+}
+
+// calleeNode resolves a call to its in-package node with a body, or nil.
+func calleeNode(pass *analysis.Pass, g *callgraph.Graph, call *ast.CallExpr) *callgraph.Node {
+	obj := astwalk.CalleeObject(pass.TypesInfo, call)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	n := g.NodeFor(fn)
+	if n == nil || n.Body() == nil {
+		return nil
+	}
+	return n
+}
+
+// reportInversions finds edge pairs a→b and b→a and reports each direction
+// once, at its site, naming the opposite site.
+func reportInversions(pass *analysis.Pass, edges []orderEdge) {
+	type pair struct{ from, to types.Object }
+	first := map[pair]orderEdge{}
+	for _, e := range edges {
+		p := pair{e.from, e.to}
+		if _, ok := first[p]; !ok {
+			first[p] = e
+		}
+	}
+	reported := map[pair]bool{}
+	// Deterministic order for golden tests: sort by site position.
+	var keys []pair
+	for p := range first {
+		keys = append(keys, p)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return first[keys[i]].site.Pos() < first[keys[j]].site.Pos()
+	})
+	for _, p := range keys {
+		rev := pair{p.to, p.from}
+		other, ok := first[rev]
+		if !ok || reported[p] || reported[rev] {
+			continue
+		}
+		e := first[p]
+		reported[p], reported[rev] = true, true
+		pass.Reportf(e.site.Pos(), "lock order inversion: %s acquired while holding %s, but the reverse order occurs at %s; pick one order",
+			lockName(pass, p.to), lockName(pass, p.from), pass.Fset.Position(other.site.Pos()))
+		pass.Reportf(other.site.Pos(), "lock order inversion: %s acquired while holding %s, but the reverse order occurs at %s; pick one order",
+			lockName(pass, rev.to), lockName(pass, rev.from), pass.Fset.Position(e.site.Pos()))
+	}
+}
+
+// lockName renders a lock class for diagnostics, with its declaring struct
+// when it is a field.
+func lockName(pass *analysis.Pass, o types.Object) string {
+	if v, ok := o.(*types.Var); ok && v.IsField() {
+		return fmt.Sprintf("%s (field at %s)", v.Name(), pass.Fset.Position(v.Pos()))
+	}
+	return o.Name()
+}

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"hybridwh/internal/lint/analysistest"
+	"hybridwh/internal/lint/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, "../testdata", lockorder.Analyzer, "lockorder")
+}

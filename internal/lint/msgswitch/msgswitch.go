@@ -1,0 +1,142 @@
+// Package msgswitch implements the `msgswitch` analyzer: every switch over
+// the wire message tag (netsim.MsgType) must be abort-complete. The
+// distributed abort protocol (PR 3) only works if every dispatch point
+// routes MsgError; a switch that silently drops it strands the peers
+// waiting for the abort to fan out. Two requirements per switch:
+//
+//   - an explicit MsgError case (being swallowed by a default is not
+//     handling: defaults log-and-drop);
+//   - either a case for every MsgType constant, or a default clause, so a
+//     protocol extension cannot fall through silently.
+//
+// The constant universe is read from the MsgType declaration's package
+// scope, so adding a new message kind automatically re-checks every switch
+// in the tree.
+package msgswitch
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"hybridwh/internal/lint/analysis"
+)
+
+// Analyzer is the msgswitch analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "msgswitch",
+	Doc:  "switches on netsim.MsgType must handle MsgError explicitly and be exhaustive or carry a rejecting default",
+	Run:  run,
+}
+
+const (
+	netsimPkg = "internal/netsim"
+	tagType   = "MsgType"
+	abortMsg  = "MsgError"
+)
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			named := tagNamed(pass, sw.Tag)
+			if named == nil {
+				return true
+			}
+			check(pass, sw, named)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// tagNamed returns the tag expression's type if it is netsim.MsgType.
+func tagNamed(pass *analysis.Pass, tag ast.Expr) *types.Named {
+	tv, ok := pass.TypesInfo.Types[tag]
+	if !ok {
+		return nil
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Name() != tagType || obj.Pkg() == nil {
+		return nil
+	}
+	if p := obj.Pkg().Path(); p != netsimPkg && !strings.HasSuffix(p, "/"+netsimPkg) {
+		return nil
+	}
+	return named
+}
+
+func check(pass *analysis.Pass, sw *ast.SwitchStmt, named *types.Named) {
+	universe := constantsOf(named)
+
+	covered := map[string]bool{}
+	hasDefault := false
+	for _, c := range sw.Body.List {
+		clause, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if clause.List == nil {
+			hasDefault = true
+			continue
+		}
+		for _, e := range clause.List {
+			if name := constName(pass, e); name != "" {
+				covered[name] = true
+			}
+		}
+	}
+
+	if !covered[abortMsg] {
+		pass.Reportf(sw.Pos(), "switch on %s does not handle %s; an abort broadcast would be dropped here — add an explicit case", tagType, abortMsg)
+	}
+	if hasDefault {
+		return
+	}
+	var missing []string
+	for _, name := range universe {
+		if !covered[name] && name != abortMsg {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		pass.Reportf(sw.Pos(), "switch on %s is not exhaustive (missing %s) and has no rejecting default; unknown kinds fall through silently", tagType, strings.Join(missing, ", "))
+	}
+}
+
+// constantsOf enumerates the named constants of the tag type declared in its
+// own package, sorted for deterministic diagnostics.
+func constantsOf(named *types.Named) []string {
+	scope := named.Obj().Pkg().Scope()
+	var out []string
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok && c.Type() == named {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// constName resolves a case expression to the constant it names, or "".
+func constName(pass *analysis.Pass, e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if c, ok := pass.TypesInfo.Uses[e].(*types.Const); ok {
+			return c.Name()
+		}
+	case *ast.SelectorExpr:
+		if c, ok := pass.TypesInfo.Uses[e.Sel].(*types.Const); ok {
+			return c.Name()
+		}
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package msgswitch_test
+
+import (
+	"testing"
+
+	"hybridwh/internal/lint/analysistest"
+	"hybridwh/internal/lint/msgswitch"
+)
+
+func TestMsgSwitch(t *testing.T) {
+	analysistest.Run(t, "../testdata", msgswitch.Analyzer, "msgswitch")
+}

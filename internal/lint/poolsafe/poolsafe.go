@@ -1,0 +1,321 @@
+// Package poolsafe implements the `poolsafe` analyzer: lifetime tracking for
+// batches drawn from internal/batch pools. The ownership convention (batch
+// doc comment, PR 4) is: whoever Pool.Get()s a batch either Pool.Put()s it
+// or hands it off exactly once — to a yield callback, a channel, a return
+// value, or a stored reference; after Put the batch belongs to the pool and
+// any further touch races with its next owner.
+//
+// A forward CFG dataflow tracks each local variable bound to a Pool.Get()
+// result through three states — Live, Released (Put ran), Escaped (handed
+// off) — with union merge at joins. Reported:
+//
+//   - use after release: the variable is read after Pool.Put on every path
+//     reaching the use;
+//   - double release: a second Pool.Put on every path;
+//   - leak: some path reaches return with the batch still Live (neither
+//     released, handed off, nor covered by a defer).
+//
+// Escape is deliberately conservative: passing the batch to any call,
+// returning, sending, aliasing, or capturing it in a closure transfers
+// ownership and ends tracking. That keeps the analyzer quiet on the
+// flush-closure pattern in format.ScanTextBatches while still catching the
+// put-then-append bug class flat out.
+package poolsafe
+
+import (
+	"go/ast"
+	"go/types"
+
+	"hybridwh/internal/lint/analysis"
+	"hybridwh/internal/lint/astwalk"
+	"hybridwh/internal/lint/callgraph"
+	"hybridwh/internal/lint/cfg"
+)
+
+// Analyzer is the poolsafe analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolsafe",
+	Doc:  "track batch.Pool lifetimes: use-after-Put, double Put, and batches leaked on some path to return",
+	Run:  run,
+}
+
+const batchPkg = "internal/batch"
+
+// Lifetime states, a bitmask so joins union.
+const (
+	live     = 1 << iota // owned here, must be released or handed off
+	released             // Pool.Put ran
+	escaped              // handed off; no longer our responsibility
+)
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	g := callgraph.Build(pass)
+	for _, n := range g.Nodes {
+		if n.Body() != nil {
+			analyzeBody(pass, n.Body())
+		}
+	}
+	return nil, nil
+}
+
+// event is one lifetime-relevant operation, in evaluation order.
+type event struct {
+	kind byte // 'g' get-assign, 'r' release, 'e' escape, 'u' use
+	obj  types.Object
+	site ast.Node
+}
+
+func analyzeBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	// Variables captured by nested literals are owned jointly with the
+	// closure; tracking them flow-sensitively here would lie. Exclude them.
+	captured := capturedVars(pass, body)
+
+	// tracked: locals assigned from Pool.Get somewhere in this body. A free
+	// variable (declared outside — a closure writing its capture) is shared
+	// state, not a local lifetime, and stays untracked.
+	tracked := map[types.Object]ast.Node{} // object → first Get site
+	cfg.Inspect(body, func(n ast.Node) bool {
+		obj, site := getAssign(pass, n)
+		if obj != nil && !captured[obj] &&
+			obj.Pos() >= body.Pos() && obj.Pos() <= body.End() {
+			if tracked[obj] == nil {
+				tracked[obj] = site
+			}
+		}
+		return true
+	})
+	if len(tracked) == 0 {
+		return
+	}
+
+	graph := cfg.New(body)
+
+	// Deferred Pool.Put covers every path to exit.
+	deferred := map[types.Object]bool{}
+	for _, d := range graph.Defers {
+		if obj := releaseArg(pass, d.Call); obj != nil {
+			deferred[obj] = true
+		}
+	}
+
+	in := map[*cfg.Block]map[types.Object]int{}
+	out := map[*cfg.Block]map[types.Object]int{}
+	for _, b := range graph.Blocks {
+		in[b] = map[types.Object]int{}
+		out[b] = map[types.Object]int{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range graph.Blocks {
+			for _, p := range b.Preds {
+				for o, s := range out[p] {
+					if in[b][o]|s != in[b][o] {
+						in[b][o] |= s
+						changed = true
+					}
+				}
+			}
+			next := transfer(pass, b, tracked, in[b], false)
+			for o, s := range next {
+				if out[b][o]|s != out[b][o] {
+					out[b][o] |= s
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Reporting pass with stable in-sets.
+	for _, b := range graph.Blocks {
+		transfer(pass, b, tracked, in[b], true)
+	}
+
+	// Leaks: Live at exit without a deferred release.
+	for o, s := range in[graph.Exit] {
+		if s&live != 0 && !deferred[o] {
+			pass.Reportf(tracked[o].Pos(), "batch %s may not be released on some path to return; Pool.Put it, hand it off, or defer the Put", o.Name())
+		}
+	}
+}
+
+// transfer applies one block's events to a copy of state; when report is set
+// it emits diagnostics for definite misuse (state exactly released).
+func transfer(pass *analysis.Pass, b *cfg.Block, tracked map[types.Object]ast.Node, state map[types.Object]int, report bool) map[types.Object]int {
+	cur := map[types.Object]int{}
+	for o, s := range state {
+		cur[o] = s
+	}
+	for _, node := range b.Nodes {
+		if _, isDefer := node.(*ast.DeferStmt); isDefer {
+			continue // runs at exit; handled via graph.Defers
+		}
+		for _, ev := range events(pass, node, tracked) {
+			switch ev.kind {
+			case 'g':
+				cur[ev.obj] = live
+			case 'r':
+				if report && cur[ev.obj] == released {
+					pass.Reportf(ev.site.Pos(), "batch %s released twice; the second Put hands the pool a batch it already owns", ev.obj.Name())
+				}
+				cur[ev.obj] = released
+			case 'e':
+				cur[ev.obj] = escaped
+			case 'u':
+				if report && cur[ev.obj] == released {
+					pass.Reportf(ev.site.Pos(), "batch %s used after Pool.Put; the pool may already have handed it to another goroutine", ev.obj.Name())
+				}
+			}
+		}
+	}
+	return cur
+}
+
+// events extracts the lifetime operations of one CFG node in evaluation
+// order, skipping nested literals (their captures are excluded up front).
+func events(pass *analysis.Pass, node ast.Node, tracked map[types.Object]ast.Node) []event {
+	var evs []event
+	astwalk.Inspect(node, func(n ast.Node, stack []ast.Node) {
+		// Stay out of nested literals.
+		for i := 0; i < len(stack)-1; i++ {
+			if _, ok := stack[i].(*ast.FuncLit); ok {
+				return
+			}
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if obj := releaseArg(pass, n); obj != nil && tracked[obj] != nil {
+				evs = append(evs, event{kind: 'r', obj: obj, site: n})
+			}
+		case *ast.Ident:
+			obj := pass.TypesInfo.Uses[n]
+			if obj == nil || tracked[obj] == nil {
+				return
+			}
+			if kind := classifyUse(pass, n, stack); kind != 0 {
+				evs = append(evs, event{kind: kind, obj: obj, site: n})
+			}
+		}
+		// Get-assigns last within their statement: the RHS evaluates before
+		// the binding takes effect, but for a fresh variable that ordering
+		// cannot matter, and for re-binding `b = pool.Get()` resetting after
+		// any same-statement uses is the correct order.
+		if obj, site := getAssign(pass, n); obj != nil && tracked[obj] != nil {
+			evs = append(evs, event{kind: 'g', obj: obj, site: site})
+		}
+	})
+	return evs
+}
+
+// classifyUse decides whether an identifier occurrence hands the batch off
+// ('e'), merely touches it ('u'), or is no event at all (0: the Put's own
+// argument, which the 'r' event already covers).
+func classifyUse(pass *analysis.Pass, id *ast.Ident, stack []ast.Node) byte {
+	if len(stack) < 2 {
+		return 'u'
+	}
+	parent := stack[len(stack)-2]
+	switch p := parent.(type) {
+	case *ast.CallExpr:
+		for _, arg := range p.Args {
+			if ast.Unparen(arg) == ast.Node(id) {
+				if releaseArg(pass, p) != nil {
+					return 0 // the Put itself: the 'r' event covers it
+				}
+				return 'e' // handed to a callee (yield, send helper, …)
+			}
+		}
+		return 'u' // the function position of a call (method value): a use
+	case *ast.ReturnStmt, *ast.SendStmt, *ast.CompositeLit, *ast.KeyValueExpr:
+		return 'e'
+	case *ast.UnaryExpr:
+		if p.Op.String() == "&" {
+			return 'e'
+		}
+		return 'u'
+	case *ast.AssignStmt:
+		for _, r := range p.Rhs {
+			if ast.Unparen(r) == ast.Node(id) {
+				return 'e' // aliased into another variable or field
+			}
+		}
+		return 'u'
+	}
+	return 'u'
+}
+
+// getAssign recognizes `x := pool.Get()` / `x = pool.Get()` / `var x =
+// pool.Get()` and returns x's object and the Get call.
+func getAssign(pass *analysis.Pass, n ast.Node) (types.Object, ast.Node) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+			return nil, nil
+		}
+		call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isPoolCall(pass, call, "Get") {
+			return nil, nil
+		}
+		id, ok := n.Lhs[0].(*ast.Ident)
+		if !ok {
+			return nil, nil
+		}
+		if obj := pass.TypesInfo.Defs[id]; obj != nil {
+			return obj, call
+		}
+		return pass.TypesInfo.Uses[id], call
+	case *ast.ValueSpec:
+		if len(n.Names) != 1 || len(n.Values) != 1 {
+			return nil, nil
+		}
+		call, ok := ast.Unparen(n.Values[0]).(*ast.CallExpr)
+		if !ok || !isPoolCall(pass, call, "Get") {
+			return nil, nil
+		}
+		return pass.TypesInfo.Defs[n.Names[0]], call
+	}
+	return nil, nil
+}
+
+// releaseArg returns the tracked-variable argument of a Pool.Put call, or
+// nil.
+func releaseArg(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	if !isPoolCall(pass, call, "Put") || len(call.Args) != 1 {
+		return nil
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+// isPoolCall reports whether call invokes internal/batch's Pool method name.
+func isPoolCall(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	obj := astwalk.CalleeObject(pass.TypesInfo, call)
+	if obj == nil || obj.Name() != name {
+		return false
+	}
+	return astwalk.FromPkg(obj, batchPkg)
+}
+
+// capturedVars returns every object referenced inside a nested function
+// literal of body.
+func capturedVars(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					out[obj] = true
+				}
+			}
+			return true
+		})
+		return false
+	})
+	return out
+}

@@ -1,0 +1,12 @@
+package poolsafe_test
+
+import (
+	"testing"
+
+	"hybridwh/internal/lint/analysistest"
+	"hybridwh/internal/lint/poolsafe"
+)
+
+func TestPoolSafe(t *testing.T) {
+	analysistest.Run(t, "../testdata", poolsafe.Analyzer, "poolsafe")
+}

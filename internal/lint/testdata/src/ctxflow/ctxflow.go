@@ -1,0 +1,81 @@
+// Package ctxflow is golden testdata for the ctxflow analyzer. The fixture
+// deliberately spans two files (ctxflow.go and helpers.go): the entry points
+// live here and the helpers they reach live there, so the test also pins the
+// multi-file package loading of the analysistest harness.
+package ctxflow
+
+import "context"
+
+// Run is an exported entry point: everything it reaches is checked.
+func Run(ctx context.Context, rows chan int) (int, error) {
+	abort := make(chan struct{})
+	defer close(abort)
+
+	// A select with a ctx.Done arm: every case passes.
+	select {
+	case v := <-rows:
+		return v, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// severed breaks the cancellation chain: a real ctx is in scope but the
+// callee gets a fresh root context.
+func severed(ctx context.Context) error {
+	return dial(context.Background()) // want `context\.Background passed while a context is in scope`
+}
+
+// threaded is the fix for severed.
+func threaded(ctx context.Context) error {
+	return dial(ctx)
+}
+
+// noCtxWrapper has no context in scope: minting a root context here is the
+// documented pattern for ctx-less public wrappers, not a finding.
+func noCtxWrapper() error {
+	return dial(context.Background())
+}
+
+// Drain receives with no abort arm in the select at all.
+func Drain(rows chan int) int {
+	total := 0
+	for {
+		select {
+		case v, ok := <-rows: // want `select has no abort/ctx\.Done arm`
+			if !ok {
+				return total
+			}
+			total += v
+		}
+	}
+}
+
+// DrainPolite pairs the data arm with an abort-class channel.
+func DrainPolite(rows chan int, stop chan struct{}) int {
+	total := 0
+	for {
+		select {
+		case v, ok := <-rows:
+			if !ok {
+				return total
+			}
+			total += v
+		case <-stop:
+			return total
+		}
+	}
+}
+
+// waitDone blocks on an abort-class channel by name: that IS the abort arm.
+func waitDone(done chan struct{}) {
+	<-done
+}
+
+// spawnCollector launches the naked-receive helper from helpers.go via a
+// goroutine, proving spawn edges feed reachability.
+func spawnCollector(ctx context.Context, rows chan int) {
+	go collect(rows)
+}
+
+func dial(ctx context.Context) error { return nil }

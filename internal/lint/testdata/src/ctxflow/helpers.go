@@ -1,0 +1,25 @@
+package ctxflow
+
+// collect is unexported and takes no context, so it is only checked because
+// spawnCollector (other file) reaches it — the cross-file, cross-goroutine
+// case.
+func collect(rows chan int) int {
+	return <-rows // want `blocking receive with no abort arm`
+}
+
+// orphan is unexported and unreachable from any root: its naked receive is
+// not reported (nothing abortable can reach it).
+func orphan(rows chan int) int {
+	return <-rows
+}
+
+// rangeRecv iterates a channel with range; termination is the sender closing
+// the channel, which the protocol analyzer already polices. Reached from
+// Drain's package (exported root below) to prove range receives stay quiet.
+func RangeRecv(rows chan int) int {
+	total := 0
+	for v := range rows {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,90 @@
+// Package lockorder is golden testdata for the lockorder analyzer.
+package lockorder
+
+import "sync"
+
+type registry struct {
+	mu    sync.Mutex
+	stats sync.Mutex
+	n     int
+}
+
+// paired is the clean shape: every path unlocks.
+func (r *registry) paired(err error) error {
+	r.mu.Lock()
+	if err != nil {
+		r.mu.Unlock()
+		return err
+	}
+	r.n++
+	r.mu.Unlock()
+	return nil
+}
+
+// deferred is the other clean shape.
+func (r *registry) deferred() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// leaky returns early with the lock still held.
+func (r *registry) leaky(err error) error {
+	r.mu.Lock() // want `mu .* may still be held on a path to return`
+	if err != nil {
+		return err
+	}
+	r.n++
+	r.mu.Unlock()
+	return nil
+}
+
+// abDirection acquires mu then stats.
+func (r *registry) abDirection() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stats.Lock() // want `lock order inversion: stats .* acquired while holding mu`
+	defer r.stats.Unlock()
+	r.n++
+}
+
+// baDirection acquires stats then (via a callee) mu: the inversion. The mu
+// acquisition is inside lockMu, so this exercises the transitive edge; the
+// report lands on the call site that acquires under the held lock.
+func (r *registry) baDirection() {
+	r.stats.Lock()
+	defer r.stats.Unlock()
+	r.lockMu() // want `lock order inversion: mu .* acquired while holding stats`
+}
+
+func (r *registry) lockMu() {
+	r.mu.Lock()
+	r.n++
+	r.mu.Unlock()
+}
+
+// nested is consistent nesting in one direction only — no inversion on its
+// own; it pairs with abDirection's order.
+type other struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (o *other) nested() {
+	o.a.Lock()
+	defer o.a.Unlock()
+	o.b.Lock()
+	defer o.b.Unlock()
+}
+
+// rlocks pair like locks.
+type cache struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+func (c *cache) get(k string) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.m[k]
+}

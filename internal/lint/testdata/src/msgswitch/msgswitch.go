@@ -1,0 +1,82 @@
+// Package msgswitch is golden testdata for the msgswitch analyzer. It
+// imports the real netsim package so the constant universe is the wire
+// protocol's own.
+package msgswitch
+
+import "hybridwh/internal/netsim"
+
+// exhaustive handles every kind including MsgError: clean.
+func exhaustive(t netsim.MsgType) string {
+	switch t {
+	case netsim.MsgBloom:
+		return "bloom"
+	case netsim.MsgRows:
+		return "rows"
+	case netsim.MsgEOS:
+		return "eos"
+	case netsim.MsgAgg:
+		return "agg"
+	case netsim.MsgControl:
+		return "control"
+	case netsim.MsgError:
+		return "error"
+	}
+	return ""
+}
+
+// withDefault handles MsgError and rejects the rest explicitly: clean.
+func withDefault(t netsim.MsgType) error {
+	switch t {
+	case netsim.MsgRows, netsim.MsgEOS:
+		return nil
+	case netsim.MsgError:
+		return errAbort
+	default:
+		return errUnknown
+	}
+}
+
+// dropsError has a default, but the abort kind must be explicit: the
+// default path log-and-drops, which strands the abort fan-out.
+func dropsError(t netsim.MsgType) error {
+	switch t { // want `switch on MsgType does not handle MsgError`
+	case netsim.MsgRows:
+		return nil
+	default:
+		return errUnknown
+	}
+}
+
+// notExhaustive handles MsgError but misses kinds with no default.
+func notExhaustive(t netsim.MsgType) error {
+	switch t { // want `switch on MsgType is not exhaustive \(missing MsgAgg, MsgBloom, MsgControl\)`
+	case netsim.MsgRows, netsim.MsgEOS:
+		return nil
+	case netsim.MsgError:
+		return errAbort
+	}
+	return nil
+}
+
+// bothWrong misses MsgError and kinds.
+func bothWrong(t netsim.MsgType) error {
+	switch t { // want `switch on MsgType does not handle MsgError` `switch on MsgType is not exhaustive`
+	case netsim.MsgRows:
+		return nil
+	}
+	return nil
+}
+
+// otherSwitch is a switch on a different type: not our business.
+func otherSwitch(n int) int {
+	switch n {
+	case 1:
+		return 10
+	}
+	return 0
+}
+
+var (
+	errAbort   = netsim.ErrEndpointDown
+	errUnknown = netsim.ErrEndpointDown
+)

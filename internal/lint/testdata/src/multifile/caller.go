@@ -1,0 +1,6 @@
+package multifile
+
+// crossFile only type-checks if decl.go was loaded with this file.
+func crossFile() int {
+	return flagMe() + flagMe() // want `call to flagMe` `call to flagMe`
+}

@@ -1,0 +1,11 @@
+// Package multifile is the regression fixture proving analysistest loads
+// every file of a testdata package as one type-checked unit. This file
+// declares flagMe; caller.go (the other file) calls it.
+package multifile
+
+func flagMe() int { return 1 }
+
+// sameFile exercises the declaring file's own expectation.
+func sameFile() int {
+	return flagMe() // want `call to flagMe`
+}

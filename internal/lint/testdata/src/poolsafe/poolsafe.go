@@ -1,0 +1,104 @@
+// Package poolsafe is golden testdata for the poolsafe analyzer. It imports
+// the real internal/batch package so pool identity resolves exactly as it
+// does in the engine.
+package poolsafe
+
+import "hybridwh/internal/batch"
+
+// cleanPutEveryPath releases on both branches: no finding.
+func cleanPutEveryPath(pool *batch.Pool, fast bool) int {
+	b := pool.Get()
+	if fast {
+		n := b.Len()
+		pool.Put(b)
+		return n
+	}
+	n := b.Size()
+	pool.Put(b)
+	return n
+}
+
+// cleanDeferred relies on a deferred Put: no finding.
+func cleanDeferred(pool *batch.Pool) int {
+	b := pool.Get()
+	defer pool.Put(b)
+	return b.Len()
+}
+
+// cleanHandoff transfers ownership to the yield callback (the engine's
+// convention): no finding.
+func cleanHandoff(pool *batch.Pool, yield func(*batch.Batch) error) error {
+	b := pool.Get()
+	return yield(b)
+}
+
+// cleanReturn transfers ownership to the caller: no finding.
+func cleanReturn(pool *batch.Pool) *batch.Batch {
+	b := pool.Get()
+	b.Reset()
+	return b
+}
+
+// useAfterPut touches the batch after returning it to the pool.
+func useAfterPut(pool *batch.Pool) int {
+	b := pool.Get()
+	pool.Put(b)
+	return b.Len() // want `batch b used after Pool\.Put`
+}
+
+// doublePut releases twice.
+func doublePut(pool *batch.Pool) {
+	b := pool.Get()
+	pool.Put(b)
+	pool.Put(b) // want `batch b released twice`
+}
+
+// leakyEarlyReturn forgets the batch on the error path.
+func leakyEarlyReturn(pool *batch.Pool, err error) error {
+	b := pool.Get() // want `batch b may not be released on some path to return`
+	if err != nil {
+		return err
+	}
+	pool.Put(b)
+	return nil
+}
+
+// reassignedGet re-binding the variable to a fresh batch resets tracking: a
+// Put after the second Get is not a double release of the first.
+func reassignedGet(pool *batch.Pool) {
+	b := pool.Get()
+	pool.Put(b)
+	b = pool.Get()
+	b.Reset()
+	pool.Put(b)
+}
+
+// capturedByFlush mirrors format.ScanTextBatches: the closure shares
+// ownership, so flow tracking would lie — excluded, no finding.
+func capturedByFlush(pool *batch.Pool, yield func(*batch.Batch) error) error {
+	b := pool.Get()
+	flush := func() error {
+		if b.Len() == 0 {
+			return nil
+		}
+		err := yield(b)
+		b = pool.Get()
+		return err
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	pool.Put(b)
+	return nil
+}
+
+// branchMerge may-analysis: one branch releases, the other hands off; the
+// join must not report either misuse.
+func branchMerge(pool *batch.Pool, send func(*batch.Batch), keep bool) {
+	b := pool.Get()
+	if keep {
+		send(b)
+	} else {
+		pool.Put(b)
+	}
+}
