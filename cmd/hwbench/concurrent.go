@@ -1,0 +1,159 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	hybridwh "hybridwh"
+	"hybridwh/internal/core"
+	"hybridwh/internal/datagen"
+	"hybridwh/internal/metrics"
+)
+
+// concurrentConfig drives the -clients serving mode: instead of replaying a
+// paper experiment, hwbench opens one warehouse with an admission scheduler
+// and fires a mixed workload at it, reporting throughput and tail latency.
+type concurrentConfig struct {
+	Clients     int
+	Mix         string // "scan:point" submission ratio, e.g. "3:1"
+	Scale       float64
+	DBWorkers   int
+	JENWorkers  int
+	Seed        int64
+	BudgetMiB   int64
+	MaxInFlight int
+}
+
+func parseMix(s string) (scan, point int, err error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("mix %q: want scan:point, e.g. 3:1", s)
+	}
+	scan, err = strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err == nil {
+		point, err = strconv.Atoi(strings.TrimSpace(parts[1]))
+	}
+	if err != nil || scan < 0 || point < 0 || scan+point == 0 {
+		return 0, 0, fmt.Errorf("mix %q: want two non-negative integers, not both zero", s)
+	}
+	return scan, point, nil
+}
+
+// runConcurrent executes the concurrent serving benchmark and prints a
+// human-readable report.
+func runConcurrent(cc concurrentConfig) error {
+	scanShare, pointShare, err := parseMix(cc.Mix)
+	if err != nil {
+		return err
+	}
+	budget := cc.BudgetMiB << 20
+	w, err := hybridwh.Open(hybridwh.Config{
+		DBWorkers: cc.DBWorkers, JENWorkers: cc.JENWorkers, Seed: cc.Seed,
+		MemBudgetBytes: budget, MaxConcurrent: cc.MaxInFlight,
+	})
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+
+	data := datagen.Data{
+		TRows:    int64(1.6e9 / cc.Scale),
+		LRows:    int64(15e9 / cc.Scale),
+		Keys:     int64(16e6 / cc.Scale),
+		Seed:     cc.Seed + 7,
+		DateDays: 30,
+		Groups:   1000,
+	}
+	if err := w.LoadPaperData(data); err != nil {
+		return err
+	}
+
+	scanWL, err := datagen.Solve(data, datagen.Selectivities{SigmaT: 0.1, SigmaL: 0.4, ST: 0.2, SL: 0.1})
+	if err != nil {
+		return err
+	}
+	pointWL, err := datagen.Solve(data, datagen.Selectivities{SigmaT: 0.01, SigmaL: 0.2, ST: 0.5, SL: 0.1})
+	if err != nil {
+		return err
+	}
+	type mix struct {
+		sql  string
+		opts []hybridwh.Option
+	}
+	mixes := []mix{
+		{hybridwh.PaperQuerySQL(scanWL), []hybridwh.Option{
+			hybridwh.WithAlgorithm(core.Repartition),
+			hybridwh.WithCardHint(hybridwh.ExpectedLPrimeRows(scanWL))}},
+		{hybridwh.PaperQuerySQL(pointWL), []hybridwh.Option{
+			hybridwh.WithAlgorithm(core.DBSideBloom),
+			hybridwh.WithCardHint(hybridwh.ExpectedLPrimeRows(pointWL))}},
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		lats     []time.Duration
+		failed   int
+		firstErr error
+		scans    int
+		points   int
+	)
+	start := time.Now()
+	for c := 0; c < cc.Clients; c++ {
+		k := 0
+		if (c%(scanShare+pointShare)) >= scanShare || scanShare == 0 {
+			k = 1
+		}
+		if k == 0 {
+			scans++
+		} else {
+			points++
+		}
+		t0 := time.Now()
+		h, err := w.Submit(context.Background(), mixes[k].sql, mixes[k].opts...)
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := h.Wait()
+			mu.Lock()
+			lats = append(lats, time.Since(t0))
+			if err != nil {
+				failed++
+				if firstErr == nil {
+					firstErr = err
+				}
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if firstErr != nil {
+		fmt.Printf("  first failure: %v\n", firstErr)
+	}
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p int) time.Duration { return lats[len(lats)*p/100] }
+	rec := w.Recorder()
+	inputRows := float64(data.TRows+data.LRows) * float64(cc.Clients)
+	fmt.Printf("concurrent serving: %d clients (%d scan / %d point), budget %d MiB, %d in flight\n",
+		cc.Clients, scans, points, cc.BudgetMiB, cc.MaxInFlight)
+	fmt.Printf("  wall %.2fs  %.1f queries/s  %.0f input rows/s  failed %d\n",
+		wall.Seconds(), float64(cc.Clients)/wall.Seconds(), inputRows/wall.Seconds(), failed)
+	fmt.Printf("  latency p50 %s  p95 %s  p99 %s\n",
+		pct(50).Round(time.Millisecond), pct(95).Round(time.Millisecond), pct(99).Round(time.Millisecond))
+	fmt.Printf("  peak reserved %.1f MiB (budget %d MiB)  peak running %d  evictions %d  repartitions %d  spilled build rows %d\n",
+		float64(rec.GaugePeak(metrics.MemReservedBytes))/(1<<20), cc.BudgetMiB,
+		rec.GaugePeak(metrics.SchedRunning),
+		rec.Get(metrics.SpillEvictions), rec.Get(metrics.SpillRepartitions),
+		rec.Get(metrics.SpillBuildRows))
+	return nil
+}

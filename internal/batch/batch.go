@@ -244,8 +244,29 @@ type Pool struct {
 	ncols, capacity int
 
 	mu   sync.Mutex
-	free []*Batch // guarded by mu
+	free []*Batch  // guarded by mu
+	acct Accounter // guarded by mu — nil when unaccounted
 }
+
+// Accounter tracks the pool's loaned-batch bytes; *mem.Budget implements
+// it. Defined here (not in internal/mem) so batch stays dependency-free.
+// Get charges, Put releases: the account follows batches in flight, not
+// the free list's retained capacity.
+type Accounter interface {
+	Force(n int64)
+	Release(n int64)
+}
+
+// SetAccounter attaches a memory accounter to the pool; call before use.
+func (p *Pool) SetAccounter(a Accounter) {
+	p.mu.Lock()
+	p.acct = a
+	p.mu.Unlock()
+}
+
+// batchBytes is the accounting estimate for one pooled batch: a boxed
+// value header per cell.
+func (p *Pool) batchBytes() int64 { return int64(p.ncols) * int64(p.capacity) * 16 }
 
 // NewPool creates a pool of ncols × capacity batches.
 func NewPool(ncols, capacity int) *Pool {
@@ -258,14 +279,21 @@ func NewPool(ncols, capacity int) *Pool {
 // Get returns an empty batch, reusing a returned one when available.
 func (p *Pool) Get() *Batch {
 	p.mu.Lock()
+	acct := p.acct
 	if n := len(p.free); n > 0 {
 		b := p.free[n-1]
 		p.free = p.free[:n-1]
 		p.mu.Unlock()
+		if acct != nil {
+			acct.Force(p.batchBytes())
+		}
 		b.Reset()
 		return b
 	}
 	p.mu.Unlock()
+	if acct != nil {
+		acct.Force(p.batchBytes())
+	}
 	return New(p.ncols, p.capacity)
 }
 
@@ -276,5 +304,9 @@ func (p *Pool) Put(b *Batch) {
 	}
 	p.mu.Lock()
 	p.free = append(p.free, b)
+	acct := p.acct
 	p.mu.Unlock()
+	if acct != nil {
+		acct.Release(p.batchBytes())
+	}
 }

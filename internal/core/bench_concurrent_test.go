@@ -1,0 +1,77 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"hybridwh/internal/costmodel"
+	"hybridwh/internal/format"
+	"hybridwh/internal/mem"
+	"hybridwh/internal/netsim"
+	"hybridwh/internal/sched"
+)
+
+// BenchmarkConcurrentMixed measures concurrent serving: 64 clients — three
+// scans (repartition) to one point lookup (DB-side Bloom) — submitted
+// through the admission scheduler against a shared global memory budget.
+// rows/s is aggregate scanned input rows per second across all clients;
+// p99-ms is the 99th-percentile submit-to-completion latency (queueing
+// included), the number the process-list user actually feels.
+func BenchmarkConcurrentMixed(b *testing.B) {
+	const tN, lN = 3000, 10_000
+	const clients = 64
+	f := buildFixture(b, netsim.NewChanBus(256), 4, 6, tN, lN, format.HWCName)
+	defer f.eng.Close()
+	q := exampleQuery(b, f, 300, 400)
+
+	s, err := sched.New(sched.Config{
+		MemBudgetBytes: 8 << 20, MaxConcurrent: 4, MinGrantBytes: 1 << 20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+
+	var mu sync.Mutex
+	lats := make([]time.Duration, 0, clients*b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		procs := make([]*sched.Proc, clients)
+		for c := 0; c < clients; c++ {
+			alg, lane, fp := Repartition, costmodel.LaneScan, int64(4<<20)
+			if c%4 == 3 {
+				alg, lane, fp = DBSideBloom, costmodel.LanePoint, int64(1<<20)
+			}
+			t0 := time.Now()
+			p, err := s.Submit(context.Background(), sched.Request{
+				Label: fmt.Sprintf("client-%d", c), Lane: lane, FootprintBytes: fp,
+				Run: func(ctx context.Context, bud *mem.Budget) (any, error) {
+					res, err := f.eng.RunCtxOpts(ctx, q, alg, RunOpts{Budget: bud})
+					mu.Lock()
+					lats = append(lats, time.Since(t0))
+					mu.Unlock()
+					return res, err
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			procs[c] = p
+		}
+		for _, p := range procs {
+			if _, err := p.Wait(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	rows := float64(tN+lN) * clients * float64(b.N)
+	b.ReportMetric(rows/b.Elapsed().Seconds(), "rows/s")
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	p99 := lats[len(lats)*99/100]
+	b.ReportMetric(float64(p99)/float64(time.Millisecond), "p99-ms")
+}

@@ -14,11 +14,13 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"hybridwh/internal/cluster"
 	"hybridwh/internal/edw"
 	"hybridwh/internal/jen"
+	"hybridwh/internal/mem"
 	"hybridwh/internal/metrics"
 	"hybridwh/internal/netsim"
 	"hybridwh/internal/plan"
@@ -184,6 +186,12 @@ type Engine struct {
 
 	routers map[string]*netsim.Router
 	qid     atomic.Int64
+
+	// Per-query memory budgets, keyed by the query's stream prefix ("q7/").
+	// The prefix is already threaded through every worker program, so the
+	// budget rides along without widening fifteen program signatures.
+	budMu   sync.Mutex
+	budgets map[string]*mem.Budget // guarded by budMu
 }
 
 // New registers every worker endpoint on the bus and returns an engine.
@@ -195,7 +203,7 @@ func New(db *edw.DB, jc *jen.Cluster, bus netsim.Bus, rec *metrics.Recorder, cfg
 	if rec == nil {
 		rec = metrics.New()
 	}
-	e := &Engine{db: db, jen: jc, bus: bus, rec: rec, cfg: cfg.withDefaults(jc), routers: map[string]*netsim.Router{}}
+	e := &Engine{db: db, jen: jc, bus: bus, rec: rec, cfg: cfg.withDefaults(jc), routers: map[string]*netsim.Router{}, budgets: map[string]*mem.Budget{}}
 	for i := 0; i < db.Workers(); i++ {
 		if err := e.register(cluster.DBName(i)); err != nil {
 			return nil, err
@@ -238,6 +246,14 @@ func (e *Engine) JEN() *jen.Cluster { return e.jen }
 // Bus returns the message bus.
 func (e *Engine) Bus() netsim.Bus { return e.bus }
 
+// budget returns the memory budget registered for a query's stream prefix,
+// or nil when the query runs ungoverned.
+func (e *Engine) budget(qs string) *mem.Budget {
+	e.budMu.Lock()
+	defer e.budMu.Unlock()
+	return e.budgets[qs]
+}
+
 // Result is a completed query, returned at the database side.
 type Result struct {
 	Rows      []types.Row
@@ -262,6 +278,23 @@ func (e *Engine) Run(q *plan.JoinQuery, alg Algorithm) (*Result, error) {
 // in the returned error (errors.Is sees context.Canceled or
 // context.DeadlineExceeded).
 func (e *Engine) RunCtx(ctx context.Context, q *plan.JoinQuery, alg Algorithm) (*Result, error) {
+	return e.RunCtxOpts(ctx, q, alg, RunOpts{})
+}
+
+// RunOpts carries per-run options that default to the engine's config.
+type RunOpts struct {
+	// Budget, when non-nil, governs this query's operator memory: scan
+	// pools, hash-join builds and aggregation state all charge against it,
+	// and the dynamic hybrid hash join sheds partitions to stay inside it.
+	// It overrides Config.SpillBudgetBytes for this run. The caller keeps
+	// ownership (the engine never closes it), so one budget may be shared
+	// across queries — the scheduler's global-governance mode.
+	Budget *mem.Budget
+}
+
+// RunCtxOpts is RunCtx with per-run options; RunOpts{} reproduces RunCtx
+// exactly.
+func (e *Engine) RunCtxOpts(ctx context.Context, q *plan.JoinQuery, alg Algorithm, opts RunOpts) (*Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -269,6 +302,16 @@ func (e *Engine) RunCtx(ctx context.Context, q *plan.JoinQuery, alg Algorithm) (
 		return nil, fmt.Errorf("core: query not started: %w", err)
 	}
 	qs := fmt.Sprintf("q%d/", e.qid.Add(1))
+	if opts.Budget != nil {
+		e.budMu.Lock()
+		e.budgets[qs] = opts.Budget
+		e.budMu.Unlock()
+		defer func() {
+			e.budMu.Lock()
+			delete(e.budgets, qs)
+			e.budMu.Unlock()
+		}()
+	}
 	var (
 		res *Result
 		err error

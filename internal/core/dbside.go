@@ -117,6 +117,7 @@ func (e *Engine) jenIngestProgram(ctx context.Context, qs string, q *plan.JoinQu
 			Proj: q.HDFSScanProj, Pred: q.HDFSPred, Pruner: q.Pruner(),
 			DBFilter: wrapBloom(bfdb), BloomKeyIdx: scanKey,
 			Threads: e.cfg.WorkerThreads,
+			Mem:     e.budget(qs),
 		}, func(sb *batch.Batch) error {
 			return b.sendBatch(dest, sb, q.HDFSWire)
 		})
@@ -149,6 +150,7 @@ func (e *Engine) dbJoinProgram(ctx context.Context, qs string, q *plan.JoinQuery
 	// Background receivers registered before anything is sent. Their errors
 	// abort the program context (bgFail), so a failed receiver also unblocks
 	// its sibling and the ingest loop below.
+	bud := e.budget(qs)
 	ht := relop.NewHashTable(q.DBWireKey)
 	var lbatches []*batch.Batch
 	var probeTuples int64
@@ -236,10 +238,15 @@ func (e *Engine) dbJoinProgram(ctx context.Context, qs string, q *plan.JoinQuery
 	e.rec.AddAt(metrics.JoinBuildTuples, i, ht.Len())
 	e.rec.AddAt(metrics.JoinProbeTuples, i, probeTuples)
 
+	charged := chargeJoinBuild(bud, ht.Len(), len(q.DBProj)) + chargeBatches(bud, lbatches)
+	defer bud.Release(charged)
+
 	// Probe: HDFS batches against the T' hash table. Combined layout is
 	// HDFS wire ++ DB wire; the post-join predicate and partial aggregation
 	// run batch-at-a-time through the combiner.
 	agg := relop.NewHashAgg(q.GroupBy, q.Aggs)
+	agg.SetBudget(bud)
+	defer func() { bud.Release(agg.MemBytes()) }()
 	if runErr == nil {
 		cmb := &combiner{e: e, q: q, agg: agg}
 		var scratch types.Row

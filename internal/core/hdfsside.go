@@ -196,7 +196,8 @@ func (e *Engine) jenRepartitionProgram(ctx context.Context, qs string, q *plan.J
 	// arrive, and database rows are buffered as they arrive (Section 4.4).
 	// With a spill budget configured, the build side grace-spills to disk
 	// instead of growing without bound.
-	ht, err := e.newJoinTable(q.HDFSWireKey)
+	bud := e.budget(qs)
+	ht, err := e.newJoinTable(qs, q.HDFSWireKey)
 	if err != nil {
 		pr.fail(err)
 		ht = relop.NewMemJoinTable(q.HDFSWireKey)
@@ -262,6 +263,7 @@ func (e *Engine) jenRepartitionProgram(ctx context.Context, qs string, q *plan.J
 		// shared batcher keeps message counts deterministic (row mode forces
 		// the single-threaded seed pipeline inside ScanFilter).
 		Threads: e.cfg.WorkerThreads,
+		Mem:     bud,
 	}
 	skewOn := e.skewOn()
 	var sk *skew.Sketch
@@ -351,8 +353,16 @@ func (e *Engine) jenRepartitionProgram(ctx context.Context, qs string, q *plan.J
 	e.rec.AddAt(metrics.JoinBuildTuples, w, ht.Len())
 	e.rec.AddAt(metrics.JoinProbeTuples, w, probeTuples)
 
+	// The buffered probe side is charged to the query budget for the
+	// probe's duration (the build side accounts for itself inside the
+	// spilling table).
+	charged := chargeBatches(bud, dbBatches) + chargeRows(bud, dbRows)
+	defer bud.Release(charged)
+
 	// Probe with the database rows; combined layout is HDFS wire ++ DB wire.
 	agg := relop.NewHashAgg(q.GroupBy, q.Aggs)
+	agg.SetBudget(bud)
+	defer func() { bud.Release(agg.MemBytes()) }()
 	if runErr == nil {
 		if rowMode {
 			pr.fail(e.probeAndAggregate(ht, dbRows, q, agg, w))
@@ -360,12 +370,19 @@ func (e *Engine) jenRepartitionProgram(ctx context.Context, qs string, q *plan.J
 			pr.fail(e.probeAndAggregateBatches(ht, dbBatches, q, agg, e.cfg.WorkerThreads))
 		}
 	}
+	e.recordSpillStats(ht, w)
 
 	return e.finishHDFSAggregation(ctx, qs, q, agg, w, n, runErr)
 }
 
-// newJoinTable builds the HDFS-side join table per the spill configuration.
-func (e *Engine) newJoinTable(keyIdx int) (relop.JoinTable, error) {
+// newJoinTable builds the HDFS-side join table for the query: a dynamic
+// hybrid hash join charging the query's shared budget when one is
+// registered (RunOpts.Budget), a privately-budgeted spilling table under
+// Config.SpillBudgetBytes, and the unbounded in-memory table otherwise.
+func (e *Engine) newJoinTable(qs string, keyIdx int) (relop.JoinTable, error) {
+	if bud := e.budget(qs); bud != nil {
+		return relop.NewSharedSpillingHashTable(keyIdx, bud, e.cfg.SpillDir)
+	}
 	if e.cfg.SpillBudgetBytes > 0 {
 		return relop.NewSpillingHashTable(keyIdx, e.cfg.SpillBudgetBytes, e.cfg.SpillDir)
 	}
@@ -641,6 +658,7 @@ func (e *Engine) runBroadcast(ctx context.Context, qs string, q *plan.JoinQuery)
 		g.Go(func() error {
 			me := jenName(w)
 			var runErr error
+			bud := e.budget(qs)
 			// Build the hash table from the broadcast T' first: local joins
 			// need the whole filtered database table.
 			ht := relop.NewHashTable(q.DBWireKey)
@@ -652,6 +670,8 @@ func (e *Engine) runBroadcast(ctx context.Context, qs string, q *plan.JoinQuery)
 				}))
 			}
 			e.rec.AddAt(metrics.JoinBuildTuples, w, ht.Len())
+			charged := chargeJoinBuild(bud, ht.Len(), len(q.DBProj))
+			defer bud.Release(charged)
 
 			// Scan and probe in the pipeline; partial aggregation inline.
 			// Probe rows never leave the scan batch: the wire projection is
@@ -659,6 +679,8 @@ func (e *Engine) runBroadcast(ctx context.Context, qs string, q *plan.JoinQuery)
 			// Morsel workers probe the sealed table lock-free and serialize
 			// only on the combiner; totals are independent of the interleaving.
 			agg := relop.NewHashAgg(q.GroupBy, q.Aggs)
+			agg.SetBudget(bud)
+			defer func() { bud.Release(agg.MemBytes()) }()
 			cmb := &combiner{e: e, q: q, agg: agg}
 			var cmbMu sync.Mutex
 			scanKey := q.HDFSWire[q.HDFSWireKey]
@@ -669,6 +691,7 @@ func (e *Engine) runBroadcast(ctx context.Context, qs string, q *plan.JoinQuery)
 					Plan: scanPlan, Worker: w,
 					Proj: q.HDFSScanProj, Pred: q.HDFSPred, Pruner: q.Pruner(),
 					Threads: e.cfg.WorkerThreads,
+					Mem:     bud,
 				}, func(sb *batch.Batch) error {
 					probes.Add(int64(sb.Len()))
 					keys := sb.Col(scanKey)

@@ -235,7 +235,13 @@ func (e *Engine) jenSemiProgram(ctx context.Context, qs string, q *plan.JoinQuer
 	tKeys, err := e.recvKeySets(ctx, me, qs+"tkeys", 1)
 	pr.fail(err)
 
-	ht := relop.NewMemJoinTable(q.HDFSWireKey)
+	bud := e.budget(qs)
+	ht, err := e.newJoinTable(qs, q.HDFSWireKey)
+	if err != nil {
+		pr.fail(err)
+		ht = relop.NewMemJoinTable(q.HDFSWireKey)
+	}
+	defer ht.Close()
 	var dbBatches []*batch.Batch
 	var probeTuples int64
 	var bg par.Group
@@ -264,6 +270,7 @@ func (e *Engine) jenSemiProgram(ctx context.Context, qs string, q *plan.JoinQuer
 			Plan: scanPlan, Worker: w,
 			Proj: q.HDFSScanProj, Pred: q.HDFSPred, Pruner: q.Pruner(),
 			DBFilter: tKeys, BloomKeyIdx: scanKey,
+			Mem: bud,
 		}, func(sb *batch.Batch) error {
 			// The exact-semijoin analogue of BF_H construction: collect the
 			// surviving join keys while the batch streams past.
@@ -298,9 +305,15 @@ func (e *Engine) jenSemiProgram(ctx context.Context, qs string, q *plan.JoinQuer
 	e.rec.AddAt(metrics.JoinBuildTuples, w, ht.Len())
 	e.rec.AddAt(metrics.JoinProbeTuples, w, probeTuples)
 
+	charged := chargeBatches(bud, dbBatches)
+	defer bud.Release(charged)
+
 	agg := relop.NewHashAgg(q.GroupBy, q.Aggs)
+	agg.SetBudget(bud)
+	defer func() { bud.Release(agg.MemBytes()) }()
 	if runErr == nil {
 		pr.fail(e.probeAndAggregateBatches(ht, dbBatches, q, agg, e.cfg.WorkerThreads))
 	}
+	e.recordSpillStats(ht, w)
 	return e.finishHDFSAggregation(ctx, qs, q, agg, w, n, runErr)
 }

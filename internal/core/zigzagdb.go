@@ -61,6 +61,7 @@ func (e *Engine) runZigzagDB(ctx context.Context, qs string, q *plan.JoinQuery) 
 			Proj: q.HDFSScanProj, Pred: q.HDFSPred, Pruner: q.Pruner(),
 			DBFilter: wrapBloom(bfdb), BuildBloom: bfh, BloomKeyIdx: scanKey,
 			Threads: e.cfg.WorkerThreads,
+			Mem:     e.budget(qs),
 		}, func(*batch.Batch) error { return nil })
 		locals[w] = bfh
 		return err
@@ -110,6 +111,7 @@ func (e *Engine) runZigzagDB(ctx context.Context, qs string, q *plan.JoinQuery) 
 				Proj: q.HDFSScanProj, Pred: q.HDFSPred, Pruner: q.Pruner(),
 				DBFilter: wrapBloom(bfdb), BloomKeyIdx: scanKey,
 				Threads: e.cfg.WorkerThreads,
+				Mem:     e.budget(qs),
 			}, func(sb *batch.Batch) error {
 				return b.sendBatch(dest, sb, q.HDFSWire)
 			})

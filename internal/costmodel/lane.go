@@ -1,0 +1,69 @@
+package costmodel
+
+import "fmt"
+
+// Lane classifies a query for the scheduler's two priority lanes: cheap
+// point-lookups must not queue behind scan-heavy joins (ROADMAP item 1).
+// The classification reuses the advisor's planning statistics — it has to
+// be decided at admission time, before any counters exist.
+type Lane int
+
+// Lanes, in admission-priority order.
+const (
+	LanePoint Lane = iota // few touched rows; index-friendly point lookups
+	LaneScan              // scan-heavy; full-table work dominates
+)
+
+// String names the lane.
+func (l Lane) String() string {
+	switch l {
+	case LanePoint:
+		return "point"
+	case LaneScan:
+		return "scan"
+	default:
+		return fmt.Sprintf("lane(%d)", int(l))
+	}
+}
+
+// LaneStats are the admission-time statistics behind lane classification
+// and footprint estimation — the same table cardinalities and predicate
+// selectivities the advisor consults, plus an average row footprint.
+type LaneStats struct {
+	TRows, LRows   int64   // base table cardinalities
+	SigmaT, SigmaL float64 // local predicate selectivities
+	RowBytes       int64   // average in-memory row footprint (0 → 64)
+}
+
+// PointLaneRowCeiling is the touched-row count separating the lanes: at or
+// below it a query behaves like a point lookup (selective predicates, index
+// access, sub-second turnaround at paper rates).
+const PointLaneRowCeiling = 100_000
+
+// ClassifyLane places a query in a priority lane by its estimated touched
+// rows — the surviving rows both sides contribute to the join.
+func ClassifyLane(s LaneStats) Lane {
+	touched := s.SigmaT*float64(s.TRows) + s.SigmaL*float64(s.LRows)
+	if touched <= PointLaneRowCeiling {
+		return LanePoint
+	}
+	return LaneScan
+}
+
+// EstimateFootprintBytes estimates a query's peak operator memory for the
+// admission grant: the repartition join buffers the shuffled L' build side
+// and the T' probe side at the JEN workers, so both survivors count. The
+// 1.5 factor covers hash-table slots and batch-pool overhead; the 1 MiB
+// floor keeps tiny queries runnable when estimates round to zero.
+func EstimateFootprintBytes(s LaneStats) int64 {
+	rb := s.RowBytes
+	if rb <= 0 {
+		rb = 64
+	}
+	rows := s.SigmaL*float64(s.LRows) + s.SigmaT*float64(s.TRows)
+	est := int64(rows * float64(rb) * 1.5)
+	if est < 1<<20 {
+		est = 1 << 20
+	}
+	return est
+}

@@ -1,0 +1,37 @@
+package costmodel
+
+import "testing"
+
+func TestClassifyLane(t *testing.T) {
+	cases := []struct {
+		name string
+		s    LaneStats
+		want Lane
+	}{
+		{"selective point lookup", LaneStats{TRows: 1e9, LRows: 1e10, SigmaT: 1e-8, SigmaL: 1e-7}, LanePoint},
+		{"full scan", LaneStats{TRows: 1e9, LRows: 1e10, SigmaT: 0.001, SigmaL: 0.2}, LaneScan},
+		{"empty stats default to point", LaneStats{}, LanePoint},
+		{"ceiling boundary", LaneStats{LRows: PointLaneRowCeiling, SigmaL: 1}, LanePoint},
+		{"just past the ceiling", LaneStats{LRows: PointLaneRowCeiling + 1, SigmaL: 1}, LaneScan},
+	}
+	for _, tc := range cases {
+		if got := ClassifyLane(tc.s); got != tc.want {
+			t.Errorf("%s: lane = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestEstimateFootprintBytes(t *testing.T) {
+	s := LaneStats{TRows: 1_000_000, LRows: 10_000_000, SigmaT: 0.01, SigmaL: 0.1, RowBytes: 100}
+	// (0.1*1e7 + 0.01*1e6) rows * 100 B * 1.5
+	want := int64((1_000_000 + 10_000) * 100 * 3 / 2)
+	if got := EstimateFootprintBytes(s); got != want {
+		t.Errorf("footprint = %d, want %d", got, want)
+	}
+	if got := EstimateFootprintBytes(LaneStats{}); got != 1<<20 {
+		t.Errorf("empty-stats footprint = %d, want the 1 MiB floor", got)
+	}
+	if LanePoint.String() != "point" || LaneScan.String() != "scan" {
+		t.Error("lane names changed")
+	}
+}

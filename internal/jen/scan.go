@@ -8,6 +8,7 @@ import (
 	"hybridwh/internal/bloom"
 	"hybridwh/internal/expr"
 	"hybridwh/internal/format"
+	"hybridwh/internal/mem"
 	"hybridwh/internal/metrics"
 	"hybridwh/internal/par"
 	"hybridwh/internal/skew"
@@ -70,6 +71,10 @@ type ScanSpec struct {
 	// byte-for-byte the sequential pipeline. With Threads > 1, yield is
 	// called concurrently and must be safe for concurrent use.
 	Threads int
+	// Mem, when set, is the query's memory budget: the scan's batch pool
+	// charges loaned batches against it, so a query's scan buffers count
+	// toward its grant alongside its join tables and aggregates.
+	Mem *mem.Budget
 }
 
 // projWidth returns the projected column count of the spec's output layout.
@@ -108,6 +113,9 @@ func (c *Cluster) ScanFilterBatches(spec ScanSpec, yield func(*batch.Batch) erro
 	}
 
 	pool := batch.NewPool(spec.projWidth(), c.cfg.BatchRows)
+	if spec.Mem != nil {
+		pool.SetAccounter(spec.Mem)
+	}
 	batchCh := make(chan *batch.Batch, 4*len(disks))
 	stop := make(chan struct{})
 	var stopOnce sync.Once

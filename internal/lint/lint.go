@@ -71,13 +71,16 @@ var hotPathPkgs = map[string]bool{
 }
 
 // poolPlanePkgs are the packages that draw batches from internal/batch
-// pools; only they are subject to the poolsafe analyzer.
+// pools; only they are subject to the poolsafe analyzer. sched is in the
+// set because its Run closures execute engine programs that hold pooled
+// batches: a pool-unsafe escape there would outlive the query's budget.
 var poolPlanePkgs = map[string]bool{
 	"hybridwh/internal/format": true,
 	"hybridwh/internal/jen":    true,
 	"hybridwh/internal/core":   true,
 	"hybridwh/internal/relop":  true,
 	"hybridwh/internal/edw":    true,
+	"hybridwh/internal/sched":  true,
 }
 
 // Applies reports whether an analyzer runs on a package.

@@ -18,6 +18,19 @@
 //   - functions whose name ends in Locked are exempt: the suffix is the
 //     repo's convention for "caller holds the mutex", and every call site of
 //     such a helper sits inside a function the analyzer does check.
+//
+// The annotation also takes a dotted owner path:
+//
+//	// guarded by s.mu
+//
+// for fields guarded by a mutex on another struct reachable through a field
+// (the scheduler's process table: each Proc's mutable state is guarded by
+// its owning Scheduler's mu). For an owner path the check is purely
+// lexical: the enclosing function must contain a Lock()/RLock() call whose
+// selector chain ends with the path — `s.mu.Lock()` and `p.s.mu.Lock()`
+// both discharge `guarded by s.mu`. That forgoes base identity (which would
+// need alias analysis) but still catches the regression that matters: a new
+// method touching a process-table field with no lock in sight.
 package mutexguard
 
 import (
@@ -37,7 +50,7 @@ var Analyzer = &analysis.Analyzer{
 	Run:  run,
 }
 
-var guardedRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+var guardedRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*(?:\.[A-Za-z_][A-Za-z0-9_]*)*)`)
 
 func run(pass *analysis.Pass) (interface{}, error) {
 	guards := collectGuards(pass)
@@ -59,7 +72,11 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			if fd == nil || isConstructor(fd) || isLockedHelper(fd) {
 				return
 			}
-			if holdsLock(pass, fd.Body, sel.X, mu) {
+			if strings.Contains(mu, ".") {
+				if holdsOwnerLock(fd.Body, mu) {
+					return
+				}
+			} else if holdsLock(pass, fd.Body, sel.X, mu) {
 				return
 			}
 			pass.Reportf(sel.Pos(), "%s is guarded by %s, but %s does not lock it on this path", obj.Name(), mu, fd.Name.Name)
@@ -134,7 +151,7 @@ func holdsLock(pass *analysis.Pass, body *ast.BlockStmt, base ast.Expr, mu strin
 			return true
 		}
 		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+		if !ok || !isAcquire(sel.Sel.Name) {
 			return true
 		}
 		muSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
@@ -154,6 +171,72 @@ func holdsLock(pass *analysis.Pass, body *ast.BlockStmt, base ast.Expr, mu strin
 		return !held
 	})
 	return held
+}
+
+// isAcquire reports whether a method name acquires a mutex. TryLock counts:
+// the convention is an early return when it fails (the spill table's shed
+// callback), so the guarded accesses below it only run with the lock held —
+// as lexical as the rest of the heuristic.
+func isAcquire(name string) bool {
+	switch name {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		return true
+	}
+	return false
+}
+
+// holdsOwnerLock reports whether body contains a Lock()/RLock() call whose
+// mutex selector chain ends with the dotted owner path (`guarded by s.mu`
+// is discharged by `s.mu.Lock()` or `p.s.mu.Lock()`).
+func holdsOwnerLock(body *ast.BlockStmt, path string) bool {
+	parts := strings.Split(path, ".")
+	held := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if held {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !isAcquire(sel.Sel.Name) {
+			return true
+		}
+		if chainHasSuffix(sel.X, parts) {
+			held = true
+		}
+		return !held
+	})
+	return held
+}
+
+// chainHasSuffix reports whether e is a selector chain of identifiers whose
+// trailing components equal parts.
+func chainHasSuffix(e ast.Expr, parts []string) bool {
+	var chain []string
+	for done := false; !done; {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			chain = append(chain, x.Sel.Name)
+			e = x.X
+		case *ast.Ident:
+			chain = append(chain, x.Name)
+			done = true
+		default:
+			done = true
+		}
+	}
+	// chain is right-to-left: chain[0] is the final component.
+	if len(chain) < len(parts) {
+		return false
+	}
+	for i := range parts {
+		if chain[i] != parts[len(parts)-1-i] {
+			return false
+		}
+	}
+	return true
 }
 
 // identObject returns the object of a plain-identifier expression, else

@@ -68,3 +68,53 @@ func swap(a, b *counter) {
 	a.n++     // a's lock held: allowed
 	b.n = a.n // want `n is guarded by mu, but swap does not lock it`
 }
+
+// The owner-path form: proc state is guarded by the owning table's mutex
+// (`guarded by t.mu`), the scheduler process-table pattern.
+type table struct {
+	mu    sync.Mutex
+	procs map[int]*proc // guarded by mu
+}
+
+type proc struct {
+	t     *table
+	state int // guarded by t.mu
+}
+
+func (p *proc) stateLocked() int {
+	return p.state // Locked-suffix helper: allowed
+}
+
+func (p *proc) viaOwner() int {
+	p.t.mu.Lock()
+	defer p.t.mu.Unlock()
+	return p.state // owner lock held through the full chain: allowed
+}
+
+func (t *table) scan() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sum := 0
+	for _, p := range t.procs {
+		sum += p.state // owner lock held (suffix match): allowed
+	}
+	return sum
+}
+
+func (p *proc) racyState() int {
+	return p.state // want `state is guarded by t.mu, but racyState does not lock it`
+}
+
+func (p *proc) wrongLock(other *sync.Mutex) int {
+	other.Lock()
+	defer other.Unlock()
+	return p.state // want `state is guarded by t.mu, but wrongLock does not lock it`
+}
+
+func (c *counter) tryInc() {
+	if !c.mu.TryLock() {
+		return
+	}
+	defer c.mu.Unlock()
+	c.n++ // TryLock with early return: allowed
+}

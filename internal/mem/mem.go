@@ -1,0 +1,286 @@
+// Package mem implements the memory governance shared by the scheduler and
+// the operators. A process-wide Governor holds the global byte budget;
+// per-query Budgets draw fixed admission grants from it at admission time
+// and return them when the query finishes. Operators reserve and release
+// bytes against their query's Budget with lock-free atomics; when a
+// reservation would exceed the grant, registered pressure callbacks (the
+// dynamic hash join's partition evictor) run to shed memory before the
+// reservation fails.
+//
+// The invariant that makes concurrent admission safe is structural: the
+// Governor only ever accounts whole grants, so the sum of outstanding
+// grants never exceeds capacity, no matter what the operators inside each
+// query do. A Budget can run standalone (no Governor) to reproduce the
+// per-worker spill budget the engine had before concurrent serving.
+package mem
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrBudgetExceeded is returned by Reserve when the grant is exhausted and
+// the pressure callbacks could not shed enough memory.
+var ErrBudgetExceeded = errors.New("mem: budget exceeded")
+
+// Governor is the process-wide memory budget. The scheduler carves
+// per-query grants out of it; nothing else reserves against it directly.
+type Governor struct {
+	capacity int64
+
+	mu       sync.Mutex
+	reserved int64  // guarded by mu
+	peak     int64  // guarded by mu
+	hook     func() // guarded by mu — run (outside mu) after each Release
+}
+
+// NewGovernor creates a governor over capacity bytes.
+func NewGovernor(capacity int64) *Governor {
+	return &Governor{capacity: capacity}
+}
+
+// Capacity returns the global budget in bytes.
+func (g *Governor) Capacity() int64 { return g.capacity }
+
+// TryReserve atomically reserves n bytes, failing without blocking when the
+// reservation would exceed capacity.
+func (g *Governor) TryReserve(n int64) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.reserved+n > g.capacity {
+		return false
+	}
+	g.reserved += n
+	if g.reserved > g.peak {
+		g.peak = g.reserved
+	}
+	return true
+}
+
+// Release returns n bytes and then runs the release hook, so admission
+// waiters can retry.
+func (g *Governor) Release(n int64) {
+	g.mu.Lock()
+	g.reserved -= n
+	hook := g.hook
+	g.mu.Unlock()
+	if hook != nil {
+		hook()
+	}
+}
+
+// Reserved returns the bytes currently reserved.
+func (g *Governor) Reserved() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.reserved
+}
+
+// Peak returns the high-water mark of reserved bytes.
+func (g *Governor) Peak() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.peak
+}
+
+// SetReleaseHook registers fn to run after every Release. The scheduler
+// uses it to wake admission waiters; fn runs outside the governor lock.
+func (g *Governor) SetReleaseHook(fn func()) {
+	g.mu.Lock()
+	g.hook = fn
+	g.mu.Unlock()
+}
+
+// Budget carves a grant of n bytes out of the governor, failing when the
+// grant does not fit the remaining capacity. Close the budget to return
+// the grant.
+func (g *Governor) Budget(n int64) (*Budget, bool) {
+	if !g.TryReserve(n) {
+		return nil, false
+	}
+	return &Budget{gov: g, grant: n}, true
+}
+
+// Budget is one query's memory allowance. All methods are safe for
+// concurrent use and safe on a nil receiver: a nil *Budget is the
+// "unbounded" budget, every reservation succeeds and nothing is tracked,
+// which keeps the single-query paper pipeline byte-for-byte unchanged.
+type Budget struct {
+	gov   *Governor // nil for standalone budgets
+	grant int64
+
+	used atomic.Int64
+	peak atomic.Int64
+	over atomic.Int64 // max bytes used beyond the grant (Force overruns)
+
+	mu     sync.Mutex
+	cbs    []func(need int64) int64 // guarded by mu — pressure callbacks
+	closed bool                     // guarded by mu
+}
+
+// NewBudget creates a standalone budget of grant bytes, not attached to a
+// governor — the per-worker spill budget of the serial engine.
+func NewBudget(grant int64) *Budget {
+	return &Budget{grant: grant}
+}
+
+// Grant returns the budget size in bytes (0 for the nil budget).
+func (b *Budget) Grant() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.grant
+}
+
+// Used returns the bytes currently reserved.
+func (b *Budget) Used() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.used.Load()
+}
+
+// Peak returns the high-water mark of reserved bytes.
+func (b *Budget) Peak() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.peak.Load()
+}
+
+// Overshoot returns the largest excess over the grant that Force ever
+// admitted (0 when the budget was always respected).
+func (b *Budget) Overshoot() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.over.Load()
+}
+
+func (b *Budget) bumpPeak(u int64) {
+	for {
+		p := b.peak.Load()
+		if u <= p || b.peak.CompareAndSwap(p, u) {
+			return
+		}
+	}
+}
+
+// TryReserve reserves n bytes, failing without side effects when the grant
+// would be exceeded. n <= 0 is a no-op success.
+func (b *Budget) TryReserve(n int64) bool {
+	if b == nil || n <= 0 {
+		return true
+	}
+	for {
+		u := b.used.Load()
+		if u+n > b.grant {
+			return false
+		}
+		if b.used.CompareAndSwap(u, u+n) {
+			b.bumpPeak(u + n)
+			return true
+		}
+	}
+}
+
+// Reserve reserves n bytes, running the pressure callbacks to shed memory
+// when the grant is exhausted. It fails with ErrBudgetExceeded only when
+// shedding could not make room.
+func (b *Budget) Reserve(n int64) error {
+	if b.TryReserve(n) {
+		return nil
+	}
+	b.shed(n)
+	if b.TryReserve(n) {
+		return nil
+	}
+	return fmt.Errorf("%w: need %d bytes, %d of %d in use",
+		ErrBudgetExceeded, n, b.used.Load(), b.grant)
+}
+
+// Force reserves n bytes unconditionally: it tries Reserve first and, when
+// even shedding cannot make room, accounts the bytes anyway and records the
+// overshoot. Operators use it for allocations that cannot be refused
+// (e.g. a single row that must be buffered to make progress).
+func (b *Budget) Force(n int64) {
+	if b == nil || n <= 0 {
+		return
+	}
+	if b.Reserve(n) == nil {
+		return
+	}
+	u := b.used.Add(n)
+	b.bumpPeak(u)
+	if o := u - b.grant; o > 0 {
+		for {
+			prev := b.over.Load()
+			if o <= prev || b.over.CompareAndSwap(prev, o) {
+				break
+			}
+		}
+	}
+}
+
+// Release returns n bytes to the budget. n <= 0 is a no-op.
+func (b *Budget) Release(n int64) {
+	if b == nil || n <= 0 {
+		return
+	}
+	b.used.Add(-n)
+}
+
+// OnPressure registers a callback that sheds memory when a reservation
+// fails: it receives the bytes needed and returns the bytes it freed.
+// Callbacks run outside the budget lock and must tolerate being called
+// from any goroutine of the query (including concurrently with the
+// owner's own operations — the dynamic hash join uses TryLock and simply
+// declines when its owner is mid-operation).
+func (b *Budget) OnPressure(fn func(need int64) int64) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.cbs = append(b.cbs, fn)
+	b.mu.Unlock()
+}
+
+// shed runs the pressure callbacks until need bytes have been freed or
+// every callback has been tried.
+func (b *Budget) shed(need int64) {
+	b.mu.Lock()
+	cbs := make([]func(int64) int64, len(b.cbs))
+	copy(cbs, b.cbs)
+	b.mu.Unlock()
+	freed := int64(0)
+	for _, fn := range cbs {
+		freed += fn(need - freed)
+		if freed >= need {
+			return
+		}
+	}
+}
+
+// Close returns the grant to the governor (idempotent) and drops the
+// pressure callbacks. It returns the bytes still reserved at close time —
+// 0 after a clean teardown; a killed query may close with reservations
+// outstanding, which is safe because the governor only accounts the grant.
+func (b *Budget) Close() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return b.used.Load()
+	}
+	b.closed = true
+	b.cbs = nil
+	b.mu.Unlock()
+	if b.gov != nil {
+		b.gov.Release(b.grant)
+	}
+	return b.used.Load()
+}

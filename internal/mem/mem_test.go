@@ -1,0 +1,141 @@
+package mem
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestGovernorGrantAccounting(t *testing.T) {
+	g := NewGovernor(100)
+	b1, ok := g.Budget(60)
+	if !ok {
+		t.Fatal("first grant refused")
+	}
+	if _, ok := g.Budget(60); ok {
+		t.Fatal("over-capacity grant admitted")
+	}
+	b2, ok := g.Budget(40)
+	if !ok {
+		t.Fatal("exact-fit grant refused")
+	}
+	if got := g.Reserved(); got != 100 {
+		t.Fatalf("reserved = %d, want 100", got)
+	}
+	b1.Close()
+	b1.Close() // idempotent
+	if got := g.Reserved(); got != 40 {
+		t.Fatalf("reserved after close = %d, want 40", got)
+	}
+	b2.Close()
+	if got, peak := g.Reserved(), g.Peak(); got != 0 || peak != 100 {
+		t.Fatalf("reserved=%d peak=%d, want 0/100", got, peak)
+	}
+}
+
+func TestGovernorReleaseHook(t *testing.T) {
+	g := NewGovernor(10)
+	fired := 0
+	g.SetReleaseHook(func() { fired++ })
+	b, _ := g.Budget(10)
+	b.Close()
+	if fired != 1 {
+		t.Fatalf("hook fired %d times, want 1", fired)
+	}
+}
+
+func TestBudgetReserveRelease(t *testing.T) {
+	b := NewBudget(100)
+	if !b.TryReserve(60) || !b.TryReserve(40) {
+		t.Fatal("in-budget reservations refused")
+	}
+	if b.TryReserve(1) {
+		t.Fatal("over-budget reservation admitted")
+	}
+	b.Release(50)
+	if got := b.Used(); got != 50 {
+		t.Fatalf("used = %d, want 50", got)
+	}
+	if got := b.Peak(); got != 100 {
+		t.Fatalf("peak = %d, want 100", got)
+	}
+	if err := b.Reserve(200); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("Reserve(200) = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestBudgetPressureCallback(t *testing.T) {
+	b := NewBudget(100)
+	if !b.TryReserve(90) {
+		t.Fatal("setup reservation refused")
+	}
+	shedCalls := 0
+	b.OnPressure(func(need int64) int64 {
+		shedCalls++
+		b.Release(need) // pretend to evict exactly what is needed
+		return need
+	})
+	if err := b.Reserve(50); err != nil {
+		t.Fatalf("Reserve with shedding: %v", err)
+	}
+	if shedCalls != 1 {
+		t.Fatalf("pressure callback ran %d times, want 1", shedCalls)
+	}
+	// A callback that cannot free enough leaves Reserve failing.
+	b2 := NewBudget(10)
+	b2.TryReserve(10)
+	b2.OnPressure(func(int64) int64 { return 0 })
+	if err := b2.Reserve(5); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("Reserve = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestBudgetForceRecordsOvershoot(t *testing.T) {
+	b := NewBudget(10)
+	b.Force(25)
+	if got := b.Used(); got != 25 {
+		t.Fatalf("used = %d, want 25", got)
+	}
+	if got := b.Overshoot(); got != 15 {
+		t.Fatalf("overshoot = %d, want 15", got)
+	}
+}
+
+func TestNilBudgetIsUnbounded(t *testing.T) {
+	var b *Budget
+	if !b.TryReserve(1 << 40) {
+		t.Fatal("nil budget refused a reservation")
+	}
+	if err := b.Reserve(1 << 40); err != nil {
+		t.Fatal(err)
+	}
+	b.Force(1)
+	b.Release(1)
+	b.OnPressure(func(int64) int64 { return 0 })
+	if b.Used() != 0 || b.Peak() != 0 || b.Grant() != 0 || b.Overshoot() != 0 {
+		t.Fatal("nil budget tracked something")
+	}
+	if b.Close() != 0 {
+		t.Fatal("nil budget close non-zero")
+	}
+}
+
+func TestBudgetConcurrentReserve(t *testing.T) {
+	b := NewBudget(1 << 20)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				if b.TryReserve(64) {
+					b.Release(64)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := b.Used(); got != 0 {
+		t.Fatalf("used after balanced reserve/release = %d, want 0", got)
+	}
+}

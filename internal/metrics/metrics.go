@@ -19,11 +19,20 @@ type Recorder struct {
 	mu      sync.Mutex
 	scalars map[string]int64   // guarded by mu
 	vectors map[string][]int64 // guarded by mu
+	gauges  map[string]gauge   // guarded by mu
 }
+
+// gauge is an instantaneous level with its high-water mark — process-list
+// depth, reserved bytes — as opposed to the monotonic counters above.
+type gauge struct{ cur, peak int64 }
 
 // New returns an empty recorder.
 func New() *Recorder {
-	return &Recorder{scalars: map[string]int64{}, vectors: map[string][]int64{}}
+	return &Recorder{
+		scalars: map[string]int64{},
+		vectors: map[string][]int64{},
+		gauges:  map[string]gauge{},
+	}
 }
 
 // Add increments a scalar counter.
@@ -46,6 +55,44 @@ func (r *Recorder) AddAt(name string, slot int, n int64) {
 	v[slot] += n
 	r.vectors[name] = v
 	r.mu.Unlock()
+}
+
+// AddGauge moves a gauge by delta (negative to drop) and tracks its peak.
+func (r *Recorder) AddGauge(name string, delta int64) {
+	r.mu.Lock()
+	g := r.gauges[name]
+	g.cur += delta
+	if g.cur > g.peak {
+		g.peak = g.cur
+	}
+	r.gauges[name] = g
+	r.mu.Unlock()
+}
+
+// SetGauge sets a gauge's level directly, tracking its peak.
+func (r *Recorder) SetGauge(name string, v int64) {
+	r.mu.Lock()
+	g := r.gauges[name]
+	g.cur = v
+	if g.cur > g.peak {
+		g.peak = g.cur
+	}
+	r.gauges[name] = g
+	r.mu.Unlock()
+}
+
+// Gauge returns a gauge's current level (0 if absent).
+func (r *Recorder) Gauge(name string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gauges[name].cur
+}
+
+// GaugePeak returns a gauge's high-water mark (0 if absent).
+func (r *Recorder) GaugePeak(name string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gauges[name].peak
 }
 
 // Get returns a scalar counter, or the sum of a vector counter of the same
@@ -111,11 +158,12 @@ func (r *Recorder) BalanceRatio(name string) float64 {
 }
 
 // Snapshot returns all counters flattened: vectors appear both as their sum
-// ("name") and their max ("name.max").
+// ("name") and their max ("name.max"); gauges as their level ("name") and
+// high-water mark ("name.peak").
 func (r *Recorder) Snapshot() map[string]int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make(map[string]int64, len(r.scalars)+2*len(r.vectors))
+	out := make(map[string]int64, len(r.scalars)+2*len(r.vectors)+2*len(r.gauges))
 	for k, v := range r.scalars {
 		out[k] = v
 	}
@@ -130,14 +178,19 @@ func (r *Recorder) Snapshot() map[string]int64 {
 		out[k] = sum
 		out[k+".max"] = max
 	}
+	for k, g := range r.gauges {
+		out[k] = g.cur
+		out[k+".peak"] = g.peak
+	}
 	return out
 }
 
-// Reset clears all counters.
+// Reset clears all counters and gauges.
 func (r *Recorder) Reset() {
 	r.mu.Lock()
 	r.scalars = map[string]int64{}
 	r.vectors = map[string][]int64{}
+	r.gauges = map[string]gauge{}
 	r.mu.Unlock()
 }
 
@@ -221,4 +274,26 @@ const (
 	// diagnostic only, not part of the deterministic counter contract.
 	JENMorselTuples = "jen.morsel.tuples" // vector: rows processed per morsel thread
 	JoinProbeSplit  = "join.probe.split"  // vector: probe rows handled per probe thread
+
+	// Dynamic hybrid hash join (internal/relop spill path). Recorded only
+	// when non-zero so budget-free runs keep byte-identical snapshots;
+	// under a shared cross-worker budget the per-worker split depends on
+	// scheduling — diagnostic, like JENMorselTuples.
+	SpillBuildRows    = "spill.build.rows"    // vector: build rows written to disk per JEN worker
+	SpillProbeRows    = "spill.probe.rows"    // vector: probe rows written to disk
+	SpillEvictions    = "spill.evictions"     // vector: partitions evicted under pressure
+	SpillRepartitions = "spill.repartitions"  // vector: recursive repartition passes
+	SpillNLFallbacks  = "spill.nl.fallbacks"  // vector: block nested-loop passes
+	MemOvershootBytes = "mem.overshoot.bytes" // gauge: forced excess over a query grant (.peak = worst query)
+
+	// Scheduler (internal/sched). Counters are monotonic per scheduler
+	// lifetime; the gauges track the live process list and reserved grants.
+	SchedSubmitted   = "sched.submitted"    // scalar: queries accepted into the queue
+	SchedKilled      = "sched.killed"       // scalar: queries killed via Kill
+	SchedCompleted   = "sched.completed"    // scalar: queries finished successfully
+	SchedFailed      = "sched.failed"       // scalar: queries finished with an error
+	SchedRunning     = "sched.running"      // gauge: queries executing now (.peak = max concurrency)
+	SchedQueuedPoint = "sched.queued.point" // gauge: point-lane queue depth
+	SchedQueuedScan  = "sched.queued.scan"  // gauge: scan-lane queue depth
+	MemReservedBytes = "mem.reserved.bytes" // gauge: governor grants outstanding (.peak ≤ budget)
 )

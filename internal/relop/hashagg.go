@@ -6,6 +6,7 @@ import (
 
 	"hybridwh/internal/batch"
 	"hybridwh/internal/expr"
+	"hybridwh/internal/mem"
 	"hybridwh/internal/types"
 )
 
@@ -76,6 +77,14 @@ type HashAgg struct {
 	groups  map[uint64]*aggGroup // hash → collision chain head
 	n       int64
 
+	// Optional memory governance (SetBudget): each new group charges its
+	// approximate state bytes. Group creation cannot be refused — an
+	// aggregate must absorb every input row — so the charge is a Force,
+	// and sustained pressure shows up as budget overshoot while the
+	// query's join tables shed partitions to compensate.
+	bud      *mem.Budget
+	memBytes int64
+
 	// Scratch buffers reused across Add/AddBatch calls.
 	keyScratch types.Row
 	inScratch  []types.Value
@@ -101,6 +110,13 @@ func NewHashAgg(groupBy []expr.Expr, aggs []AggSpec) *HashAgg {
 
 // NumGroups returns the current group count.
 func (h *HashAgg) NumGroups() int64 { return h.n }
+
+// SetBudget attaches a query memory budget; call before the first Add.
+func (h *HashAgg) SetBudget(bud *mem.Budget) { h.bud = bud }
+
+// MemBytes returns the bytes charged to the budget so far; the owner
+// releases them when the aggregate's groups have been shipped.
+func (h *HashAgg) MemBytes() int64 { return h.memBytes }
 
 func (h *HashAgg) stateWidth() int {
 	w := 0
@@ -147,6 +163,11 @@ func (h *HashAgg) group(keys types.Row) *aggGroup {
 	g.next = h.groups[hk]
 	h.groups[hk] = g
 	h.n++
+	if h.bud != nil {
+		est := int64(types.EncodedRowSize(g.keys)) + int64(16*h.stateWidth()) + 96
+		h.memBytes += est
+		h.bud.Force(est)
+	}
 	return g
 }
 

@@ -1,0 +1,450 @@
+// Package sched is the warehouse's front door for concurrent query
+// serving: an admission scheduler that holds every query to a global
+// memory budget (a mem.Governor), classifies it into a point or scan lane
+// (costmodel.ClassifyLane), and exposes the running set as a process list
+// with per-query kill.
+//
+// Admission is by whole grants: a query runs only once the governor
+// reserves its full memory grant, so the sum of running queries' grants —
+// and therefore metrics.MemReservedBytes and its peak — never exceeds the
+// budget by construction. Inside a grant the query's operators share one
+// mem.Budget; when an operator outgrows it, the dynamic hybrid hash join
+// sheds partitions to disk rather than the scheduler overcommitting.
+//
+// Within a lane admission is FIFO. Across lanes the point lane (short,
+// selective queries) goes first, bounded by Config.PointBurst consecutive
+// point admissions while scans wait — a counting guarantee, not a timer,
+// so scheduling stays deterministic under test. The chosen lane's head
+// blocks until its grant fits: a waiting scan is never starved by smaller
+// queries slipping past it.
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"hybridwh/internal/costmodel"
+	"hybridwh/internal/mem"
+	"hybridwh/internal/metrics"
+	"hybridwh/internal/par"
+)
+
+// ErrKilled is the cancellation cause installed by Kill; errors returned
+// by a killed query's Wait match it with errors.Is.
+var ErrKilled = errors.New("sched: query killed")
+
+// ErrClosed is returned for submissions after Close, and is the error of
+// queued queries abandoned by Close.
+var ErrClosed = errors.New("sched: scheduler closed")
+
+// Config tunes the scheduler.
+type Config struct {
+	// MemBudgetBytes is the global memory budget shared by all concurrently
+	// running queries. Required (> 0): admission control is the point.
+	MemBudgetBytes int64
+	// MaxConcurrent caps the number of queries executing at once regardless
+	// of memory (default 8).
+	MaxConcurrent int
+	// MinGrantBytes floors every per-query grant (default 1 MiB): footprint
+	// estimates near zero must not admit unbounded numbers of queries.
+	MinGrantBytes int64
+	// MaxGrantShare caps one query's grant as a fraction of the budget
+	// (default 0.5), so a single huge scan can neither be unadmittable nor
+	// lock out every other query.
+	MaxGrantShare float64
+	// PointBurst is how many consecutive point-lane queries may be admitted
+	// while at least one scan-lane query waits (default 4). Counting-based
+	// anti-starvation: after the burst the scan head must be admitted next.
+	PointBurst int
+	// Recorder receives the sched.* counters and gauges (nil = discarded).
+	Recorder *metrics.Recorder
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 8
+	}
+	if c.MinGrantBytes <= 0 {
+		c.MinGrantBytes = 1 << 20
+	}
+	if c.MaxGrantShare <= 0 || c.MaxGrantShare > 1 {
+		c.MaxGrantShare = 0.5
+	}
+	if c.PointBurst <= 0 {
+		c.PointBurst = 4
+	}
+	if c.Recorder == nil {
+		c.Recorder = metrics.New()
+	}
+	return c
+}
+
+// State is a query's position in its lifecycle.
+type State int
+
+// Query states.
+const (
+	StateQueued State = iota
+	StateRunning
+	StateDone
+	StateFailed
+	StateKilled
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	case StateFailed:
+		return "failed"
+	case StateKilled:
+		return "killed"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Request is one query submission.
+type Request struct {
+	// Label identifies the query in the process list (e.g. its SQL).
+	Label string
+	// Lane is the admission lane (costmodel.ClassifyLane).
+	Lane costmodel.Lane
+	// FootprintBytes is the estimated operator memory need
+	// (costmodel.EstimateFootprintBytes); the grant is this clamped to
+	// [MinGrantBytes, MaxGrantShare·budget].
+	FootprintBytes int64
+	// Run executes the query under the admission context and its memory
+	// budget. The scheduler owns the budget: Run must not Close it.
+	Run func(ctx context.Context, bud *mem.Budget) (any, error)
+}
+
+// Proc is a submitted query's handle.
+type Proc struct {
+	id     int64
+	label  string
+	lane   costmodel.Lane
+	grant  int64
+	run    func(context.Context, *mem.Budget) (any, error)
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+	done   chan struct{} // closed when the query reaches a terminal state
+	s      *Scheduler
+
+	state     State     // guarded by s.mu
+	submitted time.Time // guarded by s.mu
+	started   time.Time // guarded by s.mu
+	killed    bool      // guarded by s.mu — Kill observed the query running
+	res       any       // guarded by s.mu
+	err       error     // guarded by s.mu
+}
+
+// ID returns the query's process id.
+func (p *Proc) ID() int64 { return p.id }
+
+// Done returns a channel closed when the query reaches a terminal state.
+func (p *Proc) Done() <-chan struct{} { return p.done }
+
+// Wait blocks until the query finishes and returns its result. A killed
+// query's error matches ErrKilled with errors.Is.
+func (p *Proc) Wait() (any, error) {
+	<-p.done
+	p.s.mu.Lock()
+	defer p.s.mu.Unlock()
+	return p.res, p.err
+}
+
+// ProcInfo is one process-list entry.
+type ProcInfo struct {
+	ID         int64
+	Label      string
+	Lane       costmodel.Lane
+	State      State
+	GrantBytes int64
+	// Age is the time since submission (terminal states stop aging at
+	// completion only in the sense that the entry soon leaves the list).
+	Age time.Duration
+}
+
+// Scheduler admits queries against a global memory budget.
+type Scheduler struct {
+	cfg Config
+	gov *mem.Governor
+	rec *metrics.Recorder
+	g   par.Group // runner goroutines, one per running query
+
+	mu          sync.Mutex
+	procs       map[int64]*Proc // guarded by mu — the process list
+	queues      [2][]*Proc      // guarded by mu — FIFO per lane
+	running     int             // guarded by mu
+	pointStreak int             // guarded by mu — consecutive point admissions
+	nextID      int64           // guarded by mu
+	closed      bool            // guarded by mu
+}
+
+// New creates a scheduler over its global memory budget.
+func New(cfg Config) (*Scheduler, error) {
+	if cfg.MemBudgetBytes <= 0 {
+		return nil, fmt.Errorf("sched: memory budget must be positive")
+	}
+	cfg = cfg.withDefaults()
+	return &Scheduler{
+		cfg:   cfg,
+		gov:   mem.NewGovernor(cfg.MemBudgetBytes),
+		rec:   cfg.Recorder,
+		procs: map[int64]*Proc{},
+	}, nil
+}
+
+// Governor exposes the global memory governor (tests and tools).
+func (s *Scheduler) Governor() *mem.Governor { return s.gov }
+
+func laneGauge(l costmodel.Lane) string {
+	if l == costmodel.LanePoint {
+		return metrics.SchedQueuedPoint
+	}
+	return metrics.SchedQueuedScan
+}
+
+// Submit enqueues a query and returns its handle immediately; admission and
+// execution happen asynchronously. ctx cancellation propagates into the
+// query (a queued query whose ctx dies still occupies its queue slot until
+// admitted, then fails fast).
+func (s *Scheduler) Submit(ctx context.Context, req Request) (*Proc, error) {
+	if req.Run == nil {
+		return nil, fmt.Errorf("sched: request needs a Run function")
+	}
+	grant := req.FootprintBytes
+	if grant < s.cfg.MinGrantBytes {
+		grant = s.cfg.MinGrantBytes
+	}
+	if max := int64(float64(s.cfg.MemBudgetBytes) * s.cfg.MaxGrantShare); grant > max {
+		grant = max
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	s.nextID++
+	pctx, cancel := context.WithCancelCause(ctx)
+	p := &Proc{
+		id: s.nextID, label: req.Label, lane: req.Lane, grant: grant,
+		run: req.Run, ctx: pctx, cancel: cancel,
+		done: make(chan struct{}), s: s,
+		state: StateQueued, submitted: time.Now(),
+	}
+	s.procs[p.id] = p
+	s.queues[req.Lane] = append(s.queues[req.Lane], p)
+	s.rec.Add(metrics.SchedSubmitted, 1)
+	s.rec.AddGauge(laneGauge(req.Lane), 1)
+	s.admitLocked()
+	return p, nil
+}
+
+// Run is Submit followed by Wait.
+func (s *Scheduler) Run(ctx context.Context, req Request) (any, error) {
+	p, err := s.Submit(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return p.Wait()
+}
+
+// nextLaneLocked picks the lane whose head is admitted next, or -1 when
+// both queues are empty. Points go first until PointBurst consecutive
+// point admissions have passed a waiting scan; then the scan head gets
+// the next slot.
+func (s *Scheduler) nextLaneLocked() costmodel.Lane {
+	point, scan := len(s.queues[costmodel.LanePoint]) > 0, len(s.queues[costmodel.LaneScan]) > 0
+	switch {
+	case !point && !scan:
+		return -1
+	case !point:
+		return costmodel.LaneScan
+	case !scan:
+		return costmodel.LanePoint
+	case s.pointStreak >= s.cfg.PointBurst:
+		return costmodel.LaneScan
+	default:
+		return costmodel.LanePoint
+	}
+}
+
+// admitLocked starts every query that fits, in lane order. The chosen
+// lane's head blocks admission until its grant fits — smaller queries do
+// not slip past it, which is what makes PointBurst a hard bound.
+func (s *Scheduler) admitLocked() {
+	for {
+		lane := s.nextLaneLocked()
+		if lane < 0 || s.running >= s.cfg.MaxConcurrent {
+			return
+		}
+		p := s.queues[lane][0]
+		bud, ok := s.gov.Budget(p.grant)
+		if !ok {
+			return
+		}
+		s.queues[lane] = s.queues[lane][1:]
+		if lane == costmodel.LanePoint {
+			s.pointStreak++
+		} else {
+			s.pointStreak = 0
+		}
+		p.state = StateRunning
+		p.started = time.Now()
+		s.running++
+		s.rec.AddGauge(laneGauge(lane), -1)
+		s.rec.AddGauge(metrics.SchedRunning, 1)
+		s.rec.SetGauge(metrics.MemReservedBytes, s.gov.Reserved())
+		s.g.Go(func() error {
+			s.runProc(p, bud)
+			return nil
+		})
+	}
+}
+
+// runProc executes one admitted query on its runner goroutine and returns
+// its grant to the governor.
+func (s *Scheduler) runProc(p *Proc, bud *mem.Budget) {
+	res, err := p.run(p.ctx, bud)
+	over := bud.Overshoot()
+	bud.Close()
+	p.cancel(nil) // release the context; a kill already installed its cause
+
+	s.mu.Lock()
+	p.res, p.err = res, err
+	switch {
+	case p.killed || errors.Is(context.Cause(p.ctx), ErrKilled):
+		p.state = StateKilled
+		// The engine unwinds with its own abort error; callers match on
+		// errors.Is(err, ErrKilled), so the kill cause must be in the chain.
+		if !errors.Is(p.err, ErrKilled) {
+			if p.err != nil {
+				p.err = fmt.Errorf("%w: %w", ErrKilled, p.err)
+			} else {
+				p.err = ErrKilled
+			}
+		}
+		s.rec.Add(metrics.SchedKilled, 1)
+	case err != nil:
+		p.state = StateFailed
+		s.rec.Add(metrics.SchedFailed, 1)
+	default:
+		p.state = StateDone
+		s.rec.Add(metrics.SchedCompleted, 1)
+	}
+	s.running--
+	s.rec.AddGauge(metrics.SchedRunning, -1)
+	s.rec.SetGauge(metrics.MemReservedBytes, s.gov.Reserved())
+	if over > 0 {
+		// The gauge's peak is the worst overshoot any single query forced.
+		s.rec.SetGauge(metrics.MemOvershootBytes, over)
+	}
+	close(p.done)
+	s.admitLocked()
+	s.mu.Unlock()
+}
+
+// Kill aborts a query by id: a queued query fails immediately, a running
+// query's context is canceled with ErrKilled and the engine's abort
+// protocol unwinds it. Killing a finished query is a no-op.
+func (s *Scheduler) Kill(id int64) error {
+	s.mu.Lock()
+	p := s.procs[id]
+	if p == nil {
+		s.mu.Unlock()
+		return fmt.Errorf("sched: no query %d", id)
+	}
+	switch p.state {
+	case StateQueued:
+		q := s.queues[p.lane]
+		for i, qp := range q {
+			if qp == p {
+				s.queues[p.lane] = append(q[:i:i], q[i+1:]...)
+				break
+			}
+		}
+		p.state = StateKilled
+		p.err = ErrKilled
+		s.rec.Add(metrics.SchedKilled, 1)
+		s.rec.AddGauge(laneGauge(p.lane), -1)
+		close(p.done)
+		// Removing the queue head may unblock a lane decision.
+		s.admitLocked()
+	case StateRunning:
+		p.killed = true
+	}
+	s.mu.Unlock()
+	p.cancel(ErrKilled)
+	return nil
+}
+
+// Processes snapshots the process list, sorted by id. Terminal entries
+// stay listed until Remove (so Wait-less callers can observe outcomes).
+func (s *Scheduler) Processes() []ProcInfo {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ProcInfo, 0, len(s.procs))
+	for _, p := range s.procs {
+		out = append(out, ProcInfo{
+			ID: p.id, Label: p.label, Lane: p.lane, State: p.state,
+			GrantBytes: p.grant, Age: now.Sub(p.submitted),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Remove drops a terminal query from the process list.
+func (s *Scheduler) Remove(id int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.procs[id]
+	if p == nil {
+		return fmt.Errorf("sched: no query %d", id)
+	}
+	if p.state == StateQueued || p.state == StateRunning {
+		return fmt.Errorf("sched: query %d is %s", id, p.state)
+	}
+	delete(s.procs, id)
+	return nil
+}
+
+// Close stops admissions, fails every queued query with ErrClosed, and
+// waits for the running ones to finish. Idempotent.
+func (s *Scheduler) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	var dropped []*Proc
+	for lane := range s.queues {
+		for _, p := range s.queues[lane] {
+			p.state = StateFailed
+			p.err = ErrClosed
+			s.rec.Add(metrics.SchedFailed, 1)
+			s.rec.AddGauge(laneGauge(p.lane), -1)
+			close(p.done)
+			dropped = append(dropped, p)
+		}
+		s.queues[lane] = nil
+	}
+	s.mu.Unlock()
+	for _, p := range dropped {
+		p.cancel(ErrClosed)
+	}
+	return s.g.Wait()
+}

@@ -34,9 +34,11 @@ import (
 	"hybridwh/internal/format"
 	"hybridwh/internal/hdfs"
 	"hybridwh/internal/jen"
+	"hybridwh/internal/mem"
 	"hybridwh/internal/metrics"
 	"hybridwh/internal/netsim"
 	"hybridwh/internal/plan"
+	"hybridwh/internal/sched"
 	"hybridwh/internal/sqlparse"
 	"hybridwh/internal/types"
 )
@@ -98,8 +100,22 @@ type Config struct {
 	// QueryTimeout bounds each query's wall-clock time. When it expires the
 	// query aborts across both clusters and Query returns an error wrapping
 	// context.DeadlineExceeded. Zero means no deadline; QueryCtx offers
-	// per-call control.
+	// per-call control. Submit does not apply it (the handle's caller owns
+	// the context).
 	QueryTimeout time.Duration
+	// MemBudgetBytes enables concurrent query serving under a global
+	// operator-memory budget: every query is admitted by a scheduler
+	// (internal/sched) that grants it a slice of this budget before it
+	// runs, classifies it into a point or scan lane, and exposes the
+	// running set via Processes/Kill. Query/QueryCtx route through the
+	// scheduler transparently; Submit adds asynchronous submission. Under
+	// a budget the join build sides become dynamic hybrid hash joins that
+	// shed partitions to disk instead of overcommitting. Zero disables the
+	// scheduler (the paper's one-query-at-a-time behaviour).
+	MemBudgetBytes int64
+	// MaxConcurrent caps concurrently executing queries when the scheduler
+	// is enabled (default 8).
+	MaxConcurrent int
 }
 
 func (c Config) withDefaults() Config {
@@ -150,6 +166,7 @@ type Warehouse struct {
 	jenc *jen.Cluster
 	bus  netsim.Bus
 	eng  *core.Engine
+	schd *sched.Scheduler // nil unless Config.MemBudgetBytes > 0
 
 	model *costmodel.Model
 	reg   *expr.Registry
@@ -212,14 +229,34 @@ func Open(cfg Config) (*Warehouse, error) {
 		}
 		return nil, err
 	}
+	var schd *sched.Scheduler
+	if cfg.MemBudgetBytes > 0 {
+		schd, err = sched.New(sched.Config{
+			MemBudgetBytes: cfg.MemBudgetBytes,
+			MaxConcurrent:  cfg.MaxConcurrent,
+			Recorder:       rec,
+		})
+		if err != nil {
+			if cerr := eng.Close(); cerr != nil {
+				return nil, errors.Join(err, cerr)
+			}
+			return nil, err
+		}
+	}
 	return &Warehouse{
 		cfg: cfg, rec: rec, db: db, dfs: dfs, cat: cat, jenc: jenc, bus: bus,
-		eng: eng, model: costmodel.New(costmodel.DefaultRates()), reg: expr.NewRegistry(),
+		eng: eng, schd: schd, model: costmodel.New(costmodel.DefaultRates()), reg: expr.NewRegistry(),
 	}, nil
 }
 
-// Close releases the warehouse's transports and routers.
-func (w *Warehouse) Close() error { return w.eng.Close() }
+// Close drains the scheduler (queued queries fail, running ones finish)
+// and releases the warehouse's transports and routers.
+func (w *Warehouse) Close() error {
+	if w.schd != nil {
+		return errors.Join(w.schd.Close(), w.eng.Close())
+	}
+	return w.eng.Close()
+}
 
 // LoadPaperData generates and loads the Section 5 dataset: T into the
 // database (hash-distributed on uniqKey, with the paper's two indexes and
@@ -380,27 +417,25 @@ func (w *Warehouse) RunPlan(jq *plan.JoinQuery, opts ...Option) (*Result, error)
 }
 
 // RunPlanCtx executes a planned query under ctx; Config.QueryTimeout, when
-// set, is layered on as a deadline.
+// set, is layered on as a deadline. With the scheduler enabled
+// (Config.MemBudgetBytes) the query first waits for admission under the
+// global memory budget; the deadline covers that wait too.
 func (w *Warehouse) RunPlanCtx(ctx context.Context, jq *plan.JoinQuery, opts ...Option) (*Result, error) {
-	var o queryOpts
-	for _, opt := range opts {
-		opt(&o)
-	}
+	o, alg, advice := w.resolve(jq, opts)
 	if w.cfg.QueryTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, w.cfg.QueryTimeout)
 		defer cancel()
 	}
-	if o.cardHint > 0 {
-		jq.HDFSCardHint = o.cardHint
-	}
-
-	alg := o.alg
-	advice := ""
-	if !o.forced {
-		a := w.advise(jq, o)
-		alg = a.Algorithm
-		advice = a.Reason
+	if w.schd != nil {
+		// Concurrent serving: counters are shared by the queries in flight,
+		// so they are never reset here and Result.Counters reflects
+		// warehouse-wide activity, not this query alone.
+		v, err := w.schd.Run(ctx, w.schedRequest(jq, o, alg, advice))
+		if err != nil {
+			return nil, err
+		}
+		return v.(*Result), nil
 	}
 	if !o.keep {
 		w.rec.Reset()
@@ -411,6 +446,30 @@ func (w *Warehouse) RunPlanCtx(ctx context.Context, jq *plan.JoinQuery, opts ...
 	if err != nil {
 		return nil, err
 	}
+	return w.buildResult(res, alg, advice)
+}
+
+// resolve applies query options and runs the advisor when no algorithm is
+// forced.
+func (w *Warehouse) resolve(jq *plan.JoinQuery, opts []Option) (queryOpts, core.Algorithm, string) {
+	var o queryOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.cardHint > 0 {
+		jq.HDFSCardHint = o.cardHint
+	}
+	alg, advice := o.alg, ""
+	if !o.forced {
+		a := w.advise(jq, o)
+		alg, advice = a.Algorithm, a.Reason
+	}
+	return o, alg, advice
+}
+
+// buildResult wraps an engine result with the cost-model estimate and the
+// run's measurements.
+func (w *Warehouse) buildResult(res *core.Result, alg core.Algorithm, advice string) (*Result, error) {
 	est, err := w.model.Estimate(alg.String(), w.rec, w.bus.Counters(), costmodel.Params{
 		Scale:       w.cfg.Scale,
 		Format:      w.cfg.Format,
@@ -432,6 +491,110 @@ func (w *Warehouse) RunPlanCtx(ctx context.Context, jq *plan.JoinQuery, opts ...
 		Counters:       res.Metrics,
 	}, nil
 }
+
+// schedRequest packages a planned query for the admission scheduler: the
+// cost model's statistics classify its lane and size its memory ask, and
+// the run closure threads the granted budget into the engine.
+func (w *Warehouse) schedRequest(jq *plan.JoinQuery, o queryOpts, alg core.Algorithm, advice string) sched.Request {
+	stats := w.laneStats(jq, o)
+	return sched.Request{
+		Label:          fmt.Sprintf("%s ⋈ %s [%s]", jq.DBTable, jq.HDFSTable, alg),
+		Lane:           costmodel.ClassifyLane(stats),
+		FootprintBytes: costmodel.EstimateFootprintBytes(stats),
+		Run: func(ctx context.Context, bud *mem.Budget) (any, error) {
+			res, err := w.eng.RunCtxOpts(ctx, jq, alg, core.RunOpts{Budget: bud})
+			if err != nil {
+				return nil, err
+			}
+			return w.buildResult(res, alg, advice)
+		},
+	}
+}
+
+// laneStats gathers the statistics lane classification and footprint
+// estimation need, from the same sources as the advisor but without its
+// sampling (admission must be cheap).
+func (w *Warehouse) laneStats(jq *plan.JoinQuery, o queryOpts) costmodel.LaneStats {
+	st := costmodel.LaneStats{
+		SigmaT:   1,
+		SigmaL:   o.sigmaL,
+		RowBytes: int64(16 * (len(jq.DBProj) + len(jq.HDFSWire))),
+	}
+	if tbl, err := w.db.Table(jq.DBTable); err == nil {
+		st.TRows = tbl.Rows()
+		need := append([]int(nil), jq.DBProj...)
+		st.SigmaT = w.db.PlanAccess(tbl, jq.DBPred, need).EstSelectivity
+	}
+	if cat, err := w.cat.Lookup(jq.HDFSTable); err == nil {
+		st.LRows = cat.Rows
+		if st.SigmaL == 0 && jq.HDFSCardHint > 0 && cat.Rows > 0 {
+			st.SigmaL = float64(jq.HDFSCardHint) / float64(cat.Rows)
+		}
+	}
+	if st.SigmaL == 0 {
+		st.SigmaL = 0.2 // the paper's common case, absent any hint
+	}
+	return st
+}
+
+// Submit enqueues a query for concurrent execution and returns its handle
+// without waiting. Requires Config.MemBudgetBytes; Config.QueryTimeout is
+// not applied — the caller's ctx governs the query's lifetime.
+func (w *Warehouse) Submit(ctx context.Context, sql string, opts ...Option) (*QueryHandle, error) {
+	if w.schd == nil {
+		return nil, fmt.Errorf("hybridwh: concurrent serving disabled (set Config.MemBudgetBytes)")
+	}
+	jq, err := w.Plan(sql)
+	if err != nil {
+		return nil, err
+	}
+	o, alg, advice := w.resolve(jq, opts)
+	p, err := w.schd.Submit(ctx, w.schedRequest(jq, o, alg, advice))
+	if err != nil {
+		return nil, err
+	}
+	return &QueryHandle{p: p}, nil
+}
+
+// QueryHandle is a query submitted with Submit.
+type QueryHandle struct{ p *sched.Proc }
+
+// ID is the query's process id (Processes/Kill).
+func (h *QueryHandle) ID() int64 { return h.p.ID() }
+
+// Done returns a channel closed when the query reaches a terminal state.
+func (h *QueryHandle) Done() <-chan struct{} { return h.p.Done() }
+
+// Wait blocks until the query finishes. A killed query's error matches
+// sched.ErrKilled with errors.Is.
+func (h *QueryHandle) Wait() (*Result, error) {
+	v, err := h.p.Wait()
+	if err != nil {
+		return nil, err
+	}
+	return v.(*Result), nil
+}
+
+// Processes snapshots the scheduler's process list (nil without a
+// scheduler): per-query id, label, lane, state, grant and age.
+func (w *Warehouse) Processes() []sched.ProcInfo {
+	if w.schd == nil {
+		return nil
+	}
+	return w.schd.Processes()
+}
+
+// Kill aborts a queued or running query by process id; the abort unwinds
+// across both clusters and the query's Wait returns sched.ErrKilled.
+func (w *Warehouse) Kill(id int64) error {
+	if w.schd == nil {
+		return fmt.Errorf("hybridwh: concurrent serving disabled (set Config.MemBudgetBytes)")
+	}
+	return w.schd.Kill(id)
+}
+
+// Scheduler exposes the admission scheduler (nil when disabled).
+func (w *Warehouse) Scheduler() *sched.Scheduler { return w.schd }
 
 // advise runs the Section 5.5 decision logic on available statistics.
 func (w *Warehouse) advise(jq *plan.JoinQuery, o queryOpts) core.Advice {
