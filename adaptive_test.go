@@ -1,0 +1,119 @@
+package hybridwh
+
+import (
+	"testing"
+
+	"hybridwh/internal/core"
+	"hybridwh/internal/types"
+)
+
+// TestAdaptiveFixesMispredictedPlan drives the whole public path through a
+// realistic advisor misprediction. The T predicates are perfectly
+// anti-correlated (a = i%100, b = (i+50)%100): each passes about half the
+// table, so the optimizer's independence estimator puts σ_T at ~26% — a T'
+// far too wide to broadcast — while the true conjunction keeps only 2% of T.
+// The caller's σ_L hint is also wrong (0.9 claimed). The advisor therefore
+// commits to the zigzag join; at runtime the first scanned batches reveal a
+// ~400-row T' against an L that survives in full, and the adaptive layer
+// must switch to broadcast mid-query with results identical to the
+// never-switch run.
+func TestAdaptiveFixesMispredictedPlan(t *testing.T) {
+	const (
+		tN = 20_000
+		lN = 60_000
+	)
+	ttSchema := types.NewSchema(
+		types.C("jk", types.KindInt64),
+		types.C("a", types.KindInt32),
+		types.C("b", types.KindInt32),
+	)
+	evSchema := types.NewSchema(
+		types.C("jk", types.KindInt64),
+		types.C("g", types.KindInt32),
+	)
+	// T' keys are {50, 51, 150, 151, ..., 451}; ev draws its keys evenly
+	// from exactly that set, so the DB Bloom filter prunes nothing and the
+	// committed plan would shuffle all of L' for a near-empty build side.
+	var aliveKeys []int64
+	for i := 0; i < tN; i++ {
+		if a, b := i%100, (i+50)%100; a <= 51 && b <= 49 && i < 500 {
+			aliveKeys = append(aliveKeys, int64(i%500))
+		}
+	}
+	build := func() ([]types.Row, []types.Row) {
+		var ttRows, evRows []types.Row
+		for i := 0; i < tN; i++ {
+			ttRows = append(ttRows, types.Row{
+				types.Int64(int64(i % 500)),
+				types.Int32(int32(i % 100)),
+				types.Int32(int32((i + 50) % 100)),
+			})
+		}
+		for i := 0; i < lN; i++ {
+			evRows = append(evRows, types.Row{
+				types.Int64(aliveKeys[i%len(aliveKeys)]),
+				types.Int32(int32(i % 8)),
+			})
+		}
+		return ttRows, evRows
+	}
+
+	const sql = `
+		select ev.g, count(*)
+		from tt, ev
+		where tt.jk = ev.jk and tt.a <= 51 and tt.b <= 49
+		group by ev.g`
+
+	run := func(adaptive bool) *Result {
+		w, err := Open(Config{
+			DBWorkers: 3, JENWorkers: 4, BlockSize: 64 << 10, Seed: 9,
+			AdaptiveSwitch: adaptive,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+		ttRows, evRows := build()
+		err = w.LoadTables(
+			TableDef{Name: "tt", Schema: ttSchema}, SliceSource(ttRows),
+			TableDef{Name: "ev", Schema: evSchema}, SliceSource(evRows),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := w.Query(sql, WithSigmaL(0.9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	static := run(false)
+	// Precondition: the misprediction really routed the query into a
+	// shuffle-based plan (σ_T estimated ~0.26 → ~83 MB T' at paper scale).
+	if static.Algorithm != core.Zigzag {
+		t.Fatalf("advisor picked %v (%s); the fixture no longer mispredicts into a shuffle plan",
+			static.Algorithm, static.Advice)
+	}
+	if static.Switched || static.SwitchReason != "" {
+		t.Fatalf("static run reports a switch: %v %q", static.Switched, static.SwitchReason)
+	}
+
+	adapted := run(true)
+	if adapted.Algorithm != core.Zigzag {
+		t.Fatalf("adaptive run advised %v, want the same mispredicted zigzag", adapted.Algorithm)
+	}
+	if !adapted.Switched || adapted.SwitchedTo != "broadcast" {
+		t.Fatalf("Switched=%v to %q (%s), want broadcast", adapted.Switched, adapted.SwitchedTo, adapted.SwitchReason)
+	}
+
+	if len(static.Rows) == 0 || len(static.Rows) != len(adapted.Rows) {
+		t.Fatalf("row counts: static %d, adaptive %d", len(static.Rows), len(adapted.Rows))
+	}
+	for i := range static.Rows {
+		if static.Rows[i].String() != adapted.Rows[i].String() {
+			t.Errorf("row %d differs: static %s vs adaptive %s",
+				i, static.Rows[i], adapted.Rows[i])
+		}
+	}
+}

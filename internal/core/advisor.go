@@ -66,7 +66,12 @@ func Advise(s AdviceStats, scale float64) Advice {
 		width = 16
 	}
 	tPrimeBytes := float64(s.TRows) * scale * s.SigmaT * float64(width)
-	if tPrimeBytes > 0 && tPrimeBytes <= broadcastMaxBytes {
+	// Guard on TRows, not tPrimeBytes: a fully-filtered T' (σ_T estimated 0)
+	// is the *cheapest* possible broadcast, not a reason to fall through to
+	// zigzag. tPrimeBytes == 0 with TRows > 0 means the estimate says nothing
+	// survives — broadcast the (near-)empty T' and skip the shuffle entirely.
+	// Only an unknown table (TRows == 0, no statistics) should skip this rule.
+	if s.TRows > 0 && tPrimeBytes <= broadcastMaxBytes {
 		return Advice{
 			Algorithm: Broadcast,
 			Reason: fmt.Sprintf("T' ≈ %.1f MB fits on every worker; broadcasting avoids any HDFS shuffle",

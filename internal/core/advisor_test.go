@@ -56,6 +56,26 @@ func TestAdviseMatchesPaperRegions(t *testing.T) {
 	}
 }
 
+// TestAdviseZeroTPrimeBroadcasts is the regression test for the zero-T'
+// edge: when the statistics say the T predicates filter *everything*
+// (σ_T = 0 with a known table), the old `tPrimeBytes > 0` guard skipped the
+// broadcast rule and routed the query into a pointless full zigzag — scan,
+// Bloom exchange and shuffle for a join the estimate already knows is empty.
+// An estimated-empty T' is the cheapest possible broadcast, not a reason to
+// shuffle. Only a genuinely unknown table (TRows == 0) should skip the rule.
+func TestAdviseZeroTPrimeBroadcasts(t *testing.T) {
+	s := AdviceStats{TRows: 1_600_000_000, LRows: 15_000_000_000, SigmaT: 0, SigmaL: 0.2}
+	a := Advise(s, 1)
+	if a.Algorithm != Broadcast {
+		t.Fatalf("σ_T=0: got %v (%s), want Broadcast", a.Algorithm, a.Reason)
+	}
+	// Unknown table: no statistics at all, the rule must not fire on a
+	// fabricated zero estimate.
+	if a := Advise(AdviceStats{TRows: 0, LRows: 15_000_000_000, SigmaL: 0.2}, 1); a.Algorithm != Zigzag {
+		t.Errorf("unknown T: got %v, want Zigzag", a.Algorithm)
+	}
+}
+
 // TestAdviseSkewFlipsAlgorithm: the same workload that normally gets the
 // zigzag join flips to broadcast when one join key dominates L' and the
 // skew-resilient shuffle is off — and flips back once the engine handles

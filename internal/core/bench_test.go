@@ -58,6 +58,42 @@ func BenchmarkScanFilterJoin(b *testing.B) {
 	}
 }
 
+// BenchmarkAdaptiveMispredict measures the cost of living with a
+// mispredicted plan versus fixing it mid-flight. The fixture is the
+// broadcast-switch regime (tiny T', every L key joinable), forced through
+// the repartition algorithm as a mispredicting advisor would commit it:
+// "static" runs the bad plan to completion, shuffling all of L' to meet a
+// few hundred build rows; "adaptive" observes the first batches, abandons
+// the shuffle and broadcasts T' instead. The adaptive cell must win —
+// that delta is the regression this layer exists to recover. rows/s is
+// scanned input rows per second.
+func BenchmarkAdaptiveMispredict(b *testing.B) {
+	const tN, lN = 600, 20000
+	for _, mode := range []struct {
+		name     string
+		adaptive bool
+	}{
+		{"static", false},
+		{"adaptive", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			f := buildSkewFixtureKeys(b, netsim.NewChanBus(256), 2, 3, tN, lN,
+				adaptTestConfig(mode.adaptive), alignedKeys)
+			defer f.eng.Close()
+			q := exampleQuery(b, f, 300, 400)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := f.eng.Run(q, Repartition); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			rows := float64(tN+lN) * float64(b.N)
+			b.ReportMetric(rows/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}
+
 // BenchmarkSkewedJoin measures the repartition(BF) join over a uniform
 // (zipf=0) and a Zipf(s=1.1) L-key distribution, with the skew-resilient
 // shuffle off (skew=0) and on (skew=0.05). The interesting cells: on

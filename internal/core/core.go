@@ -146,6 +146,25 @@ type Config struct {
 	// (≤ rows/capacity) still guarantees every key above SkewThreshold is
 	// caught, with possible borderline extras. Defaults to 256.
 	SkewSketchKeys int
+	// AdaptiveSwitch enables mid-query algorithm switching for the
+	// repartition-based joins (see adaptive.go): after the first
+	// AdaptBatches wire batches of the JEN scan, the observed σ_L, |T'| and
+	// hot-key share re-cost the committed plan against broadcasting T' and
+	// against the hybrid skew partitioner, and the cheaper plan (past an
+	// AdaptMargin hysteresis) takes over mid-flight. Results are exact
+	// either way; row-at-a-time mode ignores it. When on, it subsumes the
+	// static skew path for those algorithms: plain hash routing is the
+	// default and the hybrid partitioner engages only by observed decision
+	// (SkewThreshold still supplies the hot bar, defaulting to
+	// 1/(2·JENWorkers) when zero).
+	AdaptiveSwitch bool
+	// AdaptBatches is K, the number of wire batches each JEN worker buffers
+	// before contributing its observation snapshot. Defaults to 8.
+	AdaptBatches int
+	// AdaptMargin is the hysteresis: an alternative plan must re-cost at
+	// least this fraction cheaper than the committed plan to trigger a
+	// switch. Defaults to 0.25.
+	AdaptMargin float64
 	// WireCompression frame-compresses every MsgRows payload with
 	// internal/compress before it reaches the bus, trading CPU for
 	// inter-cluster bandwidth (most visible on netsim.TCPBus links). Byte
@@ -172,6 +191,12 @@ func (c Config) withDefaults(j *jen.Cluster) Config {
 	}
 	if c.SkewSketchKeys <= 0 {
 		c.SkewSketchKeys = 256
+	}
+	if c.AdaptBatches <= 0 {
+		c.AdaptBatches = 8
+	}
+	if c.AdaptMargin <= 0 {
+		c.AdaptMargin = 0.25
 	}
 	return c
 }
@@ -262,6 +287,13 @@ type Result struct {
 	// DBJoinStrategy is the database optimizer's final-join choice for the
 	// DB-side algorithms (RepartitionBoth otherwise irrelevant).
 	DBJoinStrategy edw.JoinStrategy
+	// Switched reports the adaptive layer (Config.AdaptiveSwitch) changed
+	// the plan mid-query; SwitchedTo names the runtime strategy it changed
+	// to and SwitchReason carries the observed statistics and re-costs that
+	// justified it.
+	Switched     bool
+	SwitchedTo   string
+	SwitchReason string
 	// Metrics is a snapshot of the counters accumulated during the run.
 	Metrics map[string]int64
 }

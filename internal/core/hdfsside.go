@@ -60,6 +60,13 @@ func (e *Engine) runHDFSSide(ctx context.Context, qs string, q *plan.JoinQuery, 
 		}
 	}
 
+	// Mid-query switching (Config.AdaptiveSwitch): the designated worker's
+	// decision lands in st for the facade to surface on the Result.
+	var st *adaptState
+	if e.adaptiveOn() {
+		st = &adaptState{}
+	}
+
 	g, ctx := par.WithContext(ctx)
 	var resultRows []types.Row
 
@@ -77,12 +84,20 @@ func (e *Engine) runHDFSSide(ctx context.Context, qs string, q *plan.JoinQuery, 
 	}
 	for w := 0; w < n; w++ {
 		w := w
-		g.Go(func() error { return e.jenRepartitionProgram(ctx, qs, q, scanPlan, w, n, m, useBF, zig) })
+		g.Go(func() error { return e.jenRepartitionProgram(ctx, qs, q, scanPlan, w, n, m, useBF, zig, st) })
 	}
 	if err := g.Wait(); err != nil {
 		return nil, err
 	}
-	return &Result{Rows: resultRows}, nil
+	res := &Result{Rows: resultRows}
+	if d := st.load(); d != nil {
+		res.SwitchReason = d.reason
+		if d.kind != keepPlan {
+			res.Switched = true
+			res.SwitchedTo = d.kind.String()
+		}
+	}
+	return res, nil
 }
 
 // dbShipProgram is one DB worker's side of the repartition/zigzag join:
@@ -106,6 +121,14 @@ func (e *Engine) dbShipProgram(ctx context.Context, qs string, q *plan.JoinQuery
 			if runErr == nil {
 				pr.fail(b.scatterRows(tw, q.DBWireKey, destOf))
 			}
+		} else if e.adaptiveOn() {
+			// Adaptive: T' is materialized so its observed size can feed
+			// the switch decision, and routing waits for that decision —
+			// hash home, hybrid scatter, or full broadcast.
+			tw, err := e.db.FilterProject(tbl, i, ap, q.DBProj)
+			pr.fail(err)
+			e.adaptObserveT(pr, qs, q, i, tw)
+			e.adaptRouteRows(ctx, pr, qs, q, b, i, tw, destOf, &runErr)
 		} else if e.skewOn() {
 			// Hybrid routing needs the agreed hot set, which exists only
 			// after the whole HDFS scan: materialize T', wait for the set,
@@ -130,23 +153,40 @@ func (e *Engine) dbShipProgram(ctx context.Context, qs string, q *plan.JoinQuery
 
 	// Zigzag: T' must be materialized — BF_H arrives only after the whole
 	// HDFS scan completes, and it prunes what is shipped (steps 4–5).
+	// Under the adaptive layer the skew path stands down (the hybrid
+	// partitioner engages only by observed decision).
+	adaptOn := e.adaptiveOn()
+	skewOn := e.skewOn() && !adaptOn
 	tw, err := e.db.FilterProject(tbl, i, ap, q.DBProj)
 	if err != nil {
 		// Protocol obligation: JEN workers expecting this worker's stream
-		// must learn of the failure, and the BF_H receive must be drained —
-		// under the aborted program context, so it cannot block even when
-		// the filter will never arrive.
+		// must learn of the failure, the observation fan-in must still be
+		// fed, and the BF_H/decision receives must be drained — under the
+		// aborted program context, so they cannot block even when the
+		// payloads will never arrive.
 		pr.fail(err)
 		pr.fail(b.CloseWith(runErr))
+		if adaptOn {
+			e.adaptObserveT(pr, qs, q, i, nil)
+		}
 		if _, berr := e.recvBloom(ctx, dbName(i), qs+"bfh", 1); berr != nil {
 			pr.fail(berr)
 		}
-		if e.skewOn() {
+		if adaptOn {
+			e.adaptRouteRows(ctx, pr, qs, q, b, i, nil, destOf, &runErr)
+		}
+		if skewOn {
 			if _, herr := e.recvHotSet(ctx, dbName(i), qs+"hotset"); herr != nil {
 				pr.fail(herr)
 			}
 		}
 		return runErr
+	}
+	if adaptOn {
+		// The snapshot goes out before the BF_H wait (see adaptObserveT);
+		// |T'| is reported pre-pruning — an upper bound, which is what the
+		// committed plan would ship if BF_H turned out useless.
+		e.adaptObserveT(pr, qs, q, i, tw)
 	}
 	bfh, berr := e.recvBloom(ctx, dbName(i), qs+"bfh", 1)
 	if berr != nil {
@@ -156,7 +196,9 @@ func (e *Engine) dbShipProgram(ctx context.Context, qs string, q *plan.JoinQuery
 		// either case BF_H prunes what is shipped (zigzag step 5).
 		tw, _ = e.db.ApplyBloom(tw, q.DBWireKey, bfh)
 	}
-	if e.skewOn() {
+	if adaptOn {
+		e.adaptRouteRows(ctx, pr, qs, q, b, i, tw, destOf, &runErr)
+	} else if skewOn {
 		hot, herr := e.recvHotSet(ctx, dbName(i), qs+"hotset")
 		pr.fail(herr)
 		if runErr == nil {
@@ -175,7 +217,7 @@ func (e *Engine) dbShipProgram(ctx context.Context, qs string, q *plan.JoinQuery
 // buffering database rows in the background, then probe, partially
 // aggregate, and participate in the global aggregation. The pipeline runs
 // batch-at-a-time unless Config.RowAtATime reverts it to the seed baseline.
-func (e *Engine) jenRepartitionProgram(ctx context.Context, qs string, q *plan.JoinQuery, scanPlan *jen.ScanPlan, w, n, m int, useBF, zig bool) error {
+func (e *Engine) jenRepartitionProgram(ctx context.Context, qs string, q *plan.JoinQuery, scanPlan *jen.ScanPlan, w, n, m int, useBF, zig bool, st *adaptState) error {
 	me := jenName(w)
 	rowMode := e.cfg.RowAtATime
 	var runErr error
@@ -265,7 +307,21 @@ func (e *Engine) jenRepartitionProgram(ctx context.Context, qs string, q *plan.J
 		Threads: e.cfg.WorkerThreads,
 		Mem:     bud,
 	}
-	skewOn := e.skewOn()
+	// The adaptive layer subsumes the static skew path: plain hash routing
+	// is the committed default and the hybrid partitioner engages only by
+	// observed decision.
+	adaptOn := e.adaptiveOn()
+	skewOn := e.skewOn() && !adaptOn
+	var aw *adaptJENWorker
+	if adaptOn {
+		watch, werr := e.watchDecision(me, qs+"adapt.dec")
+		pr.fail(werr)
+		if werr == nil {
+			defer watch.close()
+			aw = newAdaptJENWorker(e, qs, q, b, w, n, scanKey, watch, destOf)
+			spec.Progress = &aw.progress
+		}
+	}
 	var sk *skew.Sketch
 	var buffered []*batch.Batch
 	if runErr == nil {
@@ -276,6 +332,10 @@ func (e *Engine) jenRepartitionProgram(ctx context.Context, qs string, q *plan.J
 				//lint:ignore rowloop deliberate row-at-a-time baseline (Config.RowAtATime)
 				return b.send(destOf(wire[q.HDFSWireKey].Int()), wire)
 			})
+		} else if aw != nil {
+			// Adaptive: buffer, observe and poll for the switch decision;
+			// routing starts the moment the decision lands (see adaptive.go).
+			err = e.jen.ScanFilterBatches(spec, aw.onBatch)
 		} else if skewOn {
 			// Skew path: the shuffle is deferred — the hot set does not
 			// exist until every worker's scan completes — so the scan builds
@@ -327,6 +387,13 @@ func (e *Engine) jenRepartitionProgram(ctx context.Context, qs string, q *plan.J
 			e.rec.AddAt(metrics.JENShuffleHotTuples, w, hotTuples)
 		}
 	}
+	if aw != nil {
+		// Complete the switch handshake: contribute this worker's snapshot
+		// (even when failing), coordinate at the designated worker, then
+		// apply the decision — flushing the buffered batches for keep and
+		// hybrid, or retaining them for the local broadcast probe below.
+		aw.finish(ctx, pr, scanPlan.Table.Rows, int64(16*len(q.HDFSWire)), st)
+	}
 	pr.fail(b.CloseWith(runErr))
 
 	// Zigzag steps 3b–4: local BF_H to the designated worker; the
@@ -350,27 +417,40 @@ func (e *Engine) jenRepartitionProgram(ctx context.Context, qs string, q *plan.J
 	// Wait for the hash table and the buffered database rows.
 	pr.fail(bg.Wait())
 	pr.fail(ht.FinishBuild())
-	e.rec.AddAt(metrics.JoinBuildTuples, w, ht.Len())
-	e.rec.AddAt(metrics.JoinProbeTuples, w, probeTuples)
 
-	// The buffered probe side is charged to the query budget for the
-	// probe's duration (the build side accounts for itself inside the
-	// spilling table).
-	charged := chargeBatches(bud, dbBatches) + chargeRows(bud, dbRows)
-	defer bud.Release(charged)
-
-	// Probe with the database rows; combined layout is HDFS wire ++ DB wire.
 	agg := relop.NewHashAgg(q.GroupBy, q.Aggs)
 	agg.SetBudget(bud)
 	defer func() { bud.Release(agg.MemBytes()) }()
-	if runErr == nil {
-		if rowMode {
-			pr.fail(e.probeAndAggregate(ht, dbRows, q, agg, w))
-		} else {
-			pr.fail(e.probeAndAggregateBatches(ht, dbBatches, q, agg, e.cfg.WorkerThreads))
+
+	if aw != nil && aw.decided() == switchBroadcast {
+		// Broadcast switch: the shuffle carried no rows (ht stayed empty)
+		// and dbBatches hold the full broadcast T'; join the buffered L'
+		// against it locally, exactly as runBroadcast would have.
+		charged := chargeBatches(bud, dbBatches)
+		defer bud.Release(charged)
+		if runErr == nil {
+			pr.fail(e.probeLocalBroadcast(aw.takeBuffered(), dbBatches, q, agg, w, bud))
 		}
+	} else {
+		e.rec.AddAt(metrics.JoinBuildTuples, w, ht.Len())
+		e.rec.AddAt(metrics.JoinProbeTuples, w, probeTuples)
+
+		// The buffered probe side is charged to the query budget for the
+		// probe's duration (the build side accounts for itself inside the
+		// spilling table).
+		charged := chargeBatches(bud, dbBatches) + chargeRows(bud, dbRows)
+		defer bud.Release(charged)
+
+		// Probe with the database rows; combined layout is HDFS wire ++ DB wire.
+		if runErr == nil {
+			if rowMode {
+				pr.fail(e.probeAndAggregate(ht, dbRows, q, agg, w))
+			} else {
+				pr.fail(e.probeAndAggregateBatches(ht, dbBatches, q, agg, e.cfg.WorkerThreads))
+			}
+		}
+		e.recordSpillStats(ht, w)
 	}
-	e.recordSpillStats(ht, w)
 
 	return e.finishHDFSAggregation(ctx, qs, q, agg, w, n, runErr)
 }

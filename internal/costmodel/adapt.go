@@ -1,0 +1,85 @@
+package costmodel
+
+// Mid-query re-costing for the adaptive execution layer (internal/core's
+// adaptive.go). The advisor's pre-execution estimate composes whole measured
+// phases; here the inputs are *observed* statistics extrapolated from the
+// first K batches of the JEN scan, and the question is narrower: given what
+// we now know about |T'|, |L'| and the hot-key share, is the committed
+// shuffle plan still cheaper than broadcasting T', or than escalating to
+// the hybrid skew partitioner? Rates are the same calibrated paper-scale
+// throughputs as Estimate; the phases compose by max exactly as the engine
+// pipelines them (shuffle send, hash build and the T' transfer overlap; the
+// probe runs after).
+
+// PlanStats are the observed/extrapolated statistics a mid-query re-costing
+// runs on. Row and byte counts are cluster-wide totals, not per worker.
+type PlanStats struct {
+	TPrimeRows  int64 // filtered DB rows to move
+	TPrimeBytes int64 // their wire bytes
+	LPrimeRows  int64 // surviving HDFS rows (extrapolated from the scan prefix)
+	LPrimeBytes int64 // their wire bytes
+	// HotKeyShare is the observed fraction of L' held by the single most
+	// frequent join key (0 = uniform/unknown).
+	HotKeyShare float64
+	JENWorkers  int
+	DBWorkers   int
+}
+
+func (s PlanStats) workers() (n, m float64) {
+	n, m = float64(s.JENWorkers), float64(s.DBWorkers)
+	if n < 1 {
+		n = 1
+	}
+	if m < 1 {
+		m = 1
+	}
+	return n, m
+}
+
+// ShuffleJoinCost estimates the remaining cost of a repartition-style plan:
+// shuffle L' among the JEN workers, build per-worker hash tables from it,
+// ship T' across and probe. skewHandled reports the hybrid skew partitioner
+// is (or would be) active, which spreads the hot key and restores the
+// 1/JENWorkers build share; with a plain hash partitioner the hottest key's
+// whole share lands on one worker and the build serializes on it. The
+// hybrid path also replicates hot T' rows, but T' is near-unique per join
+// key in the paper's schema, so that term is negligible and omitted.
+func (m *Model) ShuffleJoinCost(s PlanStats, skewHandled bool) float64 {
+	n, mm := s.workers()
+	shufCPU := float64(s.LPrimeRows) / n / m.Rates.JENSerializeTps
+	shufNet := float64(s.LPrimeBytes) / n / m.Rates.IntraHDFSBps
+	share := 1 / n
+	if !skewHandled && s.HotKeyShare > share {
+		share = s.HotKeyShare
+	}
+	build := float64(s.LPrimeRows) * share / m.Rates.JENBuildTps
+	tSendCPU := float64(s.TPrimeRows) / mm / m.Rates.DBSendTps
+	tSendNet := float64(s.TPrimeBytes) / m.Rates.CrossBps
+	return maxf(shufCPU, shufNet, build, tSendCPU, tSendNet) +
+		float64(s.TPrimeRows)/n/m.Rates.JENProbeTps
+}
+
+// BroadcastJoinCost estimates the remaining cost of abandoning the shuffle
+// and broadcasting T' instead: every JEN worker builds the full T' table
+// (serial in |T'|), the DB workers export T' once each but the bytes cross
+// the inter-cluster switch n times, and L' probes locally — no HDFS shuffle
+// at all, which is exactly why a tiny observed T' flips the plan.
+func (m *Model) BroadcastJoinCost(s PlanStats) float64 {
+	n, mm := s.workers()
+	build := float64(s.TPrimeRows) / m.Rates.JENBuildTps
+	send := float64(s.TPrimeRows) / mm / m.Rates.DBSendTps
+	net := float64(s.TPrimeBytes) * n / m.Rates.CrossBps
+	return maxf(build, send, net) + float64(s.LPrimeRows)/n/m.Rates.JENProbeTps
+}
+
+// ShouldSwitch applies the hysteresis margin: switch only when the
+// alternative beats the committed plan by more than margin (e.g. 0.25 =
+// the alternative must be at least 25% cheaper). The margin absorbs
+// extrapolation noise from the K-batch prefix and the unmodeled cost of
+// the switch itself, so a near-tie never thrashes the plan.
+func ShouldSwitch(current, alternative, margin float64) bool {
+	if margin < 0 {
+		margin = 0
+	}
+	return current > 0 && alternative*(1+margin) < current
+}

@@ -26,6 +26,10 @@ type RunConfig struct {
 	// SkewThreshold passes through to the engine's skew-resilient shuffle
 	// (core.Config.SkewThreshold); 0 = off.
 	SkewThreshold float64
+	// Adaptive enables mid-query algorithm switching
+	// (core.Config.AdaptiveSwitch): the engine re-costs the committed plan
+	// against the first scanned batches and switches when it mispredicted.
+	Adaptive bool
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -85,12 +89,13 @@ func Run(exp Experiment, cfg RunConfig) (*Report, error) {
 
 	for _, f := range formats {
 		w, err := hybridwh.Open(hybridwh.Config{
-			DBWorkers:     cfg.DBWorkers,
-			JENWorkers:    cfg.JENWorkers,
-			Scale:         cfg.Scale,
-			Format:        f,
-			Seed:          cfg.Seed,
-			SkewThreshold: cfg.SkewThreshold,
+			DBWorkers:      cfg.DBWorkers,
+			JENWorkers:     cfg.JENWorkers,
+			Scale:          cfg.Scale,
+			Format:         f,
+			Seed:           cfg.Seed,
+			SkewThreshold:  cfg.SkewThreshold,
+			AdaptiveSwitch: cfg.Adaptive,
 		})
 		if err != nil {
 			return nil, err

@@ -1,0 +1,43 @@
+package jen
+
+import "sync/atomic"
+
+// Progress exposes a scan's live row counters while the scan is still
+// running — the observed-statistics feed for the adaptive execution layer.
+// The yield callback only sees surviving rows, so the physical scanned
+// count (the σ_L denominator) has to come from inside the process stage;
+// Progress is that tap. Counters are updated batch-at-a-time after the
+// filter stage, so Processed/Survived are always a consistent prefix of the
+// scan: every row counted as survived was counted as processed by the same
+// update. Safe for concurrent use (morsel workers update it in parallel).
+type Progress struct {
+	processed atomic.Int64
+	survived  atomic.Int64
+}
+
+// Add records one filtered batch: processed physical rows, of which
+// survived passed every filter. A nil Progress is a no-op.
+func (p *Progress) Add(processed, survived int64) {
+	if p == nil {
+		return
+	}
+	p.processed.Add(processed)
+	p.survived.Add(survived)
+}
+
+// Processed returns the physical rows pulled through the process stage so
+// far; 0 for nil.
+func (p *Progress) Processed() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.processed.Load()
+}
+
+// Survived returns the rows that passed every filter so far; 0 for nil.
+func (p *Progress) Survived() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.survived.Load()
+}

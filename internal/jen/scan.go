@@ -65,6 +65,12 @@ type ScanSpec struct {
 	BuildSketch *skew.Sketch
 	// BloomKeyIdx is the join-key column in the projected layout.
 	BloomKeyIdx int
+	// Progress, when set, receives live (processed, survived) row counts as
+	// each batch clears the filter stage — the mid-scan observation tap for
+	// adaptive execution. Unlike BuildBloom/BuildSketch it is shared across
+	// threads directly (it is atomic), so its counts are visible while the
+	// scan is still running.
+	Progress *Progress
 	// Threads is the number of process goroutines consuming scanned batches
 	// (the morsel workers of the paper's Figure 7 multi-threaded JEN
 	// worker). 0 or 1 runs the process stage on the caller's goroutine,
@@ -194,9 +200,12 @@ func (c *Cluster) ScanFilterBatches(spec ScanSpec, yield func(*batch.Batch) erro
 			processed += int64(b.Size())
 			if err := c.filterBatch(tspec, b, &hashes, &hits); err != nil {
 				procErr = err
-			} else if b.Len() > 0 {
-				if err := yield(b); err != nil {
-					procErr = err
+			} else {
+				spec.Progress.Add(int64(b.Size()), int64(b.Len()))
+				if b.Len() > 0 {
+					if err := yield(b); err != nil {
+						procErr = err
+					}
 				}
 			}
 			pool.Put(b)
@@ -305,6 +314,7 @@ func (c *Cluster) ScanFilter(spec ScanSpec, yield func(types.Row) error) error {
 	rowSpec := spec
 	rowSpec.Pred, rowSpec.DBFilter, rowSpec.BuildBloom = nil, nil, nil
 	rowSpec.BuildSketch = nil // skew handling is a batch-mode feature
+	rowSpec.Progress = nil    // adaptive execution is too; batch counts would miscount survivors here
 	rowSpec.Threads = 1       // the seed pipeline is strictly single-threaded
 	return c.ScanFilterBatches(rowSpec, func(b *batch.Batch) error {
 		return b.Each(func(i int) error {

@@ -296,4 +296,13 @@ const (
 	SchedQueuedPoint = "sched.queued.point" // gauge: point-lane queue depth
 	SchedQueuedScan  = "sched.queued.scan"  // gauge: scan-lane queue depth
 	MemReservedBytes = "mem.reserved.bytes" // gauge: governor grants outstanding (.peak ≤ budget)
+
+	// Adaptive execution (core.Config.AdaptiveSwitch). Recorded only when
+	// the adaptive layer runs, so non-adaptive snapshots stay byte-identical.
+	AdaptDecisions         = "adapt.decisions"           // scalar: mid-query decision points evaluated
+	AdaptSwitches          = "adapt.switches"            // scalar: decisions that changed the plan
+	AdaptBytes             = "adapt.bytes"               // scalar: observed-stats and decision bytes moved
+	AdaptObsSigmaLPermille = "adapt.obs.sigmal.permille" // scalar: observed σ_L at the decision point, ×1000
+	AdaptObsTPrimeRows     = "adapt.obs.tprime.rows"     // scalar: observed |T'| at the decision point
+	AdaptObsHotPermille    = "adapt.obs.hot.permille"    // scalar: observed hottest-key share of the scan prefix, ×1000
 )

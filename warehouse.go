@@ -97,6 +97,21 @@ type Config struct {
 	SkewThreshold float64
 	// SkewSketchKeys sizes the per-worker heavy-hitter sketch (default 256).
 	SkewSketchKeys int
+	// AdaptiveSwitch enables mid-query algorithm switching for the
+	// HDFS-side shuffle joins: after the first AdaptBatches wire batches of
+	// the JEN scan the engine compares the observed selectivity, |T'| and
+	// hot-key share against the committed plan's assumptions and, when an
+	// alternative is cheaper by more than AdaptMargin, switches to a
+	// broadcast of T' or escalates to the hybrid skew partitioner without
+	// restarting the query. Results are identical to the never-switch run.
+	// See core.Config.AdaptiveSwitch.
+	AdaptiveSwitch bool
+	// AdaptBatches is the per-worker scan prefix (in wire batches) observed
+	// before the switch decision (default 8).
+	AdaptBatches int
+	// AdaptMargin is the hysteresis margin: an alternative plan must be at
+	// least this fraction cheaper to trigger a switch (default 0.25).
+	AdaptMargin float64
 	// QueryTimeout bounds each query's wall-clock time. When it expires the
 	// query aborts across both clusters and Query returns an error wrapping
 	// context.DeadlineExceeded. Zero means no deadline; QueryCtx offers
@@ -222,6 +237,9 @@ func Open(cfg Config) (*Warehouse, error) {
 		RowAtATime:       cfg.RowAtATime,
 		SkewThreshold:    cfg.SkewThreshold,
 		SkewSketchKeys:   cfg.SkewSketchKeys,
+		AdaptiveSwitch:   cfg.AdaptiveSwitch,
+		AdaptBatches:     cfg.AdaptBatches,
+		AdaptMargin:      cfg.AdaptMargin,
 	})
 	if err != nil {
 		if cerr := bus.Close(); cerr != nil {
@@ -367,6 +385,14 @@ type Result struct {
 	// tuples (1.0 = perfectly balanced; 0 when the algorithm did not
 	// shuffle). The skew-resilient shuffle exists to pull this toward 1.
 	ShuffleBalance float64
+	// Switched reports the adaptive layer (Config.AdaptiveSwitch) changed
+	// the plan mid-query; SwitchedTo names the strategy it switched to
+	// ("broadcast" or "hybrid-shuffle") and SwitchReason carries the
+	// observed-vs-recosted justification. SwitchReason is also set on
+	// keep decisions, so a non-switching adaptive run explains itself.
+	Switched     bool
+	SwitchedTo   string
+	SwitchReason string
 	// Counters snapshots the run's measured metrics.
 	Counters map[string]int64
 }
@@ -488,6 +514,9 @@ func (w *Warehouse) buildResult(res *core.Result, alg core.Algorithm, advice str
 		DBJoinStrategy: res.DBJoinStrategy.String(),
 		EstimatedTime:  est,
 		ShuffleBalance: w.rec.BalanceRatio(metrics.JENRecvTuples),
+		Switched:       res.Switched,
+		SwitchedTo:     res.SwitchedTo,
+		SwitchReason:   res.SwitchReason,
 		Counters:       res.Metrics,
 	}, nil
 }
