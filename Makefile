@@ -41,8 +41,8 @@ test:
 # underpin the analyzers that guard the racy packages, so they belong to the
 # same gate).
 race:
-	$(GO) test -race -timeout=120s ./internal/netsim/ ./internal/par/ ./internal/jen/ ./internal/core/ ./internal/skew/ ./internal/mem/ ./internal/sched/
-	$(GO) test -race -timeout=300s -run 'TestConcurrent|TestAdaptive' .
+	$(GO) test -race -timeout=120s ./internal/netsim/ ./internal/par/ ./internal/jen/ ./internal/core/ ./internal/skew/ ./internal/mem/ ./internal/sched/ ./internal/analyzer/
+	$(GO) test -race -timeout=300s -run 'TestConcurrent|TestAdaptive|TestStar|TestSnowflake' .
 	$(GO) test ./internal/lint/cfg/ ./internal/lint/callgraph/
 
 # Full sweep at one iteration, then the core scan→filter→shuffle→join
@@ -51,7 +51,7 @@ race:
 # "speedups").
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
-	$(GO) test -run '^$$' -bench 'BenchmarkScanFilterJoin|BenchmarkAdaptiveMispredict|BenchmarkSkewedJoin|BenchmarkConcurrentMixed' -benchtime=3x ./internal/core/ \
+	$(GO) test -run '^$$' -bench 'BenchmarkScanFilterJoin|BenchmarkAdaptiveMispredict|BenchmarkSkewedJoin|BenchmarkConcurrentMixed|BenchmarkStarJoin' -benchtime=3x ./internal/core/ \
 		| $(GO) run ./cmd/benchjson -o BENCH_core.json
 	@cat BENCH_core.json
 
@@ -61,5 +61,5 @@ bench:
 # -benchtime than the recording run: a single iteration of the small scale
 # finishes in ~10 ms and jitters past the tolerance.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkScanFilterJoin|BenchmarkAdaptiveMispredict|BenchmarkSkewedJoin|BenchmarkConcurrentMixed' -benchtime=10x ./internal/core/ \
+	$(GO) test -run '^$$' -bench 'BenchmarkScanFilterJoin|BenchmarkAdaptiveMispredict|BenchmarkSkewedJoin|BenchmarkConcurrentMixed|BenchmarkStarJoin' -benchtime=10x ./internal/core/ \
 		| $(GO) run ./cmd/benchjson -compare BENCH_core.json -tolerance 0.85 > /dev/null

@@ -54,6 +54,9 @@ func main() {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
+		for _, e := range experiments.StarSuite() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
 		return
 	}
 
@@ -71,11 +74,18 @@ func main() {
 	}
 
 	var exps []experiments.Experiment
+	var starExps []experiments.StarExperiment
 	if *expFlag == "all" {
 		exps = experiments.All()
+		starExps = experiments.StarSuite()
 	} else {
 		for _, id := range strings.Split(*expFlag, ",") {
-			e, err := experiments.ByID(strings.TrimSpace(id))
+			id = strings.TrimSpace(id)
+			if se, serr := experiments.StarByID(id); serr == nil {
+				starExps = append(starExps, se)
+				continue
+			}
+			e, err := experiments.ByID(id)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(2)
@@ -116,6 +126,37 @@ func main() {
 				}
 			} else {
 				fmt.Printf("  shape: matches the paper\n")
+			}
+		}
+		fmt.Printf("  (wall time %.1fs)\n\n", time.Since(start).Seconds())
+	}
+	for _, e := range starExps {
+		start := time.Now()
+		rep, err := experiments.RunStar(e, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(rep.String())
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*csvDir, e.ID+".csv")
+			if err := os.WriteFile(path, []byte(rep.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if *check {
+			if bad := experiments.CheckStarShape(rep); len(bad) > 0 {
+				failures += len(bad)
+				for _, msg := range bad {
+					fmt.Printf("  SHAPE VIOLATION: %s\n", msg)
+				}
+			} else {
+				fmt.Printf("  shape: cascade reduces the shuffle\n")
 			}
 		}
 		fmt.Printf("  (wall time %.1fs)\n\n", time.Since(start).Seconds())

@@ -4,6 +4,14 @@
 //
 //	hwquery -alg zigzag -sigmaT 0.1 -sigmaL 0.4
 //	hwquery -sql "select ... from T, L where ..." -explain
+//
+// With -star the warehouse loads a star schema instead (fact on HDFS,
+// customer/product/store dimensions in the database) and queries are
+// planned by the rule-based N-way analyzer; -explain then prints the
+// analyzed plan tree, and -trace appends the rule-application log.
+//
+//	hwquery -star -explain -trace
+//	hwquery -star -sql "select f.grp, count(*) from fact f join customer c on ... group by f.grp"
 package main
 
 import (
@@ -31,6 +39,8 @@ func main() {
 		scale   = flag.Float64("scale", 20000, "data scale divisor vs the paper")
 		fmtName = flag.String("format", format.HWCName, "HDFS format: text | hwc")
 		explain = flag.Bool("explain", false, "print the plan and exit without running")
+		star    = flag.Bool("star", false, "load a star schema and plan with the N-way analyzer")
+		trace   = flag.Bool("trace", false, "with -star -explain: append the analyzer rule trace")
 		workers = flag.Int("workers", 30, "workers on each side")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf = flag.String("memprofile", "", "write an end-of-run heap profile to this file")
@@ -52,28 +62,39 @@ func main() {
 	}
 	defer w.Close()
 
-	data := datagen.Data{
-		TRows: int64(1.6e9 / *scale),
-		LRows: int64(15e9 / *scale),
-		Keys:  int64(16e6 / *scale),
-	}
-	fmt.Printf("loading T (%d rows) into the database and L (%d rows) onto HDFS (%s)...\n",
-		data.WithDefaults().TRows, data.WithDefaults().LRows, *fmtName)
-	if err := w.LoadPaperData(data); err != nil {
-		fatal(err)
-	}
-
 	sql := *sqlFlag
 	var opts []hybridwh.Option
-	if sql == "" {
-		wl, err := datagen.Solve(w.Data(), datagen.Selectivities{
-			SigmaT: *sigmaT, SigmaL: *sigmaL, ST: *st, SL: *sl,
-		})
-		if err != nil {
+	if *star {
+		s := datagen.Star{}.WithDefaults()
+		fmt.Printf("loading star schema: fact (%d rows, HDFS %s) + %d dimensions (database)...\n",
+			s.FactRows, *fmtName, len(s.Dims))
+		if err := w.LoadStar(s); err != nil {
 			fatal(err)
 		}
-		sql = hybridwh.PaperQuerySQL(wl)
-		opts = append(opts, hybridwh.WithCardHint(hybridwh.ExpectedLPrimeRows(wl)), hybridwh.WithSigmaL(*sigmaL))
+		if sql == "" {
+			sql = starExampleSQL
+		}
+	} else {
+		data := datagen.Data{
+			TRows: int64(1.6e9 / *scale),
+			LRows: int64(15e9 / *scale),
+			Keys:  int64(16e6 / *scale),
+		}
+		fmt.Printf("loading T (%d rows) into the database and L (%d rows) onto HDFS (%s)...\n",
+			data.WithDefaults().TRows, data.WithDefaults().LRows, *fmtName)
+		if err := w.LoadPaperData(data); err != nil {
+			fatal(err)
+		}
+		if sql == "" {
+			wl, err := datagen.Solve(w.Data(), datagen.Selectivities{
+				SigmaT: *sigmaT, SigmaL: *sigmaL, ST: *st, SL: *sl,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			sql = hybridwh.PaperQuerySQL(wl)
+			opts = append(opts, hybridwh.WithCardHint(hybridwh.ExpectedLPrimeRows(wl)), hybridwh.WithSigmaL(*sigmaL))
+		}
 	}
 
 	if *algFlag != "" {
@@ -85,7 +106,12 @@ func main() {
 	}
 
 	if *explain {
-		out, err := w.Explain(sql, opts...)
+		var out string
+		if *star {
+			out, err = w.ExplainStar(sql, *trace)
+		} else {
+			out, err = w.Explain(sql, opts...)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -98,15 +124,30 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("algorithm: %s", res.Algorithm)
-	if res.Advice != "" {
-		fmt.Printf("  (advisor: %s)", res.Advice)
+	if res.Edges != nil {
+		fmt.Printf("%s\n", res.Advice)
+		for i, ed := range res.Edges {
+			note := ""
+			if ed.Bloom {
+				note = ", Bloom cascaded into the fact scan"
+			}
+			if ed.Switched {
+				note += fmt.Sprintf(" [switched mid-query: %s]", ed.SwitchReason)
+			}
+			fmt.Printf("  edge %d: %s — %s%s\n", i, ed.Dim, ed.Algorithm, note)
+		}
+		fmt.Println()
+	} else {
+		fmt.Printf("algorithm: %s", res.Algorithm)
+		if res.Advice != "" {
+			fmt.Printf("  (advisor: %s)", res.Advice)
+		}
+		fmt.Println()
+		if strings.HasPrefix(res.Algorithm.String(), "db") {
+			fmt.Printf("db final-join strategy: %s\n", res.DBJoinStrategy)
+		}
+		fmt.Printf("estimated paper-scale time: %s\n\n", res.EstimatedTime)
 	}
-	fmt.Println()
-	if strings.HasPrefix(res.Algorithm.String(), "db") {
-		fmt.Printf("db final-join strategy: %s\n", res.DBJoinStrategy)
-	}
-	fmt.Printf("estimated paper-scale time: %s\n\n", res.EstimatedTime)
 
 	fmt.Printf("result (%s): %d groups\n", res.Schema, len(res.Rows))
 	max := len(res.Rows)
@@ -135,6 +176,16 @@ func main() {
 		}
 	}
 }
+
+// starExampleSQL is the default -star query: a 3-way star join with
+// selective dimension predicates, the shape the analyzer plans bushily.
+const starExampleSQL = `select f.grp, count(*), sum(f.measure)
+from fact f
+join customer c on f.fk_customer = c.key
+join product p on f.fk_product = p.key
+join store s on f.fk_store = s.key
+where c.attr < 300 and p.attr < 500 and s.attr < 700
+group by f.grp`
 
 func parseAlg(s string) (core.Algorithm, error) {
 	for _, a := range core.Algorithms() {

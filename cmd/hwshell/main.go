@@ -10,6 +10,11 @@
 //	hw> \explain select ...;
 //
 // Statements end with ';'. Meta commands start with '\'.
+//
+// With -star the shell loads a star schema instead (fact on HDFS,
+// customer/product/store dimensions in the database); queries are planned
+// by the N-way analyzer, and \explain prints the analyzed plan tree
+// (\trace toggles the rule-application log on explains).
 package main
 
 import (
@@ -30,6 +35,7 @@ func main() {
 		scale   = flag.Float64("scale", 100000, "data scale divisor vs the paper")
 		workers = flag.Int("workers", 8, "workers on each side")
 		fmtName = flag.String("format", format.HWCName, "HDFS format: text | hwc")
+		star    = flag.Bool("star", false, "load a star schema and plan with the N-way analyzer")
 	)
 	flag.Parse()
 
@@ -41,20 +47,31 @@ func main() {
 		fatal(err)
 	}
 	defer w.Close()
-	data := datagen.Data{
-		TRows: int64(1.6e9 / *scale),
-		LRows: int64(15e9 / *scale),
-		Keys:  int64(16e6 / *scale),
-	}.WithDefaults()
-	fmt.Printf("loading T (%d rows, database) and L (%d rows, HDFS %s)...\n",
-		data.TRows, data.LRows, *fmtName)
-	if err := w.LoadPaperData(data); err != nil {
-		fatal(err)
+	var starSpec datagen.Star
+	if *star {
+		starSpec = datagen.Star{}.WithDefaults()
+		fmt.Printf("loading star schema: fact (%d rows, HDFS %s) + %d dimensions (database)...\n",
+			starSpec.FactRows, *fmtName, len(starSpec.Dims))
+		if err := w.LoadStar(starSpec); err != nil {
+			fatal(err)
+		}
+	} else {
+		data := datagen.Data{
+			TRows: int64(1.6e9 / *scale),
+			LRows: int64(15e9 / *scale),
+			Keys:  int64(16e6 / *scale),
+		}.WithDefaults()
+		fmt.Printf("loading T (%d rows, database) and L (%d rows, HDFS %s)...\n",
+			data.TRows, data.LRows, *fmtName)
+		if err := w.LoadPaperData(data); err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Println(`ready. end statements with ';'. \help for commands.`)
 
 	var forced *core.Algorithm
 	explainNext := false
+	traceRules := false
 	var buf strings.Builder
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -74,16 +91,27 @@ func main() {
 				fmt.Println(`  \alg <name>   force an algorithm (db, db(BF), broadcast, repartition, repartition(BF), zigzag, semijoin)`)
 				fmt.Println(`  \alg auto     let the advisor choose (default)`)
 				fmt.Println(`  \explain      explain the next statement instead of running it`)
+				fmt.Println(`  \trace        toggle the analyzer rule trace on star-mode explains`)
 				fmt.Println(`  \tables       show the schemas`)
 				fmt.Println(`  \quit         exit`)
 			case line == `\quit` || line == `\q`:
 				return
 			case line == `\tables`:
-				fmt.Printf("  T (database): %s\n", datagen.TSchema())
-				fmt.Printf("  L (HDFS):     %s\n", datagen.LSchema())
+				if *star {
+					fmt.Printf("  %s (HDFS): %s\n", hybridwh.StarFactTable, starSpec.FactSchema())
+					for _, d := range starSpec.AllDims() {
+						fmt.Printf("  %s (database): %s\n", d.Name, d.Schema())
+					}
+				} else {
+					fmt.Printf("  T (database): %s\n", datagen.TSchema())
+					fmt.Printf("  L (HDFS):     %s\n", datagen.LSchema())
+				}
 			case line == `\explain`:
 				explainNext = true
 				fmt.Println("  explaining the next statement")
+			case line == `\trace`:
+				traceRules = !traceRules
+				fmt.Printf("  rule trace %v\n", traceRules)
 			case strings.HasPrefix(line, `\alg `):
 				name := strings.TrimSpace(strings.TrimPrefix(line, `\alg `))
 				if name == "auto" {
@@ -118,19 +146,25 @@ func main() {
 		}
 		sql := strings.TrimSuffix(strings.TrimSpace(buf.String()), ";")
 		buf.Reset()
-		run(w, sql, forced, explainNext)
+		run(w, sql, forced, explainNext, *star, traceRules)
 		explainNext = false
 		prompt()
 	}
 }
 
-func run(w *hybridwh.Warehouse, sql string, forced *core.Algorithm, explain bool) {
+func run(w *hybridwh.Warehouse, sql string, forced *core.Algorithm, explain, star, traceRules bool) {
 	var opts []hybridwh.Option
 	if forced != nil {
 		opts = append(opts, hybridwh.WithAlgorithm(*forced))
 	}
 	if explain {
-		out, err := w.Explain(sql, opts...)
+		var out string
+		var err error
+		if star {
+			out, err = w.ExplainStar(sql, traceRules)
+		} else {
+			out, err = w.Explain(sql, opts...)
+		}
 		if err != nil {
 			fmt.Printf("  error: %v\n", err)
 			return
@@ -143,11 +177,21 @@ func run(w *hybridwh.Warehouse, sql string, forced *core.Algorithm, explain bool
 		fmt.Printf("  error: %v\n", err)
 		return
 	}
-	fmt.Printf("  -- %s", res.Algorithm)
-	if res.Advice != "" {
-		fmt.Printf(" (%s)", res.Advice)
+	if res.Edges != nil {
+		fmt.Printf("  -- %s", res.Advice)
+		for _, ed := range res.Edges {
+			if ed.Switched {
+				fmt.Printf("\n  -- edge %s switched mid-query: %s", ed.Dim, ed.SwitchReason)
+			}
+		}
+		fmt.Println()
+	} else {
+		fmt.Printf("  -- %s", res.Algorithm)
+		if res.Advice != "" {
+			fmt.Printf(" (%s)", res.Advice)
+		}
+		fmt.Printf("\n  -- est. paper-scale %.0fs\n", res.EstimatedTime.Total)
 	}
-	fmt.Printf("\n  -- est. paper-scale %.0fs\n", res.EstimatedTime.Total)
 	fmt.Printf("  %s\n", res.Schema)
 	limit := len(res.Rows)
 	if limit > 20 {

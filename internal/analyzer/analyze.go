@@ -1,0 +1,259 @@
+package analyzer
+
+import (
+	"fmt"
+	"strings"
+
+	"hybridwh/internal/expr"
+	"hybridwh/internal/plan"
+	"hybridwh/internal/sqlparse"
+	"hybridwh/internal/types"
+)
+
+// EdgeStats is what the per-edge physical rule hands the advisor: the
+// filtered dimension component against the filtered fact side.
+type EdgeStats struct {
+	DimRows  int64
+	DimBytes int64
+	FactRows int64
+	Workers  int
+}
+
+// AdviseFn picks the physical algorithm for one fact-dimension edge and
+// returns a one-line reason. The warehouse injects a wrapper over the
+// two-table advisor (internal/core) so edge choices share its thresholds;
+// when nil the analyzer falls back to a simple broadcast-size cutoff.
+type AdviseFn func(EdgeStats) (plan.EdgeAlg, string)
+
+// Options tunes the analyzer.
+type Options struct {
+	// CascadeBloom pushes every dimension's key Bloom filter into the fact
+	// scan (cascaded semi-join reduction). On by default via DefaultOptions.
+	CascadeBloom bool
+	// BroadcastMaxBytes is the fallback broadcast cutoff used when no
+	// AdviseFn is injected (default 25 MiB, the advisor's threshold).
+	BroadcastMaxBytes int64
+	// MaxIterations bounds the fixpoint loop (default 8).
+	MaxIterations int
+	// Workers is the JEN worker count reported to the advisor.
+	Workers int
+}
+
+// DefaultOptions returns the standard analyzer settings.
+func DefaultOptions() Options {
+	return Options{CascadeBloom: true, BroadcastMaxBytes: 25 << 20, MaxIterations: 8, Workers: 1}
+}
+
+// Env is everything the rules need: resolvable sources, the scalar function
+// registry, the advisor callback, and options.
+type Env struct {
+	Sources  map[string]*SourceMeta // keyed by lowercased table name
+	Registry *expr.Registry
+	Advise   AdviseFn
+	Options  Options
+}
+
+// NewEnv builds an Env over the given sources with default options.
+func NewEnv(sources ...*SourceMeta) *Env {
+	e := &Env{
+		Sources:  map[string]*SourceMeta{},
+		Registry: expr.NewRegistry(),
+		Options:  DefaultOptions(),
+	}
+	for _, s := range sources {
+		e.Sources[strings.ToLower(s.Name)] = s
+	}
+	return e
+}
+
+// TraceStep records one rule application that changed the tree.
+type TraceStep struct {
+	Rule string
+	Tree string // Format rendering after the rule ran
+}
+
+// Trace is the ordered rule-application log, rendered by EXPLAIN's
+// rule-trace mode.
+type Trace struct {
+	Steps []TraceStep
+}
+
+func (t *Trace) add(rule string, n Node) {
+	if t == nil {
+		return
+	}
+	t.Steps = append(t.Steps, TraceStep{Rule: rule, Tree: Format(n)})
+}
+
+// String renders the trace for display.
+func (t *Trace) String() string {
+	var b strings.Builder
+	for i, s := range t.Steps {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		fmt.Fprintf(&b, "-- %s\n%s\n", s.Rule, s.Tree)
+	}
+	return b.String()
+}
+
+// Analyze builds the initial tree from the parsed query and runs the rule
+// set to a fixpoint. The result is a resolved plan tree ready for Lower.
+func Analyze(q *sqlparse.Query, env *Env) (Node, *Trace, error) {
+	root, err := initialTree(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	trace := &Trace{}
+	trace.add("initial", root)
+	maxIter := env.Options.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 8
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for _, r := range Rules {
+			next, ch, err := r.Apply(root, env)
+			if err != nil {
+				return nil, trace, fmt.Errorf("analyzer: rule %s: %w", r.Name, err)
+			}
+			if ch {
+				root = next
+				changed = true
+				trace.add(r.Name, root)
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	if !root.Resolved() {
+		return nil, trace, fmt.Errorf("analyzer: tree did not resolve:\n%s", Format(root))
+	}
+	return root, trace, nil
+}
+
+// initialTree lifts the parsed query into the canonical unresolved shape:
+// Aggregate over Filter over Cross of the FROM relations.
+func initialTree(q *sqlparse.Query) (Node, error) {
+	if len(q.From) == 0 {
+		return nil, fmt.Errorf("analyzer: query has no FROM relations")
+	}
+	var groupItems int
+	for _, it := range q.Select {
+		if it.Agg == "" {
+			groupItems++
+		}
+	}
+	if groupItems != len(q.GroupBy) {
+		return nil, fmt.Errorf("analyzer: %d non-aggregate select items but %d GROUP BY expressions", groupItems, len(q.GroupBy))
+	}
+	i := 0
+	for _, it := range q.Select {
+		if it.Agg != "" {
+			continue
+		}
+		if it.Expr.Render() != q.GroupBy[i].Render() {
+			return nil, fmt.Errorf("analyzer: select item %q does not match GROUP BY expression %q", it.Expr.Render(), q.GroupBy[i].Render())
+		}
+		i++
+	}
+	hasAgg := false
+	for _, it := range q.Select {
+		if it.Agg != "" {
+			hasAgg = true
+		}
+	}
+	if !hasAgg {
+		return nil, fmt.Errorf("analyzer: analytic queries need at least one aggregate (Section 2 assumption)")
+	}
+
+	rels := make([]Node, len(q.From))
+	seen := map[string]bool{}
+	for i, tr := range q.From {
+		alias := strings.ToLower(tr.Alias)
+		if seen[alias] {
+			return nil, fmt.Errorf("analyzer: duplicate relation alias %q at byte offset %d", tr.Alias, tr.Pos)
+		}
+		seen[alias] = true
+		rels[i] = &Relation{Name: tr.Name, Alias: tr.Alias, Pos: tr.Pos}
+	}
+	var child Node = &Cross{Inputs: rels}
+	if conds := sqlparse.Conjuncts(q.Where); len(conds) > 0 {
+		child = &Filter{Conds: conds, Child: child}
+	}
+	return &Aggregate{GroupBy: q.GroupBy, Items: q.Select, Child: child}, nil
+}
+
+// bindRef resolves a name reference against a relation list: by alias or
+// table name when qualified, by unique column match when bare.
+func bindRef(nr *sqlparse.NameRef, rels []*Relation) (*Relation, int, types.Kind, error) {
+	if nr.Table != "" {
+		for _, r := range rels {
+			if !strings.EqualFold(nr.Table, r.Alias) && !strings.EqualFold(nr.Table, r.Name) {
+				continue
+			}
+			if r.Meta == nil {
+				return nil, 0, 0, fmt.Errorf("relation %q is unresolved", r.Name)
+			}
+			i := r.Meta.Schema.ColIndex(nr.Col)
+			if i < 0 {
+				return nil, 0, 0, fmt.Errorf("%s has no column %q", r.Name, nr.Col)
+			}
+			return r, i, r.Meta.Schema.Cols[i].Kind, nil
+		}
+		return nil, 0, 0, fmt.Errorf("unknown table qualifier %q", nr.Table)
+	}
+	var found *Relation
+	idx := -1
+	for _, r := range rels {
+		if r.Meta == nil {
+			return nil, 0, 0, fmt.Errorf("relation %q is unresolved", r.Name)
+		}
+		if i := r.Meta.Schema.ColIndex(nr.Col); i >= 0 {
+			if found != nil {
+				return nil, 0, 0, fmt.Errorf("column %q is ambiguous; qualify it", nr.Col)
+			}
+			found, idx = r, i
+		}
+	}
+	if found == nil {
+		return nil, 0, 0, fmt.Errorf("unknown column %q", nr.Col)
+	}
+	return found, idx, found.Meta.Schema.Cols[idx].Kind, nil
+}
+
+// relsOf collects every Relation leaf in the subtree, left to right.
+func relsOf(n Node) []*Relation {
+	var out []*Relation
+	var walk func(Node)
+	walk = func(n Node) {
+		if r, ok := n.(*Relation); ok {
+			out = append(out, r)
+			return
+		}
+		for _, k := range n.Children() {
+			walk(k)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// refSet returns the distinct relations a condition references.
+func refSet(c sqlparse.Node, rels []*Relation) ([]*Relation, error) {
+	seen := map[*Relation]bool{}
+	var out []*Relation
+	err := sqlparse.WalkNames(c, func(nr *sqlparse.NameRef) error {
+		r, _, _, err := bindRef(nr, rels)
+		if err != nil {
+			return err
+		}
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+		return nil
+	})
+	return out, err
+}

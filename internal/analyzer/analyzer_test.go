@@ -1,0 +1,313 @@
+package analyzer
+
+import (
+	"strings"
+	"testing"
+
+	"hybridwh/internal/plan"
+	"hybridwh/internal/sqlparse"
+	"hybridwh/internal/types"
+)
+
+// testEnv builds a synthetic star environment: a 1M-row HDFS fact with two
+// DB dimensions, and a deterministic advisor (≤1000 estimated rows →
+// broadcast) so golden trees don't depend on the real cost model.
+func testEnv() *Env {
+	factSchema := types.Schema{Cols: []types.Col{
+		types.C("fk_customer", types.KindInt64),
+		types.C("fk_product", types.KindInt64),
+		types.C("measure", types.KindInt64),
+		types.C("grp", types.KindInt64),
+	}}
+	dimSchema := func(sub string) types.Schema {
+		cols := []types.Col{
+			types.C("key", types.KindInt64),
+			types.C("attr", types.KindInt64),
+		}
+		if sub != "" {
+			cols = append(cols, types.C("fk_"+sub, types.KindInt64))
+		}
+		cols = append(cols, types.C("label", types.KindString))
+		return types.Schema{Cols: cols}
+	}
+	env := NewEnv(
+		&SourceMeta{Name: "fact", Source: SourceHDFS, Schema: factSchema, Rows: 1_000_000, Bytes: 64 << 20},
+		&SourceMeta{Name: "customer", Source: SourceDB, Schema: dimSchema(""), Rows: 8000, Bytes: 8000 * 64},
+		&SourceMeta{Name: "product", Source: SourceDB, Schema: dimSchema(""), Rows: 500, Bytes: 500 * 64},
+	)
+	env.Advise = func(es EdgeStats) (plan.EdgeAlg, string) {
+		if es.DimRows <= 1000 {
+			return plan.EdgeBroadcast, "small dim"
+		}
+		return plan.EdgeRepartition, "large dim"
+	}
+	return env
+}
+
+const starSQL = `select f.grp, count(*), sum(f.measure) from fact f
+	join customer c on f.fk_customer = c.key
+	join product p on f.fk_product = p.key
+	where c.attr < 300 and p.attr < 500 group by f.grp`
+
+// ruleGoldens is the exact tree rendering after each rule application for
+// starSQL: one golden per analyzer rule, in application order.
+var ruleGoldens = []TraceStep{
+	{Rule: "initial", Tree: `Aggregate(group=[f.grp] select=[f.grp, count(*), sum(f.measure)])
+└─ Filter(f.fk_customer = c.key AND f.fk_product = p.key AND c.attr < 300 AND p.attr < 500)
+   └─ Cross
+      ├─ UnresolvedRelation(fact as f)
+      ├─ UnresolvedRelation(customer as c)
+      └─ UnresolvedRelation(product as p)`},
+	{Rule: "resolve_relations", Tree: `Aggregate(group=[f.grp] select=[f.grp, count(*), sum(f.measure)])
+└─ Filter(f.fk_customer = c.key AND f.fk_product = p.key AND c.attr < 300 AND p.attr < 500)
+   └─ Cross
+      ├─ Relation(fact as f hdfs rows=1000000)
+      ├─ Relation(customer as c db rows=8000)
+      └─ Relation(product as p db rows=500)`},
+	{Rule: "push_filters", Tree: `Aggregate(group=[f.grp] select=[f.grp, count(*), sum(f.measure)])
+└─ Filter(f.fk_customer = c.key AND f.fk_product = p.key)
+   └─ Cross
+      ├─ Relation(fact as f hdfs rows=1000000)
+      ├─ Relation(customer as c db rows=8000 local=[c.attr < 300] est=2400)
+      └─ Relation(product as p db rows=500 local=[p.attr < 500] est=150)`},
+	{Rule: "extract_joins", Tree: `Aggregate(group=[f.grp] select=[f.grp, count(*), sum(f.measure)])
+└─ JoinGraph(f.fk_customer = c.key, f.fk_product = p.key)
+   ├─ Relation(fact as f hdfs rows=1000000)
+   ├─ Relation(customer as c db rows=8000 local=[c.attr < 300] est=2400)
+   └─ Relation(product as p db rows=500 local=[p.attr < 500] est=150)`},
+	{Rule: "order_joins", Tree: `Aggregate(group=[f.grp] select=[f.grp, count(*), sum(f.measure)])
+└─ Join(f.fk_customer = c.key, dim≈2400)
+   ├─ Join(f.fk_product = p.key, dim≈150)
+   │  ├─ Relation(fact as f hdfs rows=1000000)
+   │  └─ Relation(product as p db rows=500 local=[p.attr < 500] est=150)
+   └─ Relation(customer as c db rows=8000 local=[c.attr < 300] est=2400)`},
+	{Rule: "choose_algorithms", Tree: `Aggregate(group=[f.grp] select=[f.grp, count(*), sum(f.measure)])
+└─ Join(f.fk_customer = c.key, alg=repartition, dim≈2400)
+   ├─ Join(f.fk_product = p.key, alg=broadcast, dim≈150)
+   │  ├─ Relation(fact as f hdfs rows=1000000)
+   │  └─ Relation(product as p db rows=500 local=[p.attr < 500] est=150)
+   └─ Relation(customer as c db rows=8000 local=[c.attr < 300] est=2400)`},
+	{Rule: "cascade_blooms", Tree: `Aggregate(group=[f.grp] select=[f.grp, count(*), sum(f.measure)])
+└─ Join(f.fk_customer = c.key, alg=repartition, bloom, dim≈2400)
+   ├─ Join(f.fk_product = p.key, alg=broadcast, bloom, dim≈150)
+   │  ├─ Relation(fact as f hdfs rows=1000000)
+   │  └─ Relation(product as p db rows=500 local=[p.attr < 500] est=150)
+   └─ Relation(customer as c db rows=8000 local=[c.attr < 300] est=2400)`},
+}
+
+// TestRuleGoldens pins the tree after every rule: each analyzer rule gets
+// one golden rendering, so a change to any rule's rewrite shows up as an
+// exact-string diff here.
+func TestRuleGoldens(t *testing.T) {
+	q, err := sqlparse.Parse(starSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, trace, err := Analyze(q, testEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace.Steps) != len(ruleGoldens) {
+		var names []string
+		for _, s := range trace.Steps {
+			names = append(names, s.Rule)
+		}
+		t.Fatalf("trace has %d steps %v, want %d", len(trace.Steps), names, len(ruleGoldens))
+	}
+	for i, want := range ruleGoldens {
+		got := trace.Steps[i]
+		if got.Rule != want.Rule {
+			t.Errorf("step %d: rule %q, want %q", i, got.Rule, want.Rule)
+			continue
+		}
+		if got.Tree != want.Tree {
+			t.Errorf("rule %s tree mismatch:\n--- got ---\n%s\n--- want ---\n%s", got.Rule, got.Tree, want.Tree)
+		}
+	}
+}
+
+// TestSnowflakeGolden pins the final tree for a snowflake query: the
+// sub-dimension joins its parent with alg=dbside under the fact edge.
+func TestSnowflakeGolden(t *testing.T) {
+	env := testEnv()
+	env.Sources["region"] = &SourceMeta{Name: "region", Source: SourceDB,
+		Schema: types.Schema{Cols: []types.Col{
+			types.C("key", types.KindInt64), types.C("attr", types.KindInt64), types.C("label", types.KindString),
+		}}, Rows: 40, Bytes: 40 * 64}
+	env.Sources["customer"].Schema = types.Schema{Cols: []types.Col{
+		types.C("key", types.KindInt64), types.C("attr", types.KindInt64),
+		types.C("fk_region", types.KindInt64), types.C("label", types.KindString),
+	}}
+	q, err := sqlparse.Parse(`select f.grp, count(*) from fact f
+		join customer c on f.fk_customer = c.key
+		join region r on c.fk_region = r.key
+		where r.attr < 600 group by f.grp`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, _, err := Analyze(q, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `Aggregate(group=[f.grp] select=[f.grp, count(*)])
+└─ Join(f.fk_customer = c.key, alg=repartition, bloom, dim≈2400)
+   ├─ Relation(fact as f hdfs rows=1000000)
+   └─ Join(c.fk_region = r.key, alg=dbside, dim≈12)
+      ├─ Relation(customer as c db rows=8000)
+      └─ Relation(region as r db rows=40 local=[r.attr < 600] est=12)`
+	if got := Format(tree); got != want {
+		t.Errorf("snowflake tree mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestLowerLayout checks the lowered MultiQuery: edge order, algorithms,
+// Bloom flags, and the fact wire layout (edge keys first).
+func TestLowerLayout(t *testing.T) {
+	q, err := sqlparse.Parse(starSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := testEnv()
+	tree, _, err := Analyze(q, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mq, err := Lower(tree, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mq.Validate(); err != nil {
+		t.Fatalf("lowered plan does not validate: %v", err)
+	}
+	if mq.FactTable != "fact" {
+		t.Errorf("fact table %q", mq.FactTable)
+	}
+	if len(mq.Edges) != 2 {
+		t.Fatalf("want 2 edges, got %d", len(mq.Edges))
+	}
+	// Smallest estimated dimension joins first (bushy spine order).
+	if mq.Edges[0].Dim.Table != "product" || mq.Edges[1].Dim.Table != "customer" {
+		t.Errorf("edge order: %s, %s", mq.Edges[0].Dim.Table, mq.Edges[1].Dim.Table)
+	}
+	if mq.Edges[0].Algorithm != plan.EdgeBroadcast || mq.Edges[1].Algorithm != plan.EdgeRepartition {
+		t.Errorf("algorithms: %s, %s", mq.Edges[0].Algorithm, mq.Edges[1].Algorithm)
+	}
+	for i, ed := range mq.Edges {
+		if !ed.UseBloom {
+			t.Errorf("edge %d: UseBloom unset", i)
+		}
+		if ed.DimKeyWire != 0 {
+			t.Errorf("edge %d: dimension key must lead its wire, got %d", i, ed.DimKeyWire)
+		}
+	}
+	// Fact wire: both fk keys lead (fk_product is edge 0), then grp and
+	// measure follow for the aggregation.
+	if len(mq.FactWire) != 4 {
+		t.Fatalf("fact wire width %d, want 4 (2 keys + measure + grp)", len(mq.FactWire))
+	}
+	if mq.Edges[0].FactKeyCol == mq.Edges[1].FactKeyCol {
+		t.Errorf("edges share a fact key column")
+	}
+}
+
+// TestCascadeBloomOff: with the option disabled no edge carries a filter.
+func TestCascadeBloomOff(t *testing.T) {
+	env := testEnv()
+	env.Options.CascadeBloom = false
+	q, err := sqlparse.Parse(starSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, trace, err := Analyze(q, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range trace.Steps {
+		if s.Rule == "cascade_blooms" {
+			t.Errorf("cascade_blooms ran with CascadeBloom=false")
+		}
+	}
+	mq, err := Lower(tree, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ed := range mq.Edges {
+		if ed.UseBloom {
+			t.Errorf("edge %d: UseBloom set with CascadeBloom=false", i)
+		}
+	}
+}
+
+// TestAnalyzeErrors covers resolution and shape failures.
+func TestAnalyzeErrors(t *testing.T) {
+	cases := []struct {
+		name, sql, want string
+	}{
+		{"unknown table",
+			`select f.grp, count(*) from fact f join nosuch n on f.fk_customer = n.key group by f.grp`,
+			"unknown table"},
+		{"disconnected relation",
+			`select f.grp, count(*) from fact f, customer c, product p
+			 where f.fk_customer = c.key group by f.grp`,
+			"join graph is disconnected"},
+		{"no aggregate",
+			`select f.grp from fact f join customer c on f.fk_customer = c.key group by f.grp`,
+			"aggregate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			q, err := sqlparse.Parse(tc.sql)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			_, _, err = Analyze(q, testEnv())
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
+// TestReferenceSmall sanity-checks the nested-loop oracle itself on a
+// hand-computed two-join example.
+func TestReferenceSmall(t *testing.T) {
+	env := testEnv()
+	tables := map[string]RefTable{
+		"fact": {Schema: env.Sources["fact"].Schema, Rows: []types.Row{
+			// fk_customer, fk_product, measure, grp
+			{types.Int64(0), types.Int64(0), types.Int64(10), types.Int64(1)},
+			{types.Int64(0), types.Int64(1), types.Int64(20), types.Int64(1)},
+			{types.Int64(1), types.Int64(0), types.Int64(40), types.Int64(2)},
+			{types.Int64(2), types.Int64(0), types.Int64(80), types.Int64(2)}, // no customer 2
+		}},
+		"customer": {Schema: env.Sources["customer"].Schema, Rows: []types.Row{
+			{types.Int64(0), types.Int64(100), types.String("c0")},
+			{types.Int64(1), types.Int64(900), types.String("c1")}, // filtered out
+		}},
+		"product": {Schema: env.Sources["product"].Schema, Rows: []types.Row{
+			{types.Int64(0), types.Int64(100), types.String("p0")},
+			{types.Int64(1), types.Int64(100), types.String("p1")},
+		}},
+	}
+	q, err := sqlparse.Parse(starSQL) // c.attr < 300 and p.attr < 500
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, schema, err := Reference(q, tables, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema.Len() != 3 {
+		t.Fatalf("schema width %d", schema.Len())
+	}
+	// Surviving fact rows: the two with fk_customer=0. One group (grp=1):
+	// count=2, sum(measure)=30.
+	if len(rows) != 1 {
+		t.Fatalf("want 1 group, got %d: %v", len(rows), rows)
+	}
+	got := rows[0].String()
+	want := types.Row{types.Int64(1), types.Int64(2), types.Int64(30)}.String()
+	if got != want {
+		t.Errorf("reference row %s, want %s", got, want)
+	}
+}

@@ -1,0 +1,383 @@
+package analyzer
+
+import (
+	"fmt"
+	"sort"
+
+	"hybridwh/internal/expr"
+	"hybridwh/internal/plan"
+	"hybridwh/internal/relop"
+	"hybridwh/internal/sqlparse"
+	"hybridwh/internal/types"
+)
+
+// Lower turns a resolved plan tree into the executable plan.MultiQuery,
+// doing the layout bookkeeping: the fact wire carries every edge key plus
+// the post-join columns, each dimension component ships its key first, and
+// post-join expressions are rebound over the growing combined layout.
+func Lower(root Node, env *Env) (*plan.MultiQuery, error) {
+	agg, ok := root.(*Aggregate)
+	if !ok {
+		return nil, fmt.Errorf("analyzer: lower expects an Aggregate root, got %T", root)
+	}
+	var residual []sqlparse.Node
+	child := agg.Child
+	if f, ok := child.(*Filter); ok {
+		residual = f.Conds
+		child = f.Child
+	}
+	fact, spine, err := spineOf(child)
+	if err != nil {
+		return nil, err
+	}
+	if len(spine) == 0 {
+		return nil, fmt.Errorf("analyzer: multi-join needs at least one join edge")
+	}
+	rels := relsOf(child)
+
+	// Columns each relation must deliver past the join: everything the
+	// residual predicates, grouping and aggregate inputs reference.
+	need := map[*Relation]map[int]bool{}
+	for _, r := range rels {
+		need[r] = map[int]bool{}
+	}
+	collect := func(n sqlparse.Node) error {
+		return sqlparse.WalkNames(n, func(nr *sqlparse.NameRef) error {
+			r, idx, _, err := bindRef(nr, rels)
+			if err != nil {
+				return fmt.Errorf("analyzer: %w", err)
+			}
+			need[r][idx] = true
+			return nil
+		})
+	}
+	for _, c := range residual {
+		if err := collect(c); err != nil {
+			return nil, err
+		}
+	}
+	for _, g := range agg.GroupBy {
+		if err := collect(g); err != nil {
+			return nil, err
+		}
+	}
+	for _, it := range agg.Items {
+		if it.Agg != "" && it.Expr != nil {
+			if err := collect(it.Expr); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Fact wire: every edge key in edge order, then the needed columns.
+	var factWireBase []int
+	for _, j := range spine {
+		if j.L.Rel != fact {
+			return nil, fmt.Errorf("analyzer: spine edge key %s is not on the fact table", j.L)
+		}
+		if !containsInt(factWireBase, j.L.Idx) {
+			factWireBase = append(factWireBase, j.L.Idx)
+		}
+	}
+	for _, idx := range sortedKeys(need[fact]) {
+		if !containsInt(factWireBase, idx) {
+			factWireBase = append(factWireBase, idx)
+		}
+	}
+
+	q := &plan.MultiQuery{FactTable: fact.Name}
+
+	// Fact scan layout: wire columns plus predicate-only columns.
+	factBasePred, err := localPred(fact, env)
+	if err != nil {
+		return nil, err
+	}
+	scanProj := append([]int(nil), factWireBase...)
+	for _, c := range expr.ColumnSet(factBasePred) {
+		if !containsInt(scanProj, c) {
+			scanProj = append(scanProj, c)
+		}
+	}
+	q.FactScanProj = scanProj
+	baseToScan := map[int]int{}
+	for i, c := range scanProj {
+		baseToScan[c] = i
+	}
+	if factBasePred != nil {
+		pred, err := expr.Remap(factBasePred, baseToScan)
+		if err != nil {
+			return nil, fmt.Errorf("analyzer: remap fact predicate: %w", err)
+		}
+		q.FactPred = pred
+		q.FactPrunerRanges = plan.PrunerRangesFor(factBasePred, fact.Meta.Schema)
+	}
+	for i := range factWireBase {
+		q.FactWire = append(q.FactWire, i) // wire columns lead the scan layout
+	}
+	q.FactWireSchema = fact.Meta.Schema.Project(factWireBase)
+	q.FactCardHint = fact.EstRows()
+
+	// Combined-layout positions per (relation, base column).
+	colPos := map[*Relation]map[int]int{fact: {}}
+	for i, c := range factWireBase {
+		colPos[fact][c] = i
+	}
+	offset := len(factWireBase)
+
+	for _, j := range spine {
+		parent, sub, dimJoin, err := componentOf(j.Right)
+		if err != nil {
+			return nil, err
+		}
+		// Parent wire: edge key first, then the snowflake FK, then the rest.
+		parentProj := []int{j.R.Idx}
+		if dimJoin != nil && !containsInt(parentProj, dimJoin.L.Idx) {
+			parentProj = append(parentProj, dimJoin.L.Idx)
+		}
+		for _, idx := range sortedKeys(need[parent]) {
+			if !containsInt(parentProj, idx) {
+				parentProj = append(parentProj, idx)
+			}
+		}
+		parentPred, err := localPred(parent, env)
+		if err != nil {
+			return nil, err
+		}
+		e := plan.EdgeExec{
+			Dim: plan.DimPlan{Table: parent.Name, Pred: parentPred, Proj: parentProj},
+			// Keys lead their wire layouts by construction.
+			DimKeyWire: 0,
+			FactKeyCol: colPos[fact][j.L.Idx],
+			UseBloom:   j.Bloom,
+			EstDimRows: j.EstRight, EstDimBytes: j.EstRightBytes,
+		}
+		if parent.Meta.Rows > 0 {
+			e.EstSel = float64(j.EstRight) / float64(parent.Meta.Rows)
+		}
+		switch j.Alg {
+		case AlgBroadcast:
+			e.Algorithm = plan.EdgeBroadcast
+		case AlgRepartition:
+			e.Algorithm = plan.EdgeRepartition
+		default:
+			return nil, fmt.Errorf("analyzer: spine edge %s has no physical algorithm (got %q)", j.Head(), j.Alg)
+		}
+		wireSchema := parent.Meta.Schema.Project(parentProj)
+		colPos[parent] = map[int]int{}
+		for i, c := range parentProj {
+			colPos[parent][c] = offset + i
+		}
+		wireLen := len(parentProj)
+		if sub != nil {
+			subProj := []int{dimJoin.R.Idx}
+			for _, idx := range sortedKeys(need[sub]) {
+				if !containsInt(subProj, idx) {
+					subProj = append(subProj, idx)
+				}
+			}
+			subPred, err := localPred(sub, env)
+			if err != nil {
+				return nil, err
+			}
+			e.Dim.Sub = &plan.DimJoinPlan{
+				Table:        sub.Name,
+				Pred:         subPred,
+				Proj:         subProj,
+				ParentFKWire: indexOfInt(parentProj, dimJoin.L.Idx),
+			}
+			wireSchema = wireSchema.Concat(sub.Meta.Schema.Project(subProj))
+			colPos[sub] = map[int]int{}
+			for i, c := range subProj {
+				colPos[sub][c] = offset + len(parentProj) + i
+			}
+			wireLen += len(subProj)
+		}
+		e.DimWireSchema = wireSchema
+		offset += wireLen
+		q.Edges = append(q.Edges, e)
+	}
+
+	// Post-join expressions over the final combined layout.
+	combined := func(nr *sqlparse.NameRef) (int, types.Kind, error) {
+		r, idx, kind, err := bindRef(nr, rels)
+		if err != nil {
+			return 0, 0, fmt.Errorf("analyzer: %w", err)
+		}
+		pos, ok := colPos[r][idx]
+		if !ok {
+			return 0, 0, fmt.Errorf("analyzer: column %s not shipped to the join", nr.Render())
+		}
+		return pos, kind, nil
+	}
+	if len(residual) > 0 {
+		var terms []expr.Expr
+		for _, c := range residual {
+			e, err := sqlparse.Convert(c, env.Registry, combined)
+			if err != nil {
+				return nil, err
+			}
+			terms = append(terms, e)
+		}
+		q.PostJoin = expr.NewAnd(terms...)
+	}
+	for _, g := range agg.GroupBy {
+		e, err := sqlparse.Convert(g, env.Registry, combined)
+		if err != nil {
+			return nil, err
+		}
+		q.GroupBy = append(q.GroupBy, e)
+	}
+	for _, it := range agg.Items {
+		if it.Agg == "" {
+			continue
+		}
+		spec := relop.AggSpec{Name: it.As}
+		switch it.Agg {
+		case "count":
+			spec.Kind = relop.AggCount
+		case "sum":
+			spec.Kind = relop.AggSum
+		case "min":
+			spec.Kind = relop.AggMin
+		case "max":
+			spec.Kind = relop.AggMax
+		case "avg":
+			spec.Kind = relop.AggAvg
+		default:
+			return nil, fmt.Errorf("analyzer: unknown aggregate %q", it.Agg)
+		}
+		if !it.Star {
+			in, err := sqlparse.Convert(it.Expr, env.Registry, combined)
+			if err != nil {
+				return nil, err
+			}
+			spec.Input = in
+		}
+		if spec.Name == "" {
+			spec.Name = it.Agg
+		}
+		q.Aggs = append(q.Aggs, spec)
+	}
+
+	// Output schema: group-by columns then aggregate outputs, matching the
+	// two-table builder's naming.
+	var out types.Schema
+	for i, g := range q.GroupBy {
+		out.Cols = append(out.Cols, types.C(fmt.Sprintf("group%d", i), g.Kind()))
+	}
+	for _, a := range q.Aggs {
+		k := types.KindInt64
+		if a.Kind == relop.AggAvg {
+			k = types.KindFloat64
+		}
+		name := a.Name
+		if name == "" {
+			name = a.Kind.String()
+		}
+		out.Cols = append(out.Cols, types.C(name, k))
+	}
+	q.OutputSchema = out
+
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// spineOf walks the left spine down to the fact relation, returning the
+// fact edges bottom-up (execution order).
+func spineOf(n Node) (*Relation, []*EquiJoin, error) {
+	switch t := n.(type) {
+	case *Relation:
+		if t.Meta == nil || t.Meta.Source != SourceHDFS {
+			return nil, nil, fmt.Errorf("analyzer: spine bottoms out at non-fact relation %s", t.Name)
+		}
+		return t, nil, nil
+	case *EquiJoin:
+		if t.Alg == AlgDBSide {
+			return nil, nil, fmt.Errorf("analyzer: DB-side join %s cannot sit on the fact spine", t.Head())
+		}
+		fact, edges, err := spineOf(t.Left)
+		if err != nil {
+			return nil, nil, err
+		}
+		return fact, append(edges, t), nil
+	default:
+		return nil, nil, fmt.Errorf("analyzer: unexpected spine node %T", n)
+	}
+}
+
+// componentOf decomposes a spine edge's right side into parent, optional
+// snowflake sub-dimension, and the DB-side join between them.
+func componentOf(n Node) (parent, sub *Relation, dimJoin *EquiJoin, err error) {
+	switch t := n.(type) {
+	case *Relation:
+		return t, nil, nil, nil
+	case *EquiJoin:
+		if t.Alg != AlgDBSide {
+			return nil, nil, nil, fmt.Errorf("analyzer: dimension component join %s is not DB-side", t.Head())
+		}
+		p, pok := t.Left.(*Relation)
+		s, sok := t.Right.(*Relation)
+		if !pok || !sok {
+			return nil, nil, nil, fmt.Errorf("analyzer: snowflake component must be two base relations")
+		}
+		return p, s, t, nil
+	default:
+		return nil, nil, nil, fmt.Errorf("analyzer: unexpected component node %T", n)
+	}
+}
+
+// localPred converts a relation's pushed-down conjuncts over its base
+// layout (nil when the relation has none).
+func localPred(r *Relation, env *Env) (expr.Expr, error) {
+	if len(r.Local) == 0 {
+		return nil, nil
+	}
+	bind := func(nr *sqlparse.NameRef) (int, types.Kind, error) {
+		rel, idx, kind, err := bindRef(nr, []*Relation{r})
+		if err != nil {
+			return 0, 0, fmt.Errorf("analyzer: %w", err)
+		}
+		if rel != r {
+			return 0, 0, fmt.Errorf("analyzer: cross-relation column %s in local predicate of %s", nr.Render(), r.Name)
+		}
+		return idx, kind, nil
+	}
+	var terms []expr.Expr
+	for _, c := range r.Local {
+		e, err := sqlparse.Convert(c, env.Registry, bind)
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, e)
+	}
+	return expr.NewAnd(terms...), nil
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func indexOfInt(s []int, v int) int {
+	for i, x := range s {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

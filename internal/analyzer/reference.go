@@ -1,0 +1,304 @@
+package analyzer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hybridwh/internal/expr"
+	"hybridwh/internal/sqlparse"
+	"hybridwh/internal/types"
+)
+
+// RefTable is a fully materialized table for the reference evaluator.
+type RefTable struct {
+	Schema types.Schema
+	Rows   []types.Row
+}
+
+// Reference evaluates a parsed query with a single-threaded nested-loop
+// join over fully materialized tables, independent of the analyzer's plans
+// and the distributed engine. It is the oracle for the end-to-end exactness
+// tests: every multi-join plan's result must match it byte for byte.
+//
+// Conjuncts (including the equi-joins) are applied at the shallowest loop
+// level where all their columns are bound, which keeps the nested loop
+// tractable without changing its semantics.
+func Reference(q *sqlparse.Query, tables map[string]RefTable, reg *expr.Registry) ([]types.Row, types.Schema, error) {
+	if reg == nil {
+		reg = expr.NewRegistry()
+	}
+	type boundRel struct {
+		alias  string
+		name   string
+		t      RefTable
+		offset int // column offset in the concatenated layout
+	}
+	var rels []boundRel
+	offset := 0
+	for _, tr := range q.From {
+		var found *RefTable
+		var fname string
+		for name, t := range tables {
+			if strings.EqualFold(name, tr.Name) {
+				tt := t
+				found, fname = &tt, name
+			}
+		}
+		if found == nil {
+			return nil, types.Schema{}, fmt.Errorf("reference: unknown table %q", tr.Name)
+		}
+		rels = append(rels, boundRel{alias: tr.Alias, name: fname, t: *found, offset: offset})
+		offset += found.Schema.Len()
+	}
+
+	// Bind a name reference to (relation index, concatenated position).
+	bind := func(nr *sqlparse.NameRef) (int, int, types.Kind, error) {
+		if nr.Table != "" {
+			for i, r := range rels {
+				if strings.EqualFold(nr.Table, r.alias) || strings.EqualFold(nr.Table, r.name) {
+					c := r.t.Schema.ColIndex(nr.Col)
+					if c < 0 {
+						return 0, 0, 0, fmt.Errorf("reference: %s has no column %q", r.name, nr.Col)
+					}
+					return i, r.offset + c, r.t.Schema.Cols[c].Kind, nil
+				}
+			}
+			return 0, 0, 0, fmt.Errorf("reference: unknown table qualifier %q", nr.Table)
+		}
+		ri, pos, kind := -1, -1, types.Kind(0)
+		for i, r := range rels {
+			if c := r.t.Schema.ColIndex(nr.Col); c >= 0 {
+				if ri >= 0 {
+					return 0, 0, 0, fmt.Errorf("reference: column %q is ambiguous", nr.Col)
+				}
+				ri, pos, kind = i, r.offset+c, r.t.Schema.Cols[c].Kind
+			}
+		}
+		if ri < 0 {
+			return 0, 0, 0, fmt.Errorf("reference: unknown column %q", nr.Col)
+		}
+		return ri, pos, kind, nil
+	}
+	convert := func(n sqlparse.Node) (expr.Expr, error) {
+		return sqlparse.Convert(n, reg, func(nr *sqlparse.NameRef) (int, types.Kind, error) {
+			_, pos, kind, err := bind(nr)
+			return pos, kind, err
+		})
+	}
+
+	// Assign each conjunct to the deepest relation it references.
+	levelConds := make([][]expr.Expr, len(rels))
+	for _, c := range sqlparse.Conjuncts(q.Where) {
+		level := 0
+		err := sqlparse.WalkNames(c, func(nr *sqlparse.NameRef) error {
+			ri, _, _, err := bind(nr)
+			if err != nil {
+				return err
+			}
+			if ri > level {
+				level = ri
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, types.Schema{}, err
+		}
+		e, err := convert(c)
+		if err != nil {
+			return nil, types.Schema{}, err
+		}
+		levelConds[level] = append(levelConds[level], e)
+	}
+
+	// Grouping and aggregation expressions over the concatenated layout.
+	var groupExprs []expr.Expr
+	for _, g := range q.GroupBy {
+		e, err := convert(g)
+		if err != nil {
+			return nil, types.Schema{}, err
+		}
+		groupExprs = append(groupExprs, e)
+	}
+	type aggAcc struct {
+		kind  string
+		input expr.Expr
+	}
+	var aggs []aggAcc
+	var outSchema types.Schema
+	for i, g := range groupExprs {
+		outSchema.Cols = append(outSchema.Cols, types.C(fmt.Sprintf("group%d", i), g.Kind()))
+	}
+	for _, it := range q.Select {
+		if it.Agg == "" {
+			continue
+		}
+		a := aggAcc{kind: it.Agg}
+		if !it.Star {
+			e, err := convert(it.Expr)
+			if err != nil {
+				return nil, types.Schema{}, err
+			}
+			a.input = e
+		}
+		aggs = append(aggs, a)
+		k := types.KindInt64
+		if it.Agg == "avg" {
+			k = types.KindFloat64
+		}
+		name := it.As
+		if name == "" {
+			name = it.Agg
+		}
+		outSchema.Cols = append(outSchema.Cols, types.C(name, k))
+	}
+	if len(aggs) == 0 {
+		return nil, types.Schema{}, fmt.Errorf("reference: query has no aggregates")
+	}
+
+	// Group state, keyed by the encoded group values.
+	type groupState struct {
+		keys types.Row
+		sum  []types.Value // AggSum accumulator / AggAvg numerator
+		cnt  []int64       // AggCount / AggAvg denominator
+		mm   []types.Value // AggMin / AggMax
+	}
+	groups := map[string]*groupState{}
+	var keyOrder []string
+
+	fold := func(row types.Row) error {
+		keys := make(types.Row, len(groupExprs))
+		for i, g := range groupExprs {
+			v, err := g.Eval(row)
+			if err != nil {
+				return err
+			}
+			keys[i] = v
+		}
+		var buf []byte
+		for _, v := range keys {
+			buf = types.AppendValue(buf, v)
+		}
+		k := string(buf)
+		g := groups[k]
+		if g == nil {
+			g = &groupState{
+				keys: keys,
+				sum:  make([]types.Value, len(aggs)),
+				cnt:  make([]int64, len(aggs)),
+				mm:   make([]types.Value, len(aggs)),
+			}
+			for i := range aggs {
+				g.sum[i] = types.Int64(0)
+				if aggs[i].kind == "avg" {
+					g.sum[i] = types.Float64(0)
+				}
+				g.mm[i] = types.Null
+			}
+			groups[k] = g
+			keyOrder = append(keyOrder, k)
+		}
+		for i, a := range aggs {
+			var in types.Value
+			if a.input != nil {
+				v, err := a.input.Eval(row)
+				if err != nil {
+					return err
+				}
+				in = v
+			}
+			switch a.kind {
+			case "count":
+				if a.input == nil || !in.IsNull() {
+					g.cnt[i]++
+				}
+			case "sum":
+				if !in.IsNull() {
+					if g.sum[i].K == types.KindFloat64 || in.K == types.KindFloat64 {
+						g.sum[i] = types.Float64(g.sum[i].Float() + in.Float())
+					} else {
+						g.sum[i] = types.Int64(g.sum[i].Int() + in.Int())
+					}
+				}
+			case "min":
+				if !in.IsNull() && (g.mm[i].IsNull() || types.Compare(in, g.mm[i]) < 0) {
+					g.mm[i] = in
+				}
+			case "max":
+				if !in.IsNull() && (g.mm[i].IsNull() || types.Compare(in, g.mm[i]) > 0) {
+					g.mm[i] = in
+				}
+			case "avg":
+				if !in.IsNull() {
+					g.sum[i] = types.Float64(g.sum[i].Float() + in.Float())
+					g.cnt[i]++
+				}
+			default:
+				return fmt.Errorf("reference: unknown aggregate %q", a.kind)
+			}
+		}
+		return nil
+	}
+
+	// Nested-loop join, pruning at each level.
+	row := make(types.Row, 0, offset)
+	var loop func(depth int) error
+	loop = func(depth int) error {
+		if depth == len(rels) {
+			return fold(row)
+		}
+		width := rels[depth].t.Schema.Len()
+		for _, r := range rels[depth].t.Rows {
+			row = append(row, r...)
+			pass := true
+			for _, c := range levelConds[depth] {
+				ok, err := expr.EvalPred(c, row)
+				if err != nil {
+					row = row[:len(row)-width]
+					return err
+				}
+				if !ok {
+					pass = false
+					break
+				}
+			}
+			if pass {
+				if err := loop(depth + 1); err != nil {
+					row = row[:len(row)-width]
+					return err
+				}
+			}
+			row = row[:len(row)-width]
+		}
+		return nil
+	}
+	if err := loop(0); err != nil {
+		return nil, types.Schema{}, err
+	}
+
+	// Finalize, sorted by encoded group key to match HashAgg.FinalRows.
+	sort.Strings(keyOrder)
+	out := make([]types.Row, 0, len(groups))
+	for _, k := range keyOrder {
+		g := groups[k]
+		r := append(types.Row{}, g.keys...)
+		for i, a := range aggs {
+			switch a.kind {
+			case "count":
+				r = append(r, types.Int64(g.cnt[i]))
+			case "sum":
+				r = append(r, g.sum[i])
+			case "min", "max":
+				r = append(r, g.mm[i])
+			case "avg":
+				if g.cnt[i] == 0 {
+					r = append(r, types.Null)
+				} else {
+					r = append(r, types.Float64(g.sum[i].Float()/float64(g.cnt[i])))
+				}
+			}
+		}
+		out = append(out, r)
+	}
+	return out, outSchema, nil
+}

@@ -1,0 +1,464 @@
+package analyzer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hybridwh/internal/plan"
+	"hybridwh/internal/sqlparse"
+)
+
+// Rule is one atomic rewrite. Apply returns the (possibly mutated) tree and
+// whether anything changed; the engine iterates the rule list to a fixpoint.
+type Rule struct {
+	Name  string
+	Apply func(Node, *Env) (Node, bool, error)
+}
+
+// Rules is the analyzer's rule set, in application order.
+var Rules = []Rule{
+	{Name: "resolve_relations", Apply: resolveRelations},
+	{Name: "push_filters", Apply: pushFilters},
+	{Name: "extract_joins", Apply: extractJoins},
+	{Name: "order_joins", Apply: orderJoins},
+	{Name: "choose_algorithms", Apply: chooseAlgorithms},
+	{Name: "cascade_blooms", Apply: cascadeBlooms},
+}
+
+// resolveRelations binds every unresolved Relation leaf against the
+// environment's sources.
+func resolveRelations(root Node, env *Env) (Node, bool, error) {
+	changed := false
+	for _, r := range relsOf(root) {
+		if r.Meta != nil {
+			continue
+		}
+		meta, ok := env.Sources[strings.ToLower(r.Name)]
+		if !ok {
+			return root, false, fmt.Errorf("unknown table %q at byte offset %d (known: %s)",
+				r.Name, r.Pos, strings.Join(sourceNames(env), ", "))
+		}
+		r.Meta = meta
+		changed = true
+	}
+	return root, changed, nil
+}
+
+func sourceNames(env *Env) []string {
+	var names []string
+	for _, s := range env.Sources {
+		names = append(names, s.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// pushFilters moves single-relation conjuncts out of the Filter node into
+// their relation's local predicate list, so scans filter before anything
+// ships. Equi-join conjuncts stay put for extract_joins; multi-relation
+// conjuncts stay as residual post-join predicates.
+func pushFilters(root Node, _ *Env) (Node, bool, error) {
+	agg, ok := root.(*Aggregate)
+	if !ok {
+		return root, false, nil
+	}
+	f, ok := agg.Child.(*Filter)
+	if !ok {
+		return root, false, nil
+	}
+	rels := relsOf(f.Child)
+	for _, r := range rels {
+		if r.Meta == nil {
+			return root, false, nil // wait for resolve_relations
+		}
+	}
+	var keep []sqlparse.Node
+	changed := false
+	for _, c := range f.Conds {
+		if isEquiJoin(c, rels) {
+			keep = append(keep, c)
+			continue
+		}
+		refs, err := refSet(c, rels)
+		if err != nil {
+			return root, false, err
+		}
+		if len(refs) == 1 {
+			refs[0].Local = append(refs[0].Local, c)
+			changed = true
+			continue
+		}
+		keep = append(keep, c)
+	}
+	if !changed {
+		return root, false, nil
+	}
+	if len(keep) == 0 {
+		agg.Child = f.Child
+	} else {
+		f.Conds = keep
+	}
+	return root, true, nil
+}
+
+// isEquiJoin reports whether c is `col = col` across two distinct relations.
+func isEquiJoin(c sqlparse.Node, rels []*Relation) bool {
+	cmp, ok := c.(*sqlparse.CmpNode)
+	if !ok || cmp.Op != "=" {
+		return false
+	}
+	lr, lok := cmp.L.(*sqlparse.NameRef)
+	rr, rok := cmp.R.(*sqlparse.NameRef)
+	if !lok || !rok {
+		return false
+	}
+	la, _, _, lerr := bindRef(lr, rels)
+	ra, _, _, rerr := bindRef(rr, rels)
+	return lerr == nil && rerr == nil && la != ra
+}
+
+// extractJoins replaces the Cross product with a JoinGraph whose edges are
+// the equi-join conjuncts; everything left in the Filter is residual
+// post-join predicate.
+func extractJoins(root Node, _ *Env) (Node, bool, error) {
+	agg, ok := root.(*Aggregate)
+	if !ok {
+		return root, false, nil
+	}
+	var f *Filter
+	child := agg.Child
+	if ff, ok := child.(*Filter); ok {
+		f = ff
+		child = ff.Child
+	}
+	cross, ok := child.(*Cross)
+	if !ok {
+		return root, false, nil
+	}
+	rels := relsOf(cross)
+	for _, r := range rels {
+		if r.Meta == nil {
+			return root, false, nil
+		}
+	}
+	g := &JoinGraph{Rels: rels}
+	var residual []sqlparse.Node
+	if f != nil {
+		for _, c := range f.Conds {
+			if !isEquiJoin(c, rels) {
+				residual = append(residual, c)
+				continue
+			}
+			cmp := c.(*sqlparse.CmpNode)
+			lr := cmp.L.(*sqlparse.NameRef)
+			rr := cmp.R.(*sqlparse.NameRef)
+			la, li, lk, _ := bindRef(lr, rels)
+			ra, ri, rk, _ := bindRef(rr, rels)
+			g.Edges = append(g.Edges, &GraphEdge{
+				A: EdgeCol{Rel: la, Col: lr.Col, Idx: li, Kind: lk},
+				B: EdgeCol{Rel: ra, Col: rr.Col, Idx: ri, Kind: rk},
+			})
+		}
+	}
+	if len(g.Edges) < len(rels)-1 {
+		return root, false, fmt.Errorf("query joins %d relations but has only %d equi-join conditions; the join graph is disconnected", len(rels), len(g.Edges))
+	}
+	var newChild Node = g
+	if len(residual) > 0 {
+		newChild = &Filter{Conds: residual, Child: g}
+	}
+	agg.Child = newChild
+	return root, true, nil
+}
+
+// component groups EDW dimensions that join each other (snowflake): parent
+// carries the edge to the fact, sub is pre-joined DB-side.
+type component struct {
+	parent, sub *Relation
+	factEdge    *GraphEdge // normalized: A = fact side, B = parent side
+	dimEdge     *GraphEdge // normalized: A = parent side, B = sub side
+	estRows     int64
+	estBytes    int64
+}
+
+// orderJoins turns the JoinGraph into an ordered join tree: exactly one
+// HDFS fact relation forms the spine; EDW dimension components (snowflake
+// sub-dimensions pre-grouped) attach in ascending estimated-cardinality
+// order, so the most selective reductions run first and every later edge
+// probes a smaller intermediate.
+func orderJoins(root Node, _ *Env) (Node, bool, error) {
+	agg, ok := root.(*Aggregate)
+	if !ok {
+		return root, false, nil
+	}
+	var f *Filter
+	child := agg.Child
+	if ff, ok := child.(*Filter); ok {
+		f = ff
+		child = ff.Child
+	}
+	g, ok := child.(*JoinGraph)
+	if !ok {
+		return root, false, nil
+	}
+
+	var fact *Relation
+	for _, r := range g.Rels {
+		if r.Meta.Source == SourceHDFS {
+			if fact != nil {
+				return root, false, fmt.Errorf("multi-join supports exactly one HDFS fact table, got %s and %s", fact.Name, r.Name)
+			}
+			fact = r
+		}
+	}
+	if fact == nil {
+		return root, false, fmt.Errorf("multi-join requires one HDFS fact table; all relations are in the database")
+	}
+
+	comps, err := buildComponents(fact, g)
+	if err != nil {
+		return root, false, err
+	}
+	sort.SliceStable(comps, func(i, j int) bool {
+		if comps[i].estRows != comps[j].estRows {
+			return comps[i].estRows < comps[j].estRows
+		}
+		return comps[i].parent.Alias < comps[j].parent.Alias
+	})
+
+	cur := Node(fact)
+	for _, c := range comps {
+		right := Node(c.parent)
+		if c.sub != nil {
+			right = &EquiJoin{
+				Left:     c.parent,
+				Right:    c.sub,
+				L:        c.dimEdge.A,
+				R:        c.dimEdge.B,
+				EstRight: c.sub.EstRows(),
+			}
+		}
+		cur = &EquiJoin{
+			Left:          cur,
+			Right:         right,
+			L:             c.factEdge.A,
+			R:             c.factEdge.B,
+			EstRight:      c.estRows,
+			EstRightBytes: c.estBytes,
+		}
+	}
+	if f != nil {
+		f.Child = cur
+	} else {
+		agg.Child = cur
+	}
+	return root, true, nil
+}
+
+// buildComponents groups the dimensions by their dim-dim edges and
+// normalizes edge directions.
+func buildComponents(fact *Relation, g *JoinGraph) ([]*component, error) {
+	// Union-find over dimension relations.
+	parent := map[*Relation]*Relation{}
+	var find func(r *Relation) *Relation
+	find = func(r *Relation) *Relation {
+		if parent[r] == nil || parent[r] == r {
+			parent[r] = r
+			return r
+		}
+		parent[r] = find(parent[r])
+		return parent[r]
+	}
+	var factEdges, dimEdges []*GraphEdge
+	for _, e := range g.Edges {
+		switch {
+		case e.A.Rel == fact:
+			factEdges = append(factEdges, e)
+		case e.B.Rel == fact:
+			factEdges = append(factEdges, &GraphEdge{A: e.B, B: e.A})
+		default:
+			dimEdges = append(dimEdges, e)
+			parent[find(e.A.Rel)] = find(e.B.Rel)
+		}
+	}
+
+	groups := map[*Relation]*component{}
+	order := []*Relation{}
+	for _, e := range factEdges {
+		root := find(e.B.Rel)
+		c := groups[root]
+		if c == nil {
+			c = &component{}
+			groups[root] = c
+			order = append(order, root)
+		}
+		if c.factEdge != nil {
+			return nil, fmt.Errorf("dimension component of %s has multiple join edges to the fact table %s; role-playing dimensions need distinct aliases per edge", e.B.Rel.Name, fact.Name)
+		}
+		c.factEdge = e
+		c.parent = e.B.Rel
+	}
+
+	for _, e := range dimEdges {
+		root := find(e.A.Rel)
+		c := groups[root]
+		if c == nil || c.parent == nil {
+			return nil, fmt.Errorf("dimensions %s and %s join each other but neither joins the fact table %s", e.A.Rel.Name, e.B.Rel.Name, fact.Name)
+		}
+		if c.dimEdge != nil {
+			return nil, fmt.Errorf("snowflake chains deeper than one sub-dimension are not supported (component of %s)", c.parent.Name)
+		}
+		// Normalize: A on the parent, B on the sub.
+		switch {
+		case e.A.Rel == c.parent:
+			c.dimEdge, c.sub = e, e.B.Rel
+		case e.B.Rel == c.parent:
+			c.dimEdge, c.sub = &GraphEdge{A: e.B, B: e.A}, e.A.Rel
+		default:
+			return nil, fmt.Errorf("snowflake sub-dimension %s is not joined to the fact-facing dimension %s", e.A.Rel.Name, c.parent.Name)
+		}
+	}
+
+	// Every dimension must land in some component.
+	covered := map[*Relation]bool{fact: true}
+	for _, c := range groups {
+		covered[c.parent] = true
+		if c.sub != nil {
+			covered[c.sub] = true
+		}
+	}
+	for _, r := range g.Rels {
+		if !covered[r] {
+			return nil, fmt.Errorf("relation %s (at byte offset %d) is not connected to the fact table by equi-joins", r.Name, r.Pos)
+		}
+	}
+
+	comps := make([]*component, 0, len(order))
+	for _, root := range order {
+		c := groups[root]
+		c.estRows = c.parent.EstRows()
+		c.estBytes = c.parent.EstBytes()
+		if c.sub != nil {
+			// An FK join into a filtered sub-dimension keeps the parent's
+			// rows in proportion to the sub's surviving fraction.
+			sel := 1.0
+			if c.sub.Meta.Rows > 0 {
+				sel = float64(c.sub.EstRows()) / float64(c.sub.Meta.Rows)
+			}
+			c.estRows = int64(float64(c.estRows) * sel)
+			if c.estRows < 1 {
+				c.estRows = 1
+			}
+			c.estBytes = int64(float64(c.estBytes)*sel) + c.sub.EstBytes()
+		}
+		comps = append(comps, c)
+	}
+	return comps, nil
+}
+
+// chooseAlgorithms is the per-edge physical rule: dimension-dimension joins
+// run DB-side; each fact edge asks the advisor (or the fallback broadcast
+// cutoff) to pick broadcast vs repartition independently.
+func chooseAlgorithms(root Node, env *Env) (Node, bool, error) {
+	changed := false
+	var factRows int64
+	for _, r := range relsOf(root) {
+		if r.Meta != nil && r.Meta.Source == SourceHDFS {
+			factRows = r.EstRows()
+		}
+	}
+	var walk func(Node) error
+	walk = func(n Node) error {
+		j, ok := n.(*EquiJoin)
+		if !ok {
+			for _, k := range n.Children() {
+				if err := walk(k); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := walk(j.Left); err != nil {
+			return err
+		}
+		if err := walk(j.Right); err != nil {
+			return err
+		}
+		if j.Alg != "" {
+			return nil
+		}
+		if allDB(j) {
+			j.Alg, j.Reason = AlgDBSide, "snowflake pre-join between co-located EDW dimensions"
+			changed = true
+			return nil
+		}
+		stats := EdgeStats{
+			DimRows:  j.EstRight,
+			DimBytes: j.EstRightBytes,
+			FactRows: factRows,
+			Workers:  env.Options.Workers,
+		}
+		if env.Advise != nil {
+			alg, reason := env.Advise(stats)
+			if alg == plan.EdgeBroadcast {
+				j.Alg = AlgBroadcast
+			} else {
+				j.Alg = AlgRepartition
+			}
+			j.Reason = reason
+		} else {
+			cutoff := env.Options.BroadcastMaxBytes
+			if cutoff <= 0 {
+				cutoff = 25 << 20
+			}
+			if j.EstRightBytes <= cutoff {
+				j.Alg = AlgBroadcast
+				j.Reason = fmt.Sprintf("dimension ≈%dB fits the broadcast cutoff", j.EstRightBytes)
+			} else {
+				j.Alg = AlgRepartition
+				j.Reason = fmt.Sprintf("dimension ≈%dB exceeds the broadcast cutoff", j.EstRightBytes)
+			}
+		}
+		changed = true
+		return nil
+	}
+	if err := walk(root); err != nil {
+		return root, false, err
+	}
+	return root, changed, nil
+}
+
+// allDB reports whether every relation under the join is EDW-resident.
+func allDB(n Node) bool {
+	for _, r := range relsOf(n) {
+		if r.Meta == nil || r.Meta.Source != SourceDB {
+			return false
+		}
+	}
+	return true
+}
+
+// cascadeBlooms marks every fact edge to push its dimension's key Bloom
+// filter into the fact scan: cascaded semi-join reduction, so a fact row
+// failing any dimension drops before it is ever shuffled.
+func cascadeBlooms(root Node, env *Env) (Node, bool, error) {
+	if !env.Options.CascadeBloom {
+		return root, false, nil
+	}
+	changed := false
+	var walk func(Node)
+	walk = func(n Node) {
+		if j, ok := n.(*EquiJoin); ok {
+			if (j.Alg == AlgBroadcast || j.Alg == AlgRepartition) && !j.Bloom {
+				j.Bloom = true
+				changed = true
+			}
+		}
+		for _, k := range n.Children() {
+			walk(k)
+		}
+	}
+	walk(root)
+	return root, changed, nil
+}

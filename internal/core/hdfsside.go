@@ -623,6 +623,13 @@ func (e *Engine) probeAndAggregateParallel(mem *relop.MemJoinTable, probes []*ba
 // final rows to a single DB node (steps 7–9 of Figures 2–4). It always
 // completes the protocol, then reports runErr.
 func (e *Engine) finishHDFSAggregation(ctx context.Context, qs string, q *plan.JoinQuery, agg *relop.HashAgg, w, n int, runErr error) error {
+	return e.finishAggregation(ctx, qs, q.GroupBy, q.Aggs, agg, w, n, runErr)
+}
+
+// finishAggregation is the fan-in shared by the two-table algorithms and
+// the N-way executor: it only needs the grouping spec, not a full
+// plan.JoinQuery.
+func (e *Engine) finishAggregation(ctx context.Context, qs string, groupBy []expr.Expr, aggs []relop.AggSpec, agg *relop.HashAgg, w, n int, runErr error) error {
 	// A worker that arrives here already failing must not block in the
 	// aggregation fan-in waiting for partials that will never come: the
 	// program context is aborted up front, so the receives below fail fast
@@ -639,7 +646,7 @@ func (e *Engine) finishHDFSAggregation(ctx context.Context, qs string, q *plan.J
 	pr.fail(pb.CloseWith(runErr))
 
 	if w == desig {
-		final := relop.NewHashAgg(q.GroupBy, q.Aggs)
+		final := relop.NewHashAgg(groupBy, aggs)
 		pr.fail(e.recvRows(ctx, jenName(w), qs+"partial", n, func(r types.Row) error {
 			return final.MergePartial(r)
 		}))

@@ -1,0 +1,597 @@
+package core
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"hybridwh/internal/batch"
+	"hybridwh/internal/bloom"
+	"hybridwh/internal/cluster"
+	"hybridwh/internal/costmodel"
+	"hybridwh/internal/jen"
+	"hybridwh/internal/metrics"
+	"hybridwh/internal/netsim"
+	"hybridwh/internal/par"
+	"hybridwh/internal/plan"
+	"hybridwh/internal/relop"
+	"hybridwh/internal/types"
+)
+
+// This file is the N-way star/snowflake join executor: the analyzer's
+// plan.MultiQuery runs as a pipeline of two-table join stages on the JEN
+// workers. Each dimension component is materialized database-side first
+// (snowflake sub-dimensions pre-joined there, where the tables are
+// co-located), its Bloom filter is built from the rows that actually
+// survive, and every filter is cascaded into the single fact scan — so the
+// fact table is reduced by ALL dimensions before the first byte is
+// shuffled, the multi-join generalization of the paper's zigzag idea.
+
+// EdgeSummary reports one executed join edge of a multi-join query.
+type EdgeSummary struct {
+	Dim       string
+	Algorithm plan.EdgeAlg
+	Bloom     bool
+	// Switched reports the adaptive layer replaced this edge's committed
+	// repartition with a broadcast mid-query; SwitchReason carries the
+	// observed statistics and re-costs that justified it.
+	Switched     bool
+	SwitchReason string
+}
+
+// MultiResult is a completed multi-join query, returned at the database
+// side like Result.
+type MultiResult struct {
+	Rows   []types.Row
+	Schema types.Schema
+	Edges  []EdgeSummary
+	// Metrics is a snapshot of the counters accumulated during the run.
+	Metrics map[string]int64
+}
+
+// RunMulti executes an analyzed multi-join query. The fact table streams
+// from HDFS; every dimension edge joins with its independently chosen
+// algorithm. Row-at-a-time mode does not apply to the N-way executor — the
+// pipeline always runs batch-at-a-time.
+func (e *Engine) RunMulti(q *plan.MultiQuery) (*MultiResult, error) {
+	return e.RunMultiCtx(context.Background(), q)
+}
+
+// RunMultiCtx is RunMulti under a caller-supplied context, with RunCtx's
+// cancellation semantics.
+func (e *Engine) RunMultiCtx(ctx context.Context, q *plan.MultiQuery) (*MultiResult, error) {
+	return e.RunMultiOpts(ctx, q, RunOpts{})
+}
+
+// RunMultiOpts is RunMultiCtx with per-run options; RunOpts{} reproduces
+// RunMultiCtx exactly.
+func (e *Engine) RunMultiOpts(ctx context.Context, q *plan.MultiQuery, opts RunOpts) (*MultiResult, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: query not started: %w", err)
+	}
+	qs := fmt.Sprintf("q%d/", e.qid.Add(1))
+	if opts.Budget != nil {
+		e.budMu.Lock()
+		e.budgets[qs] = opts.Budget
+		e.budMu.Unlock()
+		defer func() {
+			e.budMu.Lock()
+			delete(e.budgets, qs)
+			e.budMu.Unlock()
+		}()
+	}
+	res, err := e.runMulti(ctx, qs, q)
+	if err != nil {
+		return nil, fmt.Errorf("core: multi-join query aborted: %w", err)
+	}
+	res.Schema = q.OutputSchema
+	res.Metrics = e.rec.Snapshot()
+	return res, nil
+}
+
+// dimMat is one materialized dimension component: the DB workers'
+// filter/project (and snowflake pre-join) output, partitioned as stored.
+type dimMat struct {
+	parts [][]types.Row // per DB worker, component wire rows
+}
+
+// multiAdaptState collects the per-edge switch decisions for the facade.
+type multiAdaptState struct {
+	mu      sync.Mutex
+	reasons map[int]string // guarded by mu; edge index -> reason
+}
+
+func (s *multiAdaptState) record(edge int, reason string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.reasons == nil {
+		s.reasons = map[int]string{}
+	}
+	s.reasons[edge] = reason
+	s.mu.Unlock()
+}
+
+func (s *multiAdaptState) get(edge int) (string, bool) {
+	if s == nil {
+		return "", false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.reasons[edge]
+	return r, ok
+}
+
+// mstream names a per-edge stream: qs + "dim0", qs + "bf2", ...
+func mstream(qs, kind string, edge int) string {
+	return fmt.Sprintf("%s%s%d", qs, kind, edge)
+}
+
+func (e *Engine) runMulti(ctx context.Context, qs string, q *plan.MultiQuery) (*MultiResult, error) {
+	n, m := e.jen.Workers(), e.db.Workers()
+	scanPlan, err := e.jen.PlanScan(q.FactTable)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase A (blocking, like the two-table BF_DB build): materialize every
+	// dimension component database-side. Snowflake sub-dimensions join
+	// here, where both tables live; the Bloom filter of each component is
+	// built from the surviving rows — so a selective sub-dimension
+	// predicate tightens the fact-scan cascade too.
+	dims := make([]*dimMat, len(q.Edges))
+	bud := e.budget(qs)
+	var charged int64
+	defer func() { bud.Release(charged) }()
+	for ei := range q.Edges {
+		ed := &q.Edges[ei]
+		dm, err := e.materializeDim(ed)
+		if err != nil {
+			return nil, err
+		}
+		dims[ei] = dm
+		for _, part := range dm.parts {
+			charged += chargeRows(bud, part)
+		}
+		if ed.UseBloom {
+			bf := bloom.New(e.cfg.BloomBits, e.cfg.BloomHashes)
+			for _, part := range dm.parts {
+				for _, r := range part {
+					bf.AddHash(types.BloomHashKey(r[ed.DimKeyWire].Int()))
+				}
+			}
+			e.rec.Add(metrics.BloomBuildKeys, int64(bf.EstimateCardinality()))
+			if err := e.sendBloom(dbName(0), mstream(qs, "bf", ei), bf, e.jenNames()); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Adaptive gating: repartition edges past the first re-cost against a
+	// broadcast once the true intermediate size is observed (the committed
+	// plan sized them from estimates that compound error edge over edge).
+	gated := make([]bool, len(q.Edges))
+	var st *multiAdaptState
+	if e.cfg.AdaptiveSwitch {
+		st = &multiAdaptState{}
+		for ei := range q.Edges {
+			gated[ei] = ei > 0 && q.Edges[ei].Algorithm == plan.EdgeRepartition
+		}
+	}
+
+	g, ctx := par.WithContext(ctx)
+	var resultRows []types.Row
+	g.Go(func() error {
+		rows, err := e.collectRows(ctx, dbName(0), qs+"final", 1)
+		resultRows = rows
+		return err
+	})
+	for i := 0; i < m; i++ {
+		i := i
+		g.Go(func() error { return e.multiDBProgram(ctx, qs, q, dims, i, n, gated) })
+	}
+	for w := 0; w < n; w++ {
+		w := w
+		g.Go(func() error { return e.multiJENProgram(ctx, qs, q, scanPlan, w, n, m, gated, st) })
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+
+	res := &MultiResult{Rows: resultRows}
+	for ei, ed := range q.Edges {
+		s := EdgeSummary{Dim: ed.Dim.Table, Algorithm: ed.Algorithm, Bloom: ed.UseBloom}
+		if reason, ok := st.get(ei); ok {
+			s.Switched = true
+			s.Algorithm = plan.EdgeBroadcast
+			s.SwitchReason = reason
+		}
+		res.Edges = append(res.Edges, s)
+	}
+	return res, nil
+}
+
+// materializeDim filters and projects one dimension component on every DB
+// worker, pre-joining a snowflake sub-dimension DB-side when the plan has
+// one. The output rows follow the component's wire layout: parent
+// projection, then (for snowflake components) the sub-dimension's.
+func (e *Engine) materializeDim(ed *plan.EdgeExec) (*dimMat, error) {
+	tbl, err := e.db.Table(ed.Dim.Table)
+	if err != nil {
+		return nil, err
+	}
+	need := append(append([]int(nil), ed.Dim.Proj...), colSet(ed.Dim.Pred)...)
+	ap := e.db.PlanAccess(tbl, ed.Dim.Pred, need)
+
+	// Snowflake: materialize the (small) sub-dimension fully and hash it on
+	// its join key so every parent partition can probe it locally.
+	var subHT *relop.HashTable
+	if sub := ed.Dim.Sub; sub != nil {
+		subTbl, err := e.db.Table(sub.Table)
+		if err != nil {
+			return nil, err
+		}
+		subNeed := append(append([]int(nil), sub.Proj...), colSet(sub.Pred)...)
+		subAp := e.db.PlanAccess(subTbl, sub.Pred, subNeed)
+		subHT = relop.NewHashTable(0) // sub wire leads with its join key
+		subParts := make([][]types.Row, e.db.Workers())
+		err = par.ForEach(e.db.Workers(), func(w int) error {
+			rows, err := e.db.FilterProject(subTbl, w, subAp, sub.Proj)
+			subParts[w] = rows
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, rows := range subParts {
+			for _, r := range rows {
+				if err := subHT.Insert(r); err != nil {
+					return nil, err
+				}
+			}
+		}
+		subHT.Build()
+	}
+
+	dm := &dimMat{parts: make([][]types.Row, e.db.Workers())}
+	var dimJoined int64
+	var mu sync.Mutex
+	err = par.ForEach(e.db.Workers(), func(w int) error {
+		rows, err := e.db.FilterProject(tbl, w, ap, ed.Dim.Proj)
+		if err != nil {
+			return err
+		}
+		if subHT != nil {
+			fk := ed.Dim.Sub.ParentFKWire
+			joined := make([]types.Row, 0, len(rows))
+			for _, r := range rows {
+				for _, sr := range subHT.Probe(r[fk].Int()) {
+					joined = append(joined, r.Concat(sr))
+				}
+			}
+			rows = joined
+			mu.Lock()
+			dimJoined += int64(len(joined))
+			mu.Unlock()
+		}
+		dm.parts[w] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if subHT != nil {
+		e.rec.Add(metrics.DBDimJoinTuples, dimJoined)
+	}
+	return dm, nil
+}
+
+// multiDBProgram is one DB worker's side of the multi-join: ship each
+// materialized dimension partition to the JEN workers, edge by edge —
+// broadcast to all, or scattered by the agreed hash function. Gated edges
+// wait for the designated JEN worker's keep-vs-broadcast decision first.
+func (e *Engine) multiDBProgram(ctx context.Context, qs string, q *plan.MultiQuery, dims []*dimMat, i, n int, gated []bool) error {
+	var runErr error
+	pr := newProg(ctx, &runErr)
+	defer pr.release()
+	ctx = pr.ctx
+	destOf := func(key int64) string { return jenName(cluster.PartitionFor(key, n)) }
+	for ei := range q.Edges {
+		ed := &q.Edges[ei]
+		b := e.newBatcher(ctx, dbName(i), mstream(qs, "dim", ei), e.jenNames(), metrics.DBSentTuples, metrics.DBSentBytes, i)
+		alg := ed.Algorithm
+		if gated[ei] {
+			d, err := e.recvCtl(ctx, dbName(i), mstream(qs, "dec", ei))
+			pr.fail(err)
+			if err == nil && d == 1 {
+				alg = plan.EdgeBroadcast
+			}
+		}
+		if runErr == nil {
+			rows := dims[ei].parts[i]
+			if alg == plan.EdgeBroadcast {
+				pr.fail(b.broadcastRows(rows))
+			} else {
+				pr.fail(b.scatterRows(rows, ed.DimKeyWire, destOf))
+			}
+		}
+		// Closed even when failing so every JEN receiver learns the fate of
+		// this worker's stream instead of waiting on it.
+		pr.fail(b.CloseWith(runErr))
+	}
+	return runErr
+}
+
+// multiJENProgram is one JEN worker's side of the multi-join: receive the
+// cascaded Bloom filters, scan the fact table once with every filter
+// applied, then run the join edges as pipeline stages — repartition stages
+// reshuffle the intermediate result by the next edge's key, broadcast
+// stages probe the full dimension locally — and finish with the shared
+// aggregation fan-in.
+func (e *Engine) multiJENProgram(ctx context.Context, qs string, q *plan.MultiQuery, scanPlan *jen.ScanPlan, w, n, m int, gated []bool, st *multiAdaptState) error {
+	me := jenName(w)
+	var runErr error
+	pr := newProg(ctx, &runErr)
+	defer pr.release()
+	ctx = pr.ctx
+	bud := e.budget(qs)
+	var charged int64
+	defer func() { bud.Release(charged) }()
+	destOf := func(key int64) string { return jenName(cluster.PartitionFor(key, n)) }
+	desig := e.jen.DesignatedWorker()
+
+	// Blocking: the cascaded dimension Bloom filters, in edge order (the
+	// multi-join counterpart of the two-table BF_DB wait).
+	var cascade []jen.CascadeFilter
+	for ei := range q.Edges {
+		if !q.Edges[ei].UseBloom {
+			continue
+		}
+		bf, err := e.recvBloom(ctx, me, mstream(qs, "bf", ei), 1)
+		pr.fail(err)
+		if bf != nil {
+			cascade = append(cascade, jen.CascadeFilter{
+				Filter: jen.BloomKeyFilter{F: bf},
+				KeyIdx: q.FactWire[q.Edges[ei].FactKeyCol],
+			})
+		}
+	}
+
+	spec := jen.ScanSpec{
+		Plan: scanPlan, Worker: w,
+		Proj: q.FactScanProj, Pred: q.FactPred, Pruner: q.Pruner(),
+		Cascade: cascade,
+		Threads: e.cfg.WorkerThreads,
+		Mem:     bud,
+	}
+
+	// Stage 0: the fact scan feeds the first edge directly — scattered by
+	// its key for a repartition edge, kept local for a broadcast edge.
+	var cur []types.Row
+	first := &q.Edges[0]
+	if first.Algorithm == plan.EdgeRepartition {
+		b := e.newBatcher(ctx, me, mstream(qs, "shuffle", 0), e.jenNames(), metrics.JENShuffleTuples, metrics.JENShuffleBytes, w)
+		scanKey := q.FactWire[first.FactKeyCol]
+		if runErr == nil {
+			pr.fail(e.jen.ScanFilterBatches(spec, func(sb *batch.Batch) error {
+				return b.scatterBatch(sb, q.FactWire, scanKey, destOf)
+			}))
+		}
+		pr.fail(b.CloseWith(runErr))
+		rows, err := e.collectRows(ctx, me, mstream(qs, "shuffle", 0), n)
+		pr.fail(err)
+		e.rec.AddAt(metrics.JENRecvTuples, w, int64(len(rows)))
+		cur = rows
+	} else {
+		var mu sync.Mutex // morsel workers yield concurrently
+		if runErr == nil {
+			pr.fail(e.jen.ScanFilterBatches(spec, func(sb *batch.Batch) error {
+				wb := batch.New(len(q.FactWire), sb.Len())
+				perr := sb.Each(func(i int) error {
+					wb.AppendFrom(sb, i, q.FactWire)
+					return nil
+				})
+				rows := wb.Rows()
+				mu.Lock()
+				cur = append(cur, rows...)
+				mu.Unlock()
+				return perr
+			}))
+		}
+	}
+	charged += chargeRows(bud, cur)
+
+	// Join stages. Width tracks the combined layout for the adaptive
+	// re-cost's bytes-per-row estimate.
+	width := len(q.FactWire)
+	for ei := range q.Edges {
+		ed := &q.Edges[ei]
+		alg := ed.Algorithm
+
+		if gated[ei] {
+			// Keep-vs-broadcast handshake: every worker contributes its
+			// observed intermediate size — unconditionally, even when
+			// failing, so the designated fan-in always completes — and the
+			// decision reaches the JEN and DB workers alike.
+			pr.fail(e.sendCtl(me, mstream(qs, "obs", ei), int64(len(cur)), []string{jenName(desig)}))
+			if w == desig {
+				total, err := e.recvCtlSum(ctx, me, mstream(qs, "obs", ei), n)
+				pr.fail(err)
+				var dec int64
+				if err == nil {
+					var reason string
+					dec, reason = e.decideEdgeSwitch(ed, total, int64(16*width), n, m)
+					if dec == 1 {
+						st.record(ei, reason)
+					}
+				}
+				pr.fail(e.sendCtl(me, mstream(qs, "dec", ei), dec, append(e.jenNames(), e.dbNames()...)))
+			}
+			d, err := e.recvCtl(ctx, me, mstream(qs, "dec", ei))
+			pr.fail(err)
+			if err == nil && d == 1 {
+				alg = plan.EdgeBroadcast
+			}
+		}
+
+		// Reshuffle the intermediate result by this edge's key (the first
+		// edge was already routed by the scan).
+		if ei > 0 && alg == plan.EdgeRepartition {
+			b := e.newBatcher(ctx, me, mstream(qs, "shuffle", ei), e.jenNames(), metrics.JENShuffleTuples, metrics.JENShuffleBytes, w)
+			if runErr == nil {
+				pr.fail(b.scatterRows(cur, ed.FactKeyCol, destOf))
+			}
+			pr.fail(b.CloseWith(runErr))
+			rows, err := e.collectRows(ctx, me, mstream(qs, "shuffle", ei), n)
+			pr.fail(err)
+			e.rec.AddAt(metrics.JENRecvTuples, w, int64(len(rows)))
+			cur = rows
+			charged += chargeRows(bud, cur)
+		}
+
+		// Receive this edge's dimension — the hash-local share under
+		// repartition, the full dimension under broadcast — and probe.
+		dimRows, err := e.collectRows(ctx, me, mstream(qs, "dim", ei), m)
+		pr.fail(err)
+		if runErr == nil {
+			ht := relop.NewHashTable(ed.DimKeyWire)
+			for _, r := range dimRows {
+				if err := ht.Insert(r); err != nil {
+					pr.fail(err)
+					break
+				}
+			}
+			ht.Build()
+			charged += chargeJoinBuild(bud, int64(len(dimRows)), ed.DimWireSchema.Len())
+			e.rec.AddAt(metrics.JoinBuildTuples, w, int64(len(dimRows)))
+			e.rec.AddAt(metrics.JoinProbeTuples, w, int64(len(cur)))
+			if runErr == nil {
+				next := make([]types.Row, 0, len(cur))
+				for _, r := range cur {
+					for _, dr := range ht.Probe(r[ed.FactKeyCol].Int()) {
+						next = append(next, r.Concat(dr))
+					}
+				}
+				cur = next
+				charged += chargeRows(bud, cur)
+			}
+		}
+		width += ed.DimWireSchema.Len()
+	}
+
+	// Post-join filter and partial aggregation, then the shared fan-in.
+	agg := relop.NewHashAgg(q.GroupBy, q.Aggs)
+	agg.SetBudget(bud)
+	defer func() { bud.Release(agg.MemBytes()) }()
+	if runErr == nil {
+		var output int64
+		for _, r := range cur {
+			ok := true
+			if q.PostJoin != nil {
+				v, err := q.PostJoin.Eval(r)
+				if err != nil {
+					pr.fail(err)
+					break
+				}
+				ok = v.Truth()
+			}
+			if !ok {
+				continue
+			}
+			output++
+			if err := agg.Add(r); err != nil {
+				pr.fail(err)
+				break
+			}
+		}
+		e.rec.Add(metrics.JoinOutputTuples, output)
+	}
+	return e.finishAggregation(ctx, qs, q.GroupBy, q.Aggs, agg, w, n, runErr)
+}
+
+// decideEdgeSwitch re-costs a gated repartition edge against a broadcast
+// using the observed intermediate cardinality, with the same cost model and
+// hysteresis as the two-table adaptive layer. Returns 1 to switch.
+func (e *Engine) decideEdgeSwitch(ed *plan.EdgeExec, interRows, interRowBytes int64, n, m int) (int64, string) {
+	stats := costmodel.PlanStats{
+		TPrimeRows: ed.EstDimRows, TPrimeBytes: ed.EstDimBytes,
+		LPrimeRows: interRows, LPrimeBytes: interRows * interRowBytes,
+		JENWorkers: n, DBWorkers: m,
+	}
+	mod := costmodel.New(costmodel.Rates{})
+	cur := mod.ShuffleJoinCost(stats, false)
+	bc := mod.BroadcastJoinCost(stats)
+	e.rec.Add(metrics.AdaptDecisions, 1)
+	if !costmodel.ShouldSwitch(cur, bc, e.cfg.AdaptMargin) {
+		return 0, ""
+	}
+	e.rec.Add(metrics.AdaptSwitches, 1)
+	return 1, fmt.Sprintf(
+		"edge %s: observed intermediate ≈%d rows vs dim ≈%d rows: re-cost keep=%.3gs broadcast=%.3gs (margin %.0f%%) → broadcast",
+		ed.Dim.Table, interRows, ed.EstDimRows, cur, bc, e.cfg.AdaptMargin*100)
+}
+
+// sendCtl ships one int64 control value — an observed cardinality or an
+// agreed decision — on a MsgControl stream.
+func (e *Engine) sendCtl(from, stream string, v int64, dests []string) error {
+	var payload [8]byte
+	binary.BigEndian.PutUint64(payload[:], uint64(v))
+	for _, dest := range dests {
+		e.rec.Add(metrics.AdaptBytes, int64(len(payload)))
+		if err := e.bus.Send(from, dest, netsim.Msg{Type: netsim.MsgControl, Stream: stream, Payload: payload[:]}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recvCtl blocks for one control value, with the standard abort semantics.
+func (e *Engine) recvCtl(ctx context.Context, at, stream string) (int64, error) {
+	return e.recvCtlParts(ctx, at, stream, 1)
+}
+
+// recvCtlSum receives `parts` control values and returns their sum — the
+// observation fan-in at the designated worker.
+func (e *Engine) recvCtlSum(ctx context.Context, at, stream string, parts int) (int64, error) {
+	return e.recvCtlParts(ctx, at, stream, parts)
+}
+
+func (e *Engine) recvCtlParts(ctx context.Context, at, stream string, parts int) (int64, error) {
+	r := e.routers[at]
+	ch, err := r.Route(netsim.MsgControl, stream)
+	if err != nil {
+		return 0, err
+	}
+	abort, err := r.Route(netsim.MsgError, stream)
+	if err != nil {
+		r.Unroute(netsim.MsgControl, stream)
+		return 0, err
+	}
+	defer r.Unroute(netsim.MsgControl, stream)
+	defer r.Unroute(netsim.MsgError, stream)
+	var sum int64
+	var consumeErr error
+	for i := 0; i < parts; i++ {
+		select {
+		case env := <-ch:
+			if consumeErr != nil {
+				continue // already failed; keep draining the protocol
+			}
+			if len(env.Payload) != 8 {
+				consumeErr = fmt.Errorf("core: %s control %s from %s: bad payload size %d", at, stream, env.From, len(env.Payload))
+				continue
+			}
+			sum += int64(binary.BigEndian.Uint64(env.Payload))
+		case env := <-abort:
+			return sum, decodeAbort(at, stream, env)
+		case <-ctx.Done():
+			return sum, ctxAbort(ctx, at, stream)
+		}
+	}
+	return sum, consumeErr
+}

@@ -33,6 +33,9 @@ type Experiment struct {
 	// Counts marks count-reporting experiments (Table 1) as opposed to
 	// execution-time figures.
 	Counts bool
+	// Unit, when set, overrides the reported unit and switches the table
+	// rendering to two decimals (the star suite reports megabytes).
+	Unit string
 	// Note records workload details (e.g. defaulted selectivities).
 	Note string
 	// Best condenses multiple algorithms into min-of-group series, as the

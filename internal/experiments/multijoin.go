@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hybridwh"
+	"hybridwh/internal/datagen"
+	"hybridwh/internal/metrics"
+)
+
+// The multi-join suite measures what the two-table figures cannot: cascaded
+// semi-join reduction over an N-way star plan. Each cell sweeps the
+// dimension predicate cutoff c ("attr < c" on every dimension, selecting
+// c/1000 of each), and every cell runs twice — with the analyzer's Bloom
+// cascade and with it disabled — so the series pair isolates how much fact
+// shuffle the cascade removes as the combined dimension selectivity varies.
+
+// StarCell is one x-axis point of a star experiment: the common dimension
+// predicate cutoff (attr < Cut, i.e. selectivity Cut/1000 per dimension).
+type StarCell struct {
+	Label string
+	Cut   int64
+}
+
+// StarExperiment declares one multi-join experiment over a star schema.
+type StarExperiment struct {
+	ID    string
+	Title string
+	Star  datagen.Star
+	Cells []StarCell
+	Note  string
+}
+
+// StarSuite returns the multi-join experiments.
+func StarSuite() []StarExperiment {
+	star := datagen.Star{
+		FactRows: 100_000,
+		Dims: []datagen.DimSpec{
+			{Name: "customer", Rows: 2000},
+			{Name: "product", Rows: 500},
+			{Name: "store", Rows: 100},
+		},
+		Groups: 10,
+	}
+	var cells []StarCell
+	for _, cut := range []int64{100, 300, 500, 700, 900} {
+		cells = append(cells, StarCell{Label: fmt.Sprintf("sel=%.1f", float64(cut)/1000), Cut: cut})
+	}
+	snow := star
+	snow.Dims = []datagen.DimSpec{
+		{Name: "customer", Rows: 2000, Sub: &datagen.DimSpec{Name: "region", Rows: 50}},
+		{Name: "product", Rows: 500},
+		{Name: "store", Rows: 100},
+	}
+	return []StarExperiment{
+		{
+			ID:    "star1",
+			Title: "3-way star join: shuffled MB with vs without cascaded semi-join reduction",
+			Star:  star,
+			Cells: cells,
+			Note:  "per-dimension selectivity swept together; cascade filters the single fact scan with every dimension's Bloom filter before the shuffle",
+		},
+		{
+			ID:    "star2",
+			Title: "snowflake: region pre-joined DB-side, its predicate tightening the customer cascade",
+			Star:  snow,
+			Cells: cells,
+			Note:  "the region predicate applies before the customer Bloom filter is built, so the cascade also carries sub-dimension selectivity",
+		},
+	}
+}
+
+// StarByID finds one star experiment.
+func StarByID(id string) (StarExperiment, error) {
+	for _, e := range StarSuite() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return StarExperiment{}, fmt.Errorf("experiments: unknown star experiment %q", id)
+}
+
+// starSQL builds the cell's query: every dimension filtered at the cut,
+// grouped on the fact's grp column. Snowflake sub-dimensions join through
+// their parent and take the same cut.
+func starSQL(s datagen.Star, cut int64) string {
+	sql := "select f.grp, count(*), sum(f.measure) from fact f"
+	where := ""
+	and := func(cond string) {
+		if where == "" {
+			where = " where " + cond
+			return
+		}
+		where += " and " + cond
+	}
+	for _, d := range s.Dims {
+		a := string(d.Name[0]) + "_"
+		sql += fmt.Sprintf(" join %s %s on f.fk_%s = %s.key", d.Name, a, d.Name, a)
+		and(fmt.Sprintf("%s.attr < %d", a, cut))
+		if d.Sub != nil {
+			sa := string(d.Sub.Name[0]) + "s_"
+			sql += fmt.Sprintf(" join %s %s on %s.fk_%s = %s.key", d.Sub.Name, sa, a, d.Sub.Name, sa)
+			and(fmt.Sprintf("%s.attr < %d", sa, cut))
+		}
+	}
+	return sql + where + " group by f.grp"
+}
+
+// RunStar executes one star experiment: each cell runs with the cascade on
+// and off against two identically-loaded warehouses, reporting shuffled
+// megabytes for both and failing if the result rows ever diverge.
+func RunStar(exp StarExperiment, cfg RunConfig) (*Report, error) {
+	cfg = cfg.withDefaults()
+	open := func(noCascade bool) (*hybridwh.Warehouse, error) {
+		w, err := hybridwh.Open(hybridwh.Config{
+			DBWorkers:     cfg.DBWorkers,
+			JENWorkers:    cfg.JENWorkers,
+			Scale:         cfg.Scale,
+			Seed:          cfg.Seed,
+			StarNoCascade: noCascade,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s := exp.Star
+		s.Seed = cfg.Seed + 3
+		s.ZipfS = cfg.ZipfS
+		if err := w.LoadStar(s); err != nil {
+			w.Close()
+			return nil, err
+		}
+		return w, nil
+	}
+	wCas, err := open(false)
+	if err != nil {
+		return nil, err
+	}
+	defer wCas.Close()
+	wPlain, err := open(true)
+	if err != nil {
+		return nil, err
+	}
+	defer wPlain.Close()
+
+	const mb = 1 << 20
+	rep := &Report{
+		Exp:    Experiment{ID: exp.ID, Title: exp.Title, Note: exp.Note, Unit: "MB at simulation scale; row counts are exact"},
+		Config: cfg,
+		Series: []string{"shuffled MB cascade", "shuffled MB plain", "groups"},
+	}
+	for _, cell := range exp.Cells {
+		sql := starSQL(exp.Star, cell.Cut)
+		resCas, err := wCas.Query(sql)
+		if err != nil {
+			return nil, fmt.Errorf("%s %q cascade: %w", exp.ID, cell.Label, err)
+		}
+		resPlain, err := wPlain.Query(sql)
+		if err != nil {
+			return nil, fmt.Errorf("%s %q plain: %w", exp.ID, cell.Label, err)
+		}
+		if len(resCas.Rows) != len(resPlain.Rows) {
+			return nil, fmt.Errorf("%s %q: cascade and plain disagree: %d vs %d rows",
+				exp.ID, cell.Label, len(resCas.Rows), len(resPlain.Rows))
+		}
+		for i := range resCas.Rows {
+			if resCas.Rows[i].String() != resPlain.Rows[i].String() {
+				return nil, fmt.Errorf("%s %q row %d: cascade %s vs plain %s",
+					exp.ID, cell.Label, i, resCas.Rows[i], resPlain.Rows[i])
+			}
+		}
+		rep.Rows = append(rep.Rows, CellResult{Label: cell.Label, Values: map[string]float64{
+			"shuffled MB cascade": float64(resCas.Counters[metrics.JENShuffleBytes]) / mb,
+			"shuffled MB plain":   float64(resPlain.Counters[metrics.JENShuffleBytes]) / mb,
+			"groups":              float64(len(resCas.Rows)),
+		}})
+	}
+	return rep, nil
+}
+
+// CheckStarShape validates the suite's qualitative claim: the cascade never
+// shuffles more than the plain plan, and at selective cells (< 0.5 per
+// dimension) it shuffles strictly less.
+func CheckStarShape(r *Report) []string {
+	var bad []string
+	for _, row := range r.Rows {
+		cas, plain := row.Values["shuffled MB cascade"], row.Values["shuffled MB plain"]
+		if cas > plain*1.01 {
+			bad = append(bad, fmt.Sprintf("%s %s: cascade shuffled more (%.2f MB vs %.2f MB)",
+				r.Exp.ID, row.Label, cas, plain))
+		}
+	}
+	first := r.Rows[0].Values
+	if !(first["shuffled MB cascade"] < first["shuffled MB plain"]*0.5) {
+		bad = append(bad, fmt.Sprintf("%s %s: cascade saved too little at the most selective cell (%.2f vs %.2f MB)",
+			r.Exp.ID, r.Rows[0].Label, first["shuffled MB cascade"], first["shuffled MB plain"]))
+	}
+	return bad
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hybridwh/internal/datagen"
+)
+
+// quickStar shrinks a star experiment for unit-test wall clock.
+func quickStar(t *testing.T, id string) StarExperiment {
+	t.Helper()
+	exp, err := StarByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp.Star.FactRows = 10_000
+	exp.Cells = []StarCell{{Label: "sel=0.2", Cut: 200}, {Label: "sel=0.8", Cut: 800}}
+	return exp
+}
+
+func TestStarSuiteDeclared(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range StarSuite() {
+		if e.ID == "" || e.Title == "" || len(e.Cells) == 0 {
+			t.Errorf("star experiment %+v underdeclared", e)
+		}
+		if ids[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"star1", "star2"} {
+		if !ids[want] {
+			t.Errorf("missing %s", want)
+		}
+	}
+	if _, err := StarByID("nope"); err == nil {
+		t.Error("StarByID accepted an unknown id")
+	}
+}
+
+func TestStarSQLShape(t *testing.T) {
+	s := datagen.Star{
+		Dims: []datagen.DimSpec{
+			{Name: "customer", Rows: 100, Sub: &datagen.DimSpec{Name: "region", Rows: 10}},
+			{Name: "store", Rows: 20},
+		},
+	}
+	sql := starSQL(s, 250)
+	for _, want := range []string{
+		"join customer c_ on f.fk_customer = c_.key",
+		"join region rs_ on c_.fk_region = rs_.key",
+		"join store s_ on f.fk_store = s_.key",
+		"c_.attr < 250", "rs_.attr < 250", "s_.attr < 250",
+		"group by f.grp",
+	} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("starSQL missing %q:\n%s", want, sql)
+		}
+	}
+}
+
+func TestRunStar1Quick(t *testing.T) {
+	rep, err := RunStar(quickStar(t, "star1"), RunConfig{Scale: 20000, DBWorkers: 4, JENWorkers: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	if bad := CheckStarShape(rep); len(bad) > 0 {
+		t.Errorf("shape violations at quick scale: %v", bad)
+	}
+	// The selective cell must save more shuffle (relatively) than the
+	// permissive one.
+	sel, perm := rep.Rows[0].Values, rep.Rows[1].Values
+	selRatio := sel["shuffled MB cascade"] / sel["shuffled MB plain"]
+	permRatio := perm["shuffled MB cascade"] / perm["shuffled MB plain"]
+	if !(selRatio < permRatio) {
+		t.Errorf("cascade ratio did not shrink with selectivity: sel=%.3f perm=%.3f", selRatio, permRatio)
+	}
+	out := rep.String()
+	for _, want := range []string{"star join", "shuffled MB cascade", "sel=0.2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunStar2SnowflakeQuick(t *testing.T) {
+	rep, err := RunStar(quickStar(t, "star2"), RunConfig{Scale: 20000, DBWorkers: 4, JENWorkers: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad := CheckStarShape(rep); len(bad) > 0 {
+		t.Errorf("shape violations: %v", bad)
+	}
+}

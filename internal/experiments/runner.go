@@ -211,7 +211,11 @@ func (r *Report) String() string {
 	if r.Exp.Counts {
 		unit = "tuples"
 	}
-	fmt.Fprintf(&b, "  (scale 1/%g; values in %s at paper scale)\n", r.Config.Scale, unit)
+	if r.Exp.Unit != "" {
+		fmt.Fprintf(&b, "  (values in %s)\n", r.Exp.Unit)
+	} else {
+		fmt.Fprintf(&b, "  (scale 1/%g; values in %s at paper scale)\n", r.Config.Scale, unit)
+	}
 
 	width := 14
 	for _, s := range r.Series {
@@ -238,9 +242,12 @@ func (r *Report) String() string {
 				fmt.Fprintf(&b, "%*s", width, "-")
 				continue
 			}
-			if r.Exp.Counts {
+			switch {
+			case r.Exp.Counts:
 				fmt.Fprintf(&b, "%*s", width, fmtCount(v))
-			} else {
+			case r.Exp.Unit != "":
+				fmt.Fprintf(&b, "%*.2f", width, v)
+			default:
 				fmt.Fprintf(&b, "%*.0f", width, v)
 			}
 		}

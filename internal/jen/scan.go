@@ -30,6 +30,13 @@ func (b BloomKeyFilter) TestKey(key int64) bool {
 	return b.F.TestHash(types.BloomHashKey(key))
 }
 
+// CascadeFilter pairs a key filter with the projected-layout column it
+// tests, so an N-way scan can apply one filter per join edge.
+type CascadeFilter struct {
+	Filter KeyFilter
+	KeyIdx int
+}
+
 // ScanSpec describes one worker's filtered, projected table scan — the read
 // threads plus process thread of Figure 7. Rows that survive every filter
 // are handed to the caller's yield, which typically partitions them into
@@ -49,6 +56,11 @@ type ScanSpec struct {
 	// DBFilter, when set, drops rows whose join key it rejects (BF_DB or
 	// the semijoin key set).
 	DBFilter KeyFilter
+	// Cascade applies additional key filters, each against its own key
+	// column of the projected layout — the cascaded semi-join reduction of
+	// an N-way plan, where every dimension's Bloom filter drops fact rows
+	// before they ship. Filters apply in order after DBFilter.
+	Cascade []CascadeFilter
 	// BuildBloom, when set, is populated with the BloomKey of every
 	// surviving row (BF_H construction during the scan — zigzag step 3b).
 	// With Threads > 1 each process goroutine fills a private filter of the
@@ -280,6 +292,26 @@ func (c *Cluster) filterBatch(spec ScanSpec, b *batch.Batch, hashes *[]uint64, h
 			b.Filter(func(i int) bool { return spec.DBFilter.TestKey(keys[i].Int()) })
 		}
 	}
+	for _, cf := range spec.Cascade {
+		if b.Len() == 0 {
+			break
+		}
+		keys := b.Col(cf.KeyIdx)
+		if bf, isBloom := cf.Filter.(BloomKeyFilter); isBloom {
+			hs := (*hashes)[:0]
+			_ = b.Each(func(i int) error {
+				hs = append(hs, types.BloomHashKey(keys[i].Int()))
+				return nil
+			})
+			*hashes = hs
+			*hits = bf.F.TestHashes(hs, (*hits)[:0])
+			j := 0
+			res := *hits
+			b.Filter(func(int) bool { ok := res[j]; j++; return ok })
+		} else {
+			b.Filter(func(i int) bool { return cf.Filter.TestKey(keys[i].Int()) })
+		}
+	}
 	if spec.BuildBloom != nil && b.Len() > 0 {
 		keys := b.Col(spec.BloomKeyIdx)
 		hs := (*hashes)[:0]
@@ -313,6 +345,7 @@ func (c *Cluster) filterBatch(spec ScanSpec, b *batch.Batch, hashes *[]uint64, h
 func (c *Cluster) ScanFilter(spec ScanSpec, yield func(types.Row) error) error {
 	rowSpec := spec
 	rowSpec.Pred, rowSpec.DBFilter, rowSpec.BuildBloom = nil, nil, nil
+	rowSpec.Cascade = nil
 	rowSpec.BuildSketch = nil // skew handling is a batch-mode feature
 	rowSpec.Progress = nil    // adaptive execution is too; batch counts would miscount survivors here
 	rowSpec.Threads = 1       // the seed pipeline is strictly single-threaded
@@ -327,6 +360,11 @@ func (c *Cluster) ScanFilter(spec ScanSpec, yield func(types.Row) error) error {
 			}
 			if spec.DBFilter != nil && !spec.DBFilter.TestKey(row[spec.BloomKeyIdx].Int()) {
 				return nil
+			}
+			for _, cf := range spec.Cascade {
+				if !cf.Filter.TestKey(row[cf.KeyIdx].Int()) {
+					return nil
+				}
 			}
 			if spec.BuildBloom != nil {
 				spec.BuildBloom.AddHash(types.BloomHashKey(row[spec.BloomKeyIdx].Int()))

@@ -45,6 +45,7 @@ func Analyzers() []*analysis.Analyzer {
 // reproducible across runs (EXPERIMENTS.md, benchmarks, the cost model);
 // only they are subject to the nondet analyzer.
 var deterministicPkgs = map[string]bool{
+	"hybridwh/internal/analyzer":    true,
 	"hybridwh/internal/core":        true,
 	"hybridwh/internal/netsim":      true,
 	"hybridwh/internal/datagen":     true,
@@ -74,13 +75,16 @@ var hotPathPkgs = map[string]bool{
 // pools; only they are subject to the poolsafe analyzer. sched is in the
 // set because its Run closures execute engine programs that hold pooled
 // batches: a pool-unsafe escape there would outlive the query's budget.
+// analyzer is in the set because Lower's plans carry expression trees the
+// engine evaluates against pooled batches.
 var poolPlanePkgs = map[string]bool{
-	"hybridwh/internal/format": true,
-	"hybridwh/internal/jen":    true,
-	"hybridwh/internal/core":   true,
-	"hybridwh/internal/relop":  true,
-	"hybridwh/internal/edw":    true,
-	"hybridwh/internal/sched":  true,
+	"hybridwh/internal/analyzer": true,
+	"hybridwh/internal/format":   true,
+	"hybridwh/internal/jen":      true,
+	"hybridwh/internal/core":     true,
+	"hybridwh/internal/relop":    true,
+	"hybridwh/internal/edw":      true,
+	"hybridwh/internal/sched":    true,
 }
 
 // Applies reports whether an analyzer runs on a package.

@@ -245,6 +245,7 @@ const (
 	DBIndexRows     = "db.index.rows"     // vector: index-only rows touched
 	DBFilteredRows  = "db.filtered.rows"  // vector: rows in T' per DB worker
 	DBBloomFiltered = "db.bloom.filtered" // scalar: T' rows dropped by BF_H
+	DBDimJoinTuples = "db.dimjoin.tuples" // scalar: rows out of DB-side snowflake pre-joins
 
 	// Bloom filters.
 	BloomBuildKeys = "bloom.build.keys" // scalar: keys inserted (both sides)

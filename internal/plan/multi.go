@@ -1,0 +1,193 @@
+package plan
+
+import (
+	"fmt"
+
+	"hybridwh/internal/expr"
+	"hybridwh/internal/format"
+	"hybridwh/internal/relop"
+	"hybridwh/internal/types"
+)
+
+// EdgeAlg is the physical algorithm chosen for one fact-dimension join edge.
+// Snowflake dimension-dimension edges never appear here: the analyzer folds
+// them into a DB-side pre-join (DimPlan.Sub), the N-way analogue of the
+// paper's DB-side join.
+type EdgeAlg int
+
+const (
+	// EdgeRepartition shuffles the fact side by the edge key and ships the
+	// dimension partitions to their JEN owners (the paper's repartition
+	// join per edge).
+	EdgeRepartition EdgeAlg = iota
+	// EdgeBroadcast ships the whole filtered dimension to every JEN worker
+	// so the fact side never moves for this edge.
+	EdgeBroadcast
+)
+
+// String implements fmt.Stringer.
+func (a EdgeAlg) String() string {
+	switch a {
+	case EdgeRepartition:
+		return "repartition"
+	case EdgeBroadcast:
+		return "broadcast"
+	default:
+		return fmt.Sprintf("EdgeAlg(%d)", int(a))
+	}
+}
+
+// DimJoinPlan pre-joins a snowflake sub-dimension into its parent dimension
+// inside the database before the component ships to the fact join. The
+// component wire layout becomes: parent wire ++ sub wire.
+type DimJoinPlan struct {
+	Table string
+	Pred  expr.Expr // over the sub-dimension base layout
+	Proj  []int     // sub-dimension base columns shipped (join key first)
+	// ParentFKWire is the position in the parent dimension's wire layout of
+	// the foreign key into Table. The sub-dimension's join key is position 0
+	// of its own wire layout.
+	ParentFKWire int
+}
+
+// DimPlan describes one dimension component: a filtered, projected EDW
+// table, optionally with a snowflake sub-dimension pre-joined DB-side.
+type DimPlan struct {
+	Table string
+	Pred  expr.Expr // over the base layout
+	Proj  []int     // base columns shipped (edge join key first)
+	Sub   *DimJoinPlan
+}
+
+// EdgeExec is one fact-dimension join edge of a multi-join plan, with its
+// independently chosen physical algorithm.
+type EdgeExec struct {
+	Dim DimPlan
+
+	// DimKeyWire is the join key position in the component wire layout
+	// (parent wire ++ sub wire when Sub is set).
+	DimKeyWire    int
+	DimWireSchema types.Schema
+
+	// FactKeyCol is the fact-side join key position in the combined layout
+	// current when this edge runs. Edge keys always live in the fact wire
+	// prefix, so this is stable as the layout grows.
+	FactKeyCol int
+
+	Algorithm EdgeAlg
+	// UseBloom pushes this dimension's key Bloom filter into the fact scan
+	// (cascaded semi-join reduction). Filters from every bloom-enabled edge
+	// are applied to the scan together, so a fact row failing any dimension
+	// drops before it is shuffled.
+	UseBloom bool
+
+	// Estimates recorded by the analyzer for EXPLAIN and adaptive
+	// re-costing: filtered dimension cardinality/bytes and the estimated
+	// selectivity of the edge against the fact side.
+	EstDimRows  int64
+	EstDimBytes int64
+	EstSel      float64
+}
+
+// MultiQuery is the executable decomposition of an N-way star/snowflake
+// join: one fact table in HDFS joined to an ordered sequence of dimension
+// components from the EDW. Edges execute as pipeline stages; the combined
+// layout grows per edge:
+//
+//	fact wire ++ edge[0] dim wire ++ edge[1] dim wire ++ ...
+//
+// PostJoin, GroupBy and Aggs are expressed over the final combined layout.
+type MultiQuery struct {
+	FactTable string
+
+	// Fact (HDFS) side, mirroring JoinQuery's HDFS conventions.
+	FactScanProj     []int
+	FactPred         expr.Expr // over the scan layout
+	FactPrunerRanges []format.IntRange
+	FactWire         []int // indexes into the scan layout
+	FactWireSchema   types.Schema
+
+	Edges []EdgeExec
+
+	// Over the final combined layout.
+	PostJoin     expr.Expr
+	GroupBy      []expr.Expr
+	Aggs         []relop.AggSpec
+	OutputSchema types.Schema
+
+	// FactCardHint estimates the filtered fact cardinality (like
+	// JoinQuery.HDFSCardHint). Zero means "use catalog rows".
+	FactCardHint int64
+}
+
+// Validate checks internal consistency.
+func (q *MultiQuery) Validate() error {
+	if q.FactTable == "" {
+		return fmt.Errorf("plan: fact table name is required")
+	}
+	if len(q.FactScanProj) == 0 || len(q.FactWire) == 0 {
+		return fmt.Errorf("plan: fact projections are empty")
+	}
+	for _, w := range q.FactWire {
+		if w < 0 || w >= len(q.FactScanProj) {
+			return fmt.Errorf("plan: fact wire column %d outside scan layout of %d", w, len(q.FactScanProj))
+		}
+	}
+	if q.FactWireSchema.Len() != len(q.FactWire) {
+		return fmt.Errorf("plan: fact wire schema width %d != %d", q.FactWireSchema.Len(), len(q.FactWire))
+	}
+	if len(q.Edges) == 0 {
+		return fmt.Errorf("plan: multi-join needs at least one edge")
+	}
+	width := len(q.FactWire)
+	for i, e := range q.Edges {
+		if e.Dim.Table == "" {
+			return fmt.Errorf("plan: edge %d has no dimension table", i)
+		}
+		if len(e.Dim.Proj) == 0 {
+			return fmt.Errorf("plan: edge %d dimension projection is empty", i)
+		}
+		wireLen := len(e.Dim.Proj)
+		if e.Dim.Sub != nil {
+			if len(e.Dim.Sub.Proj) == 0 {
+				return fmt.Errorf("plan: edge %d sub-dimension projection is empty", i)
+			}
+			if e.Dim.Sub.ParentFKWire < 0 || e.Dim.Sub.ParentFKWire >= len(e.Dim.Proj) {
+				return fmt.Errorf("plan: edge %d sub-dimension FK %d outside parent wire of %d", i, e.Dim.Sub.ParentFKWire, len(e.Dim.Proj))
+			}
+			wireLen += len(e.Dim.Sub.Proj)
+		}
+		if e.DimKeyWire < 0 || e.DimKeyWire >= wireLen {
+			return fmt.Errorf("plan: edge %d dim key %d outside wire layout of %d", i, e.DimKeyWire, wireLen)
+		}
+		if e.DimWireSchema.Len() != wireLen {
+			return fmt.Errorf("plan: edge %d dim wire schema width %d != %d", i, e.DimWireSchema.Len(), wireLen)
+		}
+		if e.FactKeyCol < 0 || e.FactKeyCol >= len(q.FactWire) {
+			return fmt.Errorf("plan: edge %d fact key %d outside fact wire of %d", i, e.FactKeyCol, len(q.FactWire))
+		}
+		width += wireLen
+	}
+	if len(q.GroupBy) == 0 && len(q.Aggs) == 0 {
+		return fmt.Errorf("plan: analytic queries need grouping or aggregation")
+	}
+	return nil
+}
+
+// CombinedSchema returns the final layout post-join expressions see: fact
+// wire followed by every edge's dimension wire, in edge order.
+func (q *MultiQuery) CombinedSchema() types.Schema {
+	out := q.FactWireSchema
+	for _, e := range q.Edges {
+		out = out.Concat(e.DimWireSchema)
+	}
+	return out
+}
+
+// Pruner returns the HWC row-group pruner for the fact scan, or nil.
+func (q *MultiQuery) Pruner() *format.Pruner {
+	if len(q.FactPrunerRanges) == 0 {
+		return nil
+	}
+	return &format.Pruner{Ranges: q.FactPrunerRanges}
+}

@@ -268,6 +268,12 @@ func indexOf(s []int, v int) int {
 	return -1
 }
 
+// PrunerRangesFor extracts HWC pruner ranges from a conjunctive base-layout
+// predicate; the N-way analyzer uses it when lowering the fact scan.
+func PrunerRangesFor(pred expr.Expr, schema types.Schema) []format.IntRange {
+	return prunerRanges(pred, schema)
+}
+
 // prunerRanges extracts closed int ranges per column from a conjunctive
 // base-layout predicate, for HWC row-group pruning.
 func prunerRanges(pred expr.Expr, schema types.Schema) []format.IntRange {

@@ -112,13 +112,22 @@ type SelectItem struct {
 	As string
 }
 
-// TableRef is a FROM-list entry.
+// TableRef is a FROM-list entry (comma list or an explicit JOIN chain).
 type TableRef struct {
 	Name  string
 	Alias string // defaults to Name
+	// Pos is the byte offset of the table name in the query text, for
+	// positional error messages.
+	Pos int
+	// Joined marks relations introduced by an explicit JOIN ... ON clause
+	// (their ON condition is folded into Where as a conjunct).
+	Joined bool
 }
 
-// Query is a parsed two-table analytic query.
+// Query is a parsed analytic query. A comma FROM list and an explicit
+// `JOIN ... ON` chain parse to the same shape: every relation lands in From
+// and every ON condition is AND-ed into Where, so downstream planning sees
+// one uniform conjunctive form.
 type Query struct {
 	Select  []SelectItem
 	From    []TableRef

@@ -27,7 +27,7 @@ var keywords = map[string]bool{
 	"select": true, "from": true, "where": true, "group": true, "by": true,
 	"and": true, "or": true, "not": true, "as": true, "between": true,
 	"count": true, "sum": true, "min": true, "max": true, "avg": true,
-	"date": true,
+	"date": true, "join": true, "inner": true, "on": true,
 }
 
 type token struct {

@@ -72,12 +72,40 @@ func (p *parser) query() (*Query, error) {
 	if _, err := p.expect(tokKeyword, "from"); err != nil {
 		return nil, err
 	}
+	var onConds []Node
 	for {
 		tr, err := p.tableRef()
 		if err != nil {
 			return nil, err
 		}
 		q.From = append(q.From, tr)
+		// Explicit [INNER] JOIN ... ON chain hanging off this relation.
+		// Each joined table lands in From like a comma-list entry and its
+		// ON condition is AND-ed into Where below, so the two spellings
+		// plan identically.
+		for {
+			if p.accept(tokKeyword, "inner") {
+				if _, err := p.expect(tokKeyword, "join"); err != nil {
+					return nil, err
+				}
+			} else if !p.accept(tokKeyword, "join") {
+				break
+			}
+			jt, err := p.tableRef()
+			if err != nil {
+				return nil, err
+			}
+			jt.Joined = true
+			q.From = append(q.From, jt)
+			if _, err := p.expect(tokKeyword, "on"); err != nil {
+				return nil, err
+			}
+			cond, err := p.orExpr()
+			if err != nil {
+				return nil, err
+			}
+			onConds = append(onConds, cond)
+		}
 		if !p.accept(tokSymbol, ",") {
 			break
 		}
@@ -88,6 +116,17 @@ func (p *parser) query() (*Query, error) {
 			return nil, err
 		}
 		q.Where = e
+	}
+	if len(onConds) > 0 {
+		terms := onConds
+		if q.Where != nil {
+			terms = append(terms, q.Where)
+		}
+		if len(terms) == 1 {
+			q.Where = terms[0]
+		} else {
+			q.Where = &LogicNode{Op: "and", Terms: terms}
+		}
 	}
 	if p.accept(tokKeyword, "group") {
 		if _, err := p.expect(tokKeyword, "by"); err != nil {
@@ -152,7 +191,7 @@ func (p *parser) tableRef() (TableRef, error) {
 	if err != nil {
 		return TableRef{}, err
 	}
-	tr := TableRef{Name: name.text, Alias: name.text}
+	tr := TableRef{Name: name.text, Alias: name.text, Pos: name.pos}
 	if p.accept(tokKeyword, "as") {
 		alias, err := p.expect(tokIdent, "")
 		if err != nil {

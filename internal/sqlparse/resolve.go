@@ -48,6 +48,11 @@ func PlanQuery(q *Query, db, hdfs TableMeta, reg *expr.Registry) (*plan.JoinQuer
 	if reg == nil {
 		reg = expr.NewRegistry()
 	}
+	if len(q.From) > 2 {
+		extra := q.From[2]
+		return nil, fmt.Errorf("sql: query joins %d tables but the two-table engine supports exactly 2: table %q at byte offset %d is the first unsupported relation (N-way queries need the analyzer-backed star mode)",
+			len(q.From), extra.Name, extra.Pos)
+	}
 	if len(q.From) != 2 {
 		return nil, fmt.Errorf("sql: hybrid joins take exactly two tables, got %d", len(q.From))
 	}
@@ -69,7 +74,7 @@ func PlanQuery(q *Query, db, hdfs TableMeta, reg *expr.Registry) (*plan.JoinQuer
 	// Split WHERE into conjuncts and classify them.
 	var dbConj, hdfsConj, postConj []Node
 	var joinDB, joinHDFS = -1, -1
-	for _, c := range conjuncts(q.Where) {
+	for _, c := range Conjuncts(q.Where) {
 		// Equi-join detection: bare column = bare column across sides.
 		if cmp, ok := c.(*CmpNode); ok && cmp.Op == "=" && joinDB < 0 {
 			lr, lok := cmp.L.(*NameRef)
@@ -125,7 +130,7 @@ func PlanQuery(q *Query, db, hdfs TableMeta, reg *expr.Registry) (*plan.JoinQuer
 	// Shipped columns per side: everything the post-join stage needs.
 	shipSet := map[side]map[int]bool{dbSide: {}, hdfsSide: {}}
 	collect := func(n Node) error {
-		return walkNames(n, func(nr *NameRef) error {
+		return WalkNames(n, func(nr *NameRef) error {
 			c, err := r.resolve(nr)
 			if err != nil {
 				return err
@@ -251,23 +256,23 @@ func PlanQuery(q *Query, db, hdfs TableMeta, reg *expr.Registry) (*plan.JoinQuer
 		Build()
 }
 
-// conjuncts flattens nested top-level ANDs.
-func conjuncts(n Node) []Node {
+// Conjuncts flattens nested top-level ANDs into a conjunct list.
+func Conjuncts(n Node) []Node {
 	if n == nil {
 		return nil
 	}
 	if l, ok := n.(*LogicNode); ok && l.Op == "and" {
 		var out []Node
 		for _, t := range l.Terms {
-			out = append(out, conjuncts(t)...)
+			out = append(out, Conjuncts(t)...)
 		}
 		return out
 	}
 	return []Node{n}
 }
 
-// walkNames visits every NameRef in the tree.
-func walkNames(n Node, fn func(*NameRef) error) error {
+// WalkNames visits every NameRef in the tree.
+func WalkNames(n Node, fn func(*NameRef) error) error {
 	switch t := n.(type) {
 	case nil:
 		return nil
@@ -276,27 +281,27 @@ func walkNames(n Node, fn func(*NameRef) error) error {
 	case *LitNode:
 		return nil
 	case *CmpNode:
-		if err := walkNames(t.L, fn); err != nil {
+		if err := WalkNames(t.L, fn); err != nil {
 			return err
 		}
-		return walkNames(t.R, fn)
+		return WalkNames(t.R, fn)
 	case *LogicNode:
 		for _, term := range t.Terms {
-			if err := walkNames(term, fn); err != nil {
+			if err := WalkNames(term, fn); err != nil {
 				return err
 			}
 		}
 		return nil
 	case *NotNode:
-		return walkNames(t.E, fn)
+		return WalkNames(t.E, fn)
 	case *ArithNode:
-		if err := walkNames(t.L, fn); err != nil {
+		if err := WalkNames(t.L, fn); err != nil {
 			return err
 		}
-		return walkNames(t.R, fn)
+		return WalkNames(t.R, fn)
 	case *CallNode:
 		for _, a := range t.Args {
-			if err := walkNames(a, fn); err != nil {
+			if err := WalkNames(a, fn); err != nil {
 				return err
 			}
 		}
@@ -342,7 +347,7 @@ func (r *resolver) resolve(nr *NameRef) (colRef, error) {
 // sidesOf returns a bitmask of the sides a node references.
 func (r *resolver) sidesOf(n Node) (int, error) {
 	mask := 0
-	err := walkNames(n, func(nr *NameRef) error {
+	err := WalkNames(n, func(nr *NameRef) error {
 		c, err := r.resolve(nr)
 		if err != nil {
 			return err
@@ -381,25 +386,43 @@ func (r *resolver) convertAll(nodes []Node, col func(colRef) (int, types.Kind, e
 // convert lowers an AST node into an executable expression, mapping column
 // references through col.
 func (r *resolver) convert(n Node, col func(colRef) (int, types.Kind, error)) (expr.Expr, error) {
-	switch t := n.(type) {
-	case *NameRef:
-		c, err := r.resolve(t)
+	return Convert(n, r.reg, func(nr *NameRef) (int, types.Kind, error) {
+		c, err := r.resolve(nr)
 		if err != nil {
-			return nil, err
+			return 0, 0, err
 		}
 		idx, kind, err := col(c)
 		if err != nil {
-			return nil, fmt.Errorf("%w: %s", err, t.Render())
+			return 0, 0, fmt.Errorf("%w: %s", err, nr.Render())
+		}
+		return idx, kind, nil
+	})
+}
+
+// Convert lowers an AST node into an executable expression. bind maps each
+// name reference to a column index and kind in the target row layout; reg
+// resolves scalar function names (nil uses the default registry). It is the
+// shared lowering used by both the two-table resolver and the N-way
+// analyzer, which supply their own binders.
+func Convert(n Node, reg *expr.Registry, bind func(*NameRef) (int, types.Kind, error)) (expr.Expr, error) {
+	if reg == nil {
+		reg = expr.NewRegistry()
+	}
+	switch t := n.(type) {
+	case *NameRef:
+		idx, kind, err := bind(t)
+		if err != nil {
+			return nil, err
 		}
 		return expr.NewCol(idx, t.Render(), kind), nil
 	case *LitNode:
 		return expr.NewLit(t.V), nil
 	case *CmpNode:
-		l, err := r.convert(t.L, col)
+		l, err := Convert(t.L, reg, bind)
 		if err != nil {
 			return nil, err
 		}
-		rr, err := r.convert(t.R, col)
+		rr, err := Convert(t.R, reg, bind)
 		if err != nil {
 			return nil, err
 		}
@@ -424,7 +447,7 @@ func (r *resolver) convert(n Node, col func(colRef) (int, types.Kind, error)) (e
 	case *LogicNode:
 		terms := make([]expr.Expr, len(t.Terms))
 		for i, term := range t.Terms {
-			e, err := r.convert(term, col)
+			e, err := Convert(term, reg, bind)
 			if err != nil {
 				return nil, err
 			}
@@ -435,17 +458,17 @@ func (r *resolver) convert(n Node, col func(colRef) (int, types.Kind, error)) (e
 		}
 		return expr.NewAnd(terms...), nil
 	case *NotNode:
-		e, err := r.convert(t.E, col)
+		e, err := Convert(t.E, reg, bind)
 		if err != nil {
 			return nil, err
 		}
 		return expr.NewNot(e), nil
 	case *ArithNode:
-		l, err := r.convert(t.L, col)
+		l, err := Convert(t.L, reg, bind)
 		if err != nil {
 			return nil, err
 		}
-		rr, err := r.convert(t.R, col)
+		rr, err := Convert(t.R, reg, bind)
 		if err != nil {
 			return nil, err
 		}
@@ -462,13 +485,13 @@ func (r *resolver) convert(n Node, col func(colRef) (int, types.Kind, error)) (e
 		}
 		return expr.NewArith(op, l, rr), nil
 	case *CallNode:
-		fn, err := r.reg.Lookup(t.Name)
+		fn, err := reg.Lookup(t.Name)
 		if err != nil {
 			return nil, err
 		}
 		args := make([]expr.Expr, len(t.Args))
 		for i, a := range t.Args {
-			e, err := r.convert(a, col)
+			e, err := Convert(a, reg, bind)
 			if err != nil {
 				return nil, err
 			}

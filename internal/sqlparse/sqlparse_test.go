@@ -1,6 +1,7 @@
 package sqlparse
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -66,7 +67,7 @@ func TestParsePaperQuery(t *testing.T) {
 	if len(q.GroupBy) != 1 {
 		t.Errorf("groupBy = %+v", q.GroupBy)
 	}
-	if got := conjuncts(q.Where); len(got) != 8 {
+	if got := Conjuncts(q.Where); len(got) != 8 {
 		// corPred<=, indPred<=, between(→2), indPred<=, join, 2 post-join.
 		t.Errorf("conjuncts = %d", len(got))
 	}
@@ -115,7 +116,7 @@ func TestDateLiteral(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	conj := conjuncts(q.Where)
+	conj := Conjuncts(q.Where)
 	cmp := conj[1].(*CmpNode)
 	lit := cmp.R.(*LitNode)
 	if lit.V.K != types.KindDate || lit.V.DateString() != "2015-03-23" {
@@ -293,7 +294,7 @@ func TestUnaryMinus(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	conj := conjuncts(q.Where)
+	conj := Conjuncts(q.Where)
 	lit := conj[1].(*CmpNode).R.(*LitNode)
 	if lit.V.Int() != -1 {
 		t.Errorf("negative int literal = %v", lit.V)
@@ -310,5 +311,70 @@ func TestUnaryMinus(t *testing.T) {
 	db, hd := metas()
 	if _, err := PlanQuery(q2, db, hd, nil); err != nil {
 		t.Errorf("negated column should plan: %v", err)
+	}
+}
+
+// TestJoinOnSyntax: explicit JOIN ... ON chains parse into the same shape
+// as comma-FROM with WHERE conjuncts.
+func TestJoinOnSyntax(t *testing.T) {
+	a, err := Parse(`select count(*) from T join L on T.joinKey = L.joinKey where T.corPred <= 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse(`select count(*) from T, L where T.joinKey = L.joinKey and T.corPred <= 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.From) != 2 || a.From[0].Name != "T" || a.From[1].Name != "L" {
+		t.Fatalf("JOIN...ON FROM: %+v", a.From)
+	}
+	if a.Where == nil || a.Where.Render() != b.Where.Render() {
+		t.Errorf("JOIN...ON where %q, comma-form %q", a.Where.Render(), b.Where.Render())
+	}
+	// INNER JOIN and multi-join chains with aliases also parse.
+	c, err := Parse(`select f.g, count(*) from fact f
+		inner join d1 a on f.k1 = a.key
+		join d2 b on f.k2 = b.key
+		group by f.g`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.From) != 3 || c.From[1].Alias != "a" || c.From[2].Alias != "b" {
+		t.Fatalf("multi JOIN FROM: %+v", c.From)
+	}
+	for _, bad := range []string{
+		"select count(*) from T join L",               // missing ON
+		"select count(*) from T join on T.a = L.a",    // missing table
+		"select count(*) from T join L on",            // missing condition
+		"select count(*) from T inner L on T.a = L.a", // INNER without JOIN
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q): want error", bad)
+		}
+	}
+}
+
+// TestTwoTableEngineRejectsThirdTable: the two-table planner must name the
+// first unsupported relation and its byte offset, and point at star mode.
+func TestTwoTableEngineRejectsThirdTable(t *testing.T) {
+	db, hdfs := metas()
+	sql := `select count(*) from T, L, extra where T.joinKey = L.joinKey`
+	q, err := Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = PlanQuery(q, db, hdfs, nil)
+	if err == nil {
+		t.Fatal("PlanQuery accepted 3 tables")
+	}
+	for _, want := range []string{"3 tables", `"extra"`, "byte offset", "star mode"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+	// The reported offset must point exactly at the extra table's name.
+	pos := strings.Index(sql, "extra")
+	if !strings.Contains(err.Error(), fmt.Sprintf("byte offset %d", pos)) {
+		t.Errorf("error %q: want offset %d of %q", err, pos, "extra")
 	}
 }

@@ -1,0 +1,223 @@
+package hybridwh
+
+import (
+	"strings"
+	"testing"
+
+	"hybridwh/internal/analyzer"
+	"hybridwh/internal/datagen"
+	"hybridwh/internal/metrics"
+	"hybridwh/internal/plan"
+	"hybridwh/internal/sqlparse"
+	"hybridwh/internal/types"
+)
+
+// starRefTables materializes the star dataset for the reference evaluator.
+func starRefTables(t *testing.T, s datagen.Star) map[string]analyzer.RefTable {
+	t.Helper()
+	tables := map[string]analyzer.RefTable{}
+	fact := analyzer.RefTable{Schema: s.FactSchema()}
+	if err := s.GenFact(func(r types.Row) error {
+		fact.Rows = append(fact.Rows, r.Clone())
+		return nil
+	}); err != nil {
+		t.Fatalf("GenFact: %v", err)
+	}
+	tables[StarFactTable] = fact
+	for _, d := range s.AllDims() {
+		rt := analyzer.RefTable{Schema: d.Schema()}
+		if err := s.GenDim(d.Name, func(r types.Row) error {
+			rt.Rows = append(rt.Rows, r.Clone())
+			return nil
+		}); err != nil {
+			t.Fatalf("GenDim(%s): %v", d.Name, err)
+		}
+		tables[d.Name] = rt
+	}
+	return tables
+}
+
+func rowStrings(rows []types.Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r.String()
+	}
+	return out
+}
+
+func checkStarAgainstReference(t *testing.T, w *Warehouse, s datagen.Star, sql string) *Result {
+	t.Helper()
+	res, err := w.Query(sql)
+	if err != nil {
+		t.Fatalf("star query: %v", err)
+	}
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	refRows, refSchema, err := analyzer.Reference(q, starRefTables(t, s), nil)
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	if got, want := res.Schema.Len(), refSchema.Len(); got != want {
+		t.Fatalf("schema width: engine %d vs reference %d", got, want)
+	}
+	got, want := rowStrings(res.Rows), rowStrings(refRows)
+	if len(got) != len(want) {
+		t.Fatalf("row count: engine %d vs reference %d\nengine: %v\nref:    %v", len(got), len(want), got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: engine %s vs reference %s", i, got[i], want[i])
+		}
+	}
+	return res
+}
+
+// TestStarQueryMatchesReference runs a 3-way star query (fact on HDFS, two
+// EDW dimensions with different sizes so the analyzer picks different
+// per-edge algorithms) and compares the result byte for byte against the
+// single-threaded nested-loop reference.
+func TestStarQueryMatchesReference(t *testing.T) {
+	w, err := Open(Config{DBWorkers: 4, JENWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	s := datagen.Star{
+		FactRows: 20_000,
+		Dims: []datagen.DimSpec{
+			{Name: "customer", Rows: 8000},
+			{Name: "product", Rows: 500},
+		},
+		Seed:   7,
+		Groups: 8,
+	}
+	if err := w.LoadStar(s); err != nil {
+		t.Fatal(err)
+	}
+	sql := `select f.grp, count(*), sum(f.measure), min(f.measure)
+	        from fact f
+	        join customer c on f.fk_customer = c.key
+	        join product p on f.fk_product = p.key
+	        where c.attr < 300 and p.attr < 500
+	        group by f.grp`
+	res := checkStarAgainstReference(t, w, w.Star(), sql)
+	if len(res.Edges) != 2 {
+		t.Fatalf("expected 2 join edges, got %+v", res.Edges)
+	}
+	// The analyzer must have chosen per edge: the small product dimension
+	// broadcasts, the large customer dimension repartitions.
+	algs := map[string]plan.EdgeAlg{}
+	for _, ed := range res.Edges {
+		algs[ed.Dim] = ed.Algorithm
+		if !ed.Bloom {
+			t.Errorf("edge %s: expected a cascaded Bloom filter", ed.Dim)
+		}
+	}
+	if algs["product"] != plan.EdgeBroadcast {
+		t.Errorf("product edge: want broadcast, got %s", algs["product"])
+	}
+	if algs["customer"] != plan.EdgeRepartition {
+		t.Errorf("customer edge: want repartition, got %s", algs["customer"])
+	}
+	if res.Counters[metrics.JENShuffleTuples] == 0 {
+		t.Errorf("repartition edge recorded no shuffled tuples")
+	}
+}
+
+// TestSnowflakeQueryMatchesReference adds a snowflake sub-dimension: the
+// analyzer must pre-join it DB-side (metrics.DBDimJoinTuples) and the
+// result must still match the reference exactly.
+func TestSnowflakeQueryMatchesReference(t *testing.T) {
+	w, err := Open(Config{DBWorkers: 4, JENWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	s := datagen.Star{
+		FactRows: 10_000,
+		Dims: []datagen.DimSpec{
+			{Name: "customer", Rows: 1000, Sub: &datagen.DimSpec{Name: "region", Rows: 40}},
+			{Name: "store", Rows: 60},
+		},
+		Seed:   11,
+		Groups: 5,
+	}
+	if err := w.LoadStar(s); err != nil {
+		t.Fatal(err)
+	}
+	sql := `select f.grp, count(*), sum(f.measure), avg(f.measure)
+	        from fact f
+	        join customer c on f.fk_customer = c.key
+	        join region r on c.fk_region = r.key
+	        join store st on f.fk_store = st.key
+	        where r.attr < 600 and st.attr < 800 and c.attr < 900
+	        group by f.grp`
+	res := checkStarAgainstReference(t, w, w.Star(), sql)
+	if len(res.Edges) != 2 {
+		t.Fatalf("expected 2 join edges (customer⋈region component + store), got %+v", res.Edges)
+	}
+	if res.Counters[metrics.DBDimJoinTuples] == 0 {
+		t.Errorf("snowflake pre-join recorded no DB-side joined tuples")
+	}
+}
+
+// TestStarExplain checks the analyzed-tree rendering and the rule trace.
+func TestStarExplain(t *testing.T) {
+	w, err := Open(Config{DBWorkers: 2, JENWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	s := datagen.Star{
+		FactRows: 2000,
+		Dims: []datagen.DimSpec{
+			{Name: "customer", Rows: 400},
+			{Name: "product", Rows: 100},
+		},
+		Seed: 3,
+	}
+	if err := w.LoadStar(s); err != nil {
+		t.Fatal(err)
+	}
+	sql := `select f.grp, count(*) from fact f
+	        join customer c on f.fk_customer = c.key
+	        join product p on f.fk_product = p.key
+	        where c.attr < 100 group by f.grp`
+	out, err := w.Explain(sql)
+	if err != nil {
+		t.Fatalf("explain: %v", err)
+	}
+	for _, want := range []string{"n-way star join", "Join(", "Relation(", "edge 0:", "edge 1:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+	traced, err := w.ExplainStar(sql, true)
+	if err != nil {
+		t.Fatalf("explain with trace: %v", err)
+	}
+	for _, rule := range []string{"resolve_relations", "push_filters", "extract_joins", "order_joins", "choose_algorithms", "cascade_blooms"} {
+		if !strings.Contains(traced, "-- "+rule) {
+			t.Errorf("rule trace missing %q", rule)
+		}
+	}
+}
+
+// TestStarQueryRejectsForcedAlgorithm: the two-table option does not apply.
+func TestStarQueryRejectsForcedAlgorithm(t *testing.T) {
+	w, err := Open(Config{DBWorkers: 2, JENWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.LoadStar(datagen.Star{FactRows: 1000, Dims: []datagen.DimSpec{{Name: "d1", Rows: 50}, {Name: "d2", Rows: 50}}, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = w.Query(`select f.grp, count(*) from fact f join d1 a on f.fk_d1 = a.key join d2 b on f.fk_d2 = b.key group by f.grp`,
+		WithAlgorithm(0))
+	if err == nil || !strings.Contains(err.Error(), "does not apply") {
+		t.Fatalf("expected forced-algorithm rejection, got %v", err)
+	}
+}

@@ -131,6 +131,11 @@ type Config struct {
 	// MaxConcurrent caps concurrently executing queries when the scheduler
 	// is enabled (default 8).
 	MaxConcurrent int
+	// StarNoCascade disables cascaded semi-join reduction in star mode:
+	// the analyzer stops pushing dimension Bloom filters into the fact
+	// scan, so every fact row is shuffled. Results are identical; only the
+	// movement counters change. For A/B experiments (experiments star1).
+	StarNoCascade bool
 }
 
 func (c Config) withDefaults() Config {
@@ -189,6 +194,11 @@ type Warehouse struct {
 	data     datagen.Data
 	dbTable  string
 	hdfsName string
+
+	// Star mode (LoadStar): the fact table name on HDFS and the loaded
+	// star spec. Mutually exclusive with the two-table paper dataset.
+	star     *datagen.Star
+	starFact string
 }
 
 // Open assembles an empty warehouse.
@@ -282,6 +292,9 @@ func (w *Warehouse) Close() error {
 func (w *Warehouse) LoadPaperData(data datagen.Data) error {
 	if w.dbTable != "" {
 		return fmt.Errorf("hybridwh: warehouse already loaded with %s ⋈ %s", w.dbTable, w.hdfsName)
+	}
+	if w.starFact != "" {
+		return fmt.Errorf("hybridwh: warehouse already loaded in star mode")
 	}
 	data = data.WithDefaults()
 	if data.Seed == 0 {
@@ -393,6 +406,10 @@ type Result struct {
 	Switched     bool
 	SwitchedTo   string
 	SwitchReason string
+	// Edges reports the per-edge physical choices of an N-way star query
+	// (nil for two-table queries). Algorithm is then the zero value —
+	// multi-join plans choose per edge, not per query.
+	Edges []core.EdgeSummary
 	// Counters snapshots the run's measured metrics.
 	Counters map[string]int64
 }
@@ -407,6 +424,9 @@ func (w *Warehouse) Query(sql string, opts ...Option) (*Result, error) {
 // cancellation cause (errors.Is matches context.Canceled or
 // context.DeadlineExceeded).
 func (w *Warehouse) QueryCtx(ctx context.Context, sql string, opts ...Option) (*Result, error) {
+	if w.starFact != "" {
+		return w.starQueryCtx(ctx, sql, opts...)
+	}
 	jq, err := w.Plan(sql)
 	if err != nil {
 		return nil, err
@@ -666,6 +686,9 @@ func (w *Warehouse) advise(jq *plan.JoinQuery, o queryOpts) core.Advice {
 // Explain renders the plan, the advisor's choice and the optimizer's
 // access-path decision without executing.
 func (w *Warehouse) Explain(sql string, opts ...Option) (string, error) {
+	if w.starFact != "" {
+		return w.ExplainStar(sql, false)
+	}
 	jq, err := w.Plan(sql)
 	if err != nil {
 		return "", err
